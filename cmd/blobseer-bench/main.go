@@ -1,0 +1,138 @@
+// Command blobseer-bench regenerates the paper's evaluation figures and
+// the ablation experiments of DESIGN.md on the simulated Grid'5000
+// substrate.
+//
+// Usage:
+//
+//	blobseer-bench -exp fig2a      # Figure 2(a): append throughput vs blob size
+//	blobseer-bench -exp fig2b      # Figure 2(b): read throughput vs concurrent readers
+//	blobseer-bench -exp calibrate  # T1: link calibration against §5's measured figures
+//	blobseer-bench -exp writers    # A1: concurrent writers vs serialized-metadata baseline
+//	blobseer-bench -exp space      # A2: versioning storage overhead vs naive copies
+//	blobseer-bench -exp replication # A5: page replication cost/benefit (extension)
+//	blobseer-bench -exp all        # everything above
+//
+// The -quick flag shrinks every experiment (fewer providers, smaller
+// blobs) for a fast smoke run; without it the experiments use the paper's
+// deployment sizes (175 nodes, multi-GB blobs) and take a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blobseer/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2a, fig2b, calibrate, writers, space, replication, all")
+	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
+	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("# %s\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run("calibrate", func() error {
+		tab, err := bench.RunCalibration(bench.SimParams{Scale: *scale})
+		if err != nil {
+			return err
+		}
+		tab.Fprint(os.Stdout)
+		return nil
+	})
+
+	run("fig2a", func() error {
+		cfg := bench.Fig2aConfig{Sim: bench.SimParams{Scale: *scale}}
+		if *quick {
+			cfg.ProviderCounts = []int{16}
+			cfg.TotalPages = 320
+		}
+		series, err := bench.RunFig2a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2(a): append throughput as the blob grows")
+		for _, s := range series {
+			s.Fprint(os.Stdout)
+		}
+		return nil
+	})
+
+	run("fig2b", func() error {
+		cfg := bench.Fig2bConfig{Sim: bench.SimParams{Scale: *scale}}
+		if *quick {
+			cfg.Providers = 16
+			cfg.BlobBytes = 1 << 30
+			cfg.ReaderCounts = []int{1, 8, 16}
+		}
+		s, err := bench.RunFig2b(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2(b): read throughput under concurrency")
+		s.Fprint(os.Stdout)
+		return nil
+	})
+
+	run("writers", func() error {
+		cfg := bench.WritersConfig{Sim: bench.SimParams{Scale: *scale}}
+		if *quick {
+			cfg.Providers = 16
+			cfg.WriterCounts = []int{1, 4, 16}
+			cfg.AppendsPerWriter = 4
+		}
+		series, err := bench.RunWriters(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A1: concurrent appenders, border-set weaving vs serialized metadata")
+		for _, s := range series {
+			s.Fprint(os.Stdout)
+		}
+		return nil
+	})
+
+	run("space", func() error {
+		cfg := bench.SpaceConfig{}
+		if *quick {
+			cfg.BlobPages = 1024
+			cfg.Overwrites = 25
+		}
+		tab, err := bench.RunSpace(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A2: versioning storage overhead")
+		tab.Fprint(os.Stdout)
+		return nil
+	})
+
+	run("replication", func() error {
+		cfg := bench.ReplicationConfig{Sim: bench.SimParams{Scale: *scale}}
+		if *quick {
+			cfg.Providers = 8
+			cfg.AppendBytes = 8 << 20
+			cfg.Readers = 4
+		}
+		tab, err := bench.RunReplication(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A5: page replication (extension: the paper's future work)")
+		tab.Fprint(os.Stdout)
+		return nil
+	})
+}

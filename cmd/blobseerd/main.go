@@ -1,0 +1,145 @@
+// Command blobseerd runs one BlobSeer service role over TCP. A real
+// deployment runs one version manager, one provider manager, and any
+// number of data and metadata providers, mirroring the paper's Grid'5000
+// setup (§5).
+//
+// Examples:
+//
+//	blobseerd -role version-manager  -listen :4400
+//	blobseerd -role provider-manager -listen :4401
+//	blobseerd -role metadata         -listen :4402
+//	blobseerd -role data             -listen :4403 \
+//	          -manager vm-host:4401 -advertise node7:4403 -disk /var/lib/blobseer/pages.log
+//
+// Clients connect with blobseer.Dial, listing the version manager, the
+// provider manager and every metadata provider address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blobseer/internal/pagestore"
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/version"
+
+	blobdht "blobseer/internal/dht"
+)
+
+func main() {
+	role := flag.String("role", "", "version-manager | provider-manager | metadata | data")
+	listen := flag.String("listen", ":0", "address to listen on")
+	managerAddr := flag.String("manager", "", "provider manager address (data role)")
+	advertise := flag.String("advertise", "", "address clients should dial (data role; defaults to the listen address)")
+	diskPath := flag.String("disk", "", "durable storage log path (data role: pages; metadata role: tree-node pairs; default RAM)")
+	walPath := flag.String("wal", "", "write-ahead log path for version state (version-manager role; default in-memory)")
+	deadTimeout := flag.Duration("dead-writer-timeout", 0, "abort updates of silent writers after this duration (version-manager role; 0 disables)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period (data role)")
+	flag.Parse()
+
+	sched := vclock.NewReal()
+	net := transport.TCP{}
+	ln, err := net.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+
+	var closer interface{ Close() }
+	switch *role {
+	case "version-manager":
+		m, err := version.ServeManagerDurable(ln, version.ManagerConfig{
+			Sched:             sched,
+			DeadWriterTimeout: *deadTimeout,
+			WALPath:           *walPath,
+			WALSync:           *walPath != "", // durability is the point of -wal
+		})
+		if err != nil {
+			log.Fatalf("start version manager: %v", err)
+		}
+		closer = m
+		log.Printf("version manager listening on %s", m.Addr())
+
+	case "provider-manager":
+		m := provider.ServeManager(ln, provider.ManagerConfig{
+			Sched:  sched,
+			Expiry: 30 * time.Second,
+		})
+		closer = m
+		log.Printf("provider manager listening on %s", m.Addr())
+
+	case "metadata":
+		var n *blobdht.Node
+		if *diskPath != "" {
+			n, err = blobdht.ServeDurableNode(ln, sched, *diskPath, false)
+			if err != nil {
+				log.Fatalf("start metadata provider: %v", err)
+			}
+		} else {
+			n = blobdht.ServeNode(ln, sched)
+		}
+		closer = n
+		log.Printf("metadata provider listening on %s", n.Addr())
+
+	case "data":
+		if *managerAddr == "" {
+			log.Fatal("data role requires -manager")
+		}
+		var store pagestore.Store = pagestore.NewMem()
+		if *diskPath != "" {
+			store, err = pagestore.OpenDisk(*diskPath, pagestore.DiskOptions{})
+			if err != nil {
+				log.Fatalf("open page log: %v", err)
+			}
+		}
+		cfg := provider.Config{
+			Store:          store,
+			Sched:          sched,
+			ManagerAddr:    *managerAddr,
+			Client:         rpc.NewClient(net, sched, rpc.ClientOptions{}),
+			HeartbeatEvery: *heartbeat,
+		}
+		p, err := serveDataProvider(ln, cfg, *advertise)
+		if err != nil {
+			log.Fatalf("start data provider: %v", err)
+		}
+		closer = p
+		log.Printf("data provider listening on %s (manager %s)", p.Addr(), *managerAddr)
+
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -role; want version-manager, provider-manager, metadata or data")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	closer.Close()
+}
+
+// serveDataProvider wraps provider.Serve, rewriting the advertised
+// address when the operator knows a better name than the bind address
+// (e.g. behind NAT or with a 0.0.0.0 bind).
+func serveDataProvider(ln transport.Listener, cfg provider.Config, advertise string) (*provider.Provider, error) {
+	if advertise == "" {
+		return provider.Serve(ln, cfg)
+	}
+	return provider.Serve(advertisedListener{ln, advertise}, cfg)
+}
+
+// advertisedListener overrides Addr with an operator-supplied name.
+type advertisedListener struct {
+	transport.Listener
+	addr string
+}
+
+func (a advertisedListener) Addr() string { return a.addr }

@@ -1,0 +1,249 @@
+package blobseer_test
+
+import (
+	"bufio"
+	"bytes"
+
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds cmd/blobseerd and cmd/blobseer-cli and
+// drives a real multi-process deployment over loopback TCP: one process
+// per role, CLI subprocesses as clients. This is the closest thing to the
+// paper's actual deployment that fits in a test.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test; skipped with -short")
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		path := filepath.Join(bin, name)
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+		return path
+	}
+	daemon := build("blobseerd", "./cmd/blobseerd")
+	cli := build("blobseer-cli", "./cmd/blobseer-cli")
+
+	// start launches one daemon role and returns its advertised address,
+	// scraped from the "listening on" log line.
+	var procs []*exec.Cmd
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	})
+	start := func(args ...string) string {
+		cmd := exec.Command(daemon, args...)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %v: %v", args, err)
+		}
+		procs = append(procs, cmd)
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				line := sc.Text()
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					addr := strings.Fields(line[i+len("listening on "):])[0]
+					select {
+					case addrCh <- addr:
+					default:
+					}
+				}
+			}
+		}()
+		select {
+		case addr := <-addrCh:
+			return addr
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon %v did not report its address", args)
+			return ""
+		}
+	}
+
+	vm := start("-role", "version-manager", "-listen", "127.0.0.1:0")
+	pm := start("-role", "provider-manager", "-listen", "127.0.0.1:0")
+	meta1 := start("-role", "metadata", "-listen", "127.0.0.1:0")
+	meta2 := start("-role", "metadata", "-listen", "127.0.0.1:0")
+	start("-role", "data", "-listen", "127.0.0.1:0", "-manager", pm,
+		"-heartbeat", "100ms")
+	start("-role", "data", "-listen", "127.0.0.1:0", "-manager", pm,
+		"-heartbeat", "100ms")
+
+	base := []string{"-vm", vm, "-pm", pm, "-meta", meta1 + "," + meta2}
+	run := func(stdin []byte, args ...string) string {
+		cmd := exec.Command(cli, append(append([]string{}, base...), args...)...)
+		if stdin != nil {
+			cmd.Stdin = bytes.NewReader(stdin)
+		}
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("cli %v: %v\nstderr: %s", args, err, errb.String())
+		}
+		return out.String()
+	}
+
+	// create → id
+	id := strings.TrimSpace(run(nil, "create", "-pagesize", "4096"))
+	if id != "1" {
+		t.Fatalf("created blob id %q, want 1", id)
+	}
+	// append two generations
+	gen1 := bytes.Repeat([]byte("alpha-page."), 800) // ~8.8 KB
+	out := run(gen1, "append", id)
+	if !strings.Contains(out, "version 1") {
+		t.Fatalf("append said %q", out)
+	}
+	gen2 := bytes.Repeat([]byte("BETA!"), 400)
+	out = run(gen2, "append", id)
+	if !strings.Contains(out, "version 2") {
+		t.Fatalf("second append said %q", out)
+	}
+	// read back snapshot 1 exactly
+	got := run(nil, "read", id, "-version", "1")
+	if got != string(gen1) {
+		t.Fatalf("snapshot 1 read %d bytes, want %d", len(got), len(gen1))
+	}
+	// recent read = both generations
+	got = run(nil, "read", id)
+	if got != string(gen1)+string(gen2) {
+		t.Fatalf("recent read %d bytes, want %d", len(got), len(gen1)+len(gen2))
+	}
+	// partial read across a page boundary
+	got = run(nil, "read", id, "-version", "2", "-offset", "4000", "-length", "200")
+	if got != string(append(append([]byte{}, gen1...), gen2...)[4000:4200]) {
+		t.Fatal("ranged read mismatch")
+	}
+	// stat lists both versions
+	statOut := run(nil, "stat", id)
+	if !strings.Contains(statOut, "recent version 2") {
+		t.Fatalf("stat said %q", statOut)
+	}
+	// branch at version 1 and diverge
+	bid := strings.TrimSpace(run(nil, "branch", id, "-version", "1"))
+	if bid == id || bid == "" {
+		t.Fatalf("branch id %q", bid)
+	}
+	divergent := []byte("divergent future")
+	run(divergent, "append", bid)
+	got = run(nil, "read", bid)
+	if got != string(gen1)+string(divergent) {
+		t.Fatal("branch content mismatch")
+	}
+	// the original is unaffected by the branch's append
+	got = run(nil, "read", id)
+	if got != string(gen1)+string(gen2) {
+		t.Fatal("original mutated by branch append")
+	}
+}
+
+// TestDaemonDurableRestartProcess restarts a version-manager process on
+// its WAL and checks the version sequence continues (process-level
+// counterpart of the in-process WAL tests).
+func TestDaemonDurableRestartProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test; skipped with -short")
+	}
+	bin := t.TempDir()
+	daemonPath := filepath.Join(bin, "blobseerd")
+	if out, err := exec.Command("go", "build", "-o", daemonPath, "./cmd/blobseerd").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cliPath := filepath.Join(bin, "blobseer-cli")
+	if out, err := exec.Command("go", "build", "-o", cliPath, "./cmd/blobseer-cli").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	wal := filepath.Join(t.TempDir(), "vm.wal")
+
+	startDaemon := func(args ...string) (*exec.Cmd, string) {
+		cmd := exec.Command(daemonPath, args...)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				go func() { // keep draining so the child never blocks on stderr
+					for sc.Scan() {
+					}
+				}()
+				return cmd, strings.Fields(line[i+len("listening on "):])[0]
+			}
+		}
+		t.Fatal("daemon did not report its address")
+		return nil, ""
+	}
+
+	vmProc, vm := startDaemon("-role", "version-manager", "-listen", "127.0.0.1:0", "-wal", wal)
+	pmProc, pm := startDaemon("-role", "provider-manager", "-listen", "127.0.0.1:0")
+	metaProc, meta := startDaemon("-role", "metadata", "-listen", "127.0.0.1:0")
+	dataProc, _ := startDaemon("-role", "data", "-listen", "127.0.0.1:0", "-manager", pm, "-heartbeat", "100ms")
+	t.Cleanup(func() {
+		for _, p := range []*exec.Cmd{pmProc, metaProc, dataProc} {
+			p.Process.Kill()
+			p.Wait()
+		}
+	})
+
+	cliRun := func(vmAddr string, stdin []byte, args ...string) (string, error) {
+		cmd := exec.Command(cliPath, append([]string{"-vm", vmAddr, "-pm", pm, "-meta", meta}, args...)...)
+		if stdin != nil {
+			cmd.Stdin = bytes.NewReader(stdin)
+		}
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		err := cmd.Run()
+		return out.String(), err
+	}
+
+	id, err := cliRun(vm, nil, "create", "-pagesize", "1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id = strings.TrimSpace(id)
+	if _, err := cliRun(vm, bytes.Repeat([]byte{7}, 2048), "append", id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the version manager outright (no graceful shutdown) and restart
+	// it on the same WAL.
+	vmProc.Process.Kill()
+	vmProc.Wait()
+	vmProc2, vm2 := startDaemon("-role", "version-manager", "-listen", "127.0.0.1:0", "-wal", wal)
+	t.Cleanup(func() { vmProc2.Process.Kill(); vmProc2.Wait() })
+
+	out, err := cliRun(vm2, bytes.Repeat([]byte{8}, 1024), "append", id)
+	if err != nil {
+		t.Fatalf("append after VM restart: %v", err)
+	}
+	if !strings.Contains(out, "version 2") {
+		t.Fatalf("append after restart said %q, want version 2 (sequence lost?)", out)
+	}
+	statOut, err := cliRun(vm2, nil, "stat", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(statOut, "recent version 2") || !strings.Contains(statOut, "3072 bytes") {
+		t.Fatalf("stat after restart: %q", statOut)
+	}
+}

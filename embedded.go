@@ -1,0 +1,124 @@
+package blobseer
+
+import (
+	"time"
+
+	"blobseer/internal/cluster"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/provider"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+)
+
+// PlacementStrategy selects how the provider manager spreads pages.
+type PlacementStrategy = provider.Strategy
+
+// Placement strategies for ClusterOptions.Strategy.
+const (
+	// PlacementRoundRobin distributes pages evenly in registration order
+	// (the paper's strategy; default).
+	PlacementRoundRobin = provider.RoundRobin
+	// PlacementRandom picks providers uniformly at random.
+	PlacementRandom = provider.Random
+	// PlacementLeastLoaded prefers providers holding the fewest pages.
+	PlacementLeastLoaded = provider.LeastLoaded
+)
+
+// ClusterOptions sizes an embedded cluster.
+type ClusterOptions struct {
+	// DataProviders is the number of page storage services (default 4).
+	DataProviders int
+	// MetadataProviders is the number of DHT nodes (default 4).
+	MetadataProviders int
+	// MetadataReplication is the DHT replication factor (default 1).
+	MetadataReplication int
+	// PageReplication stores each data page on this many distinct
+	// providers (default 1, the paper's single-copy layout). With R > 1,
+	// reads spread across replicas and fail over when a provider dies, at
+	// the cost of R× write traffic. Replication is the extension the paper
+	// names as future work (§3.2).
+	PageReplication int
+	// Strategy is the page placement policy (default round-robin).
+	Strategy PlacementStrategy
+	// DiskDir, when non-empty, makes the cluster durable: each data
+	// provider stores pages in a crash-safe append-only log under this
+	// directory instead of RAM, and the version manager keeps a
+	// write-ahead log of version state there too.
+	DiskDir string
+	// DeadWriterTimeout aborts updates of crashed writers (0 disables).
+	DeadWriterTimeout time.Duration
+}
+
+// Cluster is an embedded single-process BlobSeer deployment: every
+// service runs in this process over an in-memory transport. It is the
+// easiest way to use the library and the backbone of the examples.
+type Cluster struct {
+	inner *cluster.Cluster
+	net   *transport.Inproc
+	sched vclock.Scheduler
+}
+
+// StartCluster boots an embedded cluster.
+func StartCluster(opts ClusterOptions) (*Cluster, error) {
+	net := transport.NewInproc()
+	sched := vclock.NewReal()
+	cfg := cluster.Config{
+		DataProviders:     opts.DataProviders,
+		MetaProviders:     opts.MetadataProviders,
+		Replication:       opts.MetadataReplication,
+		PageReplication:   opts.PageReplication,
+		Strategy:          opts.Strategy,
+		DeadWriterTimeout: opts.DeadWriterTimeout,
+	}
+	if opts.DiskDir != "" {
+		dir := opts.DiskDir
+		cfg.VersionWALPath = dir + "/version-manager.wal"
+		cfg.MetaLogDir = dir
+		cfg.NewStore = func(i int) pagestore.Store {
+			d, err := pagestore.OpenDisk(
+				dir+"/provider-"+itoa(i)+".log", pagestore.DiskOptions{})
+			if err != nil {
+				// Surfacing the error through the factory would complicate
+				// every call site; a provider without storage is fatal.
+				panic("blobseer: cannot open page log: " + err.Error())
+			}
+			return d
+		}
+	}
+	inner, err := cluster.StartInproc(net, sched, cfg)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return &Cluster{inner: inner, net: net, sched: sched}, nil
+}
+
+// Client returns a new client connected to the embedded cluster.
+func (c *Cluster) Client() (*Client, error) {
+	inner, err := c.inner.NewClient("")
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: inner}, nil
+}
+
+// Close stops every service in the cluster.
+func (c *Cluster) Close() {
+	c.inner.Close()
+	c.net.Close()
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,154 @@
+// Command branching demonstrates the paper's cheap BRANCH primitive
+// (§2.1): "the same computation may proceed independently on different
+// versions of the blob ... very useful for exploring alternative data
+// processing algorithms starting from the same blob version."
+//
+// A dataset of samples is stored once; two alternative normalization
+// pipelines each get their own branch, rewrite the data in place through
+// many versions, and the original stays pristine — without any copy of
+// the dataset ever being made.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"blobseer"
+)
+
+const (
+	samples  = 1 << 15 // 32768 float64 samples
+	pageSize = 8 << 10
+)
+
+func main() {
+	cl, err := blobseer.StartCluster(blobseer.ClusterOptions{})
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	c, err := cl.Client()
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Store the raw dataset.
+	raw, err := c.Create(ctx, blobseer.Options{PageSize: pageSize})
+	if err != nil {
+		log.Fatalf("create: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, samples*8)
+	for i := 0; i < samples; i++ {
+		binary.LittleEndian.PutUint64(data[i*8:], math.Float64bits(rng.NormFloat64()*10+50))
+	}
+	base, err := raw.Append(ctx, data)
+	if err != nil {
+		log.Fatalf("append: %v", err)
+	}
+	if err := raw.Sync(ctx, base); err != nil {
+		log.Fatalf("sync: %v", err)
+	}
+	fmt.Printf("dataset stored: snapshot %d, %d samples, mean=%.2f\n",
+		base, samples, meanOf(ctx, raw, base))
+
+	// Two alternative pipelines, each on its own branch. Branching is a
+	// metadata-only operation: no sample is copied.
+	minmax, err := raw.Branch(ctx, base)
+	if err != nil {
+		log.Fatalf("branch: %v", err)
+	}
+	zscore, err := raw.Branch(ctx, base)
+	if err != nil {
+		log.Fatalf("branch: %v", err)
+	}
+
+	// Pipeline A: min-max scaling to [0,1], chunk by chunk (each chunk
+	// rewrite is one WRITE producing one version on the branch).
+	vA := transform(ctx, minmax, "minmax")
+	// Pipeline B: z-score standardization.
+	vB := transform(ctx, zscore, "zscore")
+
+	fmt.Printf("pipeline A (min-max) finished at version %d: mean=%.3f\n", vA, meanOf(ctx, minmax, vA))
+	fmt.Printf("pipeline B (z-score) finished at version %d: mean=%.3f\n", vB, meanOf(ctx, zscore, vB))
+	fmt.Printf("original is untouched:                      mean=%.2f\n", meanOf(ctx, raw, base))
+}
+
+// transform rewrites every sample in-place according to the named
+// normalization, one page-aligned WRITE per chunk.
+func transform(ctx context.Context, blob *blobseer.Blob, mode string) blobseer.Version {
+	v, size, err := blob.Recent(ctx)
+	if err != nil {
+		log.Fatalf("recent: %v", err)
+	}
+	buf := make([]byte, size)
+	if err := blob.Read(ctx, v, buf, 0); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	// First pass: statistics.
+	n := int(size / 8)
+	lo, hi, sum, sumSq := math.Inf(1), math.Inf(-1), 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	var fn func(x float64) float64
+	switch mode {
+	case "minmax":
+		fn = func(x float64) float64 { return (x - lo) / (hi - lo) }
+	case "zscore":
+		fn = func(x float64) float64 { return (x - mean) / std }
+	default:
+		log.Fatalf("unknown mode %q", mode)
+	}
+	// Second pass: rewrite in page-aligned chunks, one WRITE per chunk.
+	const chunk = 64 * pageSize
+	var last blobseer.Version
+	for off := 0; off < len(buf); off += chunk {
+		end := off + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		out := make([]byte, end-off)
+		for i := 0; i+8 <= len(out); i += 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+i:]))
+			binary.LittleEndian.PutUint64(out[i:], math.Float64bits(fn(x)))
+		}
+		last, err = blob.Write(ctx, out, uint64(off))
+		if err != nil {
+			log.Fatalf("transform write: %v", err)
+		}
+	}
+	if err := blob.Sync(ctx, last); err != nil {
+		log.Fatalf("sync: %v", err)
+	}
+	return last
+}
+
+// meanOf reads a snapshot and averages its samples.
+func meanOf(ctx context.Context, blob *blobseer.Blob, v blobseer.Version) float64 {
+	size, err := blob.Size(ctx, v)
+	if err != nil {
+		log.Fatalf("size: %v", err)
+	}
+	buf := make([]byte, size)
+	if err := blob.Read(ctx, v, buf, 0); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	sum := 0.0
+	n := int(size / 8)
+	for i := 0; i < n; i++ {
+		sum += math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return sum / float64(n)
+}

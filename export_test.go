@@ -1,0 +1,17 @@
+package blobseer
+
+// Test-only accessors: failure-injection tests kill individual services of
+// an embedded cluster to verify the replication extensions end to end.
+
+// KillDataProvider stops data provider i; its pages become unreachable.
+func (c *Cluster) KillDataProvider(i int) { c.inner.Providers[i].Close() }
+
+// KillMetaNode stops metadata (DHT) node i; tree nodes whose only replica
+// lives there become unreachable.
+func (c *Cluster) KillMetaNode(i int) { c.inner.MetaNodes[i].Close() }
+
+// DataProviderCount returns the number of data providers in the cluster.
+func (c *Cluster) DataProviderCount() int { return len(c.inner.Providers) }
+
+// MetaNodeCount returns the number of metadata nodes in the cluster.
+func (c *Cluster) MetaNodeCount() int { return len(c.inner.MetaNodes) }

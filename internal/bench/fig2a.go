@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/workload"
+)
+
+// Fig2aConfig parameterizes Figure 2(a): "Append throughput as a blob
+// dynamically grows". A single client appends to a fresh blob while the
+// per-APPEND bandwidth is recorded against the blob's size in pages. The
+// paper runs page sizes of 64 KB and 256 KB against 50 and 175 co-deployed
+// data+metadata providers, growing past 1200 pages; the visible features
+// are a sustained high bandwidth and a dip whenever the page count
+// crosses a power of two (a new metadata tree level).
+type Fig2aConfig struct {
+	Sim SimParams
+	// PageSizes in paper-unit bytes (default 64 KB and 256 KB).
+	PageSizes []uint64
+	// ProviderCounts (default 50 and 175).
+	ProviderCounts []int
+	// AppendPages is the number of pages appended per APPEND call
+	// (default 32, giving points every 32 pages).
+	AppendPages uint64
+	// TotalPages is the final blob size in pages (default 1280, slightly
+	// past the paper's 1200-page x-axis).
+	TotalPages uint64
+}
+
+func (c *Fig2aConfig) fill() {
+	c.Sim.fill()
+	if len(c.PageSizes) == 0 {
+		c.PageSizes = []uint64{64 << 10, 256 << 10}
+	}
+	if len(c.ProviderCounts) == 0 {
+		c.ProviderCounts = []int{50, 175}
+	}
+	if c.AppendPages == 0 {
+		c.AppendPages = 32
+	}
+	if c.TotalPages == 0 {
+		c.TotalPages = 1280
+	}
+}
+
+// RunFig2a regenerates Figure 2(a), one series per (page size, provider
+// count) pair. Y is append bandwidth in paper-unit MB/s; X is the blob
+// size in pages after the append.
+func RunFig2a(cfg Fig2aConfig) ([]Series, error) {
+	cfg.fill()
+	var out []Series
+	for _, ps := range cfg.PageSizes {
+		for _, provs := range cfg.ProviderCounts {
+			s, err := runFig2aOne(cfg, ps, provs)
+			if err != nil {
+				return nil, fmt.Errorf("fig2a psize=%d providers=%d: %w", ps, provs, err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func runFig2aOne(cfg Fig2aConfig, pageSize uint64, providers int) (Series, error) {
+	scale := cfg.Sim.Scale
+	simPS := pageSize / scale
+	if simPS == 0 {
+		return Series{}, fmt.Errorf("page size %d not divisible by scale %d", pageSize, scale)
+	}
+	series := Series{
+		Name: fmt.Sprintf("%dK page size, %d providers",
+			pageSize>>10, providers),
+		XLabel: "pages",
+		YLabel: "append MB/s",
+	}
+	err := runSim(cfg.Sim, providers, clusterDefaults(), func(e *env) error {
+		ctx := context.Background()
+		c, err := e.clientOn("client0") // dedicated client node
+		if err != nil {
+			return err
+		}
+		blob, err := c.Create(ctx, uint32(simPS))
+		if err != nil {
+			return err
+		}
+		chunk := workload.Chunk(7, int(cfg.AppendPages*simPS))
+		for pages := uint64(0); pages < cfg.TotalPages; pages += cfg.AppendPages {
+			start := e.clock.Now()
+			v, err := c.Append(ctx, blob, chunk)
+			if err != nil {
+				return fmt.Errorf("append at %d pages: %w", pages, err)
+			}
+			if err := c.Sync(ctx, blob, v); err != nil {
+				return err
+			}
+			elapsed := e.clock.Now() - start
+			// Rescale to paper units: paper bytes = sim bytes * scale.
+			bw := float64(len(chunk)) * float64(scale) / elapsed.Seconds() / MB
+			series.Points = append(series.Points, Point{
+				X: float64(pages + cfg.AppendPages),
+				Y: bw,
+			})
+		}
+		return nil
+	})
+	return series, err
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/client"
+	"blobseer/internal/cluster"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+	"blobseer/internal/workload"
+)
+
+// Fig2bConfig parameterizes Figure 2(b): "Read throughput under
+// concurrency". A blob is grown to many GB by a single appender; then N
+// concurrent readers — co-deployed with the data+metadata providers, as
+// in the paper — each read a distinct chunk, and the average per-reader
+// bandwidth is reported as N grows. The paper observes 60 MB/s for one
+// reader degrading gently to 49 MB/s at 175 readers.
+type Fig2bConfig struct {
+	Sim SimParams
+	// PageSize in paper-unit bytes (default 64 KB, the published series).
+	PageSize uint64
+	// Providers is the number of co-deployed data+metadata nodes
+	// (default 173: the paper's 175 minus the two dedicated managers).
+	Providers int
+	// BlobBytes is the blob size in paper-unit bytes (default 16 GB; the
+	// paper used 64 GB — the scaled-down default keeps tree depth within
+	// two levels of the paper's and fits in memory, see EXPERIMENTS.md).
+	BlobBytes uint64
+	// ChunkBytes is each reader's distinct read size (default 64 MB).
+	ChunkBytes uint64
+	// ReaderCounts lists the concurrency levels (default 1, 25, 50, 100,
+	// 175; the paper reports 1, 100 and 175).
+	ReaderCounts []int
+	// GrowPages is the append unit while growing the blob (default 1024).
+	GrowPages uint64
+}
+
+func (c *Fig2bConfig) fill() {
+	c.Sim.fill()
+	if c.PageSize == 0 {
+		c.PageSize = 64 << 10
+	}
+	if c.Providers == 0 {
+		c.Providers = 173
+	}
+	if c.BlobBytes == 0 {
+		c.BlobBytes = 16 << 30
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 64 << 20
+	}
+	if len(c.ReaderCounts) == 0 {
+		c.ReaderCounts = []int{1, 25, 50, 100, 175}
+	}
+	if c.GrowPages == 0 {
+		c.GrowPages = 1024
+	}
+}
+
+// RunFig2b regenerates Figure 2(b): average read bandwidth (paper-unit
+// MB/s) as a function of the number of concurrent readers.
+func RunFig2b(cfg Fig2bConfig) (Series, error) {
+	cfg.fill()
+	scale := cfg.Sim.Scale
+	simPS := cfg.PageSize / scale
+	simBlob := cfg.BlobBytes / scale
+	simChunk := cfg.ChunkBytes / scale
+	if simPS == 0 || simChunk%simPS != 0 {
+		return Series{}, fmt.Errorf("fig2b: page size %d / chunk %d not scalable by %d",
+			cfg.PageSize, cfg.ChunkBytes, scale)
+	}
+	maxReaders := 0
+	for _, n := range cfg.ReaderCounts {
+		if n > maxReaders {
+			maxReaders = n
+		}
+	}
+	if need := uint64(maxReaders) * simChunk; need > simBlob {
+		return Series{}, fmt.Errorf("fig2b: %d readers x %d chunk exceeds blob %d",
+			maxReaders, simChunk, simBlob)
+	}
+
+	series := Series{
+		Name: fmt.Sprintf("%dKB page size, %d providers",
+			cfg.PageSize>>10, cfg.Providers),
+		XLabel: "readers",
+		YLabel: "read MB/s",
+	}
+	err := runSim(cfg.Sim, cfg.Providers, clusterDefaults(), func(e *env) error {
+		ctx := context.Background()
+		loader, err := e.clientOn("client0")
+		if err != nil {
+			return err
+		}
+		blob, err := loader.Create(ctx, uint32(simPS))
+		if err != nil {
+			return err
+		}
+		// Grow phase: one writer appends until the blob reaches size.
+		chunk := workload.Chunk(3, int(cfg.GrowPages*simPS))
+		var v wire.Version
+		for sz := uint64(0); sz < simBlob; sz += uint64(len(chunk)) {
+			if v, err = loader.Append(ctx, blob, chunk); err != nil {
+				return fmt.Errorf("grow at %d bytes: %w", sz, err)
+			}
+		}
+		if err := loader.Sync(ctx, blob, v); err != nil {
+			return err
+		}
+
+		// Read phase: for each concurrency level, fresh clients (cold
+		// metadata caches) co-deployed on the provider nodes read
+		// disjoint chunks concurrently.
+		for _, readers := range cfg.ReaderCounts {
+			bw, err := e.measureReaders(blob, v, readers, simChunk, cfg.Providers)
+			if err != nil {
+				return fmt.Errorf("%d readers: %w", readers, err)
+			}
+			series.Points = append(series.Points, Point{
+				X: float64(readers),
+				Y: bw * float64(scale) / MB,
+			})
+		}
+		return nil
+	})
+	return series, err
+}
+
+// measureReaders runs one concurrency level and returns the average
+// per-reader bandwidth in sim-units bytes/second.
+func (e *env) measureReaders(blob wire.BlobID, v wire.Version, readers int,
+	chunk uint64, providers int) (float64, error) {
+
+	clients := make([]*client.Client, readers)
+	for i := range clients {
+		c, err := e.clientOn(fmt.Sprintf("node%d", i%providers))
+		if err != nil {
+			return 0, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	elapsed := make([]float64, readers)
+	err := vclock.Parallel(e.clock, readers, func(i int) error {
+		buf := make([]byte, chunk)
+		start := e.clock.Now()
+		if err := clients[i].Read(context.Background(), blob, v, buf, uint64(i)*chunk); err != nil {
+			return err
+		}
+		elapsed[i] = (e.clock.Now() - start).Seconds()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, el := range elapsed {
+		sum += float64(chunk) / el
+	}
+	return sum / float64(readers), nil
+}
+
+// clusterDefaults returns the cluster configuration shared by the
+// figure experiments.
+func clusterDefaults() cluster.Config {
+	return cluster.Config{
+		Replication:      1,
+		ClientCacheNodes: -1, // clients in the experiments run cold, like fresh paper runs
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/client"
+	"blobseer/internal/vclock"
+	"blobseer/internal/workload"
+)
+
+// ReplicationConfig parameterizes the A5 ablation: the cost and benefit
+// of the page-replication extension (the paper's stated future work,
+// §3.2). For each replication factor R the experiment measures single-
+// writer append bandwidth (expected ≈1/R of the unreplicated figure: the
+// writer's uplink carries R copies), concurrent-reader bandwidth, and
+// whether the blob survives the loss of one data provider.
+type ReplicationConfig struct {
+	Sim SimParams
+	// PageSize in paper-unit bytes (default 64 KB).
+	PageSize uint64
+	// Providers (default 16).
+	Providers int
+	// Factors are the replication factors to sweep (default 1, 2, 3).
+	Factors []int
+	// AppendBytes is the paper-units volume appended per run (default 32 MB).
+	AppendBytes uint64
+	// Readers is the concurrent reader count for the read phase (default 8).
+	Readers int
+}
+
+func (c *ReplicationConfig) fill() {
+	c.Sim.fill()
+	if c.PageSize == 0 {
+		c.PageSize = 64 << 10
+	}
+	if c.Providers == 0 {
+		c.Providers = 16
+	}
+	if len(c.Factors) == 0 {
+		c.Factors = []int{1, 2, 3}
+	}
+	if c.AppendBytes == 0 {
+		c.AppendBytes = 32 << 20
+	}
+	if c.Readers == 0 {
+		c.Readers = 8
+	}
+}
+
+// RunReplication sweeps the replication factor and returns one table.
+func RunReplication(cfg ReplicationConfig) (Table, error) {
+	cfg.fill()
+	t := Table{
+		Name: fmt.Sprintf("page replication cost/benefit — %d providers, %d KB pages",
+			cfg.Providers, cfg.PageSize>>10),
+		Header: []string{"replicas", "append MB/s", "read MB/s (x" +
+			fmt.Sprint(cfg.Readers) + ")", "survives provider loss"},
+	}
+	for _, r := range cfg.Factors {
+		appendBW, readBW, survives, err := runReplicationOne(cfg, r)
+		if err != nil {
+			return Table{}, fmt.Errorf("replicas=%d: %w", r, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r),
+			fmt.Sprintf("%.1f", appendBW),
+			fmt.Sprintf("%.1f", readBW),
+			fmt.Sprint(survives),
+		})
+	}
+	return t, nil
+}
+
+func runReplicationOne(cfg ReplicationConfig, replicas int) (appendBW, readBW float64, survives bool, err error) {
+	scale := cfg.Sim.Scale
+	simPS := cfg.PageSize / scale
+	simTotal := cfg.AppendBytes / scale
+	ccfg := clusterDefaults()
+	ccfg.PageReplication = replicas
+	simErr := runSim(cfg.Sim, cfg.Providers, ccfg, func(e *env) error {
+		ctx := context.Background()
+		w, err := e.clientOn("writer")
+		if err != nil {
+			return err
+		}
+		blob, err := w.Create(ctx, uint32(simPS))
+		if err != nil {
+			return err
+		}
+
+		// Phase 1: single-writer append bandwidth.
+		const chunks = 16
+		chunk := workload.Chunk(3, int(simTotal/chunks))
+		start := e.clock.Now()
+		var last uint64
+		for k := 0; k < chunks; k++ {
+			v, err := w.Append(ctx, blob, chunk)
+			if err != nil {
+				return err
+			}
+			last = v
+		}
+		if err := w.Sync(ctx, blob, last); err != nil {
+			return err
+		}
+		elapsed := (e.clock.Now() - start).Seconds()
+		appendBW = float64(simTotal) * float64(scale) / elapsed / MB
+
+		// Phase 2: concurrent disjoint readers, co-deployed with providers
+		// like the paper's Figure 2(b).
+		size := uint64(len(chunk)) * chunks
+		parts := workload.Partition(size, cfg.Readers)
+		readers := make([]*client.Client, cfg.Readers)
+		for i := range readers {
+			c, err := e.clientOn(fmt.Sprintf("node%d", i%cfg.Providers))
+			if err != nil {
+				return err
+			}
+			readers[i] = c
+		}
+		start = e.clock.Now()
+		err = vclock.Parallel(e.clock, cfg.Readers, func(i int) error {
+			buf := make([]byte, parts[i].Count)
+			return readers[i].Read(ctx, blob, last, buf, parts[i].Start)
+		})
+		if err != nil {
+			return err
+		}
+		elapsed = (e.clock.Now() - start).Seconds()
+		readBW = float64(size) * float64(scale) / elapsed / MB / float64(cfg.Readers)
+
+		// Phase 3: kill one provider, attempt a full read.
+		e.cl.Providers[0].Close()
+		buf := make([]byte, size)
+		survives = readers[0].Read(ctx, blob, last, buf, 0) == nil
+		return nil
+	})
+	if simErr != nil {
+		return 0, 0, false, simErr
+	}
+	return appendBW, readBW, survives, nil
+}

@@ -1,0 +1,300 @@
+// Package client implements the BlobSeer client library: the READ,
+// WRITE, APPEND, GET_RECENT, GET_SIZE, SYNC, CREATE and BRANCH primitives
+// of §2.1, speaking to the version manager, provider manager, data
+// providers and metadata DHT.
+//
+// Concurrency model (§3.3, §4.2): writers store pages and weave metadata
+// with no mutual synchronization; the single ordering point is version
+// assignment at the version manager. Unaligned updates need the previous
+// snapshot's boundary bytes, so they alone synchronize on the previous
+// version before merging (the paper only sketches unaligned handling; see
+// DESIGN.md for the exact semantics implemented here).
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/core"
+	"blobseer/internal/dht"
+	"blobseer/internal/meta"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// Config wires a Client to a cluster.
+type Config struct {
+	// Net is the transport to dial services through.
+	Net transport.Network
+	// Sched drives parallel fan-out; defaults to the real clock.
+	Sched vclock.Scheduler
+	// VersionManager and ProviderManager are service addresses.
+	VersionManager  string
+	ProviderManager string
+	// MetaRing maps metadata keys to metadata provider addresses.
+	MetaRing *dht.Ring
+	// ConnsPerHost tunes the rpc connection pool (default 1).
+	ConnsPerHost int
+	// MetaCacheNodes sets the client metadata cache capacity in nodes
+	// (default 16384; negative disables caching).
+	MetaCacheNodes int
+	// MaxFanout bounds how many page transfers one operation keeps in
+	// flight (default 64, like the prototype's bounded I/O threads;
+	// negative means unbounded).
+	MaxFanout int
+	// PageReplication stores each page on this many distinct providers
+	// (default 1 — the paper's layout). Reads spread over the replicas and
+	// fail over when a provider is unreachable. Replication is the paper's
+	// stated future work (§3.2); writes cost R times the page traffic.
+	PageReplication int
+	// SerializeMetadata forces every writer to wait for its
+	// predecessor's publication before weaving its metadata tree,
+	// disabling the paper's border-set mechanism (§4.2). It exists only
+	// as the baseline for the writer-concurrency ablation benchmark.
+	SerializeMetadata bool
+}
+
+// Client is a BlobSeer client. It is safe for concurrent use by many
+// goroutines; the paper's workloads (§5) run hundreds of concurrent
+// readers and writers through handles like this one.
+type Client struct {
+	cfg   Config
+	sched vclock.Scheduler
+	rpc   *rpc.Client
+	dht   *dht.Client
+	cache *meta.Cache
+	gen   *wire.PageIDGen
+
+	mu    sync.Mutex
+	blobs map[wire.BlobID]*blobHandle
+}
+
+// blobHandle caches a blob's immutable attributes.
+type blobHandle struct {
+	pageSize uint64
+	store    *meta.Store
+}
+
+// New builds a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("client: no transport configured")
+	}
+	if cfg.MetaRing == nil {
+		return nil, fmt.Errorf("client: no metadata ring configured")
+	}
+	if cfg.VersionManager == "" || cfg.ProviderManager == "" {
+		return nil, fmt.Errorf("client: version and provider manager addresses are required")
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = vclock.NewReal()
+	}
+	cacheNodes := cfg.MetaCacheNodes
+	if cacheNodes == 0 {
+		cacheNodes = 16384
+	}
+	if cfg.MaxFanout == 0 {
+		cfg.MaxFanout = 64
+	}
+	if cfg.PageReplication < 1 {
+		cfg.PageReplication = 1
+	}
+	var cache *meta.Cache
+	if cacheNodes > 0 {
+		cache = meta.NewCache(cacheNodes)
+	}
+	rc := rpc.NewClient(cfg.Net, cfg.Sched, rpc.ClientOptions{ConnsPerHost: cfg.ConnsPerHost})
+	return &Client{
+		cfg:   cfg,
+		sched: cfg.Sched,
+		rpc:   rc,
+		dht:   dht.NewClient(cfg.MetaRing, rc, cfg.Sched),
+		cache: cache,
+		gen:   wire.NewPageIDGen(),
+		blobs: make(map[wire.BlobID]*blobHandle),
+	}, nil
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() { c.rpc.Close() }
+
+// MetaCacheStats reports the client metadata cache hit/miss counters
+// (zeros when caching is disabled).
+func (c *Client) MetaCacheStats() (hits, misses uint64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.Stats()
+}
+
+// vm issues a call to the version manager.
+func (c *Client) vm(ctx context.Context, req wire.Msg) (wire.Msg, error) {
+	return c.rpc.Call(ctx, c.cfg.VersionManager, req)
+}
+
+// Create makes a new empty blob with the given page size (a power of
+// two) and returns its globally unique id.
+func (c *Client) Create(ctx context.Context, pageSize uint32) (wire.BlobID, error) {
+	resp, err := c.vm(ctx, &wire.CreateBlobReq{PageSize: pageSize})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(*wire.CreateBlobResp).Blob, nil
+}
+
+// handle fetches (and caches) a blob's immutable attributes.
+func (c *Client) handle(ctx context.Context, id wire.BlobID) (*blobHandle, error) {
+	c.mu.Lock()
+	h, ok := c.blobs[id]
+	c.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	resp, err := c.vm(ctx, &wire.BlobInfoReq{Blob: id})
+	if err != nil {
+		return nil, err
+	}
+	info := resp.(*wire.BlobInfoResp)
+	h = &blobHandle{
+		pageSize: uint64(info.PageSize),
+		store:    meta.NewStore(c.dht, info.Lineage, c.cache),
+	}
+	c.mu.Lock()
+	if existing, ok := c.blobs[id]; ok {
+		h = existing
+	} else {
+		c.blobs[id] = h
+	}
+	c.mu.Unlock()
+	return h, nil
+}
+
+// Recent implements GET_RECENT: a recently published version and its
+// size. The returned version is >= every version published before the
+// call.
+func (c *Client) Recent(ctx context.Context, id wire.BlobID) (wire.Version, uint64, error) {
+	resp, err := c.vm(ctx, &wire.RecentReq{Blob: id})
+	if err != nil {
+		return 0, 0, err
+	}
+	r := resp.(*wire.RecentResp)
+	return r.Version, r.Size, nil
+}
+
+// Size implements GET_SIZE for a published snapshot.
+func (c *Client) Size(ctx context.Context, id wire.BlobID, v wire.Version) (uint64, error) {
+	resp, err := c.vm(ctx, &wire.SizeReq{Blob: id, Version: v})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(*wire.SizeResp).Size, nil
+}
+
+// Sync implements SYNC: it blocks until version v of the blob is
+// published (or fails if v was aborted).
+func (c *Client) Sync(ctx context.Context, id wire.BlobID, v wire.Version) error {
+	_, err := c.vm(ctx, &wire.SyncReq{Blob: id, Version: v})
+	return err
+}
+
+// Branch implements BRANCH: it virtually duplicates the blob at published
+// version v and returns the new blob's id. The clone shares all pages and
+// metadata with the original up to v; both evolve independently after.
+func (c *Client) Branch(ctx context.Context, id wire.BlobID, v wire.Version) (wire.BlobID, error) {
+	resp, err := c.vm(ctx, &wire.BranchReq{Blob: id, Version: v})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(*wire.BranchResp).NewBlob, nil
+}
+
+// Read implements READ: it fills buf with len(buf) bytes of snapshot v
+// starting at offset. It fails if v is unpublished or the range exceeds
+// the snapshot size.
+func (c *Client) Read(ctx context.Context, id wire.BlobID, v wire.Version, buf []byte, offset uint64) error {
+	if len(buf) == 0 {
+		// Still validate that the version is readable.
+		_, err := c.Size(ctx, id, v)
+		return err
+	}
+	size, err := c.Size(ctx, id, v) // also rejects unpublished versions
+	if err != nil {
+		return err
+	}
+	if offset+uint64(len(buf)) > size {
+		return wire.NewError(wire.CodeOutOfBounds,
+			"read [%d,+%d) beyond snapshot %d of size %d", offset, len(buf), v, size)
+	}
+	h, err := c.handle(ctx, id)
+	if err != nil {
+		return err
+	}
+	ps := h.pageSize
+	firstPage := offset / ps
+	lastPage := (offset + uint64(len(buf)) - 1) / ps
+	want := core.Range{Start: firstPage, Count: lastPage - firstPage + 1}
+
+	root := core.RootID(v, pagesOf(size, ps))
+	plan, err := core.ReadPlan(ctx, h.store, root, want)
+	if err != nil {
+		return err
+	}
+	// Fetch the pages in parallel (Algorithm 1 line 5), trimming the
+	// first and last to the requested byte range.
+	end := offset + uint64(len(buf))
+	return vclock.ParallelLimit(c.sched, len(plan), c.cfg.MaxFanout, func(i int) error {
+		pr := plan[i]
+		pageStart := pr.Index * ps
+		from := pageStart
+		if offset > from {
+			from = offset
+		}
+		to := pageStart + ps
+		if end < to {
+			to = end
+		}
+		return c.fetchPage(ctx, pr, from-pageStart, to-from, buf[from-offset:from-offset+(to-from)])
+	})
+}
+
+// fetchPage reads [off, off+length) of one page into dst, trying the
+// replicas in an order spread by the page id so concurrent readers do not
+// all hammer the first copy, and failing over on provider errors. With a
+// single replica (the paper's layout) this is one RPC.
+func (c *Client) fetchPage(ctx context.Context, pr core.PageRead, off, length uint64, dst []byte) error {
+	reps := pr.Providers
+	if len(reps) == 0 {
+		return fmt.Errorf("page %d has no providers", pr.Index)
+	}
+	spread := int(pr.Page[0]) % len(reps)
+	var lastErr error
+	for attempt := 0; attempt < len(reps); attempt++ {
+		addr := reps[(spread+attempt)%len(reps)]
+		resp, err := c.rpc.Call(ctx, addr, &wire.GetPageReq{
+			Page:   pr.Page,
+			Offset: uint32(off),
+			Length: uint32(length),
+		})
+		if err != nil {
+			lastErr = fmt.Errorf("page %d from %s: %w", pr.Index, addr, err)
+			continue
+		}
+		data := resp.(*wire.GetPageResp).Data
+		if uint64(len(data)) != length {
+			lastErr = fmt.Errorf("page %d from %s: got %d bytes, want %d",
+				pr.Index, addr, len(data), length)
+			continue
+		}
+		copy(dst, data)
+		return nil
+	}
+	return lastErr
+}
+
+// pagesOf converts a byte size to a page count, rounding up.
+func pagesOf(bytes, pageSize uint64) uint64 {
+	return (bytes + pageSize - 1) / pageSize
+}

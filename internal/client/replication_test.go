@@ -1,0 +1,175 @@
+package client_test
+
+import (
+	"bytes"
+	"testing"
+
+	"blobseer/internal/cluster"
+)
+
+// TestReplicatedWriteStoresAllCopies verifies that with PageReplication=2
+// every page is physically stored twice across the providers.
+func TestReplicatedWriteStoresAllCopies(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 4, PageReplication: 2})
+	id, err := c.Create(ctxb(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(3, 8*256) // 8 pages
+	v, err := c.Append(ctxb(), id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctxb(), id, v); err != nil {
+		t.Fatal(err)
+	}
+	var pages, bytesStored uint64
+	for _, p := range cl.Providers {
+		pg, by := p.Store().Stats()
+		pages += pg
+		bytesStored += by
+	}
+	if pages != 16 {
+		t.Fatalf("stored %d physical pages, want 16 (8 logical x 2 copies)", pages)
+	}
+	if bytesStored != 2*uint64(len(data)) {
+		t.Fatalf("stored %d bytes, want %d", bytesStored, 2*len(data))
+	}
+	got := make([]byte, len(data))
+	if err := c.Read(ctxb(), id, v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+}
+
+// TestReplicatedReadSurvivesProviderLoss kills providers one at a time and
+// checks the blob stays fully readable while at least one replica of every
+// page remains.
+func TestReplicatedReadSurvivesProviderLoss(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 3, PageReplication: 2})
+	id, err := c.Create(ctxb(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(9, 12*512)
+	v, err := c.Append(ctxb(), id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctxb(), id, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one of the three providers: every page keeps >= 1 live replica
+	// (copies were placed on distinct providers), so reads must succeed.
+	cl.Providers[0].Close()
+	got := make([]byte, len(data))
+	if err := c.Read(ctxb(), id, v, got, 0); err != nil {
+		t.Fatalf("read after one provider died: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch after provider loss")
+	}
+
+	// Unaligned sub-range read exercises failover on boundary pages too.
+	sub := make([]byte, 700)
+	if err := c.Read(ctxb(), id, v, sub, 300); err != nil {
+		t.Fatalf("sub-range read after provider loss: %v", err)
+	}
+	if !bytes.Equal(sub, data[300:1000]) {
+		t.Fatal("sub-range mismatch after provider loss")
+	}
+}
+
+// TestUnreplicatedReadFailsAfterProviderLoss pins the contrast: with the
+// paper's single-copy layout, losing a provider makes some pages
+// unreadable. (This is exactly why the paper lists replication as future
+// work.)
+func TestUnreplicatedReadFailsAfterProviderLoss(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 3, PageReplication: 1})
+	id, err := c.Create(ctxb(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(5, 12*512) // 12 pages round-robin over 3 providers
+	v, err := c.Append(ctxb(), id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctxb(), id, v); err != nil {
+		t.Fatal(err)
+	}
+	cl.Providers[0].Close()
+	got := make([]byte, len(data))
+	if err := c.Read(ctxb(), id, v, got, 0); err == nil {
+		t.Fatal("read of a blob with a dead sole-copy provider unexpectedly succeeded")
+	}
+}
+
+// TestReplicationDegradedSingleProvider checks that a cluster smaller than
+// the replication factor still accepts writes (copies land on the same
+// provider rather than failing).
+func TestReplicationDegradedSingleProvider(t *testing.T) {
+	_, c := newCluster(t, cluster.Config{DataProviders: 1, PageReplication: 3})
+	id, err := c.Create(ctxb(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(7, 4*256)
+	v, err := c.Append(ctxb(), id, data)
+	if err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	if err := c.Sync(ctxb(), id, v); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Read(ctxb(), id, v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+}
+
+// TestReplicatedConcurrentWritersAndLoss mixes the paper's concurrency
+// claim with the replication extension: concurrent appenders, then a
+// provider dies, and every snapshot stays readable.
+func TestReplicatedConcurrentWritersAndLoss(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 4, PageReplication: 2})
+	id, err := c.Create(ctxb(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		go func() {
+			_, err := c.Append(ctxb(), id, pattern(byte(w), 4*256))
+			errs <- err
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctxb(), id, writers); err != nil {
+		t.Fatal(err)
+	}
+	cl.Providers[1].Close()
+	// Every snapshot (not just the last) must remain fully readable.
+	for v := uint64(1); v <= writers; v++ {
+		size, err := c.Size(ctxb(), id, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, size)
+		if err := c.Read(ctxb(), id, v, buf, 0); err != nil {
+			t.Fatalf("snapshot %d unreadable after provider loss: %v", v, err)
+		}
+	}
+}

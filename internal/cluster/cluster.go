@@ -1,0 +1,302 @@
+// Package cluster assembles complete BlobSeer deployments: a version
+// manager, a provider manager, N data providers and M metadata providers,
+// over any transport. It exists so tests, examples and the experiment
+// harness share one way to stand up the system.
+//
+// Two topologies are provided:
+//
+//   - StartInproc: every service on one in-process network — the
+//     embedded deployment used by tests and examples.
+//   - StartSim: the paper's Grid'5000 deployment (§5) on a simulated
+//     network — version manager and provider manager on dedicated nodes,
+//     data and metadata providers co-deployed pairwise on the remaining
+//     nodes, clients placed on any node.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"blobseer/internal/client"
+	"blobseer/internal/dht"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+	"blobseer/internal/simnet"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/version"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// DataProviders is the number of data provider services (default 4).
+	DataProviders int
+	// MetaProviders is the number of metadata (DHT) nodes (default 4).
+	MetaProviders int
+	// Replication is the metadata replication factor (default 1; the
+	// paper's prototype did not replicate).
+	Replication int
+	// PageReplication stores each data page on this many distinct
+	// providers (default 1, the paper's layout; >1 enables the replication
+	// extension with read failover).
+	PageReplication int
+	// Strategy is the provider manager's page placement policy.
+	Strategy provider.Strategy
+	// NewStore builds each data provider's page engine (default in-memory).
+	NewStore func(i int) pagestore.Store
+	// DeadWriterTimeout enables the version manager's crashed-writer
+	// sweeper when positive.
+	DeadWriterTimeout time.Duration
+	// VersionWALPath makes the version manager durable: state-changing
+	// events are logged there and replayed on restart (pair with
+	// DeadWriterTimeout).
+	VersionWALPath string
+	// MetaLogDir makes the metadata (DHT) nodes durable: node i keeps an
+	// append-only pair log at MetaLogDir/meta-<i>.log and reloads it on
+	// start. Combine with VersionWALPath and a disk-backed NewStore for a
+	// fully restartable cluster.
+	MetaLogDir string
+	// HeartbeatEvery tunes provider heartbeats (default 5s).
+	HeartbeatEvery time.Duration
+	// ClientCacheNodes sets new clients' metadata cache capacity
+	// (0 = default, negative = disabled).
+	ClientCacheNodes int
+}
+
+func (c *Config) fillDefaults() {
+	if c.DataProviders <= 0 {
+		c.DataProviders = 4
+	}
+	if c.MetaProviders <= 0 {
+		c.MetaProviders = 4
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.NewStore == nil {
+		c.NewStore = func(int) pagestore.Store { return pagestore.NewMem() }
+	}
+}
+
+// Cluster is a running BlobSeer deployment.
+type Cluster struct {
+	cfg   Config
+	sched vclock.Scheduler
+
+	VM        *version.Manager
+	PM        *provider.Manager
+	Providers []*provider.Provider
+	MetaNodes []*dht.Node
+	Ring      *dht.Ring
+
+	// clientNet builds the transport for new clients; host is the node
+	// name under simnet and ignored for in-process clusters.
+	clientNet func(host string) transport.Network
+
+	aux     []*rpc.Client // per-provider heartbeat clients
+	clients []*client.Client
+}
+
+// StartInproc stands a cluster up on a single in-process network.
+func StartInproc(net *transport.Inproc, sched vclock.Scheduler, cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	cl := &Cluster{cfg: cfg, sched: sched,
+		clientNet: func(string) transport.Network { return net }}
+
+	listen := func(name string) (transport.Listener, error) { return net.Listen(name) }
+	if err := cl.start(
+		func() (transport.Listener, error) { return listen("version-manager") },
+		func() (transport.Listener, error) { return listen("provider-manager") },
+		func(i int) (transport.Listener, error) { return listen(fmt.Sprintf("data-%d", i)) },
+		func(i int) (transport.Listener, error) { return listen(fmt.Sprintf("meta-%d", i)) },
+		func(i int) transport.Network { return net },
+	); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// StartTCP stands a cluster up on the operating system's loopback TCP
+// stack: every service listens on 127.0.0.1 with a kernel-assigned port.
+// This is the same transport a production deployment via cmd/blobseerd
+// uses, so it exercises real sockets, framing and connection pooling.
+func StartTCP(sched vclock.Scheduler, cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	cl := &Cluster{cfg: cfg, sched: sched,
+		clientNet: func(string) transport.Network { return transport.TCP{} }}
+
+	listen := func() (transport.Listener, error) { return transport.TCP{}.Listen("127.0.0.1:0") }
+	if err := cl.start(
+		listen,
+		listen,
+		func(int) (transport.Listener, error) { return listen() },
+		func(int) (transport.Listener, error) { return listen() },
+		func(int) transport.Network { return transport.TCP{} },
+	); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// StartSim stands a cluster up on a simulated network following the
+// paper's deployment: "we deploy the version manager and the provider
+// manager on two distinct dedicated nodes, and we co-deploy a data
+// provider and a metadata provider on the other nodes" (§5). Node names
+// are "vm", "pm" and "node0".."nodeN-1"; DataProviders and MetaProviders
+// should normally be equal for pairwise co-deployment.
+func StartSim(net *simnet.Net, sched vclock.Scheduler, cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	cl := &Cluster{cfg: cfg, sched: sched,
+		clientNet: func(host string) transport.Network { return net.Host(host) }}
+
+	if err := cl.start(
+		func() (transport.Listener, error) { return net.Host("vm").Listen("version-manager") },
+		func() (transport.Listener, error) { return net.Host("pm").Listen("provider-manager") },
+		func(i int) (transport.Listener, error) {
+			return net.Host(fmt.Sprintf("node%d", i)).Listen("data")
+		},
+		func(i int) (transport.Listener, error) {
+			return net.Host(fmt.Sprintf("node%d", i)).Listen("meta")
+		},
+		func(i int) transport.Network { return net.Host(fmt.Sprintf("node%d", i)) },
+	); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// start wires all services given per-role listener factories.
+func (cl *Cluster) start(
+	vmLn, pmLn func() (transport.Listener, error),
+	dataLn, metaLn func(i int) (transport.Listener, error),
+	providerNet func(i int) transport.Network,
+) error {
+	cfg := cl.cfg
+
+	ln, err := vmLn()
+	if err != nil {
+		return fmt.Errorf("cluster: version manager listener: %w", err)
+	}
+	cl.VM, err = version.ServeManagerDurable(ln, version.ManagerConfig{
+		Sched:             cl.sched,
+		DeadWriterTimeout: cfg.DeadWriterTimeout,
+		WALPath:           cfg.VersionWALPath,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: version manager: %w", err)
+	}
+
+	ln, err = pmLn()
+	if err != nil {
+		return fmt.Errorf("cluster: provider manager listener: %w", err)
+	}
+	cl.PM = provider.ServeManager(ln, provider.ManagerConfig{
+		Sched:    cl.sched,
+		Strategy: cfg.Strategy,
+	})
+
+	metaAddrs := make([]string, cfg.MetaProviders)
+	for i := 0; i < cfg.MetaProviders; i++ {
+		ln, err := metaLn(i)
+		if err != nil {
+			return fmt.Errorf("cluster: metadata provider %d: %w", i, err)
+		}
+		var node *dht.Node
+		if cfg.MetaLogDir != "" {
+			node, err = dht.ServeDurableNode(ln, cl.sched,
+				fmt.Sprintf("%s/meta-%d.log", cfg.MetaLogDir, i), false)
+			if err != nil {
+				ln.Close()
+				return fmt.Errorf("cluster: metadata provider %d: %w", i, err)
+			}
+		} else {
+			node = dht.ServeNode(ln, cl.sched)
+		}
+		cl.MetaNodes = append(cl.MetaNodes, node)
+		metaAddrs[i] = node.Addr()
+	}
+	cl.Ring, err = dht.NewRing(metaAddrs, cfg.Replication)
+	if err != nil {
+		return fmt.Errorf("cluster: metadata ring: %w", err)
+	}
+
+	for i := 0; i < cfg.DataProviders; i++ {
+		ln, err := dataLn(i)
+		if err != nil {
+			return fmt.Errorf("cluster: data provider %d: %w", i, err)
+		}
+		// Each provider heartbeats from its own node so the simulated
+		// network charges the right links.
+		aux := rpc.NewClient(providerNet(i), cl.sched, rpc.ClientOptions{})
+		cl.aux = append(cl.aux, aux)
+		p, err := provider.Serve(ln, provider.Config{
+			Store:          cfg.NewStore(i),
+			Sched:          cl.sched,
+			ManagerAddr:    cl.PM.Addr(),
+			Client:         aux,
+			HeartbeatEvery: cfg.HeartbeatEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: data provider %d: %w", i, err)
+		}
+		cl.Providers = append(cl.Providers, p)
+	}
+	return nil
+}
+
+// NewClient builds a client on the given host ("" for in-process
+// clusters; a node name like "node3" or "client0" under simnet — the
+// paper co-deploys readers with providers, so reusing provider node names
+// reproduces that contention).
+func (cl *Cluster) NewClient(host string) (*client.Client, error) {
+	return cl.NewClientCfg(host, nil)
+}
+
+// NewClientCfg builds a client like NewClient but lets tweak adjust the
+// client configuration first (used by the ablation benchmarks).
+func (cl *Cluster) NewClientCfg(host string, tweak func(*client.Config)) (*client.Client, error) {
+	cfg := client.Config{
+		Net:             cl.clientNet(host),
+		Sched:           cl.sched,
+		VersionManager:  cl.VM.Addr(),
+		ProviderManager: cl.PM.Addr(),
+		MetaRing:        cl.Ring,
+		MetaCacheNodes:  cl.cfg.ClientCacheNodes,
+		PageReplication: cl.cfg.PageReplication,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, err := client.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cl.clients = append(cl.clients, c)
+	return c, nil
+}
+
+// Close tears every service down.
+func (cl *Cluster) Close() {
+	for _, c := range cl.clients {
+		c.Close()
+	}
+	for _, p := range cl.Providers {
+		p.Close()
+	}
+	for _, a := range cl.aux {
+		a.Close()
+	}
+	for _, n := range cl.MetaNodes {
+		n.Close()
+	}
+	if cl.PM != nil {
+		cl.PM.Close()
+	}
+	if cl.VM != nil {
+		cl.VM.Close()
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"blobseer/internal/wire"
+)
+
+// BenchmarkTreeBuild measures BUILD_META planning for updates of various
+// sizes against a 64k-page blob — the A3 ablation's fast path. Weaving
+// (not rebuilding) means cost scales with the update, not the blob.
+func BenchmarkTreeBuild(b *testing.B) {
+	gen := wire.NewPageIDGen()
+	for _, pages := range []uint64{1, 16, 256} {
+		b.Run(fmt.Sprintf("updatePages=%d", pages), func(b *testing.B) {
+			pws := make([]PageWrite, pages)
+			for i := range pws {
+				pws[i] = PageWrite{Page: gen.Next(), Providers: []string{"p"}}
+			}
+			u := Update{
+				Version:            2,
+				Pages:              Range{Start: 4096, Count: pages},
+				NewSizePages:       65536,
+				Published:          1,
+				PublishedSizePages: 65536,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := PlanUpdate(u, pws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = plan.NeedPublished()
+			}
+		})
+	}
+}
+
+// BenchmarkReadPlan measures READ_META against trees of growing depth.
+func BenchmarkReadPlan(b *testing.B) {
+	for _, blobPages := range []uint64{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("blobPages=%d", blobPages), func(b *testing.B) {
+			sim := newBlobSimB(b)
+			sim.update(0, blobPages)
+			root := RootID(1, blobPages)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReadPlan(ctx, sim.st, root, Range{Start: blobPages / 2, Count: 64}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBorderResolution measures the writer-side border descent with
+// concurrent in-flight updates present — the §4.2 hot path.
+func BenchmarkBorderResolution(b *testing.B) {
+	sim := newBlobSimB(b)
+	sim.update(0, 4096)
+	// Ten in-flight updates the writer must weave around.
+	type job struct {
+		u  Update
+		pw []PageWrite
+	}
+	var jobs []job
+	for i := 0; i < 10; i++ {
+		u, pw := sim.assign(uint64(i*128), 64)
+		jobs = append(jobs, job{u, pw})
+	}
+	target, targetPw := sim.assign(2048, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := PlanUpdate(target, targetPw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolved, err := ResolvePublished(context.Background(), sim.st,
+			target.Published, target.PublishedSizePages, plan.NeedPublished())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := plan.Finalize(resolved); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = jobs
+}
+
+// newBlobSimB adapts the test harness for benchmarks.
+func newBlobSimB(b *testing.B) *blobSim {
+	return &blobSim{
+		t:       b,
+		st:      newFakeStore(),
+		gen:     wire.NewPageIDGen(),
+		model:   []modelSnapshot{{size: 0, pages: nil}},
+		nextVer: 1,
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"blobseer/internal/wire"
+)
+
+// InFlight describes a lower-versioned update that has been assigned but
+// not yet published. The version manager hands the writer this list at
+// assignment time — the paper's "partial set of border nodes" (§4.2) —
+// precisely so concurrent writers can weave their trees without waiting
+// for each other.
+type InFlight struct {
+	Version wire.Version
+	Pages   Range
+}
+
+// Update carries everything BUILD_META needs about one assigned update.
+type Update struct {
+	// Version is the snapshot version assigned by the version manager.
+	Version wire.Version
+	// Pages is the page range this update rewrites.
+	Pages Range
+	// NewSizePages is the blob size (in pages) after this update.
+	NewSizePages uint64
+	// Published is a recently published version (0 for a blob that was
+	// still empty at assignment time).
+	Published wire.Version
+	// PublishedSizePages is snapshot Published's size in pages.
+	PublishedSizePages uint64
+	// InFlight lists the assigned-but-unpublished updates with versions
+	// below Version, in any order.
+	InFlight []InFlight
+}
+
+// PageWrite names one freshly stored page of the update; element i covers
+// blob page Pages.Start+i. Providers lists every data provider the page
+// was stored on (one entry without replication).
+type PageWrite struct {
+	Page      wire.PageID
+	Providers []string
+}
+
+// Plan is the output of PlanUpdate: the new tree nodes of one update,
+// with border-child versions either already resolved (from the in-flight
+// list) or awaiting the published-tree lookups listed by NeedPublished.
+type Plan struct {
+	update Update
+	ids    []NodeID
+	nodes  []Node
+
+	// pending maps an unresolved border range to the node field(s) that
+	// need its version filled in.
+	pending map[Range][]slot
+}
+
+// slot addresses one child-version field of one planned node.
+type slot struct {
+	node int  // index into nodes
+	left bool // which child field
+}
+
+// PlanUpdate implements the pure part of BUILD_META (Algorithm 4): it
+// builds the new leaves and inner nodes bottom-up and resolves every
+// border child it can from the in-flight list. Border ranges that predate
+// all in-flight updates must be resolved against the published tree; they
+// are reported by NeedPublished and filled in by Finalize.
+func PlanUpdate(u Update, pages []PageWrite) (*Plan, error) {
+	if u.Pages.Count == 0 {
+		return nil, fmt.Errorf("core: empty update")
+	}
+	if uint64(len(pages)) != u.Pages.Count {
+		return nil, fmt.Errorf("core: update covers %d pages but %d were written",
+			u.Pages.Count, len(pages))
+	}
+	if u.NewSizePages < u.Pages.End() {
+		return nil, fmt.Errorf("core: new size %d pages below update end %d",
+			u.NewSizePages, u.Pages.End())
+	}
+	rootSpan := RootSpan(u.NewSizePages)
+	p := &Plan{update: u, pending: make(map[Range][]slot)}
+
+	// Leaves for the new pages.
+	levelOffsets := make([]uint64, 0, u.Pages.Count)
+	for i := uint64(0); i < u.Pages.Count; i++ {
+		off := u.Pages.Start + i
+		p.ids = append(p.ids, NodeID{Version: u.Version, Offset: off, Span: 1})
+		p.nodes = append(p.nodes, Node{Leaf: true, Page: pages[i].Page, Providers: pages[i].Providers})
+		levelOffsets = append(levelOffsets, off)
+	}
+
+	// Inner nodes, one level at a time up to the root. At each level the
+	// built nodes are exactly the aligned ranges intersecting the update.
+	for span := uint64(1); span < rootSpan; span *= 2 {
+		parentSpan := span * 2
+		var parents []uint64
+		for _, off := range levelOffsets {
+			pOff := off - off%parentSpan
+			if len(parents) == 0 || parents[len(parents)-1] != pOff {
+				parents = append(parents, pOff)
+			}
+		}
+		for _, pOff := range parents {
+			id := NodeID{Version: u.Version, Offset: pOff, Span: parentSpan}
+			var n Node
+			var err error
+			n.VL, err = p.childVersion(Range{Start: pOff, Count: span}, len(p.nodes), true)
+			if err != nil {
+				return nil, err
+			}
+			n.VR, err = p.childVersion(Range{Start: pOff + span, Count: span}, len(p.nodes), false)
+			if err != nil {
+				return nil, err
+			}
+			p.ids = append(p.ids, id)
+			p.nodes = append(p.nodes, n)
+		}
+		levelOffsets = parents
+	}
+	if len(levelOffsets) != 1 || levelOffsets[0] != 0 {
+		return nil, fmt.Errorf("core: tree did not converge to a root (top level %v)", levelOffsets)
+	}
+	return p, nil
+}
+
+// childVersion decides the version reference for the child range c of a
+// node being built at nodes[nodeIdx] (about to be appended).
+func (p *Plan) childVersion(c Range, nodeIdx int, left bool) (wire.Version, error) {
+	u := p.update
+	// Built by this very update?
+	if c.Intersects(u.Pages) {
+		return u.Version, nil
+	}
+	// The newest in-flight update intersecting c owns the border node.
+	var best wire.Version
+	found := false
+	for _, inf := range u.InFlight {
+		if inf.Version < u.Version && inf.Pages.Intersects(c) {
+			if !found || inf.Version > best {
+				best, found = inf.Version, true
+			}
+		}
+	}
+	if found {
+		return best, nil
+	}
+	// Fall back to the published tree.
+	if u.PublishedSizePages == 0 || c.Start >= u.PublishedSizePages {
+		return wire.NoVersion, nil // never-written hole
+	}
+	pubSpan := RootSpan(u.PublishedSizePages)
+	if c.Count > pubSpan {
+		// c strictly contains the published root, yet nothing in flight
+		// covers the gap — the blob could never have grown past the
+		// published size, so this update's own range would have had to
+		// intersect c. Reaching here means inconsistent inputs.
+		return 0, fmt.Errorf("core: border %v wider than published tree (span %d)", c, pubSpan)
+	}
+	if c.Count == pubSpan && c.Start == 0 {
+		// c is exactly the published root: the paper's "the set of border
+		// nodes contains exactly one node: the root of snapshot vp".
+		return u.Published, nil
+	}
+	p.pending[c] = append(p.pending[c], slot{node: nodeIdx, left: left})
+	return 0, nil // placeholder; Finalize fills it
+}
+
+// NeedPublished lists the border ranges that must be resolved by
+// descending the published tree (see ResolvePublished).
+func (p *Plan) NeedPublished() []Range {
+	out := make([]Range, 0, len(p.pending))
+	for r := range p.pending {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Published returns the published version/size the plan was built
+// against, for convenience when calling ResolvePublished.
+func (p *Plan) Published() (wire.Version, uint64) {
+	return p.update.Published, p.update.PublishedSizePages
+}
+
+// Finalize fills the resolved border versions in and returns the complete
+// node set to store. resolved must cover every range from NeedPublished.
+func (p *Plan) Finalize(resolved map[Range]wire.Version) (ids []NodeID, nodes []Node, err error) {
+	for r, slots := range p.pending {
+		v, ok := resolved[r]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: border %v left unresolved", r)
+		}
+		for _, s := range slots {
+			if s.left {
+				p.nodes[s.node].VL = v
+			} else {
+				p.nodes[s.node].VR = v
+			}
+		}
+	}
+	return p.ids, p.nodes, nil
+}
+
+// NodeCount returns how many nodes the plan creates (leaves + inner).
+func (p *Plan) NodeCount() int { return len(p.nodes) }
+
+// RootID returns the id of the new snapshot's root node.
+func (p *Plan) RootID() NodeID {
+	return RootID(p.update.Version, p.update.NewSizePages)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/wire"
+)
+
+// ResolvePublished finds, for each requested aligned range, the version
+// whose node covers that exact range in the published snapshot's tree —
+// i.e. the highest published version whose update range intersects it.
+// This is the read-only part of computing the border node set (§4.2): the
+// writer descends the published tree once, batching node fetches level by
+// level, and gathers the child-version links for all requested ranges.
+//
+// A range that lies beyond the data actually written resolves to
+// wire.NoVersion (a hole).
+func ResolvePublished(ctx context.Context, st NodeStore, published wire.Version,
+	publishedSizePages uint64, ranges []Range) (map[Range]wire.Version, error) {
+
+	out := make(map[Range]wire.Version, len(ranges))
+	if len(ranges) == 0 {
+		return out, nil
+	}
+	if publishedSizePages == 0 {
+		for _, r := range ranges {
+			out[r] = wire.NoVersion
+		}
+		return out, nil
+	}
+	root := RootID(published, publishedSizePages)
+
+	// Targets are grouped by the tree node currently covering them.
+	type group struct {
+		id      NodeID
+		targets []Range
+	}
+	frontier := map[NodeID][]Range{}
+	for _, r := range ranges {
+		switch {
+		case r == root.Range():
+			out[r] = published
+		case !root.Range().Contains(r):
+			return nil, fmt.Errorf("core: range %v outside published tree %v", r, root)
+		default:
+			frontier[root] = append(frontier[root], r)
+		}
+	}
+
+	for len(frontier) > 0 {
+		groups := make([]group, 0, len(frontier))
+		ids := make([]NodeID, 0, len(frontier))
+		for id, ts := range frontier {
+			groups = append(groups, group{id: id, targets: ts})
+			ids = append(ids, id)
+		}
+		nodes, err := st.GetNodes(ctx, ids)
+		if err != nil {
+			return nil, err
+		}
+		next := map[NodeID][]Range{}
+		for gi, g := range groups {
+			n := nodes[gi]
+			if n.Leaf {
+				return nil, fmt.Errorf("core: descended into leaf %v with pending targets", g.id)
+			}
+			for _, tgt := range g.targets {
+				var childVer wire.Version
+				var child NodeID
+				if tgt.End() <= g.id.Offset+g.id.Span/2 {
+					childVer, child = n.VL, g.id.Left(n.VL)
+				} else if tgt.Start >= g.id.Offset+g.id.Span/2 {
+					childVer, child = n.VR, g.id.Right(n.VR)
+				} else {
+					return nil, fmt.Errorf("core: target %v straddles children of %v", tgt, g.id)
+				}
+				switch {
+				case childVer == wire.NoVersion:
+					// The hole covers everything below it.
+					out[tgt] = wire.NoVersion
+				case child.Range() == tgt:
+					out[tgt] = childVer
+				default:
+					next[child] = append(next[child], tgt)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package dht
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// Client reads and writes DHT pairs through the static ring. It is a thin
+// stateless wrapper and safe for concurrent use.
+type Client struct {
+	ring  *Ring
+	rpc   *rpc.Client
+	sched vclock.Scheduler
+}
+
+// NewClient builds a DHT client over an rpc client.
+func NewClient(ring *Ring, rc *rpc.Client, sched vclock.Scheduler) *Client {
+	return &Client{ring: ring, rpc: rc, sched: sched}
+}
+
+// Ring exposes the client's ring (shared, immutable).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Put stores key=value on every replica in parallel. All replicas must
+// acknowledge: metadata loss would orphan part of a snapshot.
+func (c *Client) Put(ctx context.Context, key, value []byte) error {
+	nodes := c.ring.Nodes(key)
+	return vclock.Parallel(c.sched, len(nodes), func(i int) error {
+		_, err := c.rpc.Call(ctx, nodes[i], &wire.DHTPutReq{Key: key, Value: value})
+		return err
+	})
+}
+
+// Get fetches key, trying replicas in ring order: because values are
+// immutable, the first copy found is authoritative. Found=false with a
+// nil error means every replica answered and none has the key.
+func (c *Client) Get(ctx context.Context, key []byte) (value []byte, found bool, err error) {
+	var lastErr error
+	for _, node := range c.ring.Nodes(key) {
+		resp, err := c.rpc.Call(ctx, node, &wire.DHTGetReq{Key: key})
+		if err != nil {
+			lastErr = err // node down: try the next replica
+			continue
+		}
+		r := resp.(*wire.DHTGetResp)
+		if r.Found {
+			return r.Value, true, nil
+		}
+		lastErr = nil
+	}
+	return nil, false, lastErr
+}
+
+// MultiPut stores a batch of pairs, grouping them per destination node so
+// each node receives one round trip per replica.
+func (c *Client) MultiPut(ctx context.Context, keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("dht: %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	type batch struct {
+		keys   [][]byte
+		values [][]byte
+	}
+	batches := make(map[string]*batch)
+	var order []string
+	for i := range keys {
+		for _, node := range c.ring.Nodes(keys[i]) {
+			b := batches[node]
+			if b == nil {
+				b = &batch{}
+				batches[node] = b
+				order = append(order, node)
+			}
+			b.keys = append(b.keys, keys[i])
+			b.values = append(b.values, values[i])
+		}
+	}
+	return vclock.Parallel(c.sched, len(order), func(i int) error {
+		b := batches[order[i]]
+		_, err := c.rpc.Call(ctx, order[i], &wire.DHTMultiPutReq{Keys: b.keys, Values: b.values})
+		return err
+	})
+}
+
+// MultiGet fetches a batch of keys, one round trip per involved primary
+// node; keys missing at their primary fall back to per-key replica reads.
+// Results align with keys.
+func (c *Client) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, found []bool, err error) {
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	type batch struct {
+		idx  []int
+		keys [][]byte
+	}
+	batches := make(map[string]*batch)
+	var order []string
+	for i := range keys {
+		node := c.ring.Primary(keys[i])
+		b := batches[node]
+		if b == nil {
+			b = &batch{}
+			batches[node] = b
+			order = append(order, node)
+		}
+		b.idx = append(b.idx, i)
+		b.keys = append(b.keys, keys[i])
+	}
+	perr := vclock.Parallel(c.sched, len(order), func(i int) error {
+		b := batches[order[i]]
+		resp, err := c.rpc.Call(ctx, order[i], &wire.DHTMultiGetReq{Keys: b.keys})
+		if err != nil {
+			return err
+		}
+		r := resp.(*wire.DHTMultiGetResp)
+		if len(r.Found) != len(b.keys) {
+			return fmt.Errorf("dht: multiget answered %d of %d keys", len(r.Found), len(b.keys))
+		}
+		for j, idx := range b.idx {
+			values[idx], found[idx] = r.Values[j], r.Found[j]
+		}
+		return nil
+	})
+	if perr != nil && c.ring.replicas == 1 {
+		return nil, nil, perr
+	}
+	// Retry misses through replicas (only useful with replication or
+	// after a transient primary failure).
+	if c.ring.replicas > 1 || perr != nil {
+		for i := range keys {
+			if found[i] {
+				continue
+			}
+			v, ok, gerr := c.Get(ctx, keys[i])
+			if gerr != nil {
+				return nil, nil, gerr
+			}
+			values[i], found[i] = v, ok
+		}
+	}
+	return values, found, nil
+}
+
+// Stats sums key and byte counts over all ring nodes.
+func (c *Client) Stats(ctx context.Context) (keys, bytes uint64, err error) {
+	for _, node := range c.ring.Addrs() {
+		resp, err := c.rpc.Call(ctx, node, &wire.DHTStatsReq{})
+		if err != nil {
+			return 0, 0, err
+		}
+		r := resp.(*wire.DHTStatsResp)
+		keys += r.Keys
+		bytes += r.Bytes
+	}
+	return keys, bytes, nil
+}

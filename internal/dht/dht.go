@@ -1,0 +1,72 @@
+// Package dht implements the custom distributed hash table BlobSeer uses
+// for metadata. Following the paper (§5: "a custom DHT based on a simple
+// static distribution scheme"), the membership is fixed at cluster start:
+// keys are hashed to one of the known metadata providers, with optional
+// replication onto the next providers on the ring (replication is an
+// extension; the paper lists fault tolerance as future work).
+//
+// Values are immutable once written — tree nodes are never modified, new
+// versions create new keys (§4.1) — which makes replication trivial:
+// replicas never diverge, any copy is authoritative.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Ring is the static key→node mapping. It is immutable after creation and
+// therefore safe to share between any number of clients.
+type Ring struct {
+	addrs    []string
+	replicas int
+}
+
+// NewRing builds a ring over the given metadata provider addresses with
+// the given replication factor (clamped to [1, len(addrs)]).
+func NewRing(addrs []string, replicas int) (*Ring, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dht: ring needs at least one node")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(addrs) {
+		replicas = len(addrs)
+	}
+	r := &Ring{addrs: append([]string(nil), addrs...), replicas: replicas}
+	return r, nil
+}
+
+// Replicas returns the ring's replication factor.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Size returns the number of nodes on the ring.
+func (r *Ring) Size() int { return len(r.addrs) }
+
+// Addrs returns the node addresses (do not modify).
+func (r *Ring) Addrs() []string { return r.addrs }
+
+// hash uses FNV-1a: cheap, stdlib, and plenty uniform for the static
+// distribution the paper describes.
+func (r *Ring) hash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// Primary returns the node that owns key.
+func (r *Ring) Primary(key []byte) string {
+	return r.addrs[r.hash(key)%uint64(len(r.addrs))]
+}
+
+// Nodes returns the replica set for key: the primary followed by the next
+// replicas-1 nodes on the ring.
+func (r *Ring) Nodes(key []byte) []string {
+	start := int(r.hash(key) % uint64(len(r.addrs)))
+	out := make([]string, r.replicas)
+	for i := 0; i < r.replicas; i++ {
+		out[i] = r.addrs[(start+i)%len(r.addrs)]
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package dht
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+)
+
+// newCluster spins up n metadata nodes plus a client with the given
+// replication factor.
+func newCluster(t *testing.T, n, replicas int) (*Client, []*Node) {
+	t.Helper()
+	net := transport.NewInproc()
+	sched := vclock.NewReal()
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen(fmt.Sprintf("meta-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = ServeNode(ln, sched)
+		addrs[i] = nodes[i].Addr()
+	}
+	ring, err := NewRing(addrs, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rpc.NewClient(net, sched, rpc.ClientOptions{})
+	t.Cleanup(func() {
+		rc.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		net.Close()
+	})
+	return NewClient(ring, rc, sched), nodes
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 1); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+func TestRingReplicaClamping(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b"}, 5)
+	if r.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want clamped 2", r.Replicas())
+	}
+	r, _ = NewRing([]string{"a", "b"}, 0)
+	if r.Replicas() != 1 {
+		t.Fatalf("replicas = %d, want 1", r.Replicas())
+	}
+}
+
+func TestRingNodesDistinct(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b", "c", "d"}, 3)
+	nodes := r.Nodes([]byte("some-key"))
+	if len(nodes) != 3 {
+		t.Fatalf("replica set size %d", len(nodes))
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			t.Fatalf("duplicate replica %s", n)
+		}
+		seen[n] = true
+	}
+	if nodes[0] != r.Primary([]byte("some-key")) {
+		t.Fatal("first replica is not the primary")
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b", "c", "d", "e"}, 1)
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[r.Primary([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	for n, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("node %s owns %d of 5000 keys: poor spread", n, c)
+		}
+	}
+}
+
+func TestPutGetSingleNode(t *testing.T) {
+	c, _ := newCluster(t, 1, 1)
+	ctx := context.Background()
+	if err := c.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get(ctx, []byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	_, ok, err = c.Get(ctx, []byte("missing"))
+	if err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPutGetManyNodes(t *testing.T) {
+	c, nodes := newCluster(t, 7, 1)
+	ctx := context.Background()
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if err := c.Put(ctx, k, append([]byte("val-"), k...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v, ok, err := c.Get(ctx, k)
+		if err != nil || !ok || !bytes.Equal(v, append([]byte("val-"), k...)) {
+			t.Fatalf("key %d: %q %v %v", i, v, ok, err)
+		}
+	}
+	// Keys must actually be distributed: every node should hold some.
+	for i, nd := range nodes {
+		keys, _ := nd.Stats()
+		if keys == 0 {
+			t.Errorf("node %d holds no keys", i)
+		}
+	}
+}
+
+func TestReplicationStoresCopies(t *testing.T) {
+	c, nodes := newCluster(t, 5, 3)
+	ctx := context.Background()
+	if err := c.Put(ctx, []byte("replicated"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var copies uint64
+	for _, nd := range nodes {
+		k, _ := nd.Stats()
+		copies += k
+	}
+	if copies != 3 {
+		t.Fatalf("stored %d copies, want 3", copies)
+	}
+}
+
+func TestReplicationSurvivesPrimaryLoss(t *testing.T) {
+	c, nodes := newCluster(t, 4, 2)
+	ctx := context.Background()
+	key := []byte("precious")
+	if err := c.Put(ctx, key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary; Get must fall through to the replica.
+	primary := c.Ring().Primary(key)
+	for _, nd := range nodes {
+		if nd.Addr() == primary {
+			nd.Close()
+		}
+	}
+	v, ok, err := c.Get(ctx, key)
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after primary loss = %q %v %v", v, ok, err)
+	}
+}
+
+func TestMultiPutMultiGet(t *testing.T) {
+	c, _ := newCluster(t, 5, 1)
+	ctx := context.Background()
+	const n = 200
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mk-%d", i))
+		vals[i] = []byte(fmt.Sprintf("mv-%d", i))
+	}
+	if err := c.MultiPut(ctx, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := c.MultiGet(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !found[i] || !bytes.Equal(got[i], vals[i]) {
+			t.Fatalf("key %d: found=%v val=%q", i, found[i], got[i])
+		}
+	}
+	// Mixed present/missing batch.
+	got, found, err = c.MultiGet(ctx, [][]byte{keys[0], []byte("nope"), keys[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || found[1] || !found[2] {
+		t.Fatalf("mixed found = %v", found)
+	}
+	_ = got
+}
+
+func TestMultiPutLengthMismatch(t *testing.T) {
+	c, _ := newCluster(t, 1, 1)
+	if err := c.MultiPut(context.Background(), [][]byte{{1}}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	c, _ := newCluster(t, 2, 1)
+	ctx := context.Background()
+	if err := c.MultiPut(ctx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, f, err := c.MultiGet(ctx, nil)
+	if err != nil || len(v) != 0 || len(f) != 0 {
+		t.Fatalf("empty MultiGet: %v %v %v", v, f, err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	c, _ := newCluster(t, 1, 1)
+	if err := c.Put(context.Background(), nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestImmutableReput(t *testing.T) {
+	c, _ := newCluster(t, 1, 1)
+	ctx := context.Background()
+	c.Put(ctx, []byte("k"), []byte("first"))
+	c.Put(ctx, []byte("k"), []byte("second"))
+	v, _, _ := c.Get(ctx, []byte("k"))
+	if string(v) != "first" {
+		t.Fatalf("re-put overwrote immutable value: %q", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := newCluster(t, 3, 1)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		c.Put(ctx, []byte(fmt.Sprintf("k%d", i)), make([]byte, 100))
+	}
+	keys, bytes, err := c.Stats(ctx)
+	if err != nil || keys != 10 || bytes != 1000 {
+		t.Fatalf("Stats = %d keys %d bytes %v", keys, bytes, err)
+	}
+}
+
+func TestQuickRoundTripAnyKeyValue(t *testing.T) {
+	c, _ := newCluster(t, 4, 2)
+	ctx := context.Background()
+	f := func(key, value []byte) bool {
+		if len(key) == 0 {
+			return true // empty keys are rejected by design
+		}
+		if err := c.Put(ctx, key, value); err != nil {
+			return false
+		}
+		got, ok, err := c.Get(ctx, key)
+		return err == nil && ok && bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package dht
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+)
+
+// Durable metadata nodes persist every pair to an append-only log and
+// reload it on start, so the segment trees survive a restart of the
+// whole cluster (extension — the paper's metadata lived in RAM and node
+// volatility was future work). The store is a natural fit for a log:
+// pairs are immutable and never deleted, so recovery is a linear scan
+// with no compaction concerns.
+//
+// Record layout (little-endian):
+//
+//	uint32 magic | uint32 keyLen | uint32 valLen | uint32 crc32(key|val) | key | val
+type nodeLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	sync bool
+}
+
+const (
+	dhtLogMagic     = 0xD47A106E
+	dhtLogHeaderLen = 4 + 4 + 4 + 4
+)
+
+// openNodeLog opens the log and returns the recovered pairs. A torn tail
+// is truncated; corruption before valid data fails the open.
+func openNodeLog(path string, syncEach bool) (*nodeLog, [][2][]byte, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("dht: create log dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dht: open log: %w", err)
+	}
+	l := &nodeLog{f: f, sync: syncEach}
+	pairs, err := l.recover()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, pairs, nil
+}
+
+func (l *nodeLog) recover() ([][2][]byte, error) {
+	info, err := l.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("dht: stat log: %w", err)
+	}
+	logLen := info.Size()
+	var pairs [][2][]byte
+	var off int64
+	var hdr [dhtLogHeaderLen]byte
+	for off < logLen {
+		if logLen-off < dhtLogHeaderLen {
+			break // torn header
+		}
+		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+			return nil, fmt.Errorf("dht: read log header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtLogMagic {
+			return nil, fmt.Errorf("dht: bad log magic at offset %d: corrupted", off)
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+		valLen := binary.LittleEndian.Uint32(hdr[8:12])
+		wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+		dataOff := off + dhtLogHeaderLen
+		total := int64(keyLen) + int64(valLen)
+		if dataOff+total > logLen {
+			break // torn payload
+		}
+		data := make([]byte, total)
+		if _, err := l.f.ReadAt(data, dataOff); err != nil {
+			return nil, fmt.Errorf("dht: read log payload at %d: %w", dataOff, err)
+		}
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			return nil, fmt.Errorf("dht: log crc mismatch at offset %d: corrupted", off)
+		}
+		pairs = append(pairs, [2][]byte{data[:keyLen:keyLen], data[keyLen:]})
+		off = dataOff + total
+	}
+	if off < logLen {
+		if err := l.f.Truncate(off); err != nil {
+			return nil, fmt.Errorf("dht: truncate torn log tail: %w", err)
+		}
+	}
+	l.size = off
+	return pairs, nil
+}
+
+// append writes one pair durably.
+func (l *nodeLog) append(key, value []byte) error {
+	rec := make([]byte, dhtLogHeaderLen+len(key)+len(value))
+	binary.LittleEndian.PutUint32(rec[0:4], dhtLogMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(value)))
+	h := crc32.NewIEEE()
+	h.Write(key)
+	h.Write(value)
+	binary.LittleEndian.PutUint32(rec[12:16], h.Sum32())
+	copy(rec[dhtLogHeaderLen:], key)
+	copy(rec[dhtLogHeaderLen+len(key):], value)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("dht: log closed")
+	}
+	if _, err := l.f.WriteAt(rec, l.size); err != nil {
+		return fmt.Errorf("dht: log append: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("dht: log fsync: %w", err)
+		}
+	}
+	l.size += int64(len(rec))
+	return nil
+}
+
+func (l *nodeLog) close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// ServeDurableNode starts a metadata provider whose pairs are persisted
+// to an append-only log at path and reloaded on start.
+func ServeDurableNode(ln transport.Listener, sched vclock.Scheduler, path string, syncEach bool) (*Node, error) {
+	log, pairs, err := openNodeLog(path, syncEach)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{log: log}
+	for i := range n.shards {
+		n.shards[i].m = make(map[string][]byte)
+	}
+	for _, kv := range pairs {
+		n.putMem(kv[0], kv[1])
+	}
+	n.srv = rpc.Serve(ln, sched, n.mux())
+	return n, nil
+}

@@ -1,0 +1,160 @@
+package dht
+
+import (
+	"context"
+	"sync"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// kvShards spreads the key space over independent locks; metadata trees
+// are read by many concurrent clients (§4.2).
+const kvShards = 64
+
+// Node is one metadata provider: an RPC service storing key/value pairs,
+// optionally persisted to an append-only log (see ServeDurableNode).
+type Node struct {
+	srv    *rpc.Server
+	log    *nodeLog // nil for the in-memory node
+	shards [kvShards]kvShard
+}
+
+type kvShard struct {
+	mu    sync.RWMutex
+	m     map[string][]byte
+	bytes uint64
+}
+
+// ServeNode starts a metadata provider on ln.
+func ServeNode(ln transport.Listener, sched vclock.Scheduler) *Node {
+	n := &Node{}
+	for i := range n.shards {
+		n.shards[i].m = make(map[string][]byte)
+	}
+	n.srv = rpc.Serve(ln, sched, n.mux())
+	return n
+}
+
+// Addr returns the node's service address.
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Close stops the service and, for durable nodes, closes the log.
+func (n *Node) Close() {
+	n.srv.Close()
+	n.log.close()
+}
+
+func (n *Node) shard(key []byte) *kvShard {
+	h := uint(2166136261)
+	for _, b := range key {
+		h = (h ^ uint(b)) * 16777619
+	}
+	return &n.shards[h%kvShards]
+}
+
+// put stores a pair. Values are immutable: re-puts keep the first value,
+// which is identical by construction (node keys embed version+range). On
+// durable nodes the pair is logged before it becomes visible.
+func (n *Node) put(key, value []byte) error {
+	s := n.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[string(key)]; dup {
+		return nil
+	}
+	if n.log != nil {
+		if err := n.log.append(key, value); err != nil {
+			return wire.NewError(wire.CodeUnavailable, "metadata log: %v", err)
+		}
+	}
+	s.m[string(key)] = append([]byte(nil), value...)
+	s.bytes += uint64(len(value))
+	return nil
+}
+
+// putMem loads a recovered pair without re-logging it.
+func (n *Node) putMem(key, value []byte) {
+	s := n.shard(key)
+	if _, dup := s.m[string(key)]; dup {
+		return
+	}
+	s.m[string(key)] = value
+	s.bytes += uint64(len(value))
+}
+
+func (n *Node) get(key []byte) ([]byte, bool) {
+	s := n.shard(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[string(key)]
+	return v, ok
+}
+
+// Stats returns the number of keys and total value bytes stored.
+func (n *Node) Stats() (keys, bytes uint64) {
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.RLock()
+		keys += uint64(len(s.m))
+		bytes += s.bytes
+		s.mu.RUnlock()
+	}
+	return keys, bytes
+}
+
+func (n *Node) mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Register(wire.KindPingReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		return &wire.PingResp{Nonce: msg.(*wire.PingReq).Nonce}, nil
+	})
+	m.Register(wire.KindDHTPutReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.DHTPutReq)
+		if len(req.Key) == 0 {
+			return nil, wire.NewError(wire.CodeBadRequest, "empty key")
+		}
+		if err := n.put(req.Key, req.Value); err != nil {
+			return nil, err
+		}
+		return &wire.DHTPutResp{}, nil
+	})
+	m.Register(wire.KindDHTGetReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.DHTGetReq)
+		v, ok := n.get(req.Key)
+		return &wire.DHTGetResp{Found: ok, Value: v}, nil
+	})
+	m.Register(wire.KindDHTMultiPutReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.DHTMultiPutReq)
+		if len(req.Keys) != len(req.Values) {
+			return nil, wire.NewError(wire.CodeBadRequest,
+				"key/value count mismatch: %d vs %d", len(req.Keys), len(req.Values))
+		}
+		for i := range req.Keys {
+			if len(req.Keys[i]) == 0 {
+				return nil, wire.NewError(wire.CodeBadRequest, "empty key at index %d", i)
+			}
+			if err := n.put(req.Keys[i], req.Values[i]); err != nil {
+				return nil, err
+			}
+		}
+		return &wire.DHTMultiPutResp{}, nil
+	})
+	m.Register(wire.KindDHTMultiGetReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.DHTMultiGetReq)
+		resp := &wire.DHTMultiGetResp{
+			Found:  make([]bool, len(req.Keys)),
+			Values: make([][]byte, len(req.Keys)),
+		}
+		for i, k := range req.Keys {
+			resp.Values[i], resp.Found[i] = n.get(k)
+		}
+		return resp, nil
+	})
+	m.Register(wire.KindDHTStatsReq, func(context.Context, wire.Msg) (wire.Msg, error) {
+		keys, bytes := n.Stats()
+		return &wire.DHTStatsResp{Keys: keys, Bytes: bytes}, nil
+	})
+	return m
+}

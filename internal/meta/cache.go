@@ -1,0 +1,80 @@
+package meta
+
+import (
+	"container/list"
+	"sync"
+
+	"blobseer/internal/core"
+)
+
+// Cache is a thread-safe LRU cache of tree nodes keyed by their DHT key.
+// Nodes are immutable, so entries never go stale; the only reason to
+// evict is memory. A capacity of 0 disables the cache (every get misses).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	node core.Node
+}
+
+// NewCache returns an LRU cache holding up to capacity nodes.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+func (c *Cache) get(key []byte) (core.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[string(key)]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).node, true
+	}
+	c.misses++
+	return core.Node{}, false
+}
+
+func (c *Cache) put(key []byte, n core.Node) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[string(key)]; ok {
+		c.ll.MoveToFront(el)
+		return // immutable: the stored value is already correct
+	}
+	el := c.ll.PushFront(&cacheEntry{key: string(key), node: n})
+	c.entries[string(key)] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached nodes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

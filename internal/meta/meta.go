@@ -1,0 +1,120 @@
+// Package meta is the metadata provider access layer: it stores segment
+// tree nodes (package core) in the metadata DHT (package dht) and adds a
+// client-side cache.
+//
+// A node's storage key embeds the blob that wrote it. After a BRANCH the
+// new blob shares every old snapshot with its parent, so a node reference
+// (version, range) must be resolved against the blob's lineage to find
+// the owning namespace — that is what makes branching cheap: no metadata
+// is copied (§2.1).
+//
+// Tree nodes are immutable, so the cache never needs invalidation: a hit
+// is always correct, which is also why the DHT can replicate them freely.
+package meta
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/core"
+	"blobseer/internal/dht"
+	"blobseer/internal/wire"
+)
+
+// keyPrefix distinguishes tree-node keys from any other DHT use.
+const nodeKeyPrefix = 'n'
+
+// NodeKey builds the DHT key for a node owned by the given blob.
+func NodeKey(owner wire.BlobID, id core.NodeID) []byte {
+	w := wire.NewWriter(1 + 8 + 8 + 8 + 8)
+	w.Uint8(nodeKeyPrefix)
+	w.Uint64(uint64(owner))
+	w.Uint64(id.Version)
+	w.Uint64(id.Offset)
+	w.Uint64(id.Span)
+	return w.Bytes()
+}
+
+// Store gives the core algorithms access to one blob's metadata tree. It
+// implements core.NodeStore. A Store is cheap: create one per blob handle
+// and share the Cache between them.
+type Store struct {
+	dht     *dht.Client
+	lineage wire.Lineage
+	cache   *Cache // may be nil
+}
+
+// NewStore builds a Store for a blob with the given lineage (youngest
+// entry first, as returned by the version manager's BlobInfo). cache may
+// be nil to disable caching.
+func NewStore(d *dht.Client, lineage wire.Lineage, cache *Cache) *Store {
+	return &Store{dht: d, lineage: lineage, cache: cache}
+}
+
+// key resolves the owning namespace of a node through the lineage.
+func (s *Store) key(id core.NodeID) []byte {
+	return NodeKey(s.lineage.Owner(id.Version), id)
+}
+
+// GetNodes implements core.NodeStore.
+func (s *Store) GetNodes(ctx context.Context, ids []core.NodeID) ([]core.Node, error) {
+	out := make([]core.Node, len(ids))
+	keys := make([][]byte, 0, len(ids))
+	missIdx := make([]int, 0, len(ids))
+	for i, id := range ids {
+		k := s.key(id)
+		if s.cache != nil {
+			if n, ok := s.cache.get(k); ok {
+				out[i] = n
+				continue
+			}
+		}
+		keys = append(keys, k)
+		missIdx = append(missIdx, i)
+	}
+	if len(keys) == 0 {
+		return out, nil
+	}
+	values, found, err := s.dht.MultiGet(ctx, keys)
+	if err != nil {
+		return nil, fmt.Errorf("meta: fetching %d nodes: %w", len(keys), err)
+	}
+	for j, i := range missIdx {
+		if !found[j] {
+			return nil, wire.NewError(wire.CodeNotFound, "meta: tree node %v missing", ids[i])
+		}
+		n, err := core.DecodeNode(values[j])
+		if err != nil {
+			return nil, fmt.Errorf("meta: node %v: %w", ids[i], err)
+		}
+		out[i] = n
+		if s.cache != nil {
+			s.cache.put(keys[j], n)
+		}
+	}
+	return out, nil
+}
+
+// PutNodes implements core.NodeStore. New nodes always belong to the
+// youngest lineage entry (the blob itself): only the blob's own updates
+// create nodes.
+func (s *Store) PutNodes(ctx context.Context, ids []core.NodeID, nodes []core.Node) error {
+	if len(ids) != len(nodes) {
+		return fmt.Errorf("meta: %d ids but %d nodes", len(ids), len(nodes))
+	}
+	keys := make([][]byte, len(ids))
+	values := make([][]byte, len(ids))
+	for i := range ids {
+		keys[i] = s.key(ids[i])
+		values[i] = nodes[i].Encode()
+	}
+	if err := s.dht.MultiPut(ctx, keys, values); err != nil {
+		return fmt.Errorf("meta: storing %d nodes: %w", len(ids), err)
+	}
+	if s.cache != nil {
+		for i := range ids {
+			s.cache.put(keys[i], nodes[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"blobseer/internal/wire"
+)
+
+// Disk is a durable Store: a single append-only log file plus an
+// in-memory index rebuilt on open. Records are CRC-checked; a torn tail
+// (crash mid-append) is detected and truncated on recovery, while
+// corruption in the middle of the log is reported as an error.
+//
+// Log record layout (little-endian):
+//
+//	uint32 magic | uint32 dataLen | 16-byte PageID | uint32 crc32(data) | data
+type Disk struct {
+	mu    sync.RWMutex
+	f     *os.File
+	index map[wire.PageID]recordPos
+	size  int64 // current log length
+	bytes uint64
+	sync  bool // fsync after every put
+}
+
+type recordPos struct {
+	off    int64 // file offset of the data payload
+	length uint32
+}
+
+const (
+	diskMagic     = 0xB10B5EE5
+	recHeaderSize = 4 + 4 + 16 + 4
+)
+
+// DiskOptions tunes a Disk store.
+type DiskOptions struct {
+	// Sync forces an fsync after every Put. Slower, but a crash loses at
+	// most the in-flight page instead of the OS write-back window.
+	Sync bool
+}
+
+// OpenDisk opens (creating if needed) the log at path and rebuilds the
+// index by scanning it. A torn final record is truncated away.
+func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("pagestore: create dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: open log: %w", err)
+	}
+	d := &Disk{f: f, index: make(map[wire.PageID]recordPos), sync: opts.Sync}
+	if err := d.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover scans the log, rebuilding the index. It stops cleanly at a torn
+// tail and truncates it; a bad record with valid records after it is
+// corruption and fails the open.
+func (d *Disk) recover() error {
+	info, err := d.f.Stat()
+	if err != nil {
+		return fmt.Errorf("pagestore: stat log: %w", err)
+	}
+	logLen := info.Size()
+	var off int64
+	var hdr [recHeaderSize]byte
+	for off < logLen {
+		if logLen-off < recHeaderSize {
+			break // torn header
+		}
+		if _, err := d.f.ReadAt(hdr[:], off); err != nil {
+			return fmt.Errorf("pagestore: read header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != diskMagic {
+			return fmt.Errorf("pagestore: bad magic at offset %d: log corrupted", off)
+		}
+		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
+		var id wire.PageID
+		copy(id[:], hdr[8:24])
+		wantCRC := binary.LittleEndian.Uint32(hdr[24:28])
+		dataOff := off + recHeaderSize
+		if dataOff+int64(dataLen) > logLen {
+			break // torn payload
+		}
+		data := make([]byte, dataLen)
+		if _, err := d.f.ReadAt(data, dataOff); err != nil {
+			return fmt.Errorf("pagestore: read payload at %d: %w", dataOff, err)
+		}
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			return fmt.Errorf("pagestore: crc mismatch for page %v at offset %d: log corrupted", id, off)
+		}
+		if _, dup := d.index[id]; !dup {
+			d.index[id] = recordPos{off: dataOff, length: dataLen}
+			d.bytes += uint64(dataLen)
+		}
+		off = dataOff + int64(dataLen)
+	}
+	if off < logLen {
+		// Torn tail from a crash mid-append: discard it.
+		if err := d.f.Truncate(off); err != nil {
+			return fmt.Errorf("pagestore: truncate torn tail: %w", err)
+		}
+	}
+	d.size = off
+	return nil
+}
+
+// Put implements Store.
+func (d *Disk) Put(id wire.PageID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return errors.New("pagestore: store closed")
+	}
+	if _, dup := d.index[id]; dup {
+		return nil
+	}
+	rec := make([]byte, recHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(rec[0:4], diskMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(data)))
+	copy(rec[8:24], id[:])
+	binary.LittleEndian.PutUint32(rec[24:28], crc32.ChecksumIEEE(data))
+	copy(rec[recHeaderSize:], data)
+	if _, err := d.f.WriteAt(rec, d.size); err != nil {
+		return fmt.Errorf("pagestore: append: %w", err)
+	}
+	if d.sync {
+		if err := d.f.Sync(); err != nil {
+			return fmt.Errorf("pagestore: fsync: %w", err)
+		}
+	}
+	d.index[id] = recordPos{off: d.size + recHeaderSize, length: uint32(len(data))}
+	d.size += int64(len(rec))
+	d.bytes += uint64(len(data))
+	return nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(id wire.PageID, off, length uint32) ([]byte, error) {
+	d.mu.RLock()
+	pos, ok := d.index[id]
+	f := d.f
+	d.mu.RUnlock()
+	if f == nil {
+		return nil, errors.New("pagestore: store closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if uint64(off) > uint64(pos.length) {
+		return nil, fmt.Errorf("%w: offset %d beyond page of %d bytes", ErrBadRange, off, pos.length)
+	}
+	n := pos.length - off
+	if length != wire.WholePage {
+		if uint64(off)+uint64(length) > uint64(pos.length) {
+			return nil, fmt.Errorf("%w: [%d,+%d) beyond page of %d bytes", ErrBadRange, off, length, pos.length)
+		}
+		n = length
+	}
+	out := make([]byte, n)
+	if _, err := d.f.ReadAt(out, pos.off+int64(off)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("pagestore: read page %v: %w", id, err)
+	}
+	return out, nil
+}
+
+// Has implements Store.
+func (d *Disk) Has(id wire.PageID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.index[id]
+	return ok
+}
+
+// Stats implements Store.
+func (d *Disk) Stats() (pages, bytes uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return uint64(len(d.index)), d.bytes
+}
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	err := d.f.Close()
+	d.f = nil
+	return err
+}

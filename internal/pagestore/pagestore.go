@@ -1,0 +1,138 @@
+// Package pagestore implements the storage engines behind a data
+// provider. A page is an immutable blob of bytes identified by a globally
+// unique PageID; BlobSeer never overwrites a page in place (§3 of the
+// paper), which keeps the engine interface small: put, ranged get, has.
+//
+// Two engines are provided: Mem, a sharded in-memory store matching the
+// paper's RAM-resident prototype, and Disk, a CRC-checked append-only log
+// with crash recovery for durable deployments (an extension beyond the
+// paper).
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/wire"
+)
+
+// ErrNotFound is returned by Get when the page is unknown.
+var ErrNotFound = errors.New("pagestore: page not found")
+
+// ErrBadRange is returned by Get when the requested byte range does not
+// fit inside the page.
+var ErrBadRange = errors.New("pagestore: byte range outside page")
+
+// Store is a page storage engine. Implementations are safe for concurrent
+// use. Pages are immutable: a second Put of the same id is a no-op (the
+// contents are guaranteed identical because ids are globally unique and
+// chosen by the creator of the bytes).
+type Store interface {
+	// Put stores data under id. It copies data.
+	Put(id wire.PageID, data []byte) error
+	// Get returns length bytes starting at off within page id. A length
+	// of wire.WholePage returns everything from off to the end. The
+	// returned slice must not be modified by the caller.
+	Get(id wire.PageID, off, length uint32) ([]byte, error)
+	// Has reports whether the page exists.
+	Has(id wire.PageID) bool
+	// Stats returns the number of stored pages and their total byte size.
+	Stats() (pages, bytes uint64)
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// slicePage extracts the [off, off+length) range from a stored page,
+// handling the WholePage sentinel and bounds checks. Shared by engines.
+func slicePage(data []byte, off, length uint32) ([]byte, error) {
+	if uint64(off) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: offset %d beyond page of %d bytes", ErrBadRange, off, len(data))
+	}
+	if length == wire.WholePage {
+		return data[off:], nil
+	}
+	if uint64(off)+uint64(length) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: [%d,+%d) beyond page of %d bytes", ErrBadRange, off, length, len(data))
+	}
+	return data[off : off+length], nil
+}
+
+// memShards spreads page lookups over independent locks so concurrent
+// clients (the paper's central scenario) do not serialize on one mutex.
+const memShards = 64
+
+// Mem is the in-memory Store. Construct with NewMem.
+type Mem struct {
+	shards [memShards]memShard
+}
+
+type memShard struct {
+	mu    sync.RWMutex
+	pages map[wire.PageID][]byte
+	bytes uint64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	m := &Mem{}
+	for i := range m.shards {
+		m.shards[i].pages = make(map[wire.PageID][]byte)
+	}
+	return m
+}
+
+func (m *Mem) shard(id wire.PageID) *memShard {
+	// The low id bytes are a counter; the first bytes are random. Mix a
+	// few for an even spread.
+	return &m.shards[(uint(id[0])^uint(id[8])^uint(id[15]))%memShards]
+}
+
+// Put implements Store.
+func (m *Mem) Put(id wire.PageID, data []byte) error {
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pages[id]; dup {
+		return nil // immutable pages: idempotent
+	}
+	s.pages[id] = append([]byte(nil), data...)
+	s.bytes += uint64(len(data))
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(id wire.PageID, off, length uint32) ([]byte, error) {
+	s := m.shard(id)
+	s.mu.RLock()
+	data, ok := s.pages[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	return slicePage(data, off, length)
+}
+
+// Has implements Store.
+func (m *Mem) Has(id wire.PageID) bool {
+	s := m.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.pages[id]
+	return ok
+}
+
+// Stats implements Store.
+func (m *Mem) Stats() (pages, bytes uint64) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		pages += uint64(len(s.pages))
+		bytes += s.bytes
+		s.mu.RUnlock()
+	}
+	return pages, bytes
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,280 @@
+package provider
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// Strategy selects how the provider manager spreads pages over providers.
+type Strategy int
+
+// Allocation strategies. The paper requires "an even distribution of
+// pages among providers" (§3.1); RoundRobin achieves exactly that and is
+// the default. The alternatives exist for the ablation benchmarks.
+const (
+	// RoundRobin cycles through providers in registration order.
+	RoundRobin Strategy = iota
+	// Random picks providers uniformly at random.
+	Random
+	// LeastLoaded picks the providers currently holding the fewest
+	// pages, counting pages allocated in this cycle.
+	LeastLoaded
+)
+
+// String names the strategy for logs and benchmark tables.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case Random:
+		return "random"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return "unknown"
+	}
+}
+
+// ManagerConfig configures the provider manager.
+type ManagerConfig struct {
+	// Sched drives expiry checks; defaults to the real clock.
+	Sched vclock.Scheduler
+	// Strategy is the page distribution policy (default RoundRobin).
+	Strategy Strategy
+	// Expiry drops providers that have not heartbeated for this long.
+	// Zero disables expiry (useful under the simulated clock where
+	// providers never crash unless the harness kills them).
+	Expiry time.Duration
+	// Seed makes the Random strategy reproducible.
+	Seed int64
+}
+
+// Manager is the provider manager service: the directory of live data
+// providers and the page placement policy.
+type Manager struct {
+	cfg   ManagerConfig
+	sched vclock.Scheduler
+	srv   *rpc.Server
+
+	mu      sync.Mutex
+	entries map[uint32]*entry
+	byAddr  map[string]uint32
+	order   []uint32 // registration order, for round-robin
+	nextID  uint32
+	rr      int
+	rng     *rand.Rand
+	// inCycle counts pages handed out per provider since the last
+	// heartbeat refresh; LeastLoaded uses it to spread within a burst.
+	inCycle map[uint32]uint64
+}
+
+type entry struct {
+	id       uint32
+	addr     string
+	weight   uint32
+	pages    uint64
+	bytes    uint64
+	lastSeen time.Duration
+}
+
+// ServeManager starts the provider manager on ln.
+func ServeManager(ln transport.Listener, cfg ManagerConfig) *Manager {
+	if cfg.Sched == nil {
+		cfg.Sched = vclock.NewReal()
+	}
+	m := &Manager{
+		cfg:     cfg,
+		sched:   cfg.Sched,
+		entries: make(map[uint32]*entry),
+		byAddr:  make(map[string]uint32),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		inCycle: make(map[uint32]uint64),
+	}
+	m.srv = rpc.Serve(ln, cfg.Sched, m.mux())
+	return m
+}
+
+// Addr returns the manager's service address.
+func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// Close stops the service.
+func (m *Manager) Close() { m.srv.Close() }
+
+// ProviderCount returns the number of live providers.
+func (m *Manager) ProviderCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	return len(m.entries)
+}
+
+func (m *Manager) mux() *rpc.Mux {
+	mux := rpc.NewMux()
+	mux.Register(wire.KindPingReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		return &wire.PingResp{Nonce: msg.(*wire.PingReq).Nonce}, nil
+	})
+	mux.Register(wire.KindRegisterReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.RegisterReq)
+		if req.Addr == "" {
+			return nil, wire.NewError(wire.CodeBadRequest, "empty provider address")
+		}
+		return &wire.RegisterResp{ID: m.register(req.Addr, req.Weight)}, nil
+	})
+	mux.Register(wire.KindHeartbeatReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.HeartbeatReq)
+		return &wire.HeartbeatResp{Known: m.heartbeat(req)}, nil
+	})
+	mux.Register(wire.KindAllocateReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.AllocateReq)
+		addrs, err := m.Allocate(int(req.N), int(req.Copies))
+		if err != nil {
+			return nil, err
+		}
+		return &wire.AllocateResp{Addrs: addrs}, nil
+	})
+	mux.Register(wire.KindListProvidersReq, func(context.Context, wire.Msg) (wire.Msg, error) {
+		return m.list(), nil
+	})
+	return mux
+}
+
+func (m *Manager) register(addr string, weight uint32) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id, ok := m.byAddr[addr]; ok {
+		e := m.entries[id]
+		e.lastSeen = m.sched.Now()
+		e.weight = weight
+		return id
+	}
+	m.nextID++
+	id := m.nextID
+	m.entries[id] = &entry{id: id, addr: addr, weight: weight, lastSeen: m.sched.Now()}
+	m.byAddr[addr] = id
+	m.order = append(m.order, id)
+	return id
+}
+
+func (m *Manager) heartbeat(req *wire.HeartbeatReq) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[req.ID]
+	if !ok {
+		return false
+	}
+	e.pages = req.Pages
+	e.bytes = req.Bytes
+	e.lastSeen = m.sched.Now()
+	delete(m.inCycle, req.ID) // fresh ground truth supersedes estimates
+	return true
+}
+
+// Allocate picks providers for n pages with copies replicas each and
+// returns n*copies addresses, page i's replicas at positions
+// [i*copies, (i+1)*copies). Replicas of one page land on distinct
+// providers whenever at least copies providers are live; otherwise the
+// group repeats addresses rather than failing (degraded but writable,
+// matching the availability-first behaviour of the paper's testbed). When
+// n exceeds the provider count, different pages share providers, exactly
+// like the paper's experiments where a blob has far more pages than there
+// are providers.
+func (m *Manager) Allocate(n, copies int) ([]string, error) {
+	if n < 0 {
+		return nil, wire.NewError(wire.CodeBadRequest, "negative page count")
+	}
+	if copies < 1 {
+		copies = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	if len(m.order) == 0 {
+		return nil, wire.NewError(wire.CodeUnavailable, "no data providers registered")
+	}
+	// pickLocked returns one provider id by the configured strategy.
+	pickLocked := func() uint32 {
+		switch m.cfg.Strategy {
+		case Random:
+			return m.order[m.rng.Intn(len(m.order))]
+		case LeastLoaded:
+			best := uint32(0)
+			var bestLoad uint64
+			for _, id := range m.order {
+				load := m.entries[id].pages + m.inCycle[id]
+				if best == 0 || load < bestLoad {
+					best, bestLoad = id, load
+				}
+			}
+			m.inCycle[best]++
+			return best
+		default: // RoundRobin
+			id := m.order[m.rr%len(m.order)]
+			m.rr++
+			return id
+		}
+	}
+	addrs := make([]string, 0, n*copies)
+	group := make(map[uint32]struct{}, copies)
+	for i := 0; i < n; i++ {
+		clear(group)
+		for c := 0; c < copies; c++ {
+			id := pickLocked()
+			if _, dup := group[id]; dup && copies <= len(m.order) {
+				// Retry for a distinct provider; bounded so a pathological
+				// strategy (Random on a tiny cluster) cannot spin.
+				for retry := 0; retry < 4*len(m.order); retry++ {
+					id = pickLocked()
+					if _, dup = group[id]; !dup {
+						break
+					}
+				}
+			}
+			group[id] = struct{}{}
+			addrs = append(addrs, m.entries[id].addr)
+		}
+	}
+	return addrs, nil
+}
+
+func (m *Manager) list() *wire.ListProvidersResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	resp := &wire.ListProvidersResp{}
+	for _, id := range m.order {
+		e := m.entries[id]
+		resp.Providers = append(resp.Providers, wire.ProviderInfo{
+			Addr: e.addr, Pages: e.pages, Bytes: e.bytes,
+		})
+	}
+	return resp
+}
+
+// expireLocked drops providers whose heartbeats stopped.
+func (m *Manager) expireLocked() {
+	if m.cfg.Expiry <= 0 {
+		return
+	}
+	cutoff := m.sched.Now() - m.cfg.Expiry
+	keep := m.order[:0]
+	for _, id := range m.order {
+		e := m.entries[id]
+		if e.lastSeen < cutoff {
+			delete(m.entries, id)
+			delete(m.byAddr, e.addr)
+			delete(m.inCycle, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+}

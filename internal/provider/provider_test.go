@@ -1,0 +1,342 @@
+package provider
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/simnet"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// testRig wires a manager and n providers over an in-process network.
+type testRig struct {
+	net      *transport.Inproc
+	sched    vclock.Scheduler
+	client   *rpc.Client
+	manager  *Manager
+	provs    []*Provider
+	cleanups []func()
+}
+
+func newRig(t *testing.T, n int, mcfg ManagerConfig) *testRig {
+	t.Helper()
+	r := &testRig{net: transport.NewInproc(), sched: vclock.NewReal()}
+	if mcfg.Sched == nil {
+		mcfg.Sched = r.sched
+	}
+	r.client = rpc.NewClient(r.net, r.sched, rpc.ClientOptions{})
+	mln, err := r.net.Listen("manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.manager = ServeManager(mln, mcfg)
+	for i := 0; i < n; i++ {
+		ln, err := r.net.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Serve(ln, Config{
+			Sched:          r.sched,
+			ManagerAddr:    "manager",
+			Client:         r.client,
+			HeartbeatEvery: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.provs = append(r.provs, p)
+	}
+	t.Cleanup(func() {
+		for _, p := range r.provs {
+			p.Close()
+		}
+		r.manager.Close()
+		r.client.Close()
+		r.net.Close()
+	})
+	return r
+}
+
+func (r *testRig) call(t *testing.T, addr string, req wire.Msg) wire.Msg {
+	t.Helper()
+	resp, err := r.client.Call(context.Background(), addr, req)
+	if err != nil {
+		t.Fatalf("%v to %s: %v", req.Kind(), addr, err)
+	}
+	return resp
+}
+
+func TestPutGetPageOverRPC(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	addr := r.provs[0].Addr()
+	id := wire.PageID{1, 2, 3}
+	data := []byte("page contents here")
+
+	r.call(t, addr, &wire.PutPageReq{Page: id, Data: data})
+	resp := r.call(t, addr, &wire.GetPageReq{Page: id, Length: wire.WholePage})
+	if !bytes.Equal(resp.(*wire.GetPageResp).Data, data) {
+		t.Fatalf("got %q", resp.(*wire.GetPageResp).Data)
+	}
+
+	// Partial read: the paper's unaligned READ fetches only part of a page.
+	resp = r.call(t, addr, &wire.GetPageReq{Page: id, Offset: 5, Length: 8})
+	if got := string(resp.(*wire.GetPageResp).Data); got != "contents" {
+		t.Fatalf("partial read = %q", got)
+	}
+
+	has := r.call(t, addr, &wire.HasPageReq{Page: id})
+	if !has.(*wire.HasPageResp).Found {
+		t.Fatal("HasPage = false")
+	}
+
+	stats := r.call(t, addr, &wire.ProviderStatsReq{})
+	if s := stats.(*wire.ProviderStatsResp); s.Pages != 1 || s.Bytes != uint64(len(data)) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGetMissingPageError(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	_, err := r.client.Call(context.Background(), r.provs[0].Addr(),
+		&wire.GetPageReq{Page: wire.PageID{9}, Length: wire.WholePage})
+	if !wire.IsNotFound(err) {
+		t.Fatalf("err = %v, want not-found", err)
+	}
+}
+
+func TestGetBadRangeError(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	addr := r.provs[0].Addr()
+	r.call(t, addr, &wire.PutPageReq{Page: wire.PageID{1}, Data: []byte("xy")})
+	_, err := r.client.Call(context.Background(), addr,
+		&wire.GetPageReq{Page: wire.PageID{1}, Offset: 5, Length: 1})
+	if !wire.IsOutOfBounds(err) {
+		t.Fatalf("err = %v, want out-of-bounds", err)
+	}
+}
+
+func TestPutZeroPageIDRejected(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	_, err := r.client.Call(context.Background(), r.provs[0].Addr(),
+		&wire.PutPageReq{Data: []byte("x")})
+	if wire.CodeOf(err) != wire.CodeBadRequest {
+		t.Fatalf("err = %v, want bad-request", err)
+	}
+}
+
+func TestRoundRobinAllocationIsEven(t *testing.T) {
+	r := newRig(t, 5, ManagerConfig{Strategy: RoundRobin})
+	resp := r.call(t, "manager", &wire.AllocateReq{N: 100})
+	addrs := resp.(*wire.AllocateResp).Addrs
+	if len(addrs) != 100 {
+		t.Fatalf("allocated %d", len(addrs))
+	}
+	counts := map[string]int{}
+	for _, a := range addrs {
+		counts[a]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("spread over %d providers, want 5", len(counts))
+	}
+	for a, c := range counts {
+		if c != 20 {
+			t.Errorf("provider %s got %d pages, want exactly 20", a, c)
+		}
+	}
+}
+
+func TestRandomAllocationCoversAll(t *testing.T) {
+	r := newRig(t, 4, ManagerConfig{Strategy: Random, Seed: 42})
+	resp := r.call(t, "manager", &wire.AllocateReq{N: 400})
+	counts := map[string]int{}
+	for _, a := range resp.(*wire.AllocateResp).Addrs {
+		counts[a]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("random spread over %d providers, want 4", len(counts))
+	}
+	for a, c := range counts {
+		if c < 50 || c > 150 {
+			t.Errorf("provider %s share %d is implausible for uniform", a, c)
+		}
+	}
+}
+
+func TestLeastLoadedPrefersEmpty(t *testing.T) {
+	r := newRig(t, 3, ManagerConfig{Strategy: LeastLoaded})
+	// Preload provider 0 heavily, then heartbeat so the manager knows.
+	addr0 := r.provs[0].Addr()
+	gen := wire.NewPageIDGen()
+	for i := 0; i < 30; i++ {
+		r.call(t, addr0, &wire.PutPageReq{Page: gen.Next(), Data: []byte("x")})
+	}
+	time.Sleep(30 * time.Millisecond) // allow a heartbeat cycle
+
+	resp := r.call(t, "manager", &wire.AllocateReq{N: 20})
+	counts := map[string]int{}
+	for _, a := range resp.(*wire.AllocateResp).Addrs {
+		counts[a]++
+	}
+	if counts[addr0] != 0 {
+		t.Errorf("least-loaded sent %d pages to the loaded provider", counts[addr0])
+	}
+}
+
+func TestAllocateNoProviders(t *testing.T) {
+	r := newRig(t, 0, ManagerConfig{})
+	_, err := r.client.Call(context.Background(), "manager", &wire.AllocateReq{N: 1})
+	if wire.CodeOf(err) != wire.CodeUnavailable {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+}
+
+func TestReRegisterSameAddrKeepsOneEntry(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	addr := r.provs[0].Addr()
+	id1 := r.call(t, "manager", &wire.RegisterReq{Addr: addr, Weight: 1}).(*wire.RegisterResp).ID
+	id2 := r.call(t, "manager", &wire.RegisterReq{Addr: addr, Weight: 2}).(*wire.RegisterResp).ID
+	if id1 != id2 {
+		t.Fatalf("re-register changed id: %d -> %d", id1, id2)
+	}
+	if n := r.manager.ProviderCount(); n != 1 {
+		t.Fatalf("provider count = %d", n)
+	}
+}
+
+func TestHeartbeatUpdatesLoad(t *testing.T) {
+	r := newRig(t, 2, ManagerConfig{})
+	addr0 := r.provs[0].Addr()
+	gen := wire.NewPageIDGen()
+	for i := 0; i < 7; i++ {
+		r.call(t, addr0, &wire.PutPageReq{Page: gen.Next(), Data: []byte("abc")})
+	}
+	time.Sleep(30 * time.Millisecond)
+	resp := r.call(t, "manager", &wire.ListProvidersReq{})
+	var found bool
+	for _, p := range resp.(*wire.ListProvidersResp).Providers {
+		if p.Addr == addr0 {
+			found = true
+			if p.Pages != 7 {
+				t.Errorf("manager sees %d pages for %s, want 7", p.Pages, addr0)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("provider missing from list")
+	}
+}
+
+func TestHeartbeatUnknownIDRequestsReRegister(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	resp := r.call(t, "manager", &wire.HeartbeatReq{ID: 9999})
+	if resp.(*wire.HeartbeatResp).Known {
+		t.Fatal("unknown id acknowledged")
+	}
+}
+
+func TestExpiryDropsSilentProviders(t *testing.T) {
+	// Virtual clock so expiry is deterministic. The server must run over
+	// simnet: blocking on an in-process transport would be invisible to
+	// the virtual clock and wedge the simulation.
+	clock := vclock.NewVirtual(0)
+	net := simnet.New(clock, simnet.Config{})
+	err := clock.Run(func() {
+		mln, err := net.Host("mgr").Listen("manager")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mgr := ServeManager(mln, ManagerConfig{Sched: clock, Expiry: time.Second})
+		defer mgr.Close()
+		mgr.register("dead-provider:1", 1)
+		if n := mgr.ProviderCount(); n != 1 {
+			t.Errorf("count = %d, want 1", n)
+		}
+		clock.Sleep(2 * time.Second)
+		if n := mgr.ProviderCount(); n != 0 {
+			t.Errorf("count after expiry = %d, want 0", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		RoundRobin: "round-robin", Random: "random", LeastLoaded: "least-loaded", Strategy(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestAllocateReplicasDistinct(t *testing.T) {
+	r := newRig(t, 5, ManagerConfig{})
+	const pages, copies = 40, 3
+	resp := r.call(t, "manager", &wire.AllocateReq{N: pages, Copies: copies})
+	addrs := resp.(*wire.AllocateResp).Addrs
+	if len(addrs) != pages*copies {
+		t.Fatalf("got %d addrs, want %d", len(addrs), pages*copies)
+	}
+	for p := 0; p < pages; p++ {
+		group := addrs[p*copies : (p+1)*copies]
+		seen := map[string]bool{}
+		for _, a := range group {
+			if seen[a] {
+				t.Fatalf("page %d: duplicate replica provider %s in %v", p, a, group)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestAllocateReplicasDistinctRandomStrategy(t *testing.T) {
+	r := newRig(t, 4, ManagerConfig{Strategy: Random, Seed: 42})
+	resp := r.call(t, "manager", &wire.AllocateReq{N: 30, Copies: 2})
+	addrs := resp.(*wire.AllocateResp).Addrs
+	for p := 0; p < 30; p++ {
+		if addrs[2*p] == addrs[2*p+1] {
+			t.Fatalf("page %d: both replicas on %s", p, addrs[2*p])
+		}
+	}
+}
+
+func TestAllocateMoreCopiesThanProviders(t *testing.T) {
+	r := newRig(t, 2, ManagerConfig{})
+	resp := r.call(t, "manager", &wire.AllocateReq{N: 3, Copies: 5})
+	addrs := resp.(*wire.AllocateResp).Addrs
+	if len(addrs) != 15 {
+		t.Fatalf("got %d addrs, want 15", len(addrs))
+	}
+	// Degraded mode: groups contain repeats, but allocation must not fail
+	// and must still involve both providers.
+	uniq := map[string]bool{}
+	for _, a := range addrs {
+		uniq[a] = true
+	}
+	if len(uniq) != 2 {
+		t.Fatalf("allocation used %d providers, want 2", len(uniq))
+	}
+}
+
+func TestAllocateEvenDistributionWithReplicas(t *testing.T) {
+	r := newRig(t, 4, ManagerConfig{})
+	resp := r.call(t, "manager", &wire.AllocateReq{N: 100, Copies: 2})
+	counts := map[string]int{}
+	for _, a := range resp.(*wire.AllocateResp).Addrs {
+		counts[a]++
+	}
+	// 200 placements over 4 providers: round-robin keeps them even.
+	for a, n := range counts {
+		if n != 50 {
+			t.Fatalf("provider %s got %d placements, want 50 (counts=%v)", a, n, counts)
+		}
+	}
+}

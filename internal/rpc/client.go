@@ -1,0 +1,287 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// ErrClientClosed is returned by calls issued after Client.Close.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// ErrConnBroken is returned for calls that were in flight when their
+// connection failed. Callers decide whether the operation is safe to
+// retry; the rpc layer never retries on its own.
+var ErrConnBroken = errors.New("rpc: connection broken")
+
+// Client issues requests to any number of peers, multiplexing concurrent
+// calls over a small pool of connections per peer. It is safe for
+// concurrent use.
+type Client struct {
+	net     transport.Network
+	sched   vclock.Scheduler
+	perHost int
+
+	mu     sync.Mutex
+	pools  map[string]*pool
+	closed bool
+}
+
+// ClientOptions tunes a Client.
+type ClientOptions struct {
+	// ConnsPerHost is the maximum number of connections kept per peer
+	// address. Zero means 1. More connections let large transfers to the
+	// same peer proceed in parallel at the cost of sockets.
+	ConnsPerHost int
+}
+
+// NewClient builds a Client over the given transport and scheduler.
+func NewClient(net transport.Network, sched vclock.Scheduler, opts ClientOptions) *Client {
+	per := opts.ConnsPerHost
+	if per <= 0 {
+		per = 1
+	}
+	return &Client{
+		net:     net,
+		sched:   sched,
+		perHost: per,
+		pools:   make(map[string]*pool),
+	}
+}
+
+// Call sends req to addr and waits for the matching response. A response
+// of kind ErrorResp is converted to a *wire.Error. Transport failures
+// surface as ErrConnBroken (wrapped); the caller owns retry policy.
+func (c *Client) Call(ctx context.Context, addr string, req wire.Msg) (wire.Msg, error) {
+	cc, err := c.conn(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cc.roundTrip(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: %v to %s: %w", req.Kind(), addr, err)
+	}
+	if e, ok := resp.(*wire.ErrorResp); ok {
+		return nil, &wire.Error{Code: e.Code, Msg: e.Msg}
+	}
+	return resp, nil
+}
+
+// Close tears down every pooled connection. In-flight calls fail with
+// ErrConnBroken.
+func (c *Client) Close() {
+	c.mu.Lock()
+	pools := c.pools
+	c.pools = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+}
+
+// conn returns a live connection to addr, dialing if the pool is not full.
+func (c *Client) conn(ctx context.Context, addr string) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	p := c.pools[addr]
+	if p == nil {
+		p = &pool{client: c, addr: addr}
+		c.pools[addr] = p
+	}
+	c.mu.Unlock()
+	return p.pick(ctx)
+}
+
+// pool holds the connections to one peer.
+type pool struct {
+	client *Client
+	addr   string
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	next   int
+	closed bool
+}
+
+func (p *pool) pick(ctx context.Context) (*clientConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	// Drop broken connections.
+	live := p.conns[:0]
+	for _, cc := range p.conns {
+		if !cc.isBroken() {
+			live = append(live, cc)
+		}
+	}
+	p.conns = live
+	if len(p.conns) < p.client.perHost {
+		p.mu.Unlock()
+		raw, err := p.client.net.Dial(ctx, p.addr)
+		if err != nil {
+			return nil, err
+		}
+		cc := newClientConn(raw, p.client.sched)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			raw.Close()
+			return nil, ErrClientClosed
+		}
+		p.conns = append(p.conns, cc)
+		p.mu.Unlock()
+		return cc, nil
+	}
+	cc := p.conns[p.next%len(p.conns)]
+	p.next++
+	p.mu.Unlock()
+	return cc, nil
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, cc := range conns {
+		cc.fail(ErrClientClosed)
+	}
+}
+
+// clientConn is one multiplexed connection: many goroutines write frames
+// under wmu; a single reader goroutine dispatches responses by request id.
+type clientConn struct {
+	raw   transport.Conn
+	sched vclock.Scheduler
+
+	wmu *vclock.Mutex // serializes frame writes; scheduler-aware because
+	// it is held across Write, which blocks in virtual time under simnet
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[uint64]vclock.Event
+	nextID  uint64
+	broken  error
+}
+
+func newClientConn(raw transport.Conn, sched vclock.Scheduler) *clientConn {
+	cc := &clientConn{
+		raw:     raw,
+		sched:   sched,
+		wmu:     vclock.NewMutex(sched),
+		pending: make(map[uint64]vclock.Event),
+	}
+	sched.Go(cc.readLoop)
+	return cc
+}
+
+func (cc *clientConn) isBroken() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.broken != nil
+}
+
+// roundTrip sends req and waits for its response.
+func (cc *clientConn) roundTrip(ctx context.Context, req wire.Msg) (wire.Msg, error) {
+	ev := cc.sched.NewEvent()
+	cc.mu.Lock()
+	if cc.broken != nil {
+		err := cc.broken
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.nextID++
+	id := cc.nextID
+	cc.pending[id] = ev
+	cc.mu.Unlock()
+
+	err := cc.wmu.Lock()
+	if err == nil {
+		var buf []byte
+		buf, err = appendFrame(cc.wbuf[:0], id, req)
+		if err == nil {
+			cc.wbuf = buf // keep the grown buffer for reuse
+			_, err = cc.raw.Write(buf)
+		}
+		cc.wmu.Unlock()
+	}
+	if err != nil {
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		cc.fail(err)
+		return nil, fmt.Errorf("%w: %v", ErrConnBroken, err)
+	}
+
+	v, err := ev.Wait(ctx)
+	if err != nil {
+		// Context cancellation (Real scheduler only): orphan the pending
+		// entry so a late response is dropped instead of misdelivered.
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, err
+	}
+	switch r := v.(type) {
+	case wire.Msg:
+		return r, nil
+	case error:
+		return nil, r
+	default:
+		return nil, fmt.Errorf("rpc: bad event payload %T", v)
+	}
+}
+
+// readLoop dispatches inbound frames to their waiting callers.
+func (cc *clientConn) readLoop() {
+	for {
+		id, kind, body, err := readFrame(cc.raw)
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
+			return
+		}
+		msg, err := wire.Decode(kind, body)
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
+			return
+		}
+		cc.mu.Lock()
+		ev, ok := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		if ok {
+			ev.Fire(msg)
+		}
+		// Unknown ids are tolerated: the caller may have abandoned the
+		// request after a context cancellation.
+	}
+}
+
+// fail marks the connection broken and fails all in-flight calls.
+func (cc *clientConn) fail(cause error) {
+	cc.mu.Lock()
+	if cc.broken != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.broken = cause
+	pending := cc.pending
+	cc.pending = make(map[uint64]vclock.Event)
+	cc.mu.Unlock()
+	cc.raw.Close()
+	for _, ev := range pending {
+		ev.Fire(cause)
+	}
+}

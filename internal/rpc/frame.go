@@ -1,0 +1,68 @@
+// Package rpc implements the request/response messaging layer every
+// BlobSeer service speaks. It multiplexes concurrent requests over shared
+// connections, so a client needs only one connection per peer no matter
+// how many goroutines are issuing calls.
+//
+// Framing: every message travels as
+//
+//	uint32 bodyLen | uint64 requestID | uint8 kind | body
+//
+// with little-endian integers. bodyLen counts only the body. Responses
+// echo the requestID of their request; an ErrorResp may answer any
+// request and is surfaced as *wire.Error.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"blobseer/internal/wire"
+)
+
+// frameHeaderLen is the fixed prefix before the message body.
+const frameHeaderLen = 4 + 8 + 1
+
+// MaxFrameBody bounds a single message body. Pages are at most a few MB;
+// multi-put metadata batches stay well under this.
+const MaxFrameBody = 64 << 20
+
+// appendFrame encodes a complete frame into buf and returns the result.
+func appendFrame(buf []byte, id uint64, m wire.Msg) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // body length placeholder
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = append(buf, byte(m.Kind()))
+	w := wire.Writer{}
+	m.MarshalTo(&w)
+	body := w.Bytes()
+	if len(body) > MaxFrameBody {
+		return nil, fmt.Errorf("rpc: %v body %d bytes exceeds limit", m.Kind(), len(body))
+	}
+	buf = append(buf, body...)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(body)))
+	return buf, nil
+}
+
+// readFrame reads one complete frame from r. The returned body aliases a
+// fresh buffer owned by the caller.
+func readFrame(r io.Reader) (id uint64, kind wire.Kind, body []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrameBody {
+		return 0, 0, nil, fmt.Errorf("rpc: frame body %d bytes exceeds limit", n)
+	}
+	id = binary.LittleEndian.Uint64(hdr[4:12])
+	kind = wire.Kind(hdr[12])
+	body = make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return id, kind, body, nil
+}

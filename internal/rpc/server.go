@@ -1,0 +1,175 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// Handler processes one request and returns the response message. An
+// error return is converted to an ErrorResp frame: *wire.Error keeps its
+// code, any other error maps to CodeUnknown. Handlers may block (SYNC
+// does); each request runs on its own goroutine.
+type Handler interface {
+	Handle(ctx context.Context, m wire.Msg) (wire.Msg, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, m wire.Msg) (wire.Msg, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(ctx context.Context, m wire.Msg) (wire.Msg, error) {
+	return f(ctx, m)
+}
+
+// Mux routes requests to per-kind handlers. Register all kinds before
+// serving; Mux is read-only afterwards.
+type Mux struct {
+	handlers map[wire.Kind]HandlerFunc
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux { return &Mux{handlers: make(map[wire.Kind]HandlerFunc)} }
+
+// Register installs fn for requests of kind k, replacing any previous
+// registration.
+func (m *Mux) Register(k wire.Kind, fn HandlerFunc) { m.handlers[k] = fn }
+
+// Handle implements Handler.
+func (m *Mux) Handle(ctx context.Context, msg wire.Msg) (wire.Msg, error) {
+	fn, ok := m.handlers[msg.Kind()]
+	if !ok {
+		return nil, wire.NewError(wire.CodeBadRequest, "no handler for %v", msg.Kind())
+	}
+	return fn(ctx, msg)
+}
+
+// Server accepts connections on a listener and dispatches frames to a
+// Handler. Create with Serve; stop with Close.
+type Server struct {
+	ln      transport.Listener
+	sched   vclock.Scheduler
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[transport.Conn]struct{}
+	closed bool
+}
+
+// Serve starts accepting connections on ln in the background and returns
+// immediately. The caller keeps ownership of ln's address via Addr.
+func Serve(ln transport.Listener, sched vclock.Scheduler, h Handler) *Server {
+	s := &Server{
+		ln:      ln,
+		sched:   sched,
+		handler: h,
+		conns:   make(map[transport.Conn]struct{}),
+	}
+	sched.Go(s.acceptLoop)
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr() }
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.sched.Go(func() { s.serveConn(c) })
+	}
+}
+
+// serveConn reads frames and spawns one goroutine per request so that
+// long-blocking handlers (SYNC) do not stall the connection.
+func (s *Server) serveConn(c transport.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	// Scheduler-aware: the lock is held across Write, which blocks in
+	// virtual time under simnet. A plain sync.Mutex here wedges the
+	// simulation when two responses race for the same connection.
+	wmu := vclock.NewMutex(s.sched)
+	for {
+		id, kind, body, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		req, err := wire.Decode(kind, body)
+		if err != nil {
+			// Cannot trust the stream after a decode error.
+			return
+		}
+		s.sched.Go(func() {
+			resp := s.dispatch(req)
+			frame, err := appendFrame(nil, id, resp)
+			if err != nil {
+				frame, _ = appendFrame(nil, id, errorResp(err))
+			}
+			if wmu.Lock() != nil {
+				return // scheduler shut down mid-response
+			}
+			_, werr := c.Write(frame)
+			wmu.Unlock()
+			if werr != nil {
+				c.Close() // reader will exit and clean up
+			}
+		})
+	}
+}
+
+func (s *Server) dispatch(req wire.Msg) wire.Msg {
+	resp, err := s.handler.Handle(context.Background(), req)
+	if err != nil {
+		return errorResp(err)
+	}
+	if resp == nil {
+		return errorResp(fmt.Errorf("handler returned no response for %v", req.Kind()))
+	}
+	return resp
+}
+
+func errorResp(err error) *wire.ErrorResp {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return &wire.ErrorResp{Code: we.Code, Msg: we.Msg}
+	}
+	return &wire.ErrorResp{Code: wire.CodeUnknown, Msg: err.Error()}
+}

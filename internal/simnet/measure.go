@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"blobseer/internal/vclock"
+)
+
+// MeasureLink transfers size bytes between two fresh hosts and measures
+// the achieved bandwidth (bytes/second) and the round-trip time of a
+// 1-byte echo (seconds). It must run inside the simulation.
+func MeasureLink(clock *vclock.Virtual, n *Net, size int) (bw, rtt float64, err error) {
+	src, dst := n.Host("measure-src"), n.Host("measure-dst")
+	ln, err := dst.Listen("sink")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ln.Close()
+
+	done := clock.NewEvent()
+	clock.Go(func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done.Fire(err)
+			return
+		}
+		defer c.Close()
+		// Echo the first byte, then discard the bulk transfer.
+		one := make([]byte, 1)
+		if _, err := io.ReadFull(c, one); err != nil {
+			done.Fire(err)
+			return
+		}
+		if _, err := c.Write(one); err != nil {
+			done.Fire(err)
+			return
+		}
+		m, err := io.Copy(io.Discard, c)
+		if err != nil {
+			done.Fire(err)
+			return
+		}
+		done.Fire(m)
+	})
+
+	c, err := src.Dial(context.Background(), dst.Name()+":sink")
+	if err != nil {
+		return 0, 0, err
+	}
+	// RTT probe.
+	start := clock.Now()
+	if _, err := c.Write([]byte{1}); err != nil {
+		return 0, 0, err
+	}
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		return 0, 0, err
+	}
+	rtt = (clock.Now() - start).Seconds()
+
+	// Bulk transfer.
+	buf := make([]byte, 256<<10)
+	start = clock.Now()
+	left := size
+	for left > 0 {
+		chunk := len(buf)
+		if chunk > left {
+			chunk = left
+		}
+		if _, err := c.Write(buf[:chunk]); err != nil {
+			return 0, 0, err
+		}
+		left -= chunk
+	}
+	c.Close()
+	v, werr := done.Wait(nil)
+	if werr != nil {
+		return 0, 0, werr
+	}
+	if e, ok := v.(error); ok {
+		return 0, 0, e
+	}
+	if got, ok := v.(int64); !ok || got != int64(size) {
+		return 0, 0, fmt.Errorf("simnet: sink received %v bytes, want %d", v, size)
+	}
+	bw = float64(size) / (clock.Now() - start).Seconds()
+	return bw, rtt, nil
+}

@@ -1,0 +1,266 @@
+// Package simnet is a flow-level network simulator that stands in for the
+// paper's Grid'5000 testbed. It implements transport.Network, so the real
+// BlobSeer client and server code runs over it unmodified; only time is
+// virtual (package vclock) and bytes move through a bandwidth/latency
+// model instead of a switch.
+//
+// # Model
+//
+// Every simulated machine ("node") has a full-duplex NIC with independent
+// uplink and downlink capacities. Each connection direction with pending
+// bytes is a flow; a flow's instantaneous rate is
+//
+//	min(upCap(src)/upFlows(src), downCap(dst)/downFlows(dst))
+//
+// i.e. links are shared equally among the flows crossing them (a standard
+// approximation of TCP's max-min fair sharing). Each Write becomes one
+// segment: the writer blocks until the segment has drained at the flow
+// rate, and the bytes become readable at the destination one propagation
+// latency later. Connections between co-located endpoints bypass the NIC
+// through a fast loopback path, which models the paper's co-deployment of
+// data providers, metadata providers and readers on the same physical
+// nodes (§5).
+//
+// The defaults mirror the paper's measured figures: 117.5 MB/s TCP
+// throughput on the 1 Gbit/s links and 0.1 ms latency.
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+)
+
+// MBps is a convenience multiplier: bytes per second in one MB/s.
+const MBps = 1e6
+
+// Config describes the simulated cluster's network characteristics.
+type Config struct {
+	// LinkBps is each NIC's capacity in bytes/second, per direction.
+	// Defaults to 117.5 MB/s, the paper's measured TCP throughput.
+	LinkBps float64
+	// Latency is the one-way propagation delay. Defaults to 0.1 ms.
+	Latency time.Duration
+	// LoopbackBps is the rate between co-located endpoints (default 4 GB/s).
+	LoopbackBps float64
+	// LoopbackLatency is the delay between co-located endpoints
+	// (default 25 µs).
+	LoopbackLatency time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.LinkBps == 0 {
+		c.LinkBps = 117.5 * MBps
+	}
+	if c.Latency == 0 {
+		c.Latency = 100 * time.Microsecond
+	}
+	if c.LoopbackBps == 0 {
+		c.LoopbackBps = 4000 * MBps
+	}
+	if c.LoopbackLatency == 0 {
+		c.LoopbackLatency = 25 * time.Microsecond
+	}
+}
+
+// Net is a simulated network of nodes. Create with New, then obtain
+// per-node transport.Network handles with Host. All methods are safe for
+// concurrent use from simulation goroutines.
+type Net struct {
+	clock *vclock.Virtual
+	cfg   Config
+
+	mu          sync.Mutex
+	nodes       map[string]*node
+	listeners   map[string]*listener
+	completions completionHeap // pending segment completions
+	armed       bool           // a wake-up watcher is pending
+	armedAt     time.Duration  // when the pending watcher fires
+	watchGen    uint64
+	closed      bool
+}
+
+// New builds a simulated network driven by clock.
+func New(clock *vclock.Virtual, cfg Config) *Net {
+	cfg.fillDefaults()
+	return &Net{
+		clock:     clock,
+		cfg:       cfg,
+		nodes:     make(map[string]*node),
+		listeners: make(map[string]*listener),
+	}
+}
+
+// node is one simulated machine's NIC state. up and down hold the active
+// flows crossing each direction of the NIC; a flow's fair share is the
+// link capacity divided by the set size.
+type node struct {
+	name    string
+	upBps   float64
+	downBps float64
+	up      map[*flow]struct{}
+	down    map[*flow]struct{}
+}
+
+// Host returns the transport.Network for the named node, creating the
+// node with default link capacity on first use. Services listening
+// through this handle are addressed as "<name>:<service>".
+func (n *Net) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return &Host{net: n, node: n.nodeLocked(name)}
+}
+
+// SetNodeBandwidth overrides one node's NIC capacities (bytes/second).
+func (n *Net) SetNodeBandwidth(name string, upBps, downBps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd := n.nodeLocked(name)
+	nd.upBps, nd.downBps = upBps, downBps
+}
+
+func (n *Net) nodeLocked(name string) *node {
+	nd, ok := n.nodes[name]
+	if !ok {
+		nd = &node{
+			name: name, upBps: n.cfg.LinkBps, downBps: n.cfg.LinkBps,
+			up: make(map[*flow]struct{}), down: make(map[*flow]struct{}),
+		}
+		n.nodes[name] = nd
+	}
+	return nd
+}
+
+// Host is one node's view of the network; it implements transport.Network.
+type Host struct {
+	net  *Net
+	node *node
+}
+
+// Name returns the node name.
+func (h *Host) Name() string { return h.node.name }
+
+// Listen implements transport.Network. The service name must be unique on
+// the node; the returned listener's address is "<node>:<service>".
+func (h *Host) Listen(service string) (transport.Listener, error) {
+	if service == "" {
+		return nil, errors.New("simnet: empty service name")
+	}
+	addr := h.node.name + ":" + service
+	n := h.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("simnet: listen %q: address in use", addr)
+	}
+	l := &listener{net: n, host: h, addr: addr}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements transport.Network. It charges one round trip of latency
+// for connection establishment.
+func (h *Host) Dial(_ context.Context, addr string) (transport.Conn, error) {
+	n := h.net
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: dial %q: %w", addr, transport.ErrUnknownAddress)
+	}
+	lat := n.cfg.Latency
+	if h.node == l.host.node {
+		lat = n.cfg.LoopbackLatency
+	}
+	if err := n.clock.Sleep(2 * lat); err != nil { // SYN + SYN/ACK
+		return nil, err
+	}
+	client, server := n.newConnPair(h.node, l.host.node)
+	if err := l.deliver(server); err != nil {
+		client.Close()
+		return nil, err
+	}
+	return client, nil
+}
+
+// listener queues inbound connections for Accept.
+type listener struct {
+	net  *Net
+	host *Host
+	addr string
+
+	mu      sync.Mutex
+	backlog []*endpoint
+	waiter  vclock.Event
+	closed  bool
+}
+
+// Accept implements transport.Listener.
+func (l *listener) Accept() (transport.Conn, error) {
+	for {
+		l.mu.Lock()
+		if len(l.backlog) > 0 {
+			c := l.backlog[0]
+			l.backlog = l.backlog[1:]
+			l.mu.Unlock()
+			return c, nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return nil, transport.ErrClosed
+		}
+		if l.waiter != nil {
+			l.mu.Unlock()
+			return nil, errors.New("simnet: concurrent Accept on one listener")
+		}
+		ev := l.net.clock.NewNamedEvent("simnet-accept")
+		l.waiter = ev
+		l.mu.Unlock()
+		if _, err := ev.Wait(nil); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (l *listener) deliver(c *endpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("simnet: dial %q: %w", l.addr, transport.ErrClosed)
+	}
+	l.backlog = append(l.backlog, c)
+	if l.waiter != nil {
+		l.waiter.Fire(nil)
+		l.waiter = nil
+	}
+	return nil
+}
+
+// Close implements transport.Listener.
+func (l *listener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.waiter != nil {
+		l.waiter.Fire(nil) // Accept loops, sees closed, returns ErrClosed
+		l.waiter = nil
+	}
+	return nil
+}
+
+// Addr implements transport.Listener.
+func (l *listener) Addr() string { return l.addr }

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Inproc is an in-memory Network. All listeners and dialers sharing one
+// Inproc instance can reach each other; separate instances are isolated,
+// which makes tests hermetic. Construct with NewInproc.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  int
+	closed    bool
+}
+
+// NewInproc returns an empty in-memory network.
+func NewInproc() *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener)}
+}
+
+// Dial implements Network.
+func (n *Inproc) Dial(ctx context.Context, addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("inproc dial %q: %w", addr, ErrUnknownAddress)
+	}
+	local, remote := newPipePair()
+	select {
+	case l.backlog <- remote:
+		return local, nil
+	case <-l.done:
+		local.Close()
+		return nil, fmt.Errorf("inproc dial %q: %w", addr, ErrClosed)
+	case <-ctx.Done():
+		local.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Listen implements Network. An empty addr allocates a unique synthetic
+// address of the form "inproc-N".
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if addr == "" {
+		n.nextAuto++
+		addr = fmt.Sprintf("inproc-%d", n.nextAuto)
+	}
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("inproc listen %q: address in use", addr)
+	}
+	l := &inprocListener{
+		net:     n,
+		addr:    addr,
+		backlog: make(chan Conn, 64),
+		done:    make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Close closes the network: all listeners stop accepting.
+func (n *Inproc) Close() error {
+	n.mu.Lock()
+	ls := make([]*inprocListener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		ls = append(ls, l)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	return nil
+}
+
+type inprocListener struct {
+	net     *Inproc
+	addr    string
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }

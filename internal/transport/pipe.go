@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"io"
+	"sync"
+)
+
+// pipeBufferSize is the capacity of one direction of an in-process
+// connection. It is sized like a typical kernel socket buffer so that
+// writers of RPC frames rarely block.
+const pipeBufferSize = 256 << 10
+
+// halfPipe is one direction of an in-process connection: a bounded byte
+// queue with blocking reads and writes.
+type halfPipe struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []byte // ring storage
+	start    int    // index of first unread byte
+	n        int    // unread byte count
+	closed   bool   // no more writes; reads drain then EOF
+}
+
+func newHalfPipe() *halfPipe {
+	p := &halfPipe{buf: make([]byte, pipeBufferSize)}
+	p.notEmpty.L = &p.mu
+	p.notFull.L = &p.mu
+	return p
+}
+
+// Write appends p, blocking while the buffer is full. It returns
+// ErrClosed if the pipe is closed before all bytes are accepted.
+func (h *halfPipe) Write(p []byte) (int, error) {
+	written := 0
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(p) > 0 {
+		for h.n == len(h.buf) && !h.closed {
+			h.notFull.Wait()
+		}
+		if h.closed {
+			return written, ErrClosed
+		}
+		chunk := len(h.buf) - h.n
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		end := (h.start + h.n) % len(h.buf)
+		first := copy(h.buf[end:], p[:chunk])
+		if first < chunk {
+			copy(h.buf, p[first:chunk])
+		}
+		h.n += chunk
+		p = p[chunk:]
+		written += chunk
+		h.notEmpty.Broadcast()
+	}
+	return written, nil
+}
+
+// Read fills p with available bytes, blocking while the buffer is empty.
+// After Close, it drains buffered bytes and then returns io.EOF.
+func (h *halfPipe) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.n == 0 && !h.closed {
+		h.notEmpty.Wait()
+	}
+	if h.n == 0 {
+		return 0, io.EOF
+	}
+	chunk := h.n
+	if chunk > len(p) {
+		chunk = len(p)
+	}
+	first := copy(p[:chunk], h.buf[h.start:min(h.start+chunk, len(h.buf))])
+	if first < chunk {
+		copy(p[first:chunk], h.buf)
+	}
+	h.start = (h.start + chunk) % len(h.buf)
+	h.n -= chunk
+	h.notFull.Broadcast()
+	return chunk, nil
+}
+
+// Close marks the pipe closed and wakes all waiters.
+func (h *halfPipe) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.notEmpty.Broadcast()
+	h.notFull.Broadcast()
+	return nil
+}
+
+// pipeConn is one endpoint of an in-process connection.
+type pipeConn struct {
+	rd *halfPipe // peer writes here, we read
+	wr *halfPipe // we write here, peer reads
+}
+
+// newPipePair returns two connected endpoints.
+func newPipePair() (*pipeConn, *pipeConn) {
+	a2b := newHalfPipe()
+	b2a := newHalfPipe()
+	return &pipeConn{rd: b2a, wr: a2b}, &pipeConn{rd: a2b, wr: b2a}
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.rd.Read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.wr.Write(p) }
+
+// Close shuts both directions down; the peer observes EOF after draining.
+func (c *pipeConn) Close() error {
+	c.rd.Close()
+	c.wr.Close()
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"context"
+	"net"
+)
+
+// TCP is the production Network backed by the operating system's TCP
+// stack. The zero value is ready to use.
+type TCP struct{}
+
+// Dial implements Network.
+func (TCP) Dial(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// RPC frames are small and latency-sensitive; disable Nagle.
+		_ = tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{l}, nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (t tcpListener) Close() error { return t.l.Close() }
+func (t tcpListener) Addr() string { return t.l.Addr().String() }

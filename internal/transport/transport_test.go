@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exerciseNetwork runs a conformance suite against any Network.
+func exerciseNetwork(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	if l.Addr() == "" {
+		t.Fatal("empty listener address")
+	}
+
+	// Echo server.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+
+	c, err := n.Dial(context.Background(), l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	msg := []byte("the quick brown fox")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	c.Close()
+
+	// Large transfer integrity: 4 MiB of pseudo-random bytes.
+	c2, err := n.Dial(context.Background(), l.Addr())
+	if err != nil {
+		t.Fatalf("Dial 2: %v", err)
+	}
+	payload := make([]byte, 4<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+	wantSum := sha256.Sum256(payload)
+	go func() {
+		c2.Write(payload)
+	}()
+	h := sha256.New()
+	if _, err := io.CopyN(h, c2, int64(len(payload))); err != nil {
+		t.Fatalf("CopyN: %v", err)
+	}
+	if !bytes.Equal(h.Sum(nil), wantSum[:]) {
+		t.Fatal("large transfer corrupted")
+	}
+	c2.Close()
+
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("Accept after Close should fail")
+	}
+	wg.Wait()
+}
+
+func TestInprocConformance(t *testing.T) {
+	exerciseNetwork(t, NewInproc(), "svc")
+}
+
+func TestTCPConformance(t *testing.T) {
+	exerciseNetwork(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestInprocDialUnknown(t *testing.T) {
+	n := NewInproc()
+	if _, err := n.Dial(context.Background(), "nobody"); !errors.Is(err, ErrUnknownAddress) {
+		t.Fatalf("err = %v, want ErrUnknownAddress", err)
+	}
+}
+
+func TestInprocAutoAddress(t *testing.T) {
+	n := NewInproc()
+	l1, _ := n.Listen("")
+	l2, _ := n.Listen("")
+	if l1.Addr() == l2.Addr() {
+		t.Fatalf("auto addresses collided: %q", l1.Addr())
+	}
+}
+
+func TestInprocDuplicateListen(t *testing.T) {
+	n := NewInproc()
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Fatal("duplicate Listen should fail")
+	}
+}
+
+func TestInprocDialCanceledContext(t *testing.T) {
+	n := NewInproc()
+	l, _ := n.Listen("busy")
+	// Fill the backlog so Dial must block, then cancel.
+	for i := 0; i < 64; i++ {
+		if _, err := n.Dial(context.Background(), "busy"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := n.Dial(ctx, "busy"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	l.Close()
+}
+
+func TestInprocNetworkClose(t *testing.T) {
+	n := NewInproc()
+	l, _ := n.Listen("a")
+	n.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("Accept after network Close should fail")
+	}
+	if _, err := n.Listen("b"); err == nil {
+		t.Fatal("Listen after network Close should fail")
+	}
+}
+
+func TestPipeCloseUnblocksPeer(t *testing.T) {
+	a, b := newPipePair()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("Read after peer close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Read did not unblock after Close")
+	}
+}
+
+func TestPipeDrainsBufferedDataAfterClose(t *testing.T) {
+	a, b := newPipePair()
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("drained %q, want %q", got, "tail")
+	}
+}
+
+func TestPipeWriteBlocksWhenFull(t *testing.T) {
+	a, b := newPipePair()
+	big := make([]byte, pipeBufferSize+1024)
+	wrote := make(chan struct{})
+	go func() {
+		a.Write(big)
+		close(wrote)
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("write larger than buffer should have blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Draining unblocks the writer.
+	if _, err := io.ReadFull(b, make([]byte, len(big))); err != nil {
+		t.Fatal(err)
+	}
+	<-wrote
+}
+
+func TestPipeConcurrentChunks(t *testing.T) {
+	a, b := newPipePair()
+	const chunks = 200
+	const chunkLen = 8 << 10
+	src := make([]byte, chunks*chunkLen)
+	rand.New(rand.NewSource(1)).Read(src)
+	go func() {
+		for i := 0; i < chunks; i++ {
+			a.Write(src[i*chunkLen : (i+1)*chunkLen])
+		}
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stream corrupted under chunked writes")
+	}
+}

@@ -1,0 +1,217 @@
+package vclock
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutexRealExclusion(t *testing.T) {
+	r := NewReal()
+	m := NewMutex(r)
+	const workers, iters = 8, 200
+	var counter int // racy unless the mutex works
+	evs := make([]Event, workers)
+	for i := 0; i < workers; i++ {
+		evs[i] = r.NewEvent()
+		ev := evs[i]
+		r.Go(func() {
+			for j := 0; j < iters; j++ {
+				if err := m.Lock(); err != nil {
+					t.Errorf("Lock: %v", err)
+					break
+				}
+				counter++
+				m.Unlock()
+			}
+			ev.Fire(nil)
+		})
+	}
+	for _, ev := range evs {
+		ev.Wait(nil)
+	}
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+// TestMutexHeldAcrossVirtualWait is the regression test for the simulation
+// wedge this type exists to prevent: one goroutine sleeps in virtual time
+// while holding the lock, and a second goroutine's Lock must park visibly
+// so the clock can advance past the sleep.
+func TestMutexHeldAcrossVirtualWait(t *testing.T) {
+	v := NewVirtual(0)
+	m := NewMutex(v)
+	var second time.Duration
+	err := v.Run(func() {
+		done := v.NewEvent()
+		if err := m.Lock(); err != nil {
+			t.Errorf("Lock: %v", err)
+		}
+		v.Go(func() {
+			if err := m.Lock(); err != nil {
+				t.Errorf("second Lock: %v", err)
+			}
+			second = v.Now()
+			m.Unlock()
+			done.Fire(nil)
+		})
+		v.Sleep(time.Hour) // hold the lock across a virtual-time block
+		m.Unlock()
+		done.Wait(nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != time.Hour {
+		t.Fatalf("second locker entered at %v, want 1h", second)
+	}
+}
+
+func TestMutexFIFOUnderVirtual(t *testing.T) {
+	v := NewVirtual(0)
+	m := NewMutex(v)
+	var order []int
+	err := v.Run(func() {
+		if err := m.Lock(); err != nil {
+			t.Fatalf("Lock: %v", err)
+		}
+		evs := make([]Event, 5)
+		for i := range evs {
+			i := i
+			evs[i] = v.NewEvent()
+			v.Go(func() {
+				// Stagger arrival so the queue order is deterministic.
+				v.Sleep(time.Duration(i+1) * time.Millisecond)
+				if err := m.Lock(); err != nil {
+					t.Errorf("Lock %d: %v", i, err)
+					evs[i].Fire(nil)
+					return
+				}
+				order = append(order, i)
+				m.Unlock()
+				evs[i].Fire(nil)
+			})
+		}
+		v.Sleep(10 * time.Millisecond) // let all five park
+		m.Unlock()
+		for _, ev := range evs {
+			ev.Wait(nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("acquisition order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestMutexLockFailsAfterShutdown(t *testing.T) {
+	v := NewVirtual(0)
+	m := NewMutex(v)
+	var sawStop atomic.Bool
+	unwound := make(chan struct{})
+	err := v.Run(func() {
+		if err := m.Lock(); err != nil {
+			t.Errorf("Lock: %v", err)
+		}
+		v.Go(func() {
+			// Parked waiter when the experiment body returns below.
+			if err := m.Lock(); errors.Is(err, ErrStopped) {
+				sawStop.Store(true)
+			} else if err == nil {
+				m.Unlock()
+			}
+			close(unwound)
+		})
+		v.Sleep(time.Millisecond) // let the waiter park, then finish
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unwound:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not unwind after shutdown")
+	}
+	if !sawStop.Load() {
+		t.Fatal("parked Lock did not return ErrStopped")
+	}
+}
+
+func TestMutexUnlockAfterStoppedWaiterSkipsIt(t *testing.T) {
+	v := NewVirtual(0)
+	m := NewMutex(v)
+	err := v.Run(func() {
+		if err := m.Lock(); err != nil {
+			t.Fatalf("Lock: %v", err)
+		}
+		v.Go(func() {
+			m.Lock() // will be unwound by shutdown; error ignored on purpose
+		})
+		v.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After Run, the waiter's event was delivered ErrStopped. Unlock must
+	// skip it without panicking and leave the mutex free.
+	m.Unlock()
+	if err := m.Lock(); err != nil {
+		t.Fatalf("re-Lock after shutdown handoff: %v", err)
+	}
+	m.Unlock()
+}
+
+func TestMutexUnlockOfUnlockedPanics(t *testing.T) {
+	m := NewMutex(NewReal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked Mutex did not panic")
+		}
+	}()
+	m.Unlock()
+}
+
+func TestMutexVirtualContention(t *testing.T) {
+	v := NewVirtual(0)
+	m := NewMutex(v)
+	const workers = 32
+	var inside, max int
+	err := v.Run(func() {
+		evs := make([]Event, workers)
+		for i := 0; i < workers; i++ {
+			i := i
+			evs[i] = v.NewEvent()
+			v.Go(func() {
+				for j := 0; j < 5; j++ {
+					if err := m.Lock(); err != nil {
+						t.Errorf("Lock: %v", err)
+						break
+					}
+					inside++
+					if inside > max {
+						max = inside
+					}
+					v.Sleep(time.Microsecond) // block in virtual time while held
+					inside--
+					m.Unlock()
+				}
+				evs[i].Fire(nil)
+			})
+		}
+		for _, ev := range evs {
+			ev.Wait(nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", max)
+	}
+}

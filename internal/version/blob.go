@@ -1,0 +1,238 @@
+// Package version implements the version manager, "the key actor of the
+// system" (§3.1): it assigns snapshot versions to updates, guarantees
+// their total ordering and atomic publication, answers version/size
+// queries, parks SYNC waiters, and tracks blob lineages for cheap
+// branching.
+//
+// The in-flight registry is what enables lock-free metadata writes: a
+// newly assigned writer receives the ranges of every assigned-but-
+// unpublished lower version (the paper's partial border set, §4.2), so it
+// can weave its tree without waiting for those writers to finish.
+package version
+
+import (
+	"blobseer/internal/wire"
+)
+
+// update is one assigned, not-yet-published update of a blob.
+type update struct {
+	version    wire.Version
+	offset     uint64 // byte offset of the rewritten range
+	size       uint64 // byte length of the rewritten range
+	newSize    uint64 // blob size after this update
+	completed  bool   // writer reported success; awaiting ordered publication
+	aborted    bool
+	assignedAt int64 // scheduler time in nanoseconds, for dead-writer sweeps
+}
+
+// blobState is the version manager's bookkeeping for one blob. It is a
+// pure state machine: the RPC service wraps it with locking and events.
+type blobState struct {
+	id       wire.BlobID
+	pageSize uint32
+	lineage  wire.Lineage
+
+	next        wire.Version // next version to assign
+	published   wire.Version // dense publication pointer (may rest on an aborted version)
+	readable    wire.Version // latest published non-aborted version
+	pendingSize uint64       // size including all assigned updates
+
+	sizes    map[wire.Version]uint64 // sizes of published versions owned by this blob
+	aborted  map[wire.Version]bool   // aborted version numbers (never readable)
+	inflight map[wire.Version]*update
+}
+
+// newBlobState creates the state for a freshly created blob: the empty
+// snapshot 0 is born published.
+func newBlobState(id wire.BlobID, pageSize uint32) *blobState {
+	return &blobState{
+		id:       id,
+		pageSize: pageSize,
+		lineage:  wire.Lineage{{Blob: id, MinVersion: 0}},
+		next:     1,
+		sizes:    map[wire.Version]uint64{0: 0},
+		aborted:  make(map[wire.Version]bool),
+		inflight: make(map[wire.Version]*update),
+	}
+}
+
+// newBranchState creates the state of a blob produced by BRANCH(parent,
+// at); sizeAt is snapshot at's size, resolved by the manager through the
+// parent's lineage.
+func newBranchState(id wire.BlobID, parent *blobState, at wire.Version, sizeAt uint64) *blobState {
+	lineage := wire.Lineage{{Blob: id, MinVersion: at + 1}}
+	for _, e := range parent.lineage {
+		if e.MinVersion <= at {
+			lineage = append(lineage, e)
+		}
+	}
+	return &blobState{
+		id:          id,
+		pageSize:    parent.pageSize,
+		lineage:     lineage,
+		next:        at + 1,
+		published:   at,
+		readable:    at,
+		pendingSize: sizeAt,
+		// Seed the branch point's size so assign() can report the
+		// published size without a lineage walk.
+		sizes:    map[wire.Version]uint64{at: sizeAt},
+		aborted:  make(map[wire.Version]bool),
+		inflight: make(map[wire.Version]*update),
+	}
+}
+
+// assign registers an update and returns the response payload. For an
+// append, offset is chosen by the manager: the size of snapshot next-1
+// (§3.3), i.e. the current pending size.
+func (b *blobState) assign(offset, size uint64, isAppend bool, now int64) (*wire.AssignResp, error) {
+	if size == 0 {
+		return nil, wire.NewError(wire.CodeBadRequest, "empty update")
+	}
+	if isAppend {
+		offset = b.pendingSize
+	} else if offset > b.pendingSize {
+		return nil, wire.NewError(wire.CodeOutOfBounds,
+			"write at %d beyond blob size %d", offset, b.pendingSize)
+	}
+	v := b.next
+	b.next++
+	prevSize := b.pendingSize
+	newSize := prevSize
+	if offset+size > newSize {
+		newSize = offset + size
+	}
+	u := &update{
+		version: v, offset: offset, size: size,
+		newSize: newSize, assignedAt: now,
+	}
+	b.pendingSize = newSize
+
+	resp := &wire.AssignResp{
+		Version:       v,
+		Offset:        offset,
+		NewSize:       newSize,
+		PrevSize:      prevSize,
+		Published:     b.readable,
+		PublishedSize: b.sizeOfOwn(b.readable),
+		InFlight:      b.inflightBelow(v),
+	}
+	b.inflight[v] = u
+	return resp, nil
+}
+
+// inflightBelow lists non-aborted assigned-but-unpublished updates with a
+// version below v.
+func (b *blobState) inflightBelow(v wire.Version) []wire.UpdateDesc {
+	var out []wire.UpdateDesc
+	for _, u := range b.inflight {
+		if u.version < v && !u.aborted {
+			out = append(out, wire.UpdateDesc{Version: u.version, Offset: u.offset, Size: u.size})
+		}
+	}
+	return out
+}
+
+// sizeOfOwn returns the size of a published version owned by this blob
+// state (not following lineage). The caller guarantees v is published.
+func (b *blobState) sizeOfOwn(v wire.Version) uint64 {
+	return b.sizes[v]
+}
+
+// complete marks version v's writer as done and advances publication.
+// It returns the versions that became readable (for SYNC waiters) and the
+// versions found aborted that the caller asked about.
+func (b *blobState) complete(v wire.Version) (newlyReadable []wire.Version, err error) {
+	u, ok := b.inflight[v]
+	if !ok {
+		if b.aborted[v] {
+			return nil, wire.NewError(wire.CodeAborted, "version %d was aborted", v)
+		}
+		if v <= b.published {
+			return nil, nil // duplicate completion after publication: idempotent
+		}
+		return nil, wire.NewError(wire.CodeNotFound, "version %d was never assigned", v)
+	}
+	if u.aborted {
+		return nil, wire.NewError(wire.CodeAborted, "version %d was aborted", v)
+	}
+	u.completed = true
+	return b.advance(), nil
+}
+
+// advance publishes completed updates in version order, skipping aborted
+// ones, and returns the versions that became readable.
+func (b *blobState) advance() []wire.Version {
+	var readable []wire.Version
+	for {
+		u, ok := b.inflight[b.published+1]
+		if !ok || (!u.completed && !u.aborted) {
+			return readable
+		}
+		b.published++
+		delete(b.inflight, b.published)
+		if u.aborted {
+			b.aborted[b.published] = true
+			continue
+		}
+		b.sizes[b.published] = u.newSize
+		b.readable = b.published
+		readable = append(readable, b.published)
+	}
+}
+
+// abort withdraws version v and — because later in-flight updates may
+// hold border references to v, and later appends may sit above a hole v
+// would have filled — cascades to every in-flight version above v. It
+// returns all versions aborted by the call.
+func (b *blobState) abort(v wire.Version) (abortedVersions []wire.Version, err error) {
+	u, ok := b.inflight[v]
+	if !ok {
+		if b.aborted[v] {
+			return nil, nil // idempotent
+		}
+		if v <= b.published {
+			return nil, wire.NewError(wire.CodeBadRequest,
+				"version %d is already published and cannot be aborted", v)
+		}
+		return nil, wire.NewError(wire.CodeNotFound, "version %d was never assigned", v)
+	}
+	if u.aborted {
+		return nil, nil
+	}
+	maxKept := b.published
+	for w, iu := range b.inflight {
+		if w >= v {
+			if !iu.aborted {
+				iu.aborted = true
+				abortedVersions = append(abortedVersions, w)
+			}
+			continue
+		}
+		if !iu.aborted && w > maxKept {
+			maxKept = w
+		}
+	}
+	// Roll the pending size back to the largest surviving update (or the
+	// published size if none survives above the publication point).
+	b.pendingSize = b.sizeAfter(maxKept)
+	b.advance() // aborted versions at the front can be skipped over now
+	return abortedVersions, nil
+}
+
+// sizeAfter returns the blob size as of version v, whether published or
+// still in flight. v must not be aborted.
+func (b *blobState) sizeAfter(v wire.Version) uint64 {
+	if u, ok := b.inflight[v]; ok {
+		return u.newSize
+	}
+	return b.sizes[v]
+}
+
+// sizeOf looks up the size of published version v, following nothing:
+// the manager resolves lineage before calling. ok is false if v is not
+// readable on this state.
+func (b *blobState) sizeOf(v wire.Version) (uint64, bool) {
+	sz, ok := b.sizes[v]
+	return sz, ok
+}

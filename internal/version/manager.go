@@ -1,0 +1,511 @@
+package version
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// ManagerConfig configures the version manager service.
+type ManagerConfig struct {
+	// Sched drives SYNC waiters and the dead-writer sweeper; defaults to
+	// the real clock.
+	Sched vclock.Scheduler
+	// DeadWriterTimeout aborts updates whose writer neither completed nor
+	// aborted within this window, so a crashed client cannot stall
+	// publication forever. Zero disables the sweeper (the paper leaves
+	// failure handling to future work; this is an extension).
+	DeadWriterTimeout time.Duration
+	// SweepEvery is the sweeper period (default DeadWriterTimeout/4).
+	SweepEvery time.Duration
+	// WALPath, when non-empty, makes version state durable: every
+	// state-changing event is appended to a write-ahead log at this path
+	// before it takes effect, and a manager started on an existing log
+	// resumes exactly where the previous incarnation stopped. Pair it
+	// with DeadWriterTimeout so updates whose writer died with the crash
+	// are eventually swept instead of blocking publication. (Extension:
+	// the paper's prototype kept version state in memory.)
+	WALPath string
+	// WALSync forces an fsync after every log append.
+	WALSync bool
+}
+
+// Manager is the running version manager service.
+type Manager struct {
+	cfg   ManagerConfig
+	sched vclock.Scheduler
+	srv   *rpc.Server
+
+	mu       sync.Mutex
+	blobs    map[wire.BlobID]*blobState
+	nextBlob wire.BlobID
+	log      *wal // nil when not durable
+	// watchers parks SYNC callers: blob -> version -> events to fire.
+	watchers map[wire.BlobID]map[wire.Version][]vclock.Event
+	closed   bool
+}
+
+// ServeManager starts the version manager on ln. It panics if cfg asks
+// for a write-ahead log that cannot be opened; use ServeManagerDurable to
+// handle that error.
+func ServeManager(ln transport.Listener, cfg ManagerConfig) *Manager {
+	m, err := ServeManagerDurable(ln, cfg)
+	if err != nil {
+		panic("version: " + err.Error())
+	}
+	return m
+}
+
+// ServeManagerDurable is ServeManager with the write-ahead log's open or
+// replay error reported instead of panicking.
+func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, error) {
+	if cfg.Sched == nil {
+		cfg.Sched = vclock.NewReal()
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.DeadWriterTimeout / 4
+	}
+	m := &Manager{
+		cfg:      cfg,
+		sched:    cfg.Sched,
+		blobs:    make(map[wire.BlobID]*blobState),
+		watchers: make(map[wire.BlobID]map[wire.Version][]vclock.Event),
+	}
+	if cfg.WALPath != "" {
+		log, events, err := openWAL(cfg.WALPath, cfg.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		next, err := replay(events, m.blobs, int64(cfg.Sched.Now()))
+		if err != nil {
+			log.close()
+			return nil, err
+		}
+		m.log = log
+		m.nextBlob = next
+	}
+	m.srv = rpc.Serve(ln, cfg.Sched, m.mux())
+	if cfg.DeadWriterTimeout > 0 {
+		cfg.Sched.Go(m.sweepLoop)
+	}
+	return m, nil
+}
+
+// logEvent appends e to the write-ahead log (no-op when not durable).
+// Must be called with m.mu held, before applying the state change e
+// describes.
+func (m *Manager) logEvent(e walEvent) error {
+	if m.log == nil {
+		return nil
+	}
+	if err := m.log.append(e); err != nil {
+		return wire.NewError(wire.CodeUnavailable, "version log: %v", err)
+	}
+	return nil
+}
+
+// Addr returns the manager's service address.
+func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// Close stops the service and fails parked SYNC waiters.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	var evs []vclock.Event
+	for _, byVer := range m.watchers {
+		for _, list := range byVer {
+			evs = append(evs, list...)
+		}
+	}
+	m.watchers = make(map[wire.BlobID]map[wire.Version][]vclock.Event)
+	log := m.log
+	m.log = nil
+	m.mu.Unlock()
+	for _, ev := range evs {
+		ev.Fire(wire.NewError(wire.CodeUnavailable, "version manager shutting down"))
+	}
+	m.srv.Close()
+	log.close()
+}
+
+func (m *Manager) blob(id wire.BlobID) (*blobState, error) {
+	b, ok := m.blobs[id]
+	if !ok {
+		return nil, wire.NewError(wire.CodeNotFound, "blob %v does not exist", id)
+	}
+	return b, nil
+}
+
+// sizeThroughLineage resolves GET_SIZE across branch boundaries: version
+// v of blob b was written under its lineage owner's namespace, and that
+// owner's state records its size.
+func (m *Manager) sizeThroughLineage(b *blobState, v wire.Version) (uint64, bool) {
+	owner := b.lineage.Owner(v)
+	ob, ok := m.blobs[owner]
+	if !ok {
+		return 0, false
+	}
+	return ob.sizeOf(v)
+}
+
+// fireWatchers pops and fires the SYNC events for the given versions.
+// Must be called with m.mu held; the returned closure is invoked after
+// unlocking.
+func (m *Manager) fireWatchersLocked(id wire.BlobID, versions []wire.Version) func() {
+	if len(versions) == 0 {
+		return func() {}
+	}
+	var evs []vclock.Event
+	byVer := m.watchers[id]
+	for _, v := range versions {
+		evs = append(evs, byVer[v]...)
+		delete(byVer, v)
+	}
+	return func() {
+		for _, ev := range evs {
+			ev.Fire(nil)
+		}
+	}
+}
+
+// sweepLoop aborts updates from writers that went silent.
+func (m *Manager) sweepLoop() {
+	for {
+		if err := m.sched.Sleep(m.cfg.SweepEvery); err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		cutoff := int64(m.sched.Now()) - int64(m.cfg.DeadWriterTimeout)
+		type hit struct {
+			blob *blobState
+			ver  wire.Version
+		}
+		var stale []hit
+		for _, b := range m.blobs {
+			for _, u := range b.inflight {
+				if !u.completed && !u.aborted && u.assignedAt < cutoff {
+					stale = append(stale, hit{b, u.version})
+				}
+			}
+		}
+		var wake []func()
+		for _, h := range stale {
+			// Sweeper aborts are durable too; on log failure leave the
+			// update for the next sweep rather than diverge from the log.
+			if err := m.logEvent(walEvent{kind: walAbort, blob: h.blob.id, version: h.ver}); err != nil {
+				continue
+			}
+			abortedVers, err := h.blob.abort(h.ver)
+			if err != nil {
+				continue
+			}
+			wake = append(wake, m.abortWatchersLocked(h.blob.id, abortedVers))
+		}
+		m.mu.Unlock()
+		for _, fn := range wake {
+			fn()
+		}
+	}
+}
+
+// abortWatchersLocked fails SYNC waiters of aborted versions.
+func (m *Manager) abortWatchersLocked(id wire.BlobID, versions []wire.Version) func() {
+	var evs []vclock.Event
+	byVer := m.watchers[id]
+	for _, v := range versions {
+		evs = append(evs, byVer[v]...)
+		delete(byVer, v)
+	}
+	return func() {
+		for _, ev := range evs {
+			ev.Fire(wire.NewError(wire.CodeAborted, "version aborted"))
+		}
+	}
+}
+
+func (m *Manager) mux() *rpc.Mux {
+	mux := rpc.NewMux()
+	mux.Register(wire.KindPingReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		return &wire.PingResp{Nonce: msg.(*wire.PingReq).Nonce}, nil
+	})
+	mux.Register(wire.KindCreateBlobReq, m.handleCreate)
+	mux.Register(wire.KindBlobInfoReq, m.handleBlobInfo)
+	mux.Register(wire.KindAssignReq, m.handleAssign)
+	mux.Register(wire.KindCompleteReq, m.handleComplete)
+	mux.Register(wire.KindAbortReq, m.handleAbort)
+	mux.Register(wire.KindRecentReq, m.handleRecent)
+	mux.Register(wire.KindSizeReq, m.handleSize)
+	mux.Register(wire.KindSyncReq, m.handleSync)
+	mux.Register(wire.KindBranchReq, m.handleBranch)
+	return mux
+}
+
+func (m *Manager) handleCreate(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.CreateBlobReq)
+	ps := req.PageSize
+	if ps == 0 || ps&(ps-1) != 0 {
+		return nil, wire.NewError(wire.CodeBadRequest,
+			"page size %d is not a power of two", ps)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextBlob + 1
+	if err := m.logEvent(walEvent{kind: walCreate, blob: id, pageSize: ps}); err != nil {
+		return nil, err
+	}
+	m.nextBlob = id
+	m.blobs[id] = newBlobState(id, ps)
+	return &wire.CreateBlobResp{Blob: id}, nil
+}
+
+func (m *Manager) handleBlobInfo(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.BlobInfoReq)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.BlobInfoResp{
+		PageSize: b.pageSize,
+		Lineage:  append(wire.Lineage(nil), b.lineage...),
+	}, nil
+}
+
+func (m *Manager) handleAssign(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.AssignReq)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	// Write-ahead: recompute what assign will decide, log it, then apply.
+	if m.log != nil {
+		if req.Size == 0 {
+			return nil, wire.NewError(wire.CodeBadRequest, "empty update")
+		}
+		off := req.Offset
+		if req.Append {
+			off = b.pendingSize
+		} else if off > b.pendingSize {
+			return nil, wire.NewError(wire.CodeOutOfBounds,
+				"write at %d beyond blob size %d", off, b.pendingSize)
+		}
+		newSize := b.pendingSize
+		if off+req.Size > newSize {
+			newSize = off + req.Size
+		}
+		if err := m.logEvent(walEvent{
+			kind: walAssign, blob: req.Blob, version: b.next,
+			offset: off, size: req.Size, newSize: newSize,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return b.assign(req.Offset, req.Size, req.Append, int64(m.sched.Now()))
+}
+
+func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.CompleteReq)
+	m.mu.Lock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	// Log only completions that will change state (write-ahead); error and
+	// idempotent paths fall through to complete() unlogged.
+	if u, ok := b.inflight[req.Version]; ok && !u.aborted && !u.completed {
+		if err := m.logEvent(walEvent{kind: walComplete, blob: req.Blob, version: req.Version}); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	readable, err := b.complete(req.Version)
+	var wake func()
+	if err == nil {
+		wake = m.fireWatchersLocked(req.Blob, readable)
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	wake()
+	return &wire.CompleteResp{}, nil
+}
+
+func (m *Manager) handleAbort(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.AbortReq)
+	m.mu.Lock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	// Log only aborts that will change state (write-ahead).
+	if u, ok := b.inflight[req.Version]; ok && !u.aborted {
+		if err := m.logEvent(walEvent{kind: walAbort, blob: req.Blob, version: req.Version}); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	abortedVers, err := b.abort(req.Version)
+	var wake func()
+	if err == nil {
+		// Aborting may also let queued completed versions publish (when
+		// the aborted one was blocking the order) — advance() inside
+		// abort already handled that; wake both kinds of waiters.
+		wake = m.abortWatchersLocked(req.Blob, abortedVers)
+		more := m.fireWatchersLocked(req.Blob, readableAfterAbort(b))
+		prev := wake
+		wake = func() { prev(); more() }
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	wake()
+	return &wire.AbortResp{}, nil
+}
+
+// readableAfterAbort returns versions that may have become readable when
+// an abort unblocked the publication order.
+func readableAfterAbort(b *blobState) []wire.Version {
+	// advance() already ran inside abort; any version at or below
+	// b.readable with a parked watcher is ready. The watcher maps are
+	// per-version, so just report the current readable version — parked
+	// watchers for lower versions were already fired when those published.
+	if b.readable == 0 {
+		return nil
+	}
+	return []wire.Version{b.readable}
+}
+
+func (m *Manager) handleRecent(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.RecentReq)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	sz, ok := m.sizeThroughLineage(b, b.readable)
+	if !ok {
+		return nil, wire.NewError(wire.CodeUnknown,
+			"blob %v: size of readable version %d unknown", b.id, b.readable)
+	}
+	return &wire.RecentResp{Version: b.readable, Size: sz}, nil
+}
+
+func (m *Manager) handleSize(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.SizeReq)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	if req.Version > b.readable {
+		return nil, wire.NewError(wire.CodeNotPublished,
+			"version %d of blob %v is not published", req.Version, b.id)
+	}
+	sz, ok := m.sizeThroughLineage(b, req.Version)
+	if !ok {
+		return nil, wire.NewError(wire.CodeNotPublished,
+			"version %d of blob %v is not readable", req.Version, b.id)
+	}
+	return &wire.SizeResp{Size: sz}, nil
+}
+
+func (m *Manager) handleSync(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.SyncReq)
+	m.mu.Lock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	if req.Version <= b.published || m.isAbortedLocked(b, req.Version) {
+		aborted := m.isAbortedLocked(b, req.Version)
+		m.mu.Unlock()
+		if aborted {
+			return nil, wire.NewError(wire.CodeAborted, "version %d was aborted", req.Version)
+		}
+		return &wire.SyncResp{}, nil
+	}
+	if req.Version >= b.next {
+		m.mu.Unlock()
+		return nil, wire.NewError(wire.CodeNotFound,
+			"version %d of blob %v was never assigned", req.Version, b.id)
+	}
+	ev := m.sched.NewEvent()
+	byVer := m.watchers[req.Blob]
+	if byVer == nil {
+		byVer = make(map[wire.Version][]vclock.Event)
+		m.watchers[req.Blob] = byVer
+	}
+	byVer[req.Version] = append(byVer[req.Version], ev)
+	m.mu.Unlock()
+
+	v, err := ev.Wait(nil)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := v.(error); ok {
+		return nil, e
+	}
+	return &wire.SyncResp{}, nil
+}
+
+func (m *Manager) isAbortedLocked(b *blobState, v wire.Version) bool {
+	if b.aborted[v] {
+		return true
+	}
+	if u, ok := b.inflight[v]; ok {
+		return u.aborted
+	}
+	return false
+}
+
+func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.BranchReq)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.blob(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	if req.Version > b.readable {
+		return nil, wire.NewError(wire.CodeNotPublished,
+			"cannot branch blob %v at unpublished version %d", b.id, req.Version)
+	}
+	sizeAt, ok := m.sizeThroughLineage(b, req.Version)
+	if !ok {
+		return nil, wire.NewError(wire.CodeNotPublished,
+			"cannot branch blob %v at aborted version %d", b.id, req.Version)
+	}
+	id := m.nextBlob + 1
+	if err := m.logEvent(walEvent{
+		kind: walBranch, blob: id, parent: req.Blob,
+		version: req.Version, newSize: sizeAt,
+	}); err != nil {
+		return nil, err
+	}
+	m.nextBlob = id
+	m.blobs[id] = newBranchState(id, b, req.Version, sizeAt)
+	return &wire.BranchResp{NewBlob: id}, nil
+}

@@ -1,0 +1,281 @@
+package version
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"blobseer/internal/wire"
+)
+
+// The write-ahead log makes the version manager's state durable across
+// restarts — an extension: the paper's prototype kept version state in
+// memory and listed failure handling as future work. Every state-changing
+// event (create, branch, assign, complete, abort) is appended to the log
+// before it is applied, so a manager restarted on the same log file
+// continues exactly where the previous incarnation stopped: published
+// snapshots stay published, in-flight updates stay in flight (and are
+// swept by the dead-writer timeout if their writer died with the crash —
+// enable DeadWriterTimeout together with WALPath, or an unfinished update
+// can block publication forever, just as a crashed client could).
+//
+// Record layout (little-endian), following the page store's log format:
+//
+//	uint32 magic | uint32 dataLen | uint32 crc32(data) | data
+//
+// where data is a wire-encoded event. A torn tail (crash mid-append) is
+// truncated on recovery; corruption before valid records fails the open.
+
+const (
+	walMagic      = 0x5EE5B10C
+	walHeaderSize = 4 + 4 + 4
+)
+
+// event kinds.
+const (
+	walCreate byte = iota + 1
+	walBranch
+	walAssign
+	walComplete
+	walAbort
+)
+
+// walEvent is one decoded log record.
+type walEvent struct {
+	kind     byte
+	blob     wire.BlobID // created/branched blob, or the target of the op
+	parent   wire.BlobID // walBranch only
+	version  wire.Version
+	pageSize uint32 // walCreate only
+	offset   uint64 // walAssign only
+	size     uint64 // walAssign only
+	newSize  uint64 // walAssign: blob size after; walBranch: size at branch point
+}
+
+func (e *walEvent) encode() []byte {
+	w := wire.NewWriter(64)
+	w.Uint8(e.kind)
+	switch e.kind {
+	case walCreate:
+		w.Uint64(uint64(e.blob))
+		w.Uint32(e.pageSize)
+	case walBranch:
+		w.Uint64(uint64(e.blob))
+		w.Uint64(uint64(e.parent))
+		w.Uint64(uint64(e.version))
+		w.Uint64(e.newSize)
+	case walAssign:
+		w.Uint64(uint64(e.blob))
+		w.Uint64(uint64(e.version))
+		w.Uint64(e.offset)
+		w.Uint64(e.size)
+		w.Uint64(e.newSize)
+	case walComplete, walAbort:
+		w.Uint64(uint64(e.blob))
+		w.Uint64(uint64(e.version))
+	default:
+		panic(fmt.Sprintf("version: encoding unknown wal event kind %d", e.kind))
+	}
+	return w.Bytes()
+}
+
+func decodeWALEvent(data []byte) (walEvent, error) {
+	r := wire.NewReader(data)
+	var e walEvent
+	e.kind = r.Uint8()
+	switch e.kind {
+	case walCreate:
+		e.blob = wire.BlobID(r.Uint64())
+		e.pageSize = r.Uint32()
+	case walBranch:
+		e.blob = wire.BlobID(r.Uint64())
+		e.parent = wire.BlobID(r.Uint64())
+		e.version = wire.Version(r.Uint64())
+		e.newSize = r.Uint64()
+	case walAssign:
+		e.blob = wire.BlobID(r.Uint64())
+		e.version = wire.Version(r.Uint64())
+		e.offset = r.Uint64()
+		e.size = r.Uint64()
+		e.newSize = r.Uint64()
+	case walComplete, walAbort:
+		e.blob = wire.BlobID(r.Uint64())
+		e.version = wire.Version(r.Uint64())
+	default:
+		return walEvent{}, fmt.Errorf("version: unknown wal event kind %d", e.kind)
+	}
+	if err := r.Finish(); err != nil {
+		return walEvent{}, fmt.Errorf("version: decoding wal event: %w", err)
+	}
+	return e, nil
+}
+
+// wal is the open log file. Appends happen under the manager's mutex, so
+// wal itself needs no locking.
+type wal struct {
+	f    *os.File
+	size int64
+	sync bool
+}
+
+// openWAL opens (creating if needed) the log at path, returning the
+// replayable events found in it. A torn final record is truncated away.
+func openWAL(path string, sync bool) (*wal, []walEvent, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("version: create wal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("version: open wal: %w", err)
+	}
+	w := &wal{f: f, sync: sync}
+	events, err := w.recover()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, events, nil
+}
+
+// recover scans the log, returning its events and truncating a torn tail.
+func (w *wal) recover() ([]walEvent, error) {
+	info, err := w.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("version: stat wal: %w", err)
+	}
+	logLen := info.Size()
+	var events []walEvent
+	var off int64
+	var hdr [walHeaderSize]byte
+	for off < logLen {
+		if logLen-off < walHeaderSize {
+			break // torn header
+		}
+		if _, err := w.f.ReadAt(hdr[:], off); err != nil {
+			return nil, fmt.Errorf("version: read wal header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != walMagic {
+			return nil, fmt.Errorf("version: bad wal magic at offset %d: log corrupted", off)
+		}
+		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		dataOff := off + walHeaderSize
+		if dataOff+int64(dataLen) > logLen {
+			break // torn payload
+		}
+		data := make([]byte, dataLen)
+		if _, err := w.f.ReadAt(data, dataOff); err != nil {
+			return nil, fmt.Errorf("version: read wal payload at %d: %w", dataOff, err)
+		}
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			return nil, fmt.Errorf("version: wal crc mismatch at offset %d: log corrupted", off)
+		}
+		e, err := decodeWALEvent(data)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+		off = dataOff + int64(dataLen)
+	}
+	if off < logLen {
+		if err := w.f.Truncate(off); err != nil {
+			return nil, fmt.Errorf("version: truncate torn wal tail: %w", err)
+		}
+	}
+	w.size = off
+	return events, nil
+}
+
+// append writes one event durably (write-ahead: callers apply the state
+// change only after append returns nil).
+func (w *wal) append(e walEvent) error {
+	data := e.encode()
+	rec := make([]byte, walHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(rec[0:4], walMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(data))
+	copy(rec[walHeaderSize:], data)
+	if _, err := w.f.WriteAt(rec, w.size); err != nil {
+		return fmt.Errorf("version: wal append: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("version: wal fsync: %w", err)
+		}
+	}
+	w.size += int64(len(rec))
+	return nil
+}
+
+func (w *wal) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// replay applies recovered events to an empty manager state. In-flight
+// updates get assignedAt = now so the dead-writer sweeper measures their
+// staleness from the restart, not from a clock that no longer exists.
+func replay(events []walEvent, blobs map[wire.BlobID]*blobState, now int64) (nextBlob wire.BlobID, err error) {
+	for i, e := range events {
+		switch e.kind {
+		case walCreate:
+			if _, dup := blobs[e.blob]; dup {
+				return 0, fmt.Errorf("version: wal event %d recreates blob %v", i, e.blob)
+			}
+			blobs[e.blob] = newBlobState(e.blob, e.pageSize)
+			if e.blob > nextBlob {
+				nextBlob = e.blob
+			}
+		case walBranch:
+			parent, ok := blobs[e.parent]
+			if !ok {
+				return 0, fmt.Errorf("version: wal event %d branches unknown blob %v", i, e.parent)
+			}
+			if _, dup := blobs[e.blob]; dup {
+				return 0, fmt.Errorf("version: wal event %d recreates blob %v", i, e.blob)
+			}
+			blobs[e.blob] = newBranchState(e.blob, parent, e.version, e.newSize)
+			if e.blob > nextBlob {
+				nextBlob = e.blob
+			}
+		case walAssign:
+			b, ok := blobs[e.blob]
+			if !ok {
+				return 0, fmt.Errorf("version: wal event %d assigns on unknown blob %v", i, e.blob)
+			}
+			if e.version != b.next {
+				return 0, fmt.Errorf("version: wal event %d assigns version %d, state expects %d",
+					i, e.version, b.next)
+			}
+			b.next++
+			b.inflight[e.version] = &update{
+				version: e.version, offset: e.offset, size: e.size,
+				newSize: e.newSize, assignedAt: now,
+			}
+			b.pendingSize = e.newSize
+		case walComplete:
+			b, ok := blobs[e.blob]
+			if !ok {
+				return 0, fmt.Errorf("version: wal event %d completes on unknown blob %v", i, e.blob)
+			}
+			if _, cerr := b.complete(e.version); cerr != nil {
+				return 0, fmt.Errorf("version: wal event %d: %v", i, cerr)
+			}
+		case walAbort:
+			b, ok := blobs[e.blob]
+			if !ok {
+				return 0, fmt.Errorf("version: wal event %d aborts on unknown blob %v", i, e.blob)
+			}
+			if _, aerr := b.abort(e.version); aerr != nil {
+				return 0, fmt.Errorf("version: wal event %d: %v", i, aerr)
+			}
+		}
+	}
+	return nextBlob, nil
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCode is a stable protocol-level error code carried in ErrorResp.
+type ErrCode uint16
+
+// Protocol error codes. The numbering is part of the protocol; append only.
+const (
+	CodeUnknown      ErrCode = iota // unclassified server-side failure
+	CodeNotFound                    // blob, page or key does not exist
+	CodeNotPublished                // the requested snapshot version is not yet published
+	CodeOutOfBounds                 // offset/size beyond the snapshot size
+	CodeBadRequest                  // malformed or semantically invalid request
+	CodeAborted                     // the update was aborted and cannot complete
+	CodeExists                      // resource already exists
+	CodeUnavailable                 // service cannot satisfy the request right now
+)
+
+var codeNames = map[ErrCode]string{
+	CodeUnknown:      "unknown",
+	CodeNotFound:     "not found",
+	CodeNotPublished: "not published",
+	CodeOutOfBounds:  "out of bounds",
+	CodeBadRequest:   "bad request",
+	CodeAborted:      "aborted",
+	CodeExists:       "already exists",
+	CodeUnavailable:  "unavailable",
+}
+
+// String returns the human-readable name of the code.
+func (c ErrCode) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// Error is the Go-side representation of an ErrorResp. It is produced by
+// the rpc layer when a call is answered with an error and can be matched
+// with errors.As / the Is* helpers below.
+type Error struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return "blobseer: " + e.Code.String()
+	}
+	return fmt.Sprintf("blobseer: %s: %s", e.Code, e.Msg)
+}
+
+// NewError builds a typed protocol error.
+func NewError(code ErrCode, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the protocol error code from err, or CodeUnknown if err
+// is not a protocol error.
+func CodeOf(err error) ErrCode {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeUnknown
+}
+
+// IsNotFound reports whether err is a protocol "not found" error.
+func IsNotFound(err error) bool { return CodeOf(err) == CodeNotFound }
+
+// IsNotPublished reports whether err is a protocol "not published" error.
+func IsNotPublished(err error) bool { return CodeOf(err) == CodeNotPublished }
+
+// IsOutOfBounds reports whether err is a protocol "out of bounds" error.
+func IsOutOfBounds(err error) bool { return CodeOf(err) == CodeOutOfBounds }

@@ -1,0 +1,1091 @@
+package wire
+
+import "fmt"
+
+// Kind is a message type code. Requests have odd codes, their responses the
+// following even code; ErrorResp may answer any request.
+type Kind uint8
+
+// Message type codes. The numbering is part of the protocol; append only.
+const (
+	KindInvalid Kind = iota
+	KindPingReq
+	KindPingResp
+	KindPutPageReq
+	KindPutPageResp
+	KindGetPageReq
+	KindGetPageResp
+	KindHasPageReq
+	KindHasPageResp
+	KindProviderStatsReq
+	KindProviderStatsResp
+	KindRegisterReq
+	KindRegisterResp
+	KindHeartbeatReq
+	KindHeartbeatResp
+	KindAllocateReq
+	KindAllocateResp
+	KindListProvidersReq
+	KindListProvidersResp
+	KindDHTPutReq
+	KindDHTPutResp
+	KindDHTGetReq
+	KindDHTGetResp
+	KindDHTMultiPutReq
+	KindDHTMultiPutResp
+	KindDHTMultiGetReq
+	KindDHTMultiGetResp
+	KindDHTStatsReq
+	KindDHTStatsResp
+	KindCreateBlobReq
+	KindCreateBlobResp
+	KindBlobInfoReq
+	KindBlobInfoResp
+	KindAssignReq
+	KindAssignResp
+	KindCompleteReq
+	KindCompleteResp
+	KindAbortReq
+	KindAbortResp
+	KindRecentReq
+	KindRecentResp
+	KindSizeReq
+	KindSizeResp
+	KindSyncReq
+	KindSyncResp
+	KindBranchReq
+	KindBranchResp
+	KindErrorResp
+	kindMax
+)
+
+var kindNames = [...]string{
+	KindInvalid:           "Invalid",
+	KindPingReq:           "PingReq",
+	KindPingResp:          "PingResp",
+	KindPutPageReq:        "PutPageReq",
+	KindPutPageResp:       "PutPageResp",
+	KindGetPageReq:        "GetPageReq",
+	KindGetPageResp:       "GetPageResp",
+	KindHasPageReq:        "HasPageReq",
+	KindHasPageResp:       "HasPageResp",
+	KindProviderStatsReq:  "ProviderStatsReq",
+	KindProviderStatsResp: "ProviderStatsResp",
+	KindRegisterReq:       "RegisterReq",
+	KindRegisterResp:      "RegisterResp",
+	KindHeartbeatReq:      "HeartbeatReq",
+	KindHeartbeatResp:     "HeartbeatResp",
+	KindAllocateReq:       "AllocateReq",
+	KindAllocateResp:      "AllocateResp",
+	KindListProvidersReq:  "ListProvidersReq",
+	KindListProvidersResp: "ListProvidersResp",
+	KindDHTPutReq:         "DHTPutReq",
+	KindDHTPutResp:        "DHTPutResp",
+	KindDHTGetReq:         "DHTGetReq",
+	KindDHTGetResp:        "DHTGetResp",
+	KindDHTMultiPutReq:    "DHTMultiPutReq",
+	KindDHTMultiPutResp:   "DHTMultiPutResp",
+	KindDHTMultiGetReq:    "DHTMultiGetReq",
+	KindDHTMultiGetResp:   "DHTMultiGetResp",
+	KindDHTStatsReq:       "DHTStatsReq",
+	KindDHTStatsResp:      "DHTStatsResp",
+	KindCreateBlobReq:     "CreateBlobReq",
+	KindCreateBlobResp:    "CreateBlobResp",
+	KindBlobInfoReq:       "BlobInfoReq",
+	KindBlobInfoResp:      "BlobInfoResp",
+	KindAssignReq:         "AssignReq",
+	KindAssignResp:        "AssignResp",
+	KindCompleteReq:       "CompleteReq",
+	KindCompleteResp:      "CompleteResp",
+	KindAbortReq:          "AbortReq",
+	KindAbortResp:         "AbortResp",
+	KindRecentReq:         "RecentReq",
+	KindRecentResp:        "RecentResp",
+	KindSizeReq:           "SizeReq",
+	KindSizeResp:          "SizeResp",
+	KindSyncReq:           "SyncReq",
+	KindSyncResp:          "SyncResp",
+	KindBranchReq:         "BranchReq",
+	KindBranchResp:        "BranchResp",
+	KindErrorResp:         "ErrorResp",
+}
+
+// String returns the symbolic name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Msg is implemented by every protocol message.
+type Msg interface {
+	Kind() Kind
+	// MarshalTo appends the message body (excluding kind) to w.
+	MarshalTo(w *Writer)
+	// unmarshal decodes the message body from r.
+	unmarshal(r *Reader)
+}
+
+// Decode decodes a message body of the given kind.
+func Decode(k Kind, body []byte) (Msg, error) {
+	m := New(k)
+	if m == nil {
+		return nil, fmt.Errorf("wire: unknown message kind %d", uint8(k))
+	}
+	r := NewReader(body)
+	m.unmarshal(r)
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", k, err)
+	}
+	return m, nil
+}
+
+// New returns a zero message of the given kind, or nil if unknown.
+func New(k Kind) Msg {
+	switch k {
+	case KindPingReq:
+		return &PingReq{}
+	case KindPingResp:
+		return &PingResp{}
+	case KindPutPageReq:
+		return &PutPageReq{}
+	case KindPutPageResp:
+		return &PutPageResp{}
+	case KindGetPageReq:
+		return &GetPageReq{}
+	case KindGetPageResp:
+		return &GetPageResp{}
+	case KindHasPageReq:
+		return &HasPageReq{}
+	case KindHasPageResp:
+		return &HasPageResp{}
+	case KindProviderStatsReq:
+		return &ProviderStatsReq{}
+	case KindProviderStatsResp:
+		return &ProviderStatsResp{}
+	case KindRegisterReq:
+		return &RegisterReq{}
+	case KindRegisterResp:
+		return &RegisterResp{}
+	case KindHeartbeatReq:
+		return &HeartbeatReq{}
+	case KindHeartbeatResp:
+		return &HeartbeatResp{}
+	case KindAllocateReq:
+		return &AllocateReq{}
+	case KindAllocateResp:
+		return &AllocateResp{}
+	case KindListProvidersReq:
+		return &ListProvidersReq{}
+	case KindListProvidersResp:
+		return &ListProvidersResp{}
+	case KindDHTPutReq:
+		return &DHTPutReq{}
+	case KindDHTPutResp:
+		return &DHTPutResp{}
+	case KindDHTGetReq:
+		return &DHTGetReq{}
+	case KindDHTGetResp:
+		return &DHTGetResp{}
+	case KindDHTMultiPutReq:
+		return &DHTMultiPutReq{}
+	case KindDHTMultiPutResp:
+		return &DHTMultiPutResp{}
+	case KindDHTMultiGetReq:
+		return &DHTMultiGetReq{}
+	case KindDHTMultiGetResp:
+		return &DHTMultiGetResp{}
+	case KindDHTStatsReq:
+		return &DHTStatsReq{}
+	case KindDHTStatsResp:
+		return &DHTStatsResp{}
+	case KindCreateBlobReq:
+		return &CreateBlobReq{}
+	case KindCreateBlobResp:
+		return &CreateBlobResp{}
+	case KindBlobInfoReq:
+		return &BlobInfoReq{}
+	case KindBlobInfoResp:
+		return &BlobInfoResp{}
+	case KindAssignReq:
+		return &AssignReq{}
+	case KindAssignResp:
+		return &AssignResp{}
+	case KindCompleteReq:
+		return &CompleteReq{}
+	case KindCompleteResp:
+		return &CompleteResp{}
+	case KindAbortReq:
+		return &AbortReq{}
+	case KindAbortResp:
+		return &AbortResp{}
+	case KindRecentReq:
+		return &RecentReq{}
+	case KindRecentResp:
+		return &RecentResp{}
+	case KindSizeReq:
+		return &SizeReq{}
+	case KindSizeResp:
+		return &SizeResp{}
+	case KindSyncReq:
+		return &SyncReq{}
+	case KindSyncResp:
+		return &SyncResp{}
+	case KindBranchReq:
+		return &BranchReq{}
+	case KindBranchResp:
+		return &BranchResp{}
+	case KindErrorResp:
+		return &ErrorResp{}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- ping
+
+// PingReq checks liveness; the peer echoes Nonce back.
+type PingReq struct{ Nonce uint64 }
+
+// Kind implements Msg.
+func (*PingReq) Kind() Kind { return KindPingReq }
+
+// MarshalTo implements Msg.
+func (m *PingReq) MarshalTo(w *Writer) { w.Uint64(m.Nonce) }
+func (m *PingReq) unmarshal(r *Reader) { m.Nonce = r.Uint64() }
+
+// PingResp answers PingReq.
+type PingResp struct{ Nonce uint64 }
+
+// Kind implements Msg.
+func (*PingResp) Kind() Kind { return KindPingResp }
+
+// MarshalTo implements Msg.
+func (m *PingResp) MarshalTo(w *Writer) { w.Uint64(m.Nonce) }
+func (m *PingResp) unmarshal(r *Reader) { m.Nonce = r.Uint64() }
+
+// ------------------------------------------------------- data provider
+
+// PutPageReq stores one immutable page under a globally unique id.
+type PutPageReq struct {
+	Page PageID
+	Data []byte
+}
+
+// Kind implements Msg.
+func (*PutPageReq) Kind() Kind { return KindPutPageReq }
+
+// MarshalTo implements Msg.
+func (m *PutPageReq) MarshalTo(w *Writer) {
+	w.Raw(m.Page[:])
+	w.Bytes32(m.Data)
+}
+
+func (m *PutPageReq) unmarshal(r *Reader) {
+	copy(m.Page[:], r.Raw(16))
+	m.Data = r.Bytes32Copy()
+}
+
+// PutPageResp acknowledges PutPageReq.
+type PutPageResp struct{}
+
+// Kind implements Msg.
+func (*PutPageResp) Kind() Kind { return KindPutPageResp }
+
+// MarshalTo implements Msg.
+func (m *PutPageResp) MarshalTo(*Writer) {}
+func (m *PutPageResp) unmarshal(*Reader) {}
+
+// GetPageReq reads Length bytes starting at Offset within a page.
+// Length == WholePage requests the entire page.
+type GetPageReq struct {
+	Page   PageID
+	Offset uint32
+	Length uint32
+}
+
+// WholePage as GetPageReq.Length requests the full page contents.
+const WholePage = ^uint32(0)
+
+// Kind implements Msg.
+func (*GetPageReq) Kind() Kind { return KindGetPageReq }
+
+// MarshalTo implements Msg.
+func (m *GetPageReq) MarshalTo(w *Writer) {
+	w.Raw(m.Page[:])
+	w.Uint32(m.Offset)
+	w.Uint32(m.Length)
+}
+
+func (m *GetPageReq) unmarshal(r *Reader) {
+	copy(m.Page[:], r.Raw(16))
+	m.Offset = r.Uint32()
+	m.Length = r.Uint32()
+}
+
+// GetPageResp carries the requested page bytes.
+type GetPageResp struct{ Data []byte }
+
+// Kind implements Msg.
+func (*GetPageResp) Kind() Kind { return KindGetPageResp }
+
+// MarshalTo implements Msg.
+func (m *GetPageResp) MarshalTo(w *Writer) { w.Bytes32(m.Data) }
+func (m *GetPageResp) unmarshal(r *Reader) { m.Data = r.Bytes32Copy() }
+
+// HasPageReq asks whether the provider stores a page.
+type HasPageReq struct{ Page PageID }
+
+// Kind implements Msg.
+func (*HasPageReq) Kind() Kind { return KindHasPageReq }
+
+// MarshalTo implements Msg.
+func (m *HasPageReq) MarshalTo(w *Writer) { w.Raw(m.Page[:]) }
+func (m *HasPageReq) unmarshal(r *Reader) { copy(m.Page[:], r.Raw(16)) }
+
+// HasPageResp answers HasPageReq.
+type HasPageResp struct{ Found bool }
+
+// Kind implements Msg.
+func (*HasPageResp) Kind() Kind { return KindHasPageResp }
+
+// MarshalTo implements Msg.
+func (m *HasPageResp) MarshalTo(w *Writer) { w.Bool(m.Found) }
+func (m *HasPageResp) unmarshal(r *Reader) { m.Found = r.Bool() }
+
+// ProviderStatsReq asks a data provider for storage statistics.
+type ProviderStatsReq struct{}
+
+// Kind implements Msg.
+func (*ProviderStatsReq) Kind() Kind { return KindProviderStatsReq }
+
+// MarshalTo implements Msg.
+func (m *ProviderStatsReq) MarshalTo(*Writer) {}
+func (m *ProviderStatsReq) unmarshal(*Reader) {}
+
+// ProviderStatsResp reports a data provider's storage statistics.
+type ProviderStatsResp struct {
+	Pages uint64
+	Bytes uint64
+}
+
+// Kind implements Msg.
+func (*ProviderStatsResp) Kind() Kind { return KindProviderStatsResp }
+
+// MarshalTo implements Msg.
+func (m *ProviderStatsResp) MarshalTo(w *Writer) {
+	w.Uint64(m.Pages)
+	w.Uint64(m.Bytes)
+}
+
+func (m *ProviderStatsResp) unmarshal(r *Reader) {
+	m.Pages = r.Uint64()
+	m.Bytes = r.Uint64()
+}
+
+// ----------------------------------------------------- provider manager
+
+// RegisterReq announces a (re)joining data provider to the provider
+// manager. Addr is the address clients should dial to reach it.
+type RegisterReq struct {
+	Addr   string
+	Weight uint32
+}
+
+// Kind implements Msg.
+func (*RegisterReq) Kind() Kind { return KindRegisterReq }
+
+// MarshalTo implements Msg.
+func (m *RegisterReq) MarshalTo(w *Writer) {
+	w.String(m.Addr)
+	w.Uint32(m.Weight)
+}
+
+func (m *RegisterReq) unmarshal(r *Reader) {
+	m.Addr = r.String()
+	m.Weight = r.Uint32()
+}
+
+// RegisterResp acknowledges registration with the manager-local id.
+type RegisterResp struct{ ID uint32 }
+
+// Kind implements Msg.
+func (*RegisterResp) Kind() Kind { return KindRegisterResp }
+
+// MarshalTo implements Msg.
+func (m *RegisterResp) MarshalTo(w *Writer) { w.Uint32(m.ID) }
+func (m *RegisterResp) unmarshal(r *Reader) { m.ID = r.Uint32() }
+
+// HeartbeatReq refreshes a provider's liveness and load figures.
+type HeartbeatReq struct {
+	ID    uint32
+	Pages uint64
+	Bytes uint64
+}
+
+// Kind implements Msg.
+func (*HeartbeatReq) Kind() Kind { return KindHeartbeatReq }
+
+// MarshalTo implements Msg.
+func (m *HeartbeatReq) MarshalTo(w *Writer) {
+	w.Uint32(m.ID)
+	w.Uint64(m.Pages)
+	w.Uint64(m.Bytes)
+}
+
+func (m *HeartbeatReq) unmarshal(r *Reader) {
+	m.ID = r.Uint32()
+	m.Pages = r.Uint64()
+	m.Bytes = r.Uint64()
+}
+
+// HeartbeatResp acknowledges a heartbeat. Known=false instructs the
+// provider to re-register (the manager restarted or expired it).
+type HeartbeatResp struct{ Known bool }
+
+// Kind implements Msg.
+func (*HeartbeatResp) Kind() Kind { return KindHeartbeatResp }
+
+// MarshalTo implements Msg.
+func (m *HeartbeatResp) MarshalTo(w *Writer) { w.Bool(m.Known) }
+func (m *HeartbeatResp) unmarshal(r *Reader) { m.Known = r.Bool() }
+
+// AllocateReq asks the provider manager for N page providers chosen by
+// its distribution strategy (one per page to be stored, §3.3). Copies
+// requests that many replicas per page — on distinct providers when the
+// cluster is large enough — for the replication extension; 0 or 1 means
+// the paper's single-copy layout.
+type AllocateReq struct {
+	N      uint32
+	Copies uint32
+}
+
+// Kind implements Msg.
+func (*AllocateReq) Kind() Kind { return KindAllocateReq }
+
+// MarshalTo implements Msg.
+func (m *AllocateReq) MarshalTo(w *Writer) { w.Uint32(m.N); w.Uint32(m.Copies) }
+func (m *AllocateReq) unmarshal(r *Reader) { m.N = r.Uint32(); m.Copies = r.Uint32() }
+
+// AllocateResp lists the chosen provider addresses: one group of Copies
+// addresses per page, flattened, so page i's replicas are
+// Addrs[i*Copies:(i+1)*Copies].
+type AllocateResp struct{ Addrs []string }
+
+// Kind implements Msg.
+func (*AllocateResp) Kind() Kind { return KindAllocateResp }
+
+// MarshalTo implements Msg.
+func (m *AllocateResp) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		w.String(a)
+	}
+}
+
+func (m *AllocateResp) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Addrs = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m.Addrs = append(m.Addrs, r.String())
+	}
+}
+
+// ListProvidersReq asks for a snapshot of all live providers.
+type ListProvidersReq struct{}
+
+// Kind implements Msg.
+func (*ListProvidersReq) Kind() Kind { return KindListProvidersReq }
+
+// MarshalTo implements Msg.
+func (m *ListProvidersReq) MarshalTo(*Writer) {}
+func (m *ListProvidersReq) unmarshal(*Reader) {}
+
+// ProviderInfo summarizes one live data provider.
+type ProviderInfo struct {
+	Addr  string
+	Pages uint64
+	Bytes uint64
+}
+
+// ListProvidersResp carries a snapshot of all live providers.
+type ListProvidersResp struct{ Providers []ProviderInfo }
+
+// Kind implements Msg.
+func (*ListProvidersResp) Kind() Kind { return KindListProvidersResp }
+
+// MarshalTo implements Msg.
+func (m *ListProvidersResp) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Providers)))
+	for _, p := range m.Providers {
+		w.String(p.Addr)
+		w.Uint64(p.Pages)
+		w.Uint64(p.Bytes)
+	}
+}
+
+func (m *ListProvidersResp) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/16 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Providers = make([]ProviderInfo, 0, n)
+	for i := 0; i < n; i++ {
+		m.Providers = append(m.Providers, ProviderInfo{
+			Addr:  r.String(),
+			Pages: r.Uint64(),
+			Bytes: r.Uint64(),
+		})
+	}
+}
+
+// ------------------------------------------------------------------ DHT
+
+// DHTPutReq stores a key/value pair on a metadata provider.
+type DHTPutReq struct {
+	Key   []byte
+	Value []byte
+}
+
+// Kind implements Msg.
+func (*DHTPutReq) Kind() Kind { return KindDHTPutReq }
+
+// MarshalTo implements Msg.
+func (m *DHTPutReq) MarshalTo(w *Writer) {
+	w.Bytes32(m.Key)
+	w.Bytes32(m.Value)
+}
+
+func (m *DHTPutReq) unmarshal(r *Reader) {
+	m.Key = r.Bytes32Copy()
+	m.Value = r.Bytes32Copy()
+}
+
+// DHTPutResp acknowledges DHTPutReq.
+type DHTPutResp struct{}
+
+// Kind implements Msg.
+func (*DHTPutResp) Kind() Kind { return KindDHTPutResp }
+
+// MarshalTo implements Msg.
+func (m *DHTPutResp) MarshalTo(*Writer) {}
+func (m *DHTPutResp) unmarshal(*Reader) {}
+
+// DHTGetReq fetches the value stored under Key.
+type DHTGetReq struct{ Key []byte }
+
+// Kind implements Msg.
+func (*DHTGetReq) Kind() Kind { return KindDHTGetReq }
+
+// MarshalTo implements Msg.
+func (m *DHTGetReq) MarshalTo(w *Writer) { w.Bytes32(m.Key) }
+func (m *DHTGetReq) unmarshal(r *Reader) { m.Key = r.Bytes32Copy() }
+
+// DHTGetResp answers DHTGetReq.
+type DHTGetResp struct {
+	Found bool
+	Value []byte
+}
+
+// Kind implements Msg.
+func (*DHTGetResp) Kind() Kind { return KindDHTGetResp }
+
+// MarshalTo implements Msg.
+func (m *DHTGetResp) MarshalTo(w *Writer) {
+	w.Bool(m.Found)
+	w.Bytes32(m.Value)
+}
+
+func (m *DHTGetResp) unmarshal(r *Reader) {
+	m.Found = r.Bool()
+	m.Value = r.Bytes32Copy()
+}
+
+// DHTMultiPutReq stores several pairs in one round trip. Writers use it to
+// store all tree nodes destined for the same metadata provider at once.
+type DHTMultiPutReq struct {
+	Keys   [][]byte
+	Values [][]byte
+}
+
+// Kind implements Msg.
+func (*DHTMultiPutReq) Kind() Kind { return KindDHTMultiPutReq }
+
+// MarshalTo implements Msg.
+func (m *DHTMultiPutReq) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Keys)))
+	for i := range m.Keys {
+		w.Bytes32(m.Keys[i])
+		w.Bytes32(m.Values[i])
+	}
+}
+
+func (m *DHTMultiPutReq) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Keys = make([][]byte, 0, n)
+	m.Values = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m.Keys = append(m.Keys, r.Bytes32Copy())
+		m.Values = append(m.Values, r.Bytes32Copy())
+	}
+}
+
+// DHTMultiPutResp acknowledges DHTMultiPutReq.
+type DHTMultiPutResp struct{}
+
+// Kind implements Msg.
+func (*DHTMultiPutResp) Kind() Kind { return KindDHTMultiPutResp }
+
+// MarshalTo implements Msg.
+func (m *DHTMultiPutResp) MarshalTo(*Writer) {}
+func (m *DHTMultiPutResp) unmarshal(*Reader) {}
+
+// DHTMultiGetReq fetches several keys in one round trip.
+type DHTMultiGetReq struct{ Keys [][]byte }
+
+// Kind implements Msg.
+func (*DHTMultiGetReq) Kind() Kind { return KindDHTMultiGetReq }
+
+// MarshalTo implements Msg.
+func (m *DHTMultiGetReq) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Keys)))
+	for _, k := range m.Keys {
+		w.Bytes32(k)
+	}
+}
+
+func (m *DHTMultiGetReq) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Keys = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m.Keys = append(m.Keys, r.Bytes32Copy())
+	}
+}
+
+// DHTMultiGetResp answers DHTMultiGetReq; entries align with request keys.
+type DHTMultiGetResp struct {
+	Found  []bool
+	Values [][]byte
+}
+
+// Kind implements Msg.
+func (*DHTMultiGetResp) Kind() Kind { return KindDHTMultiGetResp }
+
+// MarshalTo implements Msg.
+func (m *DHTMultiGetResp) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Found)))
+	for i := range m.Found {
+		w.Bool(m.Found[i])
+		w.Bytes32(m.Values[i])
+	}
+}
+
+func (m *DHTMultiGetResp) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Found = make([]bool, 0, n)
+	m.Values = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m.Found = append(m.Found, r.Bool())
+		m.Values = append(m.Values, r.Bytes32Copy())
+	}
+}
+
+// DHTStatsReq asks a metadata provider for storage statistics.
+type DHTStatsReq struct{}
+
+// Kind implements Msg.
+func (*DHTStatsReq) Kind() Kind { return KindDHTStatsReq }
+
+// MarshalTo implements Msg.
+func (m *DHTStatsReq) MarshalTo(*Writer) {}
+func (m *DHTStatsReq) unmarshal(*Reader) {}
+
+// DHTStatsResp reports a metadata provider's storage statistics.
+type DHTStatsResp struct {
+	Keys  uint64
+	Bytes uint64
+}
+
+// Kind implements Msg.
+func (*DHTStatsResp) Kind() Kind { return KindDHTStatsResp }
+
+// MarshalTo implements Msg.
+func (m *DHTStatsResp) MarshalTo(w *Writer) {
+	w.Uint64(m.Keys)
+	w.Uint64(m.Bytes)
+}
+
+func (m *DHTStatsResp) unmarshal(r *Reader) {
+	m.Keys = r.Uint64()
+	m.Bytes = r.Uint64()
+}
+
+// -------------------------------------------------------- version manager
+
+// CreateBlobReq creates a blob with the given page size (a power of two).
+type CreateBlobReq struct{ PageSize uint32 }
+
+// Kind implements Msg.
+func (*CreateBlobReq) Kind() Kind { return KindCreateBlobReq }
+
+// MarshalTo implements Msg.
+func (m *CreateBlobReq) MarshalTo(w *Writer) { w.Uint32(m.PageSize) }
+func (m *CreateBlobReq) unmarshal(r *Reader) { m.PageSize = r.Uint32() }
+
+// CreateBlobResp returns the globally unique id of the new blob, which is
+// born with the published empty snapshot 0.
+type CreateBlobResp struct{ Blob BlobID }
+
+// Kind implements Msg.
+func (*CreateBlobResp) Kind() Kind { return KindCreateBlobResp }
+
+// MarshalTo implements Msg.
+func (m *CreateBlobResp) MarshalTo(w *Writer) { w.Uint64(uint64(m.Blob)) }
+func (m *CreateBlobResp) unmarshal(r *Reader) { m.Blob = BlobID(r.Uint64()) }
+
+// BlobInfoReq fetches a blob's immutable attributes.
+type BlobInfoReq struct{ Blob BlobID }
+
+// Kind implements Msg.
+func (*BlobInfoReq) Kind() Kind { return KindBlobInfoReq }
+
+// MarshalTo implements Msg.
+func (m *BlobInfoReq) MarshalTo(w *Writer) { w.Uint64(uint64(m.Blob)) }
+func (m *BlobInfoReq) unmarshal(r *Reader) { m.Blob = BlobID(r.Uint64()) }
+
+// BlobInfoResp carries a blob's page size and lineage chain (youngest
+// entry first; used to resolve which namespace owns each version's tree
+// nodes across BRANCH boundaries).
+type BlobInfoResp struct {
+	PageSize uint32
+	Lineage  Lineage
+}
+
+// Kind implements Msg.
+func (*BlobInfoResp) Kind() Kind { return KindBlobInfoResp }
+
+// MarshalTo implements Msg.
+func (m *BlobInfoResp) MarshalTo(w *Writer) {
+	w.Uint32(m.PageSize)
+	w.Uint32(uint32(len(m.Lineage)))
+	for _, e := range m.Lineage {
+		e.encode(w)
+	}
+}
+
+func (m *BlobInfoResp) unmarshal(r *Reader) {
+	m.PageSize = r.Uint32()
+	n := int(r.Uint32())
+	if n > MaxSliceLen/16 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Lineage = make(Lineage, 0, n)
+	for i := 0; i < n; i++ {
+		m.Lineage = append(m.Lineage, decodeLineageEntry(r))
+	}
+}
+
+// AssignReq registers an update and requests a snapshot version. For a
+// WRITE, Offset/Size describe the target range. For an APPEND, Append is
+// true, Offset is ignored, and the version manager assigns the offset
+// (the size of the previous snapshot, §3.3).
+type AssignReq struct {
+	Blob   BlobID
+	Offset uint64
+	Size   uint64
+	Append bool
+}
+
+// Kind implements Msg.
+func (*AssignReq) Kind() Kind { return KindAssignReq }
+
+// MarshalTo implements Msg.
+func (m *AssignReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.Offset)
+	w.Uint64(m.Size)
+	w.Bool(m.Append)
+}
+
+func (m *AssignReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.Offset = r.Uint64()
+	m.Size = r.Uint64()
+	m.Append = r.Bool()
+}
+
+// AssignResp returns the assigned snapshot version together with
+// everything the writer needs to weave metadata without further
+// synchronization: the assigned offset (== requested for WRITE, == size of
+// the previous snapshot for APPEND), the most recently published version
+// and its size, and the descriptors of in-flight lower-versioned updates
+// (the paper's partial border set, §4.2).
+type AssignResp struct {
+	Version       Version
+	Offset        uint64
+	NewSize       uint64
+	PrevSize      uint64 // size of snapshot Version-1 (pending updates included)
+	Published     Version
+	PublishedSize uint64
+	InFlight      []UpdateDesc
+}
+
+// Kind implements Msg.
+func (*AssignResp) Kind() Kind { return KindAssignResp }
+
+// MarshalTo implements Msg.
+func (m *AssignResp) MarshalTo(w *Writer) {
+	w.Uint64(m.Version)
+	w.Uint64(m.Offset)
+	w.Uint64(m.NewSize)
+	w.Uint64(m.PrevSize)
+	w.Uint64(m.Published)
+	w.Uint64(m.PublishedSize)
+	w.Uint32(uint32(len(m.InFlight)))
+	for _, u := range m.InFlight {
+		u.encode(w)
+	}
+}
+
+func (m *AssignResp) unmarshal(r *Reader) {
+	m.Version = r.Uint64()
+	m.Offset = r.Uint64()
+	m.NewSize = r.Uint64()
+	m.PrevSize = r.Uint64()
+	m.Published = r.Uint64()
+	m.PublishedSize = r.Uint64()
+	n := int(r.Uint32())
+	if n > MaxSliceLen/24 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.InFlight = make([]UpdateDesc, 0, n)
+	for i := 0; i < n; i++ {
+		m.InFlight = append(m.InFlight, decodeUpdateDesc(r))
+	}
+}
+
+// CompleteReq notifies the version manager that the writer finished
+// storing pages and metadata for Version; the manager will publish it once
+// all earlier versions are published (total ordering, §2).
+type CompleteReq struct {
+	Blob    BlobID
+	Version Version
+}
+
+// Kind implements Msg.
+func (*CompleteReq) Kind() Kind { return KindCompleteReq }
+
+// MarshalTo implements Msg.
+func (m *CompleteReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.Version)
+}
+
+func (m *CompleteReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.Version = r.Uint64()
+}
+
+// CompleteResp acknowledges CompleteReq.
+type CompleteResp struct{}
+
+// Kind implements Msg.
+func (*CompleteResp) Kind() Kind { return KindCompleteResp }
+
+// MarshalTo implements Msg.
+func (m *CompleteResp) MarshalTo(*Writer) {}
+func (m *CompleteResp) unmarshal(*Reader) {}
+
+// AbortReq withdraws an assigned but unpublished update so later versions
+// are not blocked behind a writer that failed.
+type AbortReq struct {
+	Blob    BlobID
+	Version Version
+}
+
+// Kind implements Msg.
+func (*AbortReq) Kind() Kind { return KindAbortReq }
+
+// MarshalTo implements Msg.
+func (m *AbortReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.Version)
+}
+
+func (m *AbortReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.Version = r.Uint64()
+}
+
+// AbortResp acknowledges AbortReq.
+type AbortResp struct{}
+
+// Kind implements Msg.
+func (*AbortResp) Kind() Kind { return KindAbortResp }
+
+// MarshalTo implements Msg.
+func (m *AbortResp) MarshalTo(*Writer) {}
+func (m *AbortResp) unmarshal(*Reader) {}
+
+// RecentReq implements GET_RECENT: a recently published version of a blob.
+type RecentReq struct{ Blob BlobID }
+
+// Kind implements Msg.
+func (*RecentReq) Kind() Kind { return KindRecentReq }
+
+// MarshalTo implements Msg.
+func (m *RecentReq) MarshalTo(w *Writer) { w.Uint64(uint64(m.Blob)) }
+func (m *RecentReq) unmarshal(r *Reader) { m.Blob = BlobID(r.Uint64()) }
+
+// RecentResp returns the latest published version and its size. The
+// guarantee is Version >= every version published before the call (§2.1).
+type RecentResp struct {
+	Version Version
+	Size    uint64
+}
+
+// Kind implements Msg.
+func (*RecentResp) Kind() Kind { return KindRecentResp }
+
+// MarshalTo implements Msg.
+func (m *RecentResp) MarshalTo(w *Writer) {
+	w.Uint64(m.Version)
+	w.Uint64(m.Size)
+}
+
+func (m *RecentResp) unmarshal(r *Reader) {
+	m.Version = r.Uint64()
+	m.Size = r.Uint64()
+}
+
+// SizeReq implements GET_SIZE for a published snapshot version.
+type SizeReq struct {
+	Blob    BlobID
+	Version Version
+}
+
+// Kind implements Msg.
+func (*SizeReq) Kind() Kind { return KindSizeReq }
+
+// MarshalTo implements Msg.
+func (m *SizeReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.Version)
+}
+
+func (m *SizeReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.Version = r.Uint64()
+}
+
+// SizeResp returns the snapshot's size in bytes.
+type SizeResp struct{ Size uint64 }
+
+// Kind implements Msg.
+func (*SizeResp) Kind() Kind { return KindSizeResp }
+
+// MarshalTo implements Msg.
+func (m *SizeResp) MarshalTo(w *Writer) { w.Uint64(m.Size) }
+func (m *SizeResp) unmarshal(r *Reader) { m.Size = r.Uint64() }
+
+// SyncReq implements SYNC: the response is withheld until Version of Blob
+// is published.
+type SyncReq struct {
+	Blob    BlobID
+	Version Version
+}
+
+// Kind implements Msg.
+func (*SyncReq) Kind() Kind { return KindSyncReq }
+
+// MarshalTo implements Msg.
+func (m *SyncReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.Version)
+}
+
+func (m *SyncReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.Version = r.Uint64()
+}
+
+// SyncResp is sent once the awaited version is published.
+type SyncResp struct{}
+
+// Kind implements Msg.
+func (*SyncResp) Kind() Kind { return KindSyncResp }
+
+// MarshalTo implements Msg.
+func (m *SyncResp) MarshalTo(*Writer) {}
+func (m *SyncResp) unmarshal(*Reader) {}
+
+// BranchReq implements BRANCH: virtually duplicate Blob at published
+// Version into a new blob.
+type BranchReq struct {
+	Blob    BlobID
+	Version Version
+}
+
+// Kind implements Msg.
+func (*BranchReq) Kind() Kind { return KindBranchReq }
+
+// MarshalTo implements Msg.
+func (m *BranchReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.Version)
+}
+
+func (m *BranchReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.Version = r.Uint64()
+}
+
+// BranchResp returns the id of the new branched blob.
+type BranchResp struct{ NewBlob BlobID }
+
+// Kind implements Msg.
+func (*BranchResp) Kind() Kind { return KindBranchResp }
+
+// MarshalTo implements Msg.
+func (m *BranchResp) MarshalTo(w *Writer) { w.Uint64(uint64(m.NewBlob)) }
+func (m *BranchResp) unmarshal(r *Reader) { m.NewBlob = BlobID(r.Uint64()) }
+
+// ErrorResp may answer any request; it carries a stable error code and a
+// human-readable message.
+type ErrorResp struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Kind implements Msg.
+func (*ErrorResp) Kind() Kind { return KindErrorResp }
+
+// MarshalTo implements Msg.
+func (m *ErrorResp) MarshalTo(w *Writer) {
+	w.Uint16(uint16(m.Code))
+	w.String(m.Msg)
+}
+
+func (m *ErrorResp) unmarshal(r *Reader) {
+	m.Code = ErrCode(r.Uint16())
+	m.Msg = r.String()
+}

@@ -1,0 +1,111 @@
+// Package workload generates the synthetic inputs used by the examples
+// and the experiment harness: data chunks for append streams, disjoint
+// partitions for concurrent readers, and the synthetic "pictures" of the
+// paper's §2.2 usage scenario (the photo-processing company whose
+// uploads are APPENDed to one huge blob and analysed map-reduce style).
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"blobseer/internal/core"
+)
+
+// Chunk returns a deterministic pseudo-random chunk of n bytes seeded by
+// tag. Generation is cheap (xorshift) so benchmarks measure the storage
+// system, not the generator.
+func Chunk(tag uint64, n int) []byte {
+	out := make([]byte, n)
+	x := tag*0x9E3779B97F4A7C15 + 1
+	for i := 0; i+8 <= n; i += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		binary.LittleEndian.PutUint64(out[i:], x)
+	}
+	for i := n &^ 7; i < n; i++ {
+		out[i] = byte(x >> (8 * uint(i&7)))
+	}
+	return out
+}
+
+// Partition splits [0, size) into n disjoint ranges of equal length
+// (size/n each, truncated); the paper's concurrent readers each take one.
+func Partition(size uint64, n int) []core.Range {
+	if n <= 0 {
+		return nil
+	}
+	per := size / uint64(n)
+	out := make([]core.Range, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, core.Range{Start: uint64(i) * per, Count: per})
+	}
+	return out
+}
+
+// CameraModels are the synthetic camera types of the §2.2 scenario.
+var CameraModels = []string{
+	"Lumix-DMC", "PowerShot-A95", "CoolPix-5200", "FinePix-E550",
+	"Cyber-shot-P93", "EOS-20D", "D70s", "Optio-S5i",
+}
+
+// Picture is one synthetic photo upload: a metadata header followed by
+// pixel noise, mirroring "most pictures taken with a modern camera
+// include some metadata in their header" (§2.2).
+type Picture struct {
+	Camera   string
+	Contrast float64 // ground-truth contrast quality in [0,1]
+	Bytes    []byte
+}
+
+// pictureHeader is the fixed-size header layout:
+//
+//	magic "IMG0" | uint32 total length | 24-byte camera name | uint32 contrast*1e6
+const pictureHeaderLen = 4 + 4 + 24 + 4
+
+// NewPicture synthesizes a picture of the given total size (minimum
+// header size) whose header names a camera model chosen by rng.
+func NewPicture(rng *rand.Rand, size int) Picture {
+	if size < pictureHeaderLen {
+		size = pictureHeaderLen
+	}
+	camera := CameraModels[rng.Intn(len(CameraModels))]
+	contrast := rng.Float64()
+	b := make([]byte, size)
+	copy(b[0:4], "IMG0")
+	binary.LittleEndian.PutUint32(b[4:8], uint32(size))
+	copy(b[8:32], camera)
+	binary.LittleEndian.PutUint32(b[32:36], uint32(contrast*1e6))
+	noise := Chunk(rng.Uint64(), size-pictureHeaderLen)
+	copy(b[pictureHeaderLen:], noise)
+	return Picture{Camera: camera, Contrast: contrast, Bytes: b}
+}
+
+// ParsePicture decodes a picture found at the start of data and returns
+// it together with its total encoded length.
+func ParsePicture(data []byte) (Picture, int, error) {
+	if len(data) < pictureHeaderLen {
+		return Picture{}, 0, fmt.Errorf("workload: truncated picture header")
+	}
+	if string(data[0:4]) != "IMG0" {
+		return Picture{}, 0, fmt.Errorf("workload: bad picture magic %q", data[0:4])
+	}
+	total := int(binary.LittleEndian.Uint32(data[4:8]))
+	if total < pictureHeaderLen || total > len(data) {
+		return Picture{}, 0, fmt.Errorf("workload: picture length %d out of range", total)
+	}
+	camera := string(trimZeros(data[8:32]))
+	contrast := float64(binary.LittleEndian.Uint32(data[32:36])) / 1e6
+	return Picture{Camera: camera, Contrast: contrast, Bytes: data[:total]}, total, nil
+}
+
+func trimZeros(b []byte) []byte {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i]
+		}
+	}
+	return b
+}

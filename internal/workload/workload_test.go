@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobseer/internal/core"
+)
+
+func TestChunkDeterministic(t *testing.T) {
+	a := Chunk(42, 1000)
+	b := Chunk(42, 1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same tag produced different chunks")
+	}
+	c := Chunk(43, 1000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different tags produced identical chunks")
+	}
+}
+
+func TestChunkLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 4096} {
+		if got := len(Chunk(1, n)); got != n {
+			t.Fatalf("Chunk(1, %d) has length %d", n, got)
+		}
+	}
+}
+
+func TestChunkNotDegenerate(t *testing.T) {
+	// A pseudo-random chunk must not be constant (a zeroed or constant
+	// buffer would let the transport or store cheat via trivial patterns).
+	c := Chunk(7, 4096)
+	counts := map[byte]int{}
+	for _, b := range c {
+		counts[b]++
+	}
+	if len(counts) < 64 {
+		t.Fatalf("chunk uses only %d distinct byte values", len(counts))
+	}
+}
+
+func TestPartitionDisjointCover(t *testing.T) {
+	f := func(sizeSeed uint32, nSeed uint8) bool {
+		size := uint64(sizeSeed)%1e6 + 1
+		n := int(nSeed)%32 + 1
+		parts := Partition(size, n)
+		if len(parts) != n {
+			return false
+		}
+		per := size / uint64(n)
+		var prevEnd uint64
+		for i, p := range parts {
+			if p.Count != per {
+				return false
+			}
+			if uint64(i)*per != p.Start || p.Start != prevEnd {
+				return false
+			}
+			prevEnd = p.End()
+		}
+		return prevEnd <= size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if got := Partition(100, 0); got != nil {
+		t.Fatalf("Partition(_, 0) = %v, want nil", got)
+	}
+	parts := Partition(10, 3) // truncates to 3 per reader
+	for _, p := range parts {
+		if p.Count != 3 {
+			t.Fatalf("partition %v, want count 3", p)
+		}
+	}
+	one := Partition(64, 1)
+	if len(one) != 1 || one[0] != (core.Range{Start: 0, Count: 64}) {
+		t.Fatalf("Partition(64, 1) = %v", one)
+	}
+}
+
+func TestPictureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		size := pictureHeaderLen + rng.Intn(4096)
+		p := NewPicture(rng, size)
+		if len(p.Bytes) != size {
+			t.Fatalf("picture size %d, want %d", len(p.Bytes), size)
+		}
+		got, n, err := ParsePicture(p.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != size {
+			t.Fatalf("parsed length %d, want %d", n, size)
+		}
+		if got.Camera != p.Camera {
+			t.Fatalf("camera %q, want %q", got.Camera, p.Camera)
+		}
+		if diff := got.Contrast - p.Contrast; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("contrast %v, want %v", got.Contrast, p.Contrast)
+		}
+	}
+}
+
+func TestPictureMinimumSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPicture(rng, 1) // below header size: clamped up
+	if len(p.Bytes) != pictureHeaderLen {
+		t.Fatalf("tiny picture size %d, want %d", len(p.Bytes), pictureHeaderLen)
+	}
+	if _, _, err := ParsePicture(p.Bytes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePictureRejectsGarbage(t *testing.T) {
+	if _, _, err := ParsePicture([]byte("short")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	bad := NewPicture(rand.New(rand.NewSource(3)), 100).Bytes
+	bad[0] = 'X'
+	if _, _, err := ParsePicture(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	good := NewPicture(rand.New(rand.NewSource(4)), 100).Bytes
+	if _, _, err := ParsePicture(good[:50]); err == nil {
+		t.Fatal("picture truncated mid-body accepted")
+	}
+}
+
+func TestParsePictureStream(t *testing.T) {
+	// Pictures appended back to back (the §2.2 blob layout) parse in
+	// sequence using the returned lengths.
+	rng := rand.New(rand.NewSource(5))
+	var blob []byte
+	var want []string
+	for i := 0; i < 20; i++ {
+		p := NewPicture(rng, pictureHeaderLen+rng.Intn(512))
+		blob = append(blob, p.Bytes...)
+		want = append(want, p.Camera)
+	}
+	var got []string
+	for off := 0; off < len(blob); {
+		p, n, err := ParsePicture(blob[off:])
+		if err != nil {
+			t.Fatalf("picture at %d: %v", off, err)
+		}
+		got = append(got, p.Camera)
+		off += n
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d pictures, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("picture %d camera %q, want %q", i, got[i], want[i])
+		}
+	}
+}

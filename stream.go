@@ -1,0 +1,197 @@
+package blobseer
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// NewReader returns an io.ReadSeeker over snapshot v of the blob,
+// starting at offset 0. Reads see an immutable snapshot: the reader stays
+// valid and consistent forever, no matter how the blob evolves. The
+// reader buffers nothing; each Read issues one ranged blob read, so wrap
+// it in a bufio.Reader for byte-at-a-time consumers.
+func (b *Blob) NewReader(ctx context.Context, v Version) (*SnapshotReader, error) {
+	size, err := b.Size(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotReader{ctx: ctx, b: b, v: v, size: size}, nil
+}
+
+// SnapshotReader adapts one blob snapshot to io.Reader, io.ReaderAt and
+// io.Seeker. It is safe for concurrent use through ReadAt; Read/Seek
+// share a cursor and need external synchronization.
+type SnapshotReader struct {
+	ctx  context.Context
+	b    *Blob
+	v    Version
+	size uint64
+	pos  uint64
+}
+
+// Size returns the snapshot's total size in bytes.
+func (r *SnapshotReader) Size() uint64 { return r.size }
+
+// Version returns the snapshot the reader is pinned to.
+func (r *SnapshotReader) Version() Version { return r.v }
+
+// Read implements io.Reader.
+func (r *SnapshotReader) Read(p []byte) (int, error) {
+	if r.pos >= r.size {
+		return 0, io.EOF
+	}
+	if rem := r.size - r.pos; uint64(len(p)) > rem {
+		p = p[:rem]
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := r.b.Read(r.ctx, r.v, p, r.pos); err != nil {
+		return 0, err
+	}
+	r.pos += uint64(len(p))
+	return len(p), nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *SnapshotReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("blobseer: negative offset %d", off)
+	}
+	if uint64(off) >= r.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var eof bool
+	if rem := r.size - uint64(off); uint64(n) > rem {
+		n = int(rem)
+		eof = true
+	}
+	if err := r.b.Read(r.ctx, r.v, p[:n], uint64(off)); err != nil {
+		return 0, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (r *SnapshotReader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(r.pos)
+	case io.SeekEnd:
+		base = int64(r.size)
+	default:
+		return 0, fmt.Errorf("blobseer: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("blobseer: seek to negative offset %d", np)
+	}
+	r.pos = uint64(np)
+	return np, nil
+}
+
+var (
+	_ io.ReadSeeker = (*SnapshotReader)(nil)
+	_ io.ReaderAt   = (*SnapshotReader)(nil)
+)
+
+// NewWriter returns an io.WriteCloser that appends to the blob. Bytes are
+// buffered until the buffer reaches chunkBytes (default 1 MiB) and then
+// APPENDed as one atomic update; Close flushes the remainder and waits for
+// the last snapshot to publish, so after Close returns the whole stream is
+// readable. Each flush is one snapshot: interleaved writers produce
+// interleaved — but never torn — runs.
+func (b *Blob) NewWriter(ctx context.Context, chunkBytes int) *AppendWriter {
+	if chunkBytes <= 0 {
+		chunkBytes = 1 << 20
+	}
+	return &AppendWriter{ctx: ctx, b: b, chunk: chunkBytes}
+}
+
+// AppendWriter buffers and appends. Not safe for concurrent use; create
+// one writer per producer goroutine (appends from different writers
+// serialize at the version manager, like any APPEND).
+type AppendWriter struct {
+	ctx    context.Context
+	b      *Blob
+	chunk  int
+	buf    []byte
+	last   Version
+	wrote  bool
+	closed bool
+}
+
+// Write implements io.Writer.
+func (w *AppendWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("blobseer: write on closed AppendWriter")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		space := w.chunk - len(w.buf)
+		if space == 0 {
+			if err := w.flush(); err != nil {
+				return total - len(p), err
+			}
+			space = w.chunk
+		}
+		if space > len(p) {
+			space = len(p)
+		}
+		w.buf = append(w.buf, p[:space]...)
+		p = p[space:]
+	}
+	return total, nil
+}
+
+// flush appends the buffered bytes as one snapshot.
+func (w *AppendWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	v, err := w.b.Append(w.ctx, w.buf)
+	if err != nil {
+		return err
+	}
+	w.last, w.wrote = v, true
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Flush appends any buffered bytes now, without closing the writer.
+func (w *AppendWriter) Flush() error {
+	if w.closed {
+		return fmt.Errorf("blobseer: flush on closed AppendWriter")
+	}
+	return w.flush()
+}
+
+// LastVersion returns the snapshot version of the most recent flush and
+// whether anything has been flushed yet.
+func (w *AppendWriter) LastVersion() (Version, bool) { return w.last, w.wrote }
+
+// Close implements io.Closer: it flushes and then blocks until the last
+// appended snapshot is published (read-your-writes for the whole stream).
+func (w *AppendWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if w.wrote {
+		return w.b.Sync(w.ctx, w.last)
+	}
+	return nil
+}
+
+var _ io.WriteCloser = (*AppendWriter)(nil)

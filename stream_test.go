@@ -1,0 +1,239 @@
+package blobseer_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"blobseer"
+)
+
+func TestSnapshotReaderSequential(t *testing.T) {
+	c := startCluster(t, blobseer.ClusterOptions{})
+	ctx := context.Background()
+	blob, err := c.Create(ctx, blobseer.Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10*1024+123) // unaligned tail
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	v, err := blob.Append(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blob.Sync(ctx, v); err != nil {
+		t.Fatal(err)
+	}
+	r, err := blob.NewReader(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != uint64(len(data)) || r.Version() != v {
+		t.Fatalf("Size=%d Version=%d", r.Size(), r.Version())
+	}
+	got, err := io.ReadAll(bufio.NewReaderSize(r, 700)) // odd buffer size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stream read mismatch")
+	}
+}
+
+func TestSnapshotReaderSeek(t *testing.T) {
+	c := startCluster(t, blobseer.ClusterOptions{})
+	ctx := context.Background()
+	blob, err := c.Create(ctx, blobseer.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	v, _ := blob.Append(ctx, data)
+	blob.Sync(ctx, v)
+	r, err := blob.NewReader(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := r.Seek(1000, io.SeekStart); err != nil || pos != 1000 {
+		t.Fatalf("SeekStart: %d, %v", pos, err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[1000:1010]) {
+		t.Fatal("read after seek mismatch")
+	}
+	if pos, err := r.Seek(-10, io.SeekEnd); err != nil || pos != 4086 {
+		t.Fatalf("SeekEnd: %d, %v", pos, err)
+	}
+	n, err := r.Read(make([]byte, 100))
+	if err != nil || n != 10 {
+		t.Fatalf("tail read: %d, %v", n, err)
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("read past end: %v, want EOF", err)
+	}
+	if pos, err := r.Seek(6, io.SeekCurrent); err != nil || pos != 4102 {
+		t.Fatalf("SeekCurrent: %d, %v", pos, err)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+}
+
+func TestSnapshotReaderReadAt(t *testing.T) {
+	c := startCluster(t, blobseer.ClusterOptions{})
+	ctx := context.Background()
+	blob, err := c.Create(ctx, blobseer.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2048)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	v, _ := blob.Append(ctx, data)
+	blob.Sync(ctx, v)
+	r, _ := blob.NewReader(ctx, v)
+
+	// Concurrent ReadAt calls share the reader safely.
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			buf := make([]byte, 200)
+			off := int64(g * 200)
+			if _, err := r.ReadAt(buf, off); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(buf, data[off:off+200]) {
+				errs <- io.ErrUnexpectedEOF
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Short read at the tail returns io.EOF with the bytes.
+	buf := make([]byte, 100)
+	n, err := r.ReadAt(buf, 2000)
+	if n != 48 || err != io.EOF {
+		t.Fatalf("tail ReadAt = %d, %v; want 48, EOF", n, err)
+	}
+	if _, err := r.ReadAt(buf, 5000); err != io.EOF {
+		t.Fatalf("past-end ReadAt err = %v", err)
+	}
+	if _, err := r.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative ReadAt offset accepted")
+	}
+}
+
+func TestAppendWriterChunksAndCloses(t *testing.T) {
+	c := startCluster(t, blobseer.ClusterOptions{})
+	ctx := context.Background()
+	blob, err := c.Create(ctx, blobseer.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := blob.NewWriter(ctx, 1024) // 2-page chunks
+	var want []byte
+	for i := 0; i < 10; i++ {
+		part := bytes.Repeat([]byte{byte('A' + i)}, 300)
+		if _, err := w.Write(part); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, part...)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := w.LastVersion()
+	if !ok {
+		t.Fatal("no version recorded")
+	}
+	// Close synced: readable immediately, whole stream intact.
+	got := make([]byte, len(want))
+	if err := blob.Read(ctx, v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("streamed bytes mismatch")
+	}
+	// 3000 bytes at 1024-byte chunks: versions 1..3 (two full + remainder).
+	if v != 3 {
+		t.Fatalf("last version = %d, want 3", v)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestAppendWriterFlushEmpty(t *testing.T) {
+	c := startCluster(t, blobseer.ClusterOptions{})
+	ctx := context.Background()
+	blob, err := c.Create(ctx, blobseer.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := blob.NewWriter(ctx, 0) // default chunk size
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.LastVersion(); ok {
+		t.Fatal("empty writer recorded a version")
+	}
+}
+
+func TestWriterThenReaderPipe(t *testing.T) {
+	// io.Copy from a snapshot of one blob into another blob: the adapters
+	// compose with the standard library.
+	c := startCluster(t, blobseer.ClusterOptions{})
+	ctx := context.Background()
+	src, _ := c.Create(ctx, blobseer.Options{PageSize: 512})
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	v, _ := src.Append(ctx, data)
+	src.Sync(ctx, v)
+
+	dst, _ := c.Create(ctx, blobseer.Options{PageSize: 512})
+	r, err := src.NewReader(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dst.NewWriter(ctx, 2048)
+	if n, err := io.Copy(w, r); err != nil || n != int64(len(data)) {
+		t.Fatalf("copy = %d, %v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dv, _ := w.LastVersion()
+	got := make([]byte, len(data))
+	if err := dst.Read(ctx, dv, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("piped copy mismatch")
+	}
+}
