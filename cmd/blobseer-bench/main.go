@@ -10,6 +10,7 @@
 //	blobseer-bench -exp writers    # A1: concurrent writers vs serialized-metadata baseline
 //	blobseer-bench -exp space      # A2: versioning storage overhead vs naive copies
 //	blobseer-bench -exp replication # A5: page replication cost/benefit (extension)
+//	blobseer-bench -exp vm         # A6: version-manager sharding + WAL group commit
 //	blobseer-bench -exp all        # everything above
 //
 // The -quick flag shrinks every experiment (fewer providers, smaller
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2a, fig2b, calibrate, writers, space, replication, all")
+	exp := flag.String("exp", "all", "experiment: fig2a, fig2b, calibrate, writers, space, replication, vm, all")
 	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
 	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
 	flag.Parse()
@@ -117,6 +118,26 @@ func main() {
 		}
 		fmt.Println("Ablation A2: versioning storage overhead")
 		tab.Fprint(os.Stdout)
+		return nil
+	})
+
+	run("vm", func() error {
+		dir, err := os.MkdirTemp("", "blobseer-vm-bench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg := bench.VMConfig{Writers: 8, WALDir: dir}
+		if !*quick {
+			cfg.Writers = 16
+			cfg.OpsPerWriter = 1000
+		}
+		res, err := bench.RunVersionManager(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A6: version-manager per-blob locking + WAL group commit")
+		res.Table().Fprint(os.Stdout)
 		return nil
 	})
 

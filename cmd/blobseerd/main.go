@@ -41,6 +41,10 @@ func main() {
 	advertise := flag.String("advertise", "", "address clients should dial (data role; defaults to the listen address)")
 	diskPath := flag.String("disk", "", "durable storage log path (data role: pages; metadata role: tree-node pairs; default RAM)")
 	walPath := flag.String("wal", "", "write-ahead log path for version state (version-manager role; default in-memory)")
+	walSync := flag.Bool("wal-sync", true, "fsync version WAL commits; concurrent updates share fsyncs via group commit (version-manager role)")
+	walSerial := flag.Bool("wal-serial", false, "disable WAL group commit: one write+fsync per event (version-manager role; ablation baseline)")
+	stripes := flag.Int("registry-stripes", 16, "RW-lock stripes over the blob registry (version-manager role)")
+	globalLock := flag.Bool("global-lock", false, "serialize all version-manager handlers behind one mutex (ablation baseline)")
 	deadTimeout := flag.Duration("dead-writer-timeout", 0, "abort updates of silent writers after this duration (version-manager role; 0 disables)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period (data role)")
 	flag.Parse()
@@ -59,7 +63,10 @@ func main() {
 			Sched:             sched,
 			DeadWriterTimeout: *deadTimeout,
 			WALPath:           *walPath,
-			WALSync:           *walPath != "", // durability is the point of -wal
+			WALSync:           *walPath != "" && *walSync, // durability is the point of -wal
+			WALSerial:         *walSerial,
+			RegistryStripes:   *stripes,
+			GlobalLock:        *globalLock,
 		})
 		if err != nil {
 			log.Fatalf("start version manager: %v", err)

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/version"
+	"blobseer/internal/wire"
+)
+
+// VMConfig parameterizes the A6 ablation: aggregate assign/complete
+// throughput of W concurrent writers against the version manager itself
+// (dispatch is in-process, so the numbers isolate the manager's locking
+// and logging, not RPC overhead). Three axes are compared:
+//
+//   - locking: the sharded per-blob registry vs the single global mutex
+//     the pre-sharding manager used (§3.1 calls the version manager "the
+//     key actor of the system"; under heavy access concurrency it must
+//     not serialize unrelated blobs).
+//   - blob count: all writers on one blob vs spread over N blobs. The
+//     paper's total ordering is per blob, so only same-blob updates have
+//     an inherent serialization point.
+//   - durability: no WAL, WAL with one fsync per event (serial, the old
+//     behavior), and WAL with group commit sharing fsyncs across
+//     concurrent handlers.
+type VMConfig struct {
+	// Writers is the number of concurrent writers (default 8).
+	Writers int
+	// Blobs is the spread blob count N (default = Writers).
+	Blobs int
+	// OpsPerWriter is the number of assign+complete update cycles each
+	// writer performs per configuration (default 200).
+	OpsPerWriter int
+	// WALDir holds the per-configuration log files. Empty skips the
+	// durable configurations.
+	WALDir string
+}
+
+func (c *VMConfig) fill() {
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Blobs <= 0 {
+		c.Blobs = c.Writers
+	}
+	if c.OpsPerWriter <= 0 {
+		c.OpsPerWriter = 200
+	}
+}
+
+// VMRow is one measured configuration of the version-manager ablation.
+type VMRow struct {
+	Locking        string // "sharded" or "global"
+	Blobs          int
+	WAL            bool // durable, fsync before any event applies
+	GroupCommit    bool // concurrent appends share fsyncs (false = serial)
+	UpdatesPerSec  float64
+	FsyncsPerEvent float64 // fsyncs / logged events (0 without a WAL)
+}
+
+func (r VMRow) walLabel() string {
+	switch {
+	case !r.WAL:
+		return "none"
+	case r.GroupCommit:
+		return "fsync+group"
+	default:
+		return "fsync-serial"
+	}
+}
+
+// VMResult is the ablation outcome: raw rows plus the rendered table.
+type VMResult struct {
+	Writers int
+	Rows    []VMRow
+}
+
+// Row returns the first row matching the given shape, or nil.
+func (r *VMResult) Row(locking string, blobs int, wal, group bool) *VMRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Locking == locking && row.Blobs == blobs && row.WAL == wal && row.GroupCommit == group {
+			return row
+		}
+	}
+	return nil
+}
+
+// Table renders the result with per-row speedups against the global-lock
+// baseline at the same durability setting.
+func (r *VMResult) Table() Table {
+	tab := Table{
+		Name:   fmt.Sprintf("A6: version-manager sharding + WAL group commit (%d writers)", r.Writers),
+		Header: []string{"locking", "blobs", "wal", "updates/s", "fsyncs/event", "vs global"},
+	}
+	baseline := func(row VMRow) float64 {
+		for _, b := range r.Rows {
+			if b.Locking == "global" && b.WAL == row.WAL {
+				return b.UpdatesPerSec
+			}
+		}
+		return 0
+	}
+	for _, row := range r.Rows {
+		speedup := "-"
+		if b := baseline(row); b > 0 && row.Locking != "global" {
+			speedup = fmt.Sprintf("%.2fx", row.UpdatesPerSec/b)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			row.Locking,
+			fmt.Sprintf("%d", row.Blobs),
+			row.walLabel(),
+			fmt.Sprintf("%.0f", row.UpdatesPerSec),
+			fmt.Sprintf("%.3f", row.FsyncsPerEvent),
+			speedup,
+		})
+	}
+	return tab
+}
+
+// RunVersionManager measures every configuration of the ablation.
+func RunVersionManager(cfg VMConfig) (*VMResult, error) {
+	cfg.fill()
+	type shape struct {
+		locking    string
+		blobs      int
+		wal, group bool
+	}
+	shapes := []shape{
+		{"global", cfg.Blobs, false, false},
+		{"sharded", 1, false, false},
+		{"sharded", cfg.Blobs, false, false},
+	}
+	if cfg.WALDir != "" {
+		shapes = append(shapes,
+			shape{"global", cfg.Blobs, true, true}, // global lock defeats batching by itself
+			shape{"sharded", cfg.Blobs, true, false},
+			shape{"sharded", 1, true, true},
+			shape{"sharded", cfg.Blobs, true, true},
+		)
+	}
+	res := &VMResult{Writers: cfg.Writers}
+	for i, s := range shapes {
+		mc := version.ManagerConfig{
+			GlobalLock: s.locking == "global",
+			WALSerial:  !s.group,
+		}
+		if s.wal {
+			mc.WALPath = filepath.Join(cfg.WALDir, fmt.Sprintf("vm-%d.wal", i))
+			mc.WALSync = true
+		}
+		row, err := runVMShape(cfg, mc, s.locking, s.blobs)
+		if err != nil {
+			return nil, fmt.Errorf("vm ablation %s/%d blobs: %w", s.locking, s.blobs, err)
+		}
+		row.WAL = s.wal
+		row.GroupCommit = s.group
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runVMShape stands up one manager and drives it with the configured
+// writer pool, returning the measured row.
+func runVMShape(cfg VMConfig, mc version.ManagerConfig, locking string, blobs int) (VMRow, error) {
+	net := transport.NewInproc()
+	defer net.Close()
+	ln, err := net.Listen("vm")
+	if err != nil {
+		return VMRow{}, err
+	}
+	m, err := version.ServeManagerDurable(ln, mc)
+	if err != nil {
+		return VMRow{}, err
+	}
+	defer m.Close()
+	ctx := context.Background()
+
+	ids := make([]wire.BlobID, blobs)
+	for i := range ids {
+		resp, err := m.Apply(ctx, &wire.CreateBlobReq{PageSize: 4096})
+		if err != nil {
+			return VMRow{}, err
+		}
+		ids[i] = resp.(*wire.CreateBlobResp).Blob
+	}
+	startAppends, startSyncs := m.WALStats()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Writers)
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ids[w%blobs]
+			for i := 0; i < cfg.OpsPerWriter; i++ {
+				resp, err := m.Apply(ctx, &wire.AssignReq{Blob: id, Size: 4096, Append: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				v := resp.(*wire.AssignResp).Version
+				if _, err := m.Apply(ctx, &wire.CompleteReq{Blob: id, Version: v}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return VMRow{}, err
+	}
+
+	updates := float64(cfg.Writers * cfg.OpsPerWriter)
+	row := VMRow{
+		Locking:       locking,
+		Blobs:         blobs,
+		UpdatesPerSec: updates / elapsed.Seconds(),
+	}
+	endAppends, endSyncs := m.WALStats()
+	if events := endAppends - startAppends; events > 0 {
+		row.FsyncsPerEvent = float64(endSyncs-startSyncs) / float64(events)
+	}
+	return row, nil
+}

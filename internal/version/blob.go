@@ -11,6 +11,8 @@
 package version
 
 import (
+	"sort"
+
 	"blobseer/internal/wire"
 )
 
@@ -82,47 +84,73 @@ func newBranchState(id wire.BlobID, parent *blobState, at wire.Version, sizeAt u
 	}
 }
 
-// assign registers an update and returns the response payload. For an
+// assignPlan is the decision an ASSIGN makes, computed once by planAssign
+// and consumed both by the write-ahead log record and by applyAssign, so
+// the logged event and the applied state cannot disagree.
+type assignPlan struct {
+	version  wire.Version
+	offset   uint64
+	size     uint64
+	prevSize uint64
+	newSize  uint64
+}
+
+// planAssign validates an update request against the current state and
+// returns the assignment it would make, without mutating anything. For an
 // append, offset is chosen by the manager: the size of snapshot next-1
 // (§3.3), i.e. the current pending size.
-func (b *blobState) assign(offset, size uint64, isAppend bool, now int64) (*wire.AssignResp, error) {
+func (b *blobState) planAssign(offset, size uint64, isAppend bool) (assignPlan, error) {
 	if size == 0 {
-		return nil, wire.NewError(wire.CodeBadRequest, "empty update")
+		return assignPlan{}, wire.NewError(wire.CodeBadRequest, "empty update")
 	}
 	if isAppend {
 		offset = b.pendingSize
 	} else if offset > b.pendingSize {
-		return nil, wire.NewError(wire.CodeOutOfBounds,
+		return assignPlan{}, wire.NewError(wire.CodeOutOfBounds,
 			"write at %d beyond blob size %d", offset, b.pendingSize)
 	}
-	v := b.next
-	b.next++
-	prevSize := b.pendingSize
-	newSize := prevSize
+	newSize := b.pendingSize
 	if offset+size > newSize {
 		newSize = offset + size
 	}
-	u := &update{
-		version: v, offset: offset, size: size,
-		newSize: newSize, assignedAt: now,
-	}
-	b.pendingSize = newSize
+	return assignPlan{
+		version: b.next, offset: offset, size: size,
+		prevSize: b.pendingSize, newSize: newSize,
+	}, nil
+}
 
+// applyAssignState registers the planned update, mutating state only.
+// The plan must come from planAssign on this state (or from a replayed
+// log record) with no mutation in between. Replay calls this directly —
+// nobody reads a response there.
+func (b *blobState) applyAssignState(p assignPlan, now int64) {
+	b.next = p.version + 1
+	b.pendingSize = p.newSize
+	b.inflight[p.version] = &update{
+		version: p.version, offset: p.offset, size: p.size,
+		newSize: p.newSize, assignedAt: now,
+	}
+}
+
+// applyAssign registers the planned update and returns the response
+// payload.
+func (b *blobState) applyAssign(p assignPlan, now int64) *wire.AssignResp {
 	resp := &wire.AssignResp{
-		Version:       v,
-		Offset:        offset,
-		NewSize:       newSize,
-		PrevSize:      prevSize,
+		Version:       p.version,
+		Offset:        p.offset,
+		NewSize:       p.newSize,
+		PrevSize:      p.prevSize,
 		Published:     b.readable,
 		PublishedSize: b.sizeOfOwn(b.readable),
-		InFlight:      b.inflightBelow(v),
+		InFlight:      b.inflightBelow(p.version),
 	}
-	b.inflight[v] = u
-	return resp, nil
+	b.applyAssignState(p, now)
+	return resp
 }
 
 // inflightBelow lists non-aborted assigned-but-unpublished updates with a
-// version below v.
+// version below v, in version order: the list goes onto the wire, and map
+// iteration order must not leak into the encoding.
 func (b *blobState) inflightBelow(v wire.Version) []wire.UpdateDesc {
 	var out []wire.UpdateDesc
 	for _, u := range b.inflight {
@@ -130,7 +158,20 @@ func (b *blobState) inflightBelow(v wire.Version) []wire.UpdateDesc {
 			out = append(out, wire.UpdateDesc{Version: u.version, Offset: u.offset, Size: u.size})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
 	return out
+}
+
+// isAborted reports whether v was withdrawn, whether already past the
+// publication pointer or still in the in-flight registry.
+func (b *blobState) isAborted(v wire.Version) bool {
+	if b.aborted[v] {
+		return true
+	}
+	if u, ok := b.inflight[v]; ok {
+		return u.aborted
+	}
+	return false
 }
 
 // sizeOfOwn returns the size of a published version owned by this blob

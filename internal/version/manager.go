@@ -2,7 +2,9 @@ package version
 
 import (
 	"context"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/rpc"
@@ -31,23 +33,69 @@ type ManagerConfig struct {
 	// are eventually swept instead of blocking publication. (Extension:
 	// the paper's prototype kept version state in memory.)
 	WALPath string
-	// WALSync forces an fsync after every log append.
+	// WALSync forces an fsync before any event takes effect. Concurrent
+	// handlers share fsyncs through group commit unless WALSerial is set.
 	WALSync bool
+	// WALSerial disables WAL group commit: every append performs its own
+	// write+fsync with the log locked, the pre-sharding behavior. Kept as
+	// an ablation baseline.
+	WALSerial bool
+	// RegistryStripes is the number of RW-locked stripes sharding the
+	// blob-id registry (default 16). Only blob lookup, create, and branch
+	// touch the registry; all per-blob work runs under that blob's own
+	// mutex.
+	RegistryStripes int
+	// GlobalLock serializes every handler behind one manager-wide mutex,
+	// recreating the pre-sharding design. Kept as an ablation baseline:
+	// the vm ablation in internal/bench measures the sharded registry
+	// against it.
+	GlobalLock bool
 }
 
 // Manager is the running version manager service.
+//
+// Concurrency regime: each blob's state machine and SYNC watchers live in
+// a blobShard guarded by that shard's mutex, so updates to different
+// blobs never contend. The registry mapping ids to shards is striped with
+// RW locks and touched only by lookup, create, and branch. Lock order:
+// a stripe lock is innermost and never held while acquiring a shard
+// mutex; a second shard mutex is only ever taken for a lineage ancestor,
+// which always has a smaller blob id than its descendants, so shard-lock
+// cycles cannot form.
 type Manager struct {
 	cfg   ManagerConfig
 	sched vclock.Scheduler
 	srv   *rpc.Server
+	mux   *rpc.Mux
+	log   *wal // nil when not durable
 
+	// global is taken by every handler iff cfg.GlobalLock (ablation
+	// baseline); otherwise it is never touched.
+	global sync.Mutex
+
+	stripes  []registryStripe
+	nextBlob atomic.Uint64 // last allocated blob id
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// registryStripe is one slice of the id-to-shard map.
+type registryStripe struct {
+	mu    sync.RWMutex
+	blobs map[wire.BlobID]*blobShard
+}
+
+// blobShard pairs one blob's state machine with the mutex and the parked
+// SYNC watchers that guard it.
+type blobShard struct {
 	mu       sync.Mutex
-	blobs    map[wire.BlobID]*blobState
-	nextBlob wire.BlobID
-	log      *wal // nil when not durable
-	// watchers parks SYNC callers: blob -> version -> events to fire.
-	watchers map[wire.BlobID]map[wire.Version][]vclock.Event
-	closed   bool
+	state    *blobState
+	watchers map[wire.Version][]vclock.Event // version -> events to fire
+}
+
+func newShard(b *blobState) *blobShard {
+	return &blobShard{state: b, watchers: make(map[wire.Version][]vclock.Event)}
 }
 
 // ServeManager starts the version manager on ln. It panics if cfg asks
@@ -70,35 +118,140 @@ func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, er
 	if cfg.SweepEvery <= 0 {
 		cfg.SweepEvery = cfg.DeadWriterTimeout / 4
 	}
+	if cfg.RegistryStripes <= 0 {
+		cfg.RegistryStripes = 16
+	}
 	m := &Manager{
-		cfg:      cfg,
-		sched:    cfg.Sched,
-		blobs:    make(map[wire.BlobID]*blobState),
-		watchers: make(map[wire.BlobID]map[wire.Version][]vclock.Event),
+		cfg:     cfg,
+		sched:   cfg.Sched,
+		stripes: make([]registryStripe, cfg.RegistryStripes),
+	}
+	for i := range m.stripes {
+		m.stripes[i].blobs = make(map[wire.BlobID]*blobShard)
 	}
 	if cfg.WALPath != "" {
 		log, events, err := openWAL(cfg.WALPath, cfg.WALSync)
 		if err != nil {
 			return nil, err
 		}
-		next, err := replay(events, m.blobs, int64(cfg.Sched.Now()))
+		log.serial = cfg.WALSerial
+		blobs := make(map[wire.BlobID]*blobState)
+		next, err := replay(events, blobs, int64(cfg.Sched.Now()))
 		if err != nil {
 			log.close()
 			return nil, err
 		}
 		m.log = log
-		m.nextBlob = next
+		m.nextBlob.Store(uint64(next))
+		// Pre-serve: no handler can race these inserts.
+		for id, b := range blobs {
+			m.stripe(id).blobs[id] = newShard(b)
+		}
 	}
-	m.srv = rpc.Serve(ln, cfg.Sched, m.mux())
+	m.mux = m.newMux()
+	m.srv = rpc.Serve(ln, cfg.Sched, m.mux)
 	if cfg.DeadWriterTimeout > 0 {
 		cfg.Sched.Go(m.sweepLoop)
 	}
 	return m, nil
 }
 
-// logEvent appends e to the write-ahead log (no-op when not durable).
-// Must be called with m.mu held, before applying the state change e
-// describes.
+// Addr returns the manager's service address.
+func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// Apply dispatches one request in-process, bypassing the transport. It is
+// the hook for embedded use and for benchmarks that want to measure the
+// manager's own concurrency rather than RPC overhead.
+func (m *Manager) Apply(ctx context.Context, req wire.Msg) (wire.Msg, error) {
+	return m.mux.Handle(ctx, req)
+}
+
+// WALStats reports the number of events appended to the write-ahead log
+// and the number of fsyncs issued since start (zeros when not durable).
+// Group commit shows up as syncs < appends.
+func (m *Manager) WALStats() (appends, syncs uint64) {
+	return m.log.stats()
+}
+
+// Close stops the service and fails parked SYNC waiters. It is
+// idempotent and safe with or without a write-ahead log.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		// Order matters: the closed flag is set before draining, and
+		// handleSync re-checks it under the shard lock before parking, so
+		// a waiter either parks before the drain (and is fired here) or
+		// observes the flag and fails fast.
+		m.closed.Store(true)
+		var evs []vclock.Event
+		for _, sh := range m.allShards() {
+			sh.mu.Lock()
+			for _, list := range sh.watchers {
+				evs = append(evs, list...)
+			}
+			sh.watchers = make(map[wire.Version][]vclock.Event)
+			sh.mu.Unlock()
+		}
+		for _, ev := range evs {
+			ev.Fire(wire.NewError(wire.CodeUnavailable, "version manager shutting down"))
+		}
+		m.srv.Close()
+		m.log.close()
+	})
+}
+
+// enter takes the manager-wide mutex in the GlobalLock ablation baseline;
+// the returned func releases whatever was taken.
+func (m *Manager) enter() func() {
+	if !m.cfg.GlobalLock {
+		return func() {}
+	}
+	m.global.Lock()
+	return m.global.Unlock
+}
+
+func (m *Manager) stripe(id wire.BlobID) *registryStripe {
+	return &m.stripes[uint64(id)%uint64(len(m.stripes))]
+}
+
+// shard looks the blob up in the registry. The stripe lock is released
+// before returning: shards are never deleted, so the pointer stays valid.
+func (m *Manager) shard(id wire.BlobID) (*blobShard, error) {
+	s := m.stripe(id)
+	s.mu.RLock()
+	sh := s.blobs[id]
+	s.mu.RUnlock()
+	if sh == nil {
+		return nil, wire.NewError(wire.CodeNotFound, "blob %v does not exist", id)
+	}
+	return sh, nil
+}
+
+// allShards snapshots every registered shard.
+func (m *Manager) allShards() []*blobShard {
+	var out []*blobShard
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		for _, sh := range s.blobs {
+			out = append(out, sh)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// register inserts a freshly created or branched shard.
+func (m *Manager) register(id wire.BlobID, sh *blobShard) {
+	s := m.stripe(id)
+	s.mu.Lock()
+	s.blobs[id] = sh
+	s.mu.Unlock()
+}
+
+// logEvent appends e to the write-ahead log (no-op when not durable) and
+// parks until it is durable. Callers hold the lock of the shard e mutates
+// (none yet exists for a create), so each blob's log order matches its
+// apply order even though batches interleave events of different blobs.
 func (m *Manager) logEvent(e walEvent) error {
 	if m.log == nil {
 		return nil
@@ -109,70 +262,56 @@ func (m *Manager) logEvent(e walEvent) error {
 	return nil
 }
 
-// Addr returns the manager's service address.
-func (m *Manager) Addr() string { return m.srv.Addr() }
-
-// Close stops the service and fails parked SYNC waiters.
-func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return
-	}
-	m.closed = true
-	var evs []vclock.Event
-	for _, byVer := range m.watchers {
-		for _, list := range byVer {
-			evs = append(evs, list...)
-		}
-	}
-	m.watchers = make(map[wire.BlobID]map[wire.Version][]vclock.Event)
-	log := m.log
-	m.log = nil
-	m.mu.Unlock()
-	for _, ev := range evs {
-		ev.Fire(wire.NewError(wire.CodeUnavailable, "version manager shutting down"))
-	}
-	m.srv.Close()
-	log.close()
-}
-
-func (m *Manager) blob(id wire.BlobID) (*blobState, error) {
-	b, ok := m.blobs[id]
-	if !ok {
-		return nil, wire.NewError(wire.CodeNotFound, "blob %v does not exist", id)
-	}
-	return b, nil
-}
-
 // sizeThroughLineage resolves GET_SIZE across branch boundaries: version
-// v of blob b was written under its lineage owner's namespace, and that
-// owner's state records its size.
-func (m *Manager) sizeThroughLineage(b *blobState, v wire.Version) (uint64, bool) {
-	owner := b.lineage.Owner(v)
-	ob, ok := m.blobs[owner]
-	if !ok {
+// v of blob sh was written under its lineage owner's namespace, and that
+// owner's state records its size. The caller holds sh.mu; when the owner
+// is a different blob its shard mutex is taken nested, which cannot
+// deadlock because lineage owners are strict ancestors and ancestors have
+// strictly smaller blob ids (locks are only ever nested child-to-ancestor).
+func (m *Manager) sizeThroughLineage(sh *blobShard, v wire.Version) (uint64, bool) {
+	owner := sh.state.lineage.Owner(v)
+	if owner == sh.state.id {
+		return sh.state.sizeOf(v)
+	}
+	osh, err := m.shard(owner)
+	if err != nil {
 		return 0, false
 	}
-	return ob.sizeOf(v)
+	osh.mu.Lock()
+	defer osh.mu.Unlock()
+	return osh.state.sizeOf(v)
 }
 
-// fireWatchers pops and fires the SYNC events for the given versions.
-// Must be called with m.mu held; the returned closure is invoked after
-// unlocking.
-func (m *Manager) fireWatchersLocked(id wire.BlobID, versions []wire.Version) func() {
+// fireWatchersLocked pops and fires the SYNC events for the given
+// versions. Must be called with sh.mu held; the returned closure is
+// invoked after unlocking.
+func (sh *blobShard) fireWatchersLocked(versions []wire.Version) func() {
 	if len(versions) == 0 {
 		return func() {}
 	}
 	var evs []vclock.Event
-	byVer := m.watchers[id]
 	for _, v := range versions {
-		evs = append(evs, byVer[v]...)
-		delete(byVer, v)
+		evs = append(evs, sh.watchers[v]...)
+		delete(sh.watchers, v)
 	}
 	return func() {
 		for _, ev := range evs {
 			ev.Fire(nil)
+		}
+	}
+}
+
+// abortWatchersLocked fails SYNC waiters of aborted versions. Must be
+// called with sh.mu held; the returned closure is invoked after unlocking.
+func (sh *blobShard) abortWatchersLocked(versions []wire.Version) func() {
+	var evs []vclock.Event
+	for _, v := range versions {
+		evs = append(evs, sh.watchers[v]...)
+		delete(sh.watchers, v)
+	}
+	return func() {
+		for _, ev := range evs {
+			ev.Fire(wire.NewError(wire.CodeAborted, "version aborted"))
 		}
 	}
 }
@@ -183,60 +322,48 @@ func (m *Manager) sweepLoop() {
 		if err := m.sched.Sleep(m.cfg.SweepEvery); err != nil {
 			return
 		}
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
+		if m.closed.Load() {
 			return
 		}
+		unlock := m.enter()
 		cutoff := int64(m.sched.Now()) - int64(m.cfg.DeadWriterTimeout)
-		type hit struct {
-			blob *blobState
-			ver  wire.Version
-		}
-		var stale []hit
-		for _, b := range m.blobs {
+		var wake []func()
+		for _, sh := range m.allShards() {
+			sh.mu.Lock()
+			b := sh.state
+			var stale []wire.Version
 			for _, u := range b.inflight {
 				if !u.completed && !u.aborted && u.assignedAt < cutoff {
-					stale = append(stale, hit{b, u.version})
+					stale = append(stale, u.version)
 				}
 			}
-		}
-		var wake []func()
-		for _, h := range stale {
-			// Sweeper aborts are durable too; on log failure leave the
-			// update for the next sweep rather than diverge from the log.
-			if err := m.logEvent(walEvent{kind: walAbort, blob: h.blob.id, version: h.ver}); err != nil {
-				continue
+			// Lowest first: its cascade usually covers the rest.
+			sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+			for _, v := range stale {
+				if u, ok := b.inflight[v]; !ok || u.aborted {
+					continue // a lower stale version's cascade got it
+				}
+				// Sweeper aborts are durable too; on log failure leave the
+				// update for the next sweep rather than diverge from the log.
+				if err := m.logEvent(walEvent{kind: walAbort, blob: b.id, version: v}); err != nil {
+					continue
+				}
+				abortedVers, err := b.abort(v)
+				if err != nil {
+					continue
+				}
+				wake = append(wake, sh.abortWatchersLocked(abortedVers))
 			}
-			abortedVers, err := h.blob.abort(h.ver)
-			if err != nil {
-				continue
-			}
-			wake = append(wake, m.abortWatchersLocked(h.blob.id, abortedVers))
+			sh.mu.Unlock()
 		}
-		m.mu.Unlock()
+		unlock()
 		for _, fn := range wake {
 			fn()
 		}
 	}
 }
 
-// abortWatchersLocked fails SYNC waiters of aborted versions.
-func (m *Manager) abortWatchersLocked(id wire.BlobID, versions []wire.Version) func() {
-	var evs []vclock.Event
-	byVer := m.watchers[id]
-	for _, v := range versions {
-		evs = append(evs, byVer[v]...)
-		delete(byVer, v)
-	}
-	return func() {
-		for _, ev := range evs {
-			ev.Fire(wire.NewError(wire.CodeAborted, "version aborted"))
-		}
-	}
-}
-
-func (m *Manager) mux() *rpc.Mux {
+func (m *Manager) newMux() *rpc.Mux {
 	mux := rpc.NewMux()
 	mux.Register(wire.KindPingReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 		return &wire.PingResp{Nonce: msg.(*wire.PingReq).Nonce}, nil
@@ -260,87 +387,88 @@ func (m *Manager) handleCreate(_ context.Context, msg wire.Msg) (wire.Msg, error
 		return nil, wire.NewError(wire.CodeBadRequest,
 			"page size %d is not a power of two", ps)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := m.nextBlob + 1
+	unlock := m.enter()
+	defer unlock()
+	if m.closed.Load() {
+		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
+	}
+	// The id is reserved before logging; if the log append fails the id is
+	// simply burned (ids are unique, not dense). No other event for this
+	// blob can enter the log first, because the id is unknown to clients
+	// until the create is durable and acknowledged.
+	id := wire.BlobID(m.nextBlob.Add(1))
 	if err := m.logEvent(walEvent{kind: walCreate, blob: id, pageSize: ps}); err != nil {
 		return nil, err
 	}
-	m.nextBlob = id
-	m.blobs[id] = newBlobState(id, ps)
+	m.register(id, newShard(newBlobState(id, ps)))
 	return &wire.CreateBlobResp{Blob: id}, nil
 }
 
 func (m *Manager) handleBlobInfo(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.BlobInfoReq)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
 		return nil, err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return &wire.BlobInfoResp{
-		PageSize: b.pageSize,
-		Lineage:  append(wire.Lineage(nil), b.lineage...),
+		PageSize: sh.state.pageSize,
+		Lineage:  append(wire.Lineage(nil), sh.state.lineage...),
 	}, nil
 }
 
 func (m *Manager) handleAssign(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.AssignReq)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
 		return nil, err
 	}
-	// Write-ahead: recompute what assign will decide, log it, then apply.
-	if m.log != nil {
-		if req.Size == 0 {
-			return nil, wire.NewError(wire.CodeBadRequest, "empty update")
-		}
-		off := req.Offset
-		if req.Append {
-			off = b.pendingSize
-		} else if off > b.pendingSize {
-			return nil, wire.NewError(wire.CodeOutOfBounds,
-				"write at %d beyond blob size %d", off, b.pendingSize)
-		}
-		newSize := b.pendingSize
-		if off+req.Size > newSize {
-			newSize = off + req.Size
-		}
-		if err := m.logEvent(walEvent{
-			kind: walAssign, blob: req.Blob, version: b.next,
-			offset: off, size: req.Size, newSize: newSize,
-		}); err != nil {
-			return nil, err
-		}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Plan once, log the plan, apply the same plan: the WAL record and the
+	// in-memory state cannot diverge.
+	plan, err := sh.state.planAssign(req.Offset, req.Size, req.Append)
+	if err != nil {
+		return nil, err
 	}
-	return b.assign(req.Offset, req.Size, req.Append, int64(m.sched.Now()))
+	if err := m.logEvent(walEvent{
+		kind: walAssign, blob: req.Blob, version: plan.version,
+		offset: plan.offset, size: plan.size, newSize: plan.newSize,
+	}); err != nil {
+		return nil, err
+	}
+	return sh.state.applyAssign(plan, int64(m.sched.Now())), nil
 }
 
 func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.CompleteReq)
-	m.mu.Lock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
-		m.mu.Unlock()
 		return nil, err
 	}
+	sh.mu.Lock()
+	b := sh.state
 	// Log only completions that will change state (write-ahead); error and
 	// idempotent paths fall through to complete() unlogged.
 	if u, ok := b.inflight[req.Version]; ok && !u.aborted && !u.completed {
 		if err := m.logEvent(walEvent{kind: walComplete, blob: req.Blob, version: req.Version}); err != nil {
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, err
 		}
 	}
 	readable, err := b.complete(req.Version)
 	var wake func()
 	if err == nil {
-		wake = m.fireWatchersLocked(req.Blob, readable)
+		wake = sh.fireWatchersLocked(readable)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -350,16 +478,18 @@ func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, err
 
 func (m *Manager) handleAbort(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.AbortReq)
-	m.mu.Lock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
-		m.mu.Unlock()
 		return nil, err
 	}
+	sh.mu.Lock()
+	b := sh.state
 	// Log only aborts that will change state (write-ahead).
 	if u, ok := b.inflight[req.Version]; ok && !u.aborted {
 		if err := m.logEvent(walEvent{kind: walAbort, blob: req.Blob, version: req.Version}); err != nil {
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, err
 		}
 	}
@@ -369,12 +499,12 @@ func (m *Manager) handleAbort(_ context.Context, msg wire.Msg) (wire.Msg, error)
 		// Aborting may also let queued completed versions publish (when
 		// the aborted one was blocking the order) — advance() inside
 		// abort already handled that; wake both kinds of waiters.
-		wake = m.abortWatchersLocked(req.Blob, abortedVers)
-		more := m.fireWatchersLocked(req.Blob, readableAfterAbort(b))
+		wake = sh.abortWatchersLocked(abortedVers)
+		more := sh.fireWatchersLocked(readableAfterAbort(b))
 		prev := wake
 		wake = func() { prev(); more() }
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -397,13 +527,16 @@ func readableAfterAbort(b *blobState) []wire.Version {
 
 func (m *Manager) handleRecent(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.RecentReq)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
 		return nil, err
 	}
-	sz, ok := m.sizeThroughLineage(b, b.readable)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.state
+	sz, ok := m.sizeThroughLineage(sh, b.readable)
 	if !ok {
 		return nil, wire.NewError(wire.CodeUnknown,
 			"blob %v: size of readable version %d unknown", b.id, b.readable)
@@ -413,17 +546,20 @@ func (m *Manager) handleRecent(_ context.Context, msg wire.Msg) (wire.Msg, error
 
 func (m *Manager) handleSize(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.SizeReq)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
 		return nil, err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.state
 	if req.Version > b.readable {
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"version %d of blob %v is not published", req.Version, b.id)
 	}
-	sz, ok := m.sizeThroughLineage(b, req.Version)
+	sz, ok := m.sizeThroughLineage(sh, req.Version)
 	if !ok {
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"version %d of blob %v is not readable", req.Version, b.id)
@@ -433,33 +569,40 @@ func (m *Manager) handleSize(_ context.Context, msg wire.Msg) (wire.Msg, error) 
 
 func (m *Manager) handleSync(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.SyncReq)
-	m.mu.Lock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
-		m.mu.Unlock()
+		unlock()
 		return nil, err
 	}
-	if req.Version <= b.published || m.isAbortedLocked(b, req.Version) {
-		aborted := m.isAbortedLocked(b, req.Version)
-		m.mu.Unlock()
+	sh.mu.Lock()
+	b := sh.state
+	if req.Version <= b.published || b.isAborted(req.Version) {
+		aborted := b.isAborted(req.Version)
+		sh.mu.Unlock()
+		unlock()
 		if aborted {
 			return nil, wire.NewError(wire.CodeAborted, "version %d was aborted", req.Version)
 		}
 		return &wire.SyncResp{}, nil
 	}
 	if req.Version >= b.next {
-		m.mu.Unlock()
+		sh.mu.Unlock()
+		unlock()
 		return nil, wire.NewError(wire.CodeNotFound,
 			"version %d of blob %v was never assigned", req.Version, b.id)
 	}
-	ev := m.sched.NewEvent()
-	byVer := m.watchers[req.Blob]
-	if byVer == nil {
-		byVer = make(map[wire.Version][]vclock.Event)
-		m.watchers[req.Blob] = byVer
+	if m.closed.Load() {
+		// Close drained the watchers (or is about to, after taking this
+		// shard's lock); parking now would leak the waiter.
+		sh.mu.Unlock()
+		unlock()
+		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
 	}
-	byVer[req.Version] = append(byVer[req.Version], ev)
-	m.mu.Unlock()
+	ev := m.sched.NewEvent()
+	sh.watchers[req.Version] = append(sh.watchers[req.Version], ev)
+	sh.mu.Unlock()
+	unlock()
 
 	v, err := ev.Wait(nil)
 	if err != nil {
@@ -471,41 +614,36 @@ func (m *Manager) handleSync(_ context.Context, msg wire.Msg) (wire.Msg, error) 
 	return &wire.SyncResp{}, nil
 }
 
-func (m *Manager) isAbortedLocked(b *blobState, v wire.Version) bool {
-	if b.aborted[v] {
-		return true
-	}
-	if u, ok := b.inflight[v]; ok {
-		return u.aborted
-	}
-	return false
-}
-
 func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error) {
 	req := msg.(*wire.BranchReq)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, err := m.blob(req.Blob)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
 	if err != nil {
 		return nil, err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.state
 	if req.Version > b.readable {
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"cannot branch blob %v at unpublished version %d", b.id, req.Version)
 	}
-	sizeAt, ok := m.sizeThroughLineage(b, req.Version)
+	sizeAt, ok := m.sizeThroughLineage(sh, req.Version)
 	if !ok {
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"cannot branch blob %v at aborted version %d", b.id, req.Version)
 	}
-	id := m.nextBlob + 1
+	if m.closed.Load() {
+		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
+	}
+	id := wire.BlobID(m.nextBlob.Add(1))
 	if err := m.logEvent(walEvent{
 		kind: walBranch, blob: id, parent: req.Blob,
 		version: req.Version, newSize: sizeAt,
 	}); err != nil {
 		return nil, err
 	}
-	m.nextBlob = id
-	m.blobs[id] = newBranchState(id, b, req.Version, sizeAt)
+	m.register(id, newShard(newBranchState(id, b, req.Version, sizeAt)))
 	return &wire.BranchResp{NewBlob: id}, nil
 }

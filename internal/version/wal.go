@@ -2,10 +2,14 @@ package version
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"blobseer/internal/wire"
 )
@@ -112,12 +116,47 @@ func decodeWALEvent(data []byte) (walEvent, error) {
 	return e, nil
 }
 
-// wal is the open log file. Appends happen under the manager's mutex, so
-// wal itself needs no locking.
+// errWALClosed is returned to appenders racing a manager shutdown.
+var errWALClosed = errors.New("version: wal closed")
+
+// wal is the open log file. Appends are safe for concurrent use and, by
+// default, group-committed: the first appender to find no active leader
+// becomes one, takes everything queued with it, writes the whole batch
+// with a single WriteAt and at most one fsync, and wakes the batch.
+// Leadership lasts exactly one batch — anything queued behind the batch
+// is handed to the first of those waiters — because appenders lead while
+// holding their blob's shard lock, and an open-ended tenure would stall
+// that blob behind other blobs' traffic. Appenders park until their
+// batch is durable, so the write-ahead contract (state applies only
+// after the event is on disk) holds while concurrent handlers share
+// fsyncs. The serial flag reverts to one write+fsync per event under the
+// lock — the pre-sharding behavior, kept as an ablation baseline.
 type wal struct {
-	f    *os.File
-	size int64
-	sync bool
+	f      *os.File
+	fsync  bool // fsync each commit
+	serial bool // disable group commit (ablation baseline)
+
+	mu      sync.Mutex
+	size    int64 // end of the committed log; owned by the committer
+	queue   []*walAppend
+	leading bool
+	closed  bool
+
+	appends atomic.Uint64 // records accepted
+	syncs   atomic.Uint64 // fsyncs issued
+}
+
+// walAppend is one queued record and its appender's parking spot.
+type walAppend struct {
+	rec  []byte
+	done chan struct{}
+	err  error
+	// delivered guards done against double close; promoted tells the
+	// woken waiter its record is NOT yet durable and it must lead the
+	// next batch itself. Both are written under wal.mu before done is
+	// closed and read only after done fires.
+	delivered bool
+	promoted  bool
 }
 
 // openWAL opens (creating if needed) the log at path, returning the
@@ -130,7 +169,7 @@ func openWAL(path string, sync bool) (*wal, []walEvent, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("version: open wal: %w", err)
 	}
-	w := &wal{f: f, sync: sync}
+	w := &wal{f: f, fsync: sync}
 	events, err := w.recover()
 	if err != nil {
 		f.Close()
@@ -188,39 +227,186 @@ func (w *wal) recover() ([]walEvent, error) {
 	return events, nil
 }
 
-// append writes one event durably (write-ahead: callers apply the state
-// change only after append returns nil).
-func (w *wal) append(e walEvent) error {
+// record frames one event for the log.
+func record(e walEvent) []byte {
 	data := e.encode()
 	rec := make([]byte, walHeaderSize+len(data))
 	binary.LittleEndian.PutUint32(rec[0:4], walMagic)
 	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(data)))
 	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(data))
 	copy(rec[walHeaderSize:], data)
-	if _, err := w.f.WriteAt(rec, w.size); err != nil {
+	return rec
+}
+
+// append writes one event durably (write-ahead: callers apply the state
+// change only after append returns nil). Concurrent appends coalesce into
+// group commits unless the wal is serial.
+func (w *wal) append(e walEvent) error {
+	rec := record(e)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errWALClosed
+	}
+	w.appends.Add(1)
+	if w.serial {
+		// One write + fsync per event with the lock held throughout, so
+		// concurrent appenders serialize on the disk.
+		err := w.commit([][]byte{rec})
+		w.mu.Unlock()
+		return err
+	}
+	a := &walAppend{rec: rec, done: make(chan struct{})}
+	w.queue = append(w.queue, a)
+	if !w.leading {
+		w.leading = true
+		return w.lead(a) // releases w.mu
+	}
+	w.mu.Unlock()
+	<-a.done
+	if a.promoted {
+		w.mu.Lock()
+		return w.lead(a) // releases w.mu
+	}
+	return a.err
+}
+
+// deliverLocked wakes a parked appender exactly once. Called with w.mu
+// held.
+func (w *wal) deliverLocked(a *walAppend, err error) {
+	if a.delivered {
+		return
+	}
+	a.delivered = true
+	a.err = err
+	close(a.done)
+}
+
+// lead commits one batch — the current queue, which includes self's own
+// record — with a single write and at most one fsync, delivers the
+// outcome, and hands leadership to the first appender queued behind the
+// batch. self is nil for a caretaker pass with no record of its own
+// (tests). Called with w.mu held; returns self's outcome with w.mu
+// released.
+func (w *wal) lead(self *walAppend) error {
+	// Collect: yield once so appenders that are runnable right now —
+	// typically the batch just delivered, already back with their next
+	// event — join this batch instead of each eating an fsync. This is
+	// what makes group commit form on a single core, where a leader
+	// blocked in a short fsync syscall does not reliably give up its P
+	// to the waiting appenders.
+	w.mu.Unlock()
+	runtime.Gosched()
+	w.mu.Lock()
+	batch := w.queue
+	w.queue = nil
+	closed := w.closed
+	w.mu.Unlock()
+	var err error
+	if closed {
+		// close() may already have drained the queue (batch can even be
+		// empty, self's record included in the drain); every outcome here
+		// is the same error, so the two drains cannot disagree.
+		err = errWALClosed
+	} else if len(batch) > 0 {
+		bufs := make([][]byte, len(batch))
+		for i, a := range batch {
+			bufs[i] = a.rec
+		}
+		err = w.commit(bufs)
+	}
+	w.mu.Lock()
+	for _, a := range batch {
+		if a == self {
+			// Self returns synchronously; its done channel may already be
+			// closed when it led a batch it was promoted into.
+			a.delivered = true
+			a.err = err
+		} else {
+			w.deliverLocked(a, err)
+		}
+	}
+	if len(w.queue) > 0 && !w.closed {
+		// One-batch tenure: whoever queued first behind this batch leads
+		// the next one; its record stays queued and commits in that batch.
+		next := w.queue[0]
+		next.promoted = true
+		w.deliverLocked(next, nil)
+	} else {
+		w.leading = false
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// commit appends bufs contiguously with a single write and at most one
+// fsync. Only one committer runs at a time (the leader, or a serial
+// appender under the lock), so w.size needs no extra synchronization. On
+// error w.size is not advanced and no state based on the batch may be
+// applied.
+func (w *wal) commit(bufs [][]byte) error {
+	var n int
+	for _, b := range bufs {
+		n += len(b)
+	}
+	out := make([]byte, 0, n)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	if _, err := w.f.WriteAt(out, w.size); err != nil {
 		return fmt.Errorf("version: wal append: %w", err)
 	}
-	if w.sync {
+	if w.fsync {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("version: wal fsync: %w", err)
 		}
+		w.syncs.Add(1)
 	}
-	w.size += int64(len(rec))
+	w.size += int64(n)
 	return nil
 }
 
+// stats reports records accepted and fsyncs issued since open. Nil-safe so
+// a non-durable manager can report zeros.
+func (w *wal) stats() (appends, syncs uint64) {
+	if w == nil {
+		return 0, 0
+	}
+	return w.appends.Load(), w.syncs.Load()
+}
+
+// close is idempotent and nil-safe. Queued appenders that no leader has
+// taken yet fail with errWALClosed; a leader mid-commit sees its file
+// operations fail and delivers that error to its batch.
 func (w *wal) close() error {
-	if w == nil || w.f == nil {
+	if w == nil {
 		return nil
 	}
-	err := w.f.Close()
-	w.f = nil
-	return err
+	w.mu.Lock()
+	if w.closed || w.f == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	for _, a := range w.queue {
+		// A promoted waiter was already woken and will observe closed when
+		// it leads; deliverLocked skips it.
+		w.deliverLocked(a, errWALClosed)
+	}
+	w.queue = nil
+	w.mu.Unlock()
+	return w.f.Close()
 }
 
 // replay applies recovered events to an empty manager state. In-flight
 // updates get assignedAt = now so the dead-writer sweeper measures their
 // staleness from the restart, not from a clock that no longer exists.
+//
+// Events of different blobs may interleave in any order (handlers append
+// concurrently under per-blob locks), but each blob's events appear in its
+// apply order, which is all replay needs: create/branch records are keyed
+// by the ids they introduce, and a blob's id is only revealed to clients
+// after its create or branch record is durable.
 func replay(events []walEvent, blobs map[wire.BlobID]*blobState, now int64) (nextBlob wire.BlobID, err error) {
 	for i, e := range events {
 		switch e.kind {
@@ -253,12 +439,10 @@ func replay(events []walEvent, blobs map[wire.BlobID]*blobState, now int64) (nex
 				return 0, fmt.Errorf("version: wal event %d assigns version %d, state expects %d",
 					i, e.version, b.next)
 			}
-			b.next++
-			b.inflight[e.version] = &update{
+			b.applyAssignState(assignPlan{
 				version: e.version, offset: e.offset, size: e.size,
-				newSize: e.newSize, assignedAt: now,
-			}
-			b.pendingSize = e.newSize
+				prevSize: b.pendingSize, newSize: e.newSize,
+			}, now)
 		case walComplete:
 			b, ok := blobs[e.blob]
 			if !ok {
