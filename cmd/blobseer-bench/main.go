@@ -11,6 +11,7 @@
 //	blobseer-bench -exp space      # A2: versioning storage overhead vs naive copies
 //	blobseer-bench -exp replication # A5: page replication cost/benefit (extension)
 //	blobseer-bench -exp vm         # A6: version-manager sharding + WAL group commit
+//	blobseer-bench -exp recovery   # A7: restart cost, WAL compaction on/off
 //	blobseer-bench -exp all        # everything above
 //
 // The -quick flag shrinks every experiment (fewer providers, smaller
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2a, fig2b, calibrate, writers, space, replication, vm, all")
+	exp := flag.String("exp", "all", "experiment: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, all")
 	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
 	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
 	flag.Parse()
@@ -137,6 +138,26 @@ func main() {
 			return err
 		}
 		fmt.Println("Ablation A6: version-manager per-blob locking + WAL group commit")
+		res.Table().Fprint(os.Stdout)
+		return nil
+	})
+
+	run("recovery", func() error {
+		dir, err := os.MkdirTemp("", "blobseer-recovery-bench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg := bench.RecoveryConfig{WALDir: dir}
+		if *quick {
+			cfg.Updates = 1000
+			cfg.CheckpointEvery = 200
+		}
+		res, err := bench.RunRecovery(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A7: bounded recovery — segmented WAL + snapshot/compaction")
 		res.Table().Fprint(os.Stdout)
 		return nil
 	})

@@ -43,6 +43,8 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log path for version state (version-manager role; default in-memory)")
 	walSync := flag.Bool("wal-sync", true, "fsync version WAL commits; concurrent updates share fsyncs via group commit (version-manager role)")
 	walSerial := flag.Bool("wal-serial", false, "disable WAL group commit: one write+fsync per event (version-manager role; ablation baseline)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 64<<20, "roll the version WAL into a new segment past this size (version-manager role)")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "snapshot version state and compact the WAL every N logged events; 0 = manual only (version-manager role)")
 	stripes := flag.Int("registry-stripes", 16, "RW-lock stripes over the blob registry (version-manager role)")
 	globalLock := flag.Bool("global-lock", false, "serialize all version-manager handlers behind one mutex (ablation baseline)")
 	deadTimeout := flag.Duration("dead-writer-timeout", 0, "abort updates of silent writers after this duration (version-manager role; 0 disables)")
@@ -65,6 +67,8 @@ func main() {
 			WALPath:           *walPath,
 			WALSync:           *walPath != "" && *walSync, // durability is the point of -wal
 			WALSerial:         *walSerial,
+			WALSegmentBytes:   *walSegBytes,
+			CheckpointEvery:   *checkpointEvery,
 			RegistryStripes:   *stripes,
 			GlobalLock:        *globalLock,
 		})

@@ -43,8 +43,17 @@ type ClusterOptions struct {
 	// DiskDir, when non-empty, makes the cluster durable: each data
 	// provider stores pages in a crash-safe append-only log under this
 	// directory instead of RAM, and the version manager keeps a
-	// write-ahead log of version state there too.
+	// segmented write-ahead log of version state there too.
 	DiskDir string
+	// WALSegmentBytes rolls the version manager's WAL into a fresh
+	// segment file once the active one exceeds this many bytes
+	// (0 = 64 MB default). Only meaningful with DiskDir.
+	WALSegmentBytes int64
+	// CheckpointEvery, when positive, snapshots the version state and
+	// compacts the WAL after that many logged events, bounding restart
+	// replay by the interval; Checkpoint forces one on demand. Only
+	// meaningful with DiskDir.
+	CheckpointEvery int
 	// DeadWriterTimeout aborts updates of crashed writers (0 disables).
 	DeadWriterTimeout time.Duration
 }
@@ -73,6 +82,8 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.DiskDir != "" {
 		dir := opts.DiskDir
 		cfg.VersionWALPath = dir + "/version-manager.wal"
+		cfg.VersionWALSegmentBytes = opts.WALSegmentBytes
+		cfg.VersionCheckpointEvery = opts.CheckpointEvery
 		cfg.MetaLogDir = dir
 		cfg.NewStore = func(i int) pagestore.Store {
 			d, err := pagestore.OpenDisk(
@@ -100,6 +111,15 @@ func (c *Cluster) Client() (*Client, error) {
 		return nil, err
 	}
 	return &Client{inner: inner}, nil
+}
+
+// Checkpoint forces the version manager to serialize its full state
+// into a snapshot and compact the write-ahead log, so the next restart
+// replays only events logged after this call. It is a no-op for a
+// non-durable cluster; automatic checkpoints (CheckpointEvery) make
+// calling it optional.
+func (c *Cluster) Checkpoint() error {
+	return c.inner.VM.Checkpoint()
 }
 
 // Close stops every service in the cluster.

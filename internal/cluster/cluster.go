@@ -52,6 +52,13 @@ type Config struct {
 	// events are logged there and replayed on restart (pair with
 	// DeadWriterTimeout).
 	VersionWALPath string
+	// VersionWALSegmentBytes rolls the version WAL into a fresh segment
+	// once the active one exceeds this many bytes (0 = 64 MB default).
+	VersionWALSegmentBytes int64
+	// VersionCheckpointEvery, when positive, snapshots version state and
+	// compacts the WAL after that many logged events, so restarts replay
+	// only the tail (0 disables automatic checkpoints).
+	VersionCheckpointEvery int
 	// MetaLogDir makes the metadata (DHT) nodes durable: node i keeps an
 	// append-only pair log at MetaLogDir/meta-<i>.log and reloads it on
 	// start. Combine with VersionWALPath and a disk-backed NewStore for a
@@ -185,6 +192,8 @@ func (cl *Cluster) start(
 		Sched:             cl.sched,
 		DeadWriterTimeout: cfg.DeadWriterTimeout,
 		WALPath:           cfg.VersionWALPath,
+		WALSegmentBytes:   cfg.VersionWALSegmentBytes,
+		CheckpointEvery:   cfg.VersionCheckpointEvery,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: version manager: %w", err)

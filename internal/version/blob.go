@@ -84,6 +84,29 @@ func newBranchState(id wire.BlobID, parent *blobState, at wire.Version, sizeAt u
 	}
 }
 
+// clone deep-copies the state machine. The checkpointer clones every
+// blob under full state exclusion and serializes the clones after
+// traffic has resumed, so the stop-the-world window is map copies, not
+// disk writes.
+func (b *blobState) clone() *blobState {
+	c := *b
+	c.lineage = append(wire.Lineage(nil), b.lineage...)
+	c.sizes = make(map[wire.Version]uint64, len(b.sizes))
+	for v, sz := range b.sizes {
+		c.sizes[v] = sz
+	}
+	c.aborted = make(map[wire.Version]bool, len(b.aborted))
+	for v := range b.aborted {
+		c.aborted[v] = true
+	}
+	c.inflight = make(map[wire.Version]*update, len(b.inflight))
+	for v, u := range b.inflight {
+		uc := *u
+		c.inflight[v] = &uc
+	}
+	return &c
+}
+
 // assignPlan is the decision an ASSIGN makes, computed once by planAssign
 // and consumed both by the write-ahead log record and by applyAssign, so
 // the logged event and the applied state cannot disagree.

@@ -1,0 +1,213 @@
+package version
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"blobseer/internal/wire"
+)
+
+// The checkpointer turns the write-ahead log from "replay everything"
+// into a bounded-recovery subsystem: it serializes the full version
+// state into a snapshot file at a segment boundary and deletes the
+// segments the snapshot covers. Crash-consistency invariants, in order:
+//
+//  1. The capture is a consistent cut: every mutating handler holds
+//     stateMu.RLock from before its event is logged until after it is
+//     applied, and the capture holds stateMu exclusively while it rolls
+//     the segment and clones the state — so the clone equals exactly the
+//     replay of all segments below the cut.
+//  2. The snapshot becomes visible only by the atomic rename of a fully
+//     written (and, when syncing, fsynced) tmp file: recovery never sees
+//     a half-written snapshot under the live name.
+//  3. Segments are deleted only after the rename (and directory sync) —
+//     a crash at any point leaves either the old snapshot with all its
+//     segments, or the new snapshot with at-worst-extra segments that
+//     recovery removes as stale.
+//
+// The crash-injection tests drive a hook through every fault point below
+// and assert the recovered state is byte-identical to an uncrashed
+// manager's.
+
+// Checkpoint fault points, in execution order. Tests enumerate these.
+const (
+	crashBegin          = "begin"           // before anything happened
+	crashCaptured       = "captured"        // state cloned, nothing on disk yet
+	crashTmpWritten     = "tmp-written"     // tmp snapshot fully written+synced
+	crashRenamed        = "renamed"         // snapshot live, segments not yet deleted
+	crashSegmentDeleted = "segment-deleted" // after each covered-segment delete
+)
+
+// crashPoints lists every fault point in order, for tests that want to
+// enumerate them exhaustively.
+var crashPoints = []string{crashBegin, crashCaptured, crashTmpWritten, crashRenamed, crashSegmentDeleted}
+
+// crash fires the test-only fault-injection hook; a non-nil return
+// aborts the checkpoint exactly as a crash at that point would (the
+// process would simply stop — nothing needs unwinding, recovery handles
+// every prefix).
+func (m *Manager) crash(point string) error {
+	if m.crashHook == nil {
+		return nil
+	}
+	return m.crashHook(point)
+}
+
+// Checkpoint serializes the full version state into an atomically
+// renamed snapshot file and deletes the write-ahead-log segments it
+// covers, so a restart replays only events logged after this call. It is
+// a no-op without a WAL, safe to call concurrently with traffic (the
+// stop-the-world portion is only a segment roll plus a state clone), and
+// serialized against other checkpoints. The background checkpointer
+// calls it every CheckpointEvery events; it is also the on-demand hook.
+func (m *Manager) Checkpoint() error {
+	if m.log == nil {
+		return nil
+	}
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	if m.closed.Load() {
+		return wire.NewError(wire.CodeUnavailable, "version manager shutting down")
+	}
+	if err := m.crash(crashBegin); err != nil {
+		return err
+	}
+	m.stateMu.Lock()
+	snap, err := m.captureLocked()
+	m.stateMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := m.crash(crashCaptured); err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(m.log.base, encodeSnapshot(snap), m.log.fsync); err != nil {
+		return err
+	}
+	if err := m.crash(crashTmpWritten); err != nil {
+		return err
+	}
+	if err := os.Rename(snapshotTmpPath(m.log.base), snapshotPath(m.log.base)); err != nil {
+		return fmt.Errorf("version: activate snapshot: %w", err)
+	}
+	if m.log.fsync {
+		if err := syncDir(filepath.Dir(m.log.base)); err != nil {
+			return fmt.Errorf("version: sync snapshot dir: %w", err)
+		}
+	}
+	if err := m.crash(crashRenamed); err != nil {
+		return err
+	}
+	segs, err := listSegments(m.log.base)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s >= snap.nextSeg {
+			continue
+		}
+		if err := os.Remove(segmentPath(m.log.base, s)); err != nil {
+			return fmt.Errorf("version: compact wal segment: %w", err)
+		}
+		if err := m.crash(crashSegmentDeleted); err != nil {
+			return err
+		}
+	}
+	if m.log.fsync {
+		if err := syncDir(filepath.Dir(m.log.base)); err != nil {
+			return fmt.Errorf("version: sync wal dir after compaction: %w", err)
+		}
+	}
+	m.ckptRuns.Add(1)
+	return nil
+}
+
+// captureLocked rolls the log to a fresh segment and clones every blob's
+// state. Called with stateMu held exclusively, which excludes every
+// mutating handler (they hold stateMu.RLock across log-append and state
+// apply) — so no commit is in flight during the roll and the clone is
+// exactly the state the segments below the cut replay to.
+func (m *Manager) captureLocked() (*snapshotState, error) {
+	w := m.log
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, errWALClosed
+	}
+	if w.size > 0 {
+		if err := w.rollLocked(); err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+	}
+	nextSeg := w.segIdx
+	w.mu.Unlock()
+	s := &snapshotState{nextSeg: nextSeg, nextBlob: wire.BlobID(m.nextBlob.Load())}
+	for _, sh := range m.allShards() {
+		s.blobs = append(s.blobs, sh.state.clone())
+	}
+	// Events up to the cut are covered; restart the auto-checkpoint
+	// countdown. Exact because no append can race this store.
+	m.ckptEvents.Store(0)
+	return s, nil
+}
+
+// writeSnapshotFile writes the framed payload to the tmp path and, when
+// syncing, fsyncs it — everything short of the activating rename.
+func writeSnapshotFile(base string, payload []byte, fsync bool) error {
+	frame := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
+	copy(frame[walHeaderSize:], payload)
+	tmp := snapshotTmpPath(base)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("version: create snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("version: write snapshot: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("version: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("version: close snapshot tmp: %w", err)
+	}
+	return nil
+}
+
+// checkpointLoop runs automatic checkpoints when CheckpointEvery is set.
+// It is a plain goroutine (not scheduler-driven): checkpointing is disk
+// work with no simulated-time component. Errors are not fatal — the log
+// simply keeps growing until the next trigger succeeds.
+func (m *Manager) checkpointLoop() {
+	for {
+		select {
+		case <-m.quitC:
+			return
+		case <-m.ckptC:
+			if m.closed.Load() {
+				return
+			}
+			m.Checkpoint()
+		}
+	}
+}
+
+// Checkpoints reports how many checkpoints completed since start.
+func (m *Manager) Checkpoints() uint64 { return m.ckptRuns.Load() }
+
+// RecoveryStats reports what this incarnation's open of the write-ahead
+// log did: whether a snapshot seeded the state and how many tail events
+// had to be replayed (all zeros when not durable). With compaction
+// enabled, EventsReplayed is bounded by the checkpoint interval
+// regardless of the manager's total history.
+func (m *Manager) RecoveryStats() RecoveryStats { return m.recStats }

@@ -95,7 +95,7 @@ func TestManagerCloseIdempotent(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatalf("nil wal close: %v", err)
 	}
-	w2, _, err := openWAL(filepath.Join(dir, "other.wal"), false)
+	w2, _, err := openWAL(filepath.Join(dir, "other.wal"), walOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,8 @@ func TestManagerCloseFailsParkedSyncOnce(t *testing.T) {
 // deterministically: with a leader marked active, concurrent appends
 // queue up, and one lead() pass commits all of them with a single fsync.
 func TestWALGroupCommitBatches(t *testing.T) {
-	w, _, err := openWAL(filepath.Join(t.TempDir(), "vm.wal"), true)
+	path := filepath.Join(t.TempDir(), "vm.wal")
+	w, _, err := openWAL(path, walOptions{fsync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,19 +192,19 @@ func TestWALGroupCommitBatches(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	w2, events, err := openWAL(w.f.Name(), false)
+	w2, rec, err := openWAL(path, walOptions{})
 	if err == nil {
 		defer w2.close()
 	}
-	if err != nil || len(events) != n {
-		t.Fatalf("reopen: %d events, err %v; want %d", len(events), err, n)
+	if err != nil || len(rec.events) != n {
+		t.Fatalf("reopen: %d events, err %v; want %d", len(rec.events), err, n)
 	}
 }
 
 // TestWALCloseFailsQueuedAppends checks shutdown while appends are parked
 // behind a leader: queued-but-untaken records fail with a clean error.
 func TestWALCloseFailsQueuedAppends(t *testing.T) {
-	w, _, err := openWAL(filepath.Join(t.TempDir(), "vm.wal"), false)
+	w, _, err := openWAL(filepath.Join(t.TempDir(), "vm.wal"), walOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,12 +257,13 @@ func TestWALTornBatchTailRestartsCleanly(t *testing.T) {
 	apply(t, m, &wire.AssignReq{Blob: id, Size: 500, Append: true}) // will be torn away
 	m.Close()
 
-	// Tear into the middle of the final record.
-	raw, err := os.ReadFile(path)
+	// Tear into the middle of the final record of the active segment.
+	seg := segmentPath(path, 1)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+	if err := os.WriteFile(seg, raw[:len(raw)-5], 0o644); err != nil {
 		t.Fatal(err)
 	}
 

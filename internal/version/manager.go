@@ -40,6 +40,18 @@ type ManagerConfig struct {
 	// write+fsync with the log locked, the pre-sharding behavior. Kept as
 	// an ablation baseline.
 	WALSerial bool
+	// WALSegmentBytes rolls the write-ahead log into a fresh segment file
+	// once the active one exceeds this many bytes (default 64 MB).
+	// Compaction deletes only whole segments covered by a checkpoint, so
+	// smaller segments reclaim space at a finer grain for more files.
+	WALSegmentBytes int64
+	// CheckpointEvery, when positive, checkpoints automatically after
+	// that many logged events: the full version state is serialized into
+	// an atomically renamed snapshot file and the segments it covers are
+	// deleted, bounding both the log's disk footprint and the restart
+	// replay work by the interval. Zero disables automatic checkpoints;
+	// Checkpoint() remains available on demand either way.
+	CheckpointEvery int
 	// RegistryStripes is the number of RW-locked stripes sharding the
 	// blob-id registry (default 16). Only blob lookup, create, and branch
 	// touch the registry; all per-blob work runs under that blob's own
@@ -73,8 +85,30 @@ type Manager struct {
 	// baseline); otherwise it is never touched.
 	global sync.Mutex
 
+	// stateMu makes checkpoints a consistent cut: every mutating handler
+	// holds it shared from before its event is logged until after the
+	// state change applies, and the checkpointer holds it exclusively
+	// only while rolling the log segment and cloning the state. Readers
+	// and parked SYNC waiters never touch it. Lock order: stateMu, then
+	// shard mutexes, then wal internals.
+	stateMu sync.RWMutex
+
 	stripes  []registryStripe
 	nextBlob atomic.Uint64 // last allocated blob id
+
+	// Checkpoint machinery (see checkpoint.go). ckptMu serializes
+	// checkpoint runs and doubles as the shutdown barrier; ckptEvents
+	// counts events since the last cut; ckptC nudges the background
+	// checkpointer; quitC stops it.
+	ckptMu     sync.Mutex
+	ckptEvents atomic.Uint64
+	ckptRuns   atomic.Uint64
+	ckptC      chan struct{}
+	quitC      chan struct{}
+	recStats   RecoveryStats
+
+	// crashHook is the test-only checkpoint fault injector.
+	crashHook func(point string) error
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -130,18 +164,41 @@ func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, er
 		m.stripes[i].blobs = make(map[wire.BlobID]*blobShard)
 	}
 	if cfg.WALPath != "" {
-		log, events, err := openWAL(cfg.WALPath, cfg.WALSync)
+		log, rec, err := openWAL(cfg.WALPath, walOptions{
+			fsync:    cfg.WALSync,
+			serial:   cfg.WALSerial,
+			segBytes: cfg.WALSegmentBytes,
+		})
 		if err != nil {
 			return nil, err
 		}
-		log.serial = cfg.WALSerial
+		now := int64(cfg.Sched.Now())
 		blobs := make(map[wire.BlobID]*blobState)
-		next, err := replay(events, blobs, int64(cfg.Sched.Now()))
+		var next wire.BlobID
+		if rec.snap != nil {
+			next = rec.snap.nextBlob
+			for _, b := range rec.snap.blobs {
+				// Snapshots do not store assignedAt (it is restart-relative):
+				// the sweeper measures staleness from this incarnation.
+				for _, u := range b.inflight {
+					u.assignedAt = now
+				}
+				blobs[b.id] = b
+				if b.id > next {
+					next = b.id
+				}
+			}
+		}
+		rnext, err := replay(rec.events, blobs, now)
 		if err != nil {
 			log.close()
 			return nil, err
 		}
+		if rnext > next {
+			next = rnext
+		}
 		m.log = log
+		m.recStats = rec.stats
 		m.nextBlob.Store(uint64(next))
 		// Pre-serve: no handler can race these inserts.
 		for id, b := range blobs {
@@ -152,6 +209,11 @@ func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, er
 	m.srv = rpc.Serve(ln, cfg.Sched, m.mux)
 	if cfg.DeadWriterTimeout > 0 {
 		cfg.Sched.Go(m.sweepLoop)
+	}
+	if m.log != nil && cfg.CheckpointEvery > 0 {
+		m.ckptC = make(chan struct{}, 1)
+		m.quitC = make(chan struct{})
+		go m.checkpointLoop()
 	}
 	return m, nil
 }
@@ -195,6 +257,13 @@ func (m *Manager) Close() {
 			ev.Fire(wire.NewError(wire.CodeUnavailable, "version manager shutting down"))
 		}
 		m.srv.Close()
+		if m.quitC != nil {
+			close(m.quitC)
+		}
+		// Barrier: an in-flight checkpoint finishes (its snapshot is
+		// valid and worth keeping) before the log closes under it.
+		m.ckptMu.Lock()
+		m.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 		m.log.close()
 	})
 }
@@ -251,7 +320,9 @@ func (m *Manager) register(id wire.BlobID, sh *blobShard) {
 // logEvent appends e to the write-ahead log (no-op when not durable) and
 // parks until it is durable. Callers hold the lock of the shard e mutates
 // (none yet exists for a create), so each blob's log order matches its
-// apply order even though batches interleave events of different blobs.
+// apply order even though batches interleave events of different blobs —
+// and they hold stateMu shared (see mutate), so a checkpoint capture
+// never splits an event from its state change.
 func (m *Manager) logEvent(e walEvent) error {
 	if m.log == nil {
 		return nil
@@ -259,7 +330,22 @@ func (m *Manager) logEvent(e walEvent) error {
 	if err := m.log.append(e); err != nil {
 		return wire.NewError(wire.CodeUnavailable, "version log: %v", err)
 	}
+	if n := m.cfg.CheckpointEvery; n > 0 && m.ckptEvents.Add(1) >= uint64(n) {
+		select {
+		case m.ckptC <- struct{}{}:
+		default: // a nudge is already pending
+		}
+	}
 	return nil
+}
+
+// mutate marks a state-changing handler region for the checkpointer: the
+// returned func must be held from before the handler logs its event
+// until after the state change applies, so a checkpoint capture is a
+// consistent cut. Read-only handlers (and parked SYNC waiters) skip it.
+func (m *Manager) mutate() func() {
+	m.stateMu.RLock()
+	return m.stateMu.RUnlock
 }
 
 // sizeThroughLineage resolves GET_SIZE across branch boundaries: version
@@ -326,6 +412,7 @@ func (m *Manager) sweepLoop() {
 			return
 		}
 		unlock := m.enter()
+		release := m.mutate() // sweeper aborts are state changes too
 		cutoff := int64(m.sched.Now()) - int64(m.cfg.DeadWriterTimeout)
 		var wake []func()
 		for _, sh := range m.allShards() {
@@ -356,6 +443,7 @@ func (m *Manager) sweepLoop() {
 			}
 			sh.mu.Unlock()
 		}
+		release()
 		unlock()
 		for _, fn := range wake {
 			fn()
@@ -392,6 +480,7 @@ func (m *Manager) handleCreate(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if m.closed.Load() {
 		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
 	}
+	defer m.mutate()()
 	// The id is reserved before logging; if the log append fails the id is
 	// simply burned (ids are unique, not dense). No other event for this
 	// blob can enter the log first, because the id is unknown to clients
@@ -428,6 +517,7 @@ func (m *Manager) handleAssign(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if err != nil {
 		return nil, err
 	}
+	defer m.mutate()()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	// Plan once, log the plan, apply the same plan: the WAL record and the
@@ -453,6 +543,7 @@ func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, err
 	if err != nil {
 		return nil, err
 	}
+	defer m.mutate()()
 	sh.mu.Lock()
 	b := sh.state
 	// Log only completions that will change state (write-ahead); error and
@@ -484,6 +575,7 @@ func (m *Manager) handleAbort(_ context.Context, msg wire.Msg) (wire.Msg, error)
 	if err != nil {
 		return nil, err
 	}
+	defer m.mutate()()
 	sh.mu.Lock()
 	b := sh.state
 	// Log only aborts that will change state (write-ahead).
@@ -622,6 +714,7 @@ func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if err != nil {
 		return nil, err
 	}
+	defer m.mutate()()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	b := sh.state

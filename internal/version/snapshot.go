@@ -1,0 +1,306 @@
+package version
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sort"
+
+	"blobseer/internal/wire"
+)
+
+// A snapshot is the full version state — blob registry, per-blob state
+// machines, published sizes, aborted versions, in-flight updates,
+// lineages — serialized at a segment boundary of the write-ahead log.
+// Recovery loads the newest valid snapshot and replays only the segments
+// at or above snapshotState.nextSeg; everything below it is garbage and
+// is deleted by compaction.
+//
+// File layout mirrors a WAL record, with its own magic:
+//
+//	uint32 snapMagic | uint32 dataLen | uint32 crc32(data) | data
+//
+// and the file is written to <base>.snapshot.tmp, fsynced, then
+// atomically renamed to <base>.snapshot, so the snapshot visible at that
+// name is always internally complete (a torn one can only mean a disk
+// fault or a crash racing the rename of a never-activated tmp, and
+// recovery falls back to full replay).
+//
+// The encoding is canonical: blobs ascend by id, map entries ascend by
+// key, and the decoder rejects anything unsorted, duplicated, or
+// trailing. That makes encode∘decode the identity on valid inputs — the
+// property FuzzDecodeSnapshot pins.
+
+const (
+	snapMagic  = 0x5EE55AA7
+	snapFormat = 1
+
+	// update flag bits in the in-flight encoding.
+	snapInflightCompleted = 1
+	snapInflightAborted   = 2
+)
+
+// snapshotPath names the live snapshot of the log rooted at base.
+func snapshotPath(base string) string { return base + ".snapshot" }
+
+// snapshotTmpPath names the in-progress snapshot; never read by recovery.
+func snapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+
+// snapshotState is a consistent cut of the manager's version state.
+type snapshotState struct {
+	nextSeg  uint64      // first WAL segment NOT covered by this snapshot
+	nextBlob wire.BlobID // last allocated blob id at the cut
+	blobs    []*blobState
+}
+
+// encodeSnapshot serializes s canonically (blobs sorted by id). The
+// in-flight updates' assignedAt is deliberately not stored: it is a
+// restart-relative sweeper timestamp, and recovery stamps it with the
+// new incarnation's clock — which also makes snapshots of identical
+// logical state byte-identical, the invariant the crash-injection tests
+// assert.
+func encodeSnapshot(s *snapshotState) []byte {
+	sort.Slice(s.blobs, func(i, j int) bool { return s.blobs[i].id < s.blobs[j].id })
+	w := wire.NewWriter(256)
+	w.Uint32(snapFormat)
+	w.Uint64(s.nextSeg)
+	w.Uint64(uint64(s.nextBlob))
+	w.Uint32(uint32(len(s.blobs)))
+	for _, b := range s.blobs {
+		encodeBlobState(w, b)
+	}
+	return w.Bytes()
+}
+
+func encodeBlobState(w *wire.Writer, b *blobState) {
+	w.Uint64(uint64(b.id))
+	w.Uint32(b.pageSize)
+	// Lineage order is semantic (youngest entry first) and deterministic
+	// by construction, so it is stored verbatim, not sorted.
+	w.Uint32(uint32(len(b.lineage)))
+	for _, e := range b.lineage {
+		w.Uint64(uint64(e.Blob))
+		w.Uint64(e.MinVersion)
+	}
+	w.Uint64(uint64(b.next))
+	w.Uint64(uint64(b.published))
+	w.Uint64(uint64(b.readable))
+	w.Uint64(b.pendingSize)
+
+	sizes := sortedVersions(len(b.sizes), func(yield func(wire.Version)) {
+		for v := range b.sizes {
+			yield(v)
+		}
+	})
+	w.Uint32(uint32(len(sizes)))
+	for _, v := range sizes {
+		w.Uint64(uint64(v))
+		w.Uint64(b.sizes[v])
+	}
+
+	aborted := sortedVersions(len(b.aborted), func(yield func(wire.Version)) {
+		for v := range b.aborted {
+			yield(v)
+		}
+	})
+	w.Uint32(uint32(len(aborted)))
+	for _, v := range aborted {
+		w.Uint64(uint64(v))
+	}
+
+	inflight := sortedVersions(len(b.inflight), func(yield func(wire.Version)) {
+		for v := range b.inflight {
+			yield(v)
+		}
+	})
+	w.Uint32(uint32(len(inflight)))
+	for _, v := range inflight {
+		u := b.inflight[v]
+		w.Uint64(uint64(v))
+		w.Uint64(u.offset)
+		w.Uint64(u.size)
+		w.Uint64(u.newSize)
+		var flags uint8
+		if u.completed {
+			flags |= snapInflightCompleted
+		}
+		if u.aborted {
+			flags |= snapInflightAborted
+		}
+		w.Uint8(flags)
+	}
+}
+
+// sortedVersions collects map keys via the collect callback and returns
+// them ascending.
+func sortedVersions(n int, collect func(yield func(wire.Version))) []wire.Version {
+	out := make([]wire.Version, 0, n)
+	collect(func(v wire.Version) { out = append(out, v) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// errSnapshotEncoding tags structurally invalid snapshot payloads.
+var errSnapshotEncoding = errors.New("version: invalid snapshot encoding")
+
+// snapCount reads a length prefix and bounds it by the bytes that many
+// entries of at least elemBytes each would need, so a hostile prefix
+// cannot drive a huge allocation.
+func snapCount(r *wire.Reader, elemBytes int) (int, error) {
+	n := r.Uint32()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if int64(n)*int64(elemBytes) > int64(r.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining input", errSnapshotEncoding, n)
+	}
+	return int(n), nil
+}
+
+// decodeSnapshot parses a snapshot payload. It never panics on arbitrary
+// bytes (FuzzDecodeSnapshot pins this) and rejects non-canonical input —
+// unsorted or duplicate keys, unknown flags, trailing bytes — so a
+// successful decode re-encodes to exactly the input. In-flight updates
+// come back with assignedAt zero; the manager stamps them at load.
+func decodeSnapshot(data []byte) (*snapshotState, error) {
+	r := wire.NewReader(data)
+	if f := r.Uint32(); r.Err() == nil && f != snapFormat {
+		return nil, fmt.Errorf("%w: unknown format %d", errSnapshotEncoding, f)
+	}
+	s := &snapshotState{
+		nextSeg:  r.Uint64(),
+		nextBlob: wire.BlobID(r.Uint64()),
+	}
+	nblobs, err := snapCount(r, 8+4+4+4*8+3*4)
+	if err != nil {
+		return nil, err
+	}
+	s.blobs = make([]*blobState, 0, nblobs)
+	for i := 0; i < nblobs; i++ {
+		b, err := decodeBlobState(r)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && b.id <= s.blobs[i-1].id {
+			return nil, fmt.Errorf("%w: blob ids not strictly ascending", errSnapshotEncoding)
+		}
+		s.blobs = append(s.blobs, b)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("version: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+func decodeBlobState(r *wire.Reader) (*blobState, error) {
+	b := &blobState{
+		id:       wire.BlobID(r.Uint64()),
+		pageSize: r.Uint32(),
+	}
+	nlin, err := snapCount(r, 16)
+	if err != nil {
+		return nil, err
+	}
+	b.lineage = make(wire.Lineage, 0, nlin)
+	for i := 0; i < nlin; i++ {
+		b.lineage = append(b.lineage, wire.LineageEntry{
+			Blob:       wire.BlobID(r.Uint64()),
+			MinVersion: r.Uint64(),
+		})
+	}
+	b.next = wire.Version(r.Uint64())
+	b.published = wire.Version(r.Uint64())
+	b.readable = wire.Version(r.Uint64())
+	b.pendingSize = r.Uint64()
+
+	nsizes, err := snapCount(r, 16)
+	if err != nil {
+		return nil, err
+	}
+	b.sizes = make(map[wire.Version]uint64, nsizes)
+	for i, prev := 0, wire.Version(0); i < nsizes; i++ {
+		v := wire.Version(r.Uint64())
+		if i > 0 && v <= prev {
+			return nil, fmt.Errorf("%w: size versions not strictly ascending", errSnapshotEncoding)
+		}
+		prev = v
+		b.sizes[v] = r.Uint64()
+	}
+
+	naborted, err := snapCount(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	b.aborted = make(map[wire.Version]bool, naborted)
+	for i, prev := 0, wire.Version(0); i < naborted; i++ {
+		v := wire.Version(r.Uint64())
+		if i > 0 && v <= prev {
+			return nil, fmt.Errorf("%w: aborted versions not strictly ascending", errSnapshotEncoding)
+		}
+		prev = v
+		b.aborted[v] = true
+	}
+
+	ninflight, err := snapCount(r, 4*8+1)
+	if err != nil {
+		return nil, err
+	}
+	b.inflight = make(map[wire.Version]*update, ninflight)
+	for i, prev := 0, wire.Version(0); i < ninflight; i++ {
+		v := wire.Version(r.Uint64())
+		if i > 0 && v <= prev {
+			return nil, fmt.Errorf("%w: in-flight versions not strictly ascending", errSnapshotEncoding)
+		}
+		prev = v
+		u := &update{
+			version: v,
+			offset:  r.Uint64(),
+			size:    r.Uint64(),
+			newSize: r.Uint64(),
+		}
+		flags := r.Uint8()
+		if flags&^uint8(snapInflightCompleted|snapInflightAborted) != 0 {
+			return nil, fmt.Errorf("%w: unknown in-flight flags %#x", errSnapshotEncoding, flags)
+		}
+		u.completed = flags&snapInflightCompleted != 0
+		u.aborted = flags&snapInflightAborted != 0
+		b.inflight[v] = u
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("version: decoding snapshot blob: %w", r.Err())
+	}
+	return b, nil
+}
+
+// loadSnapshot reads and validates the snapshot file. A missing file is
+// (nil, nil); a torn or corrupt one is an error the caller downgrades to
+// full replay.
+func loadSnapshot(path string) (*snapshotState, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("version: read snapshot: %w", err)
+	}
+	if len(raw) < walHeaderSize {
+		return nil, fmt.Errorf("version: snapshot torn: %d bytes", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != snapMagic {
+		return nil, fmt.Errorf("version: bad snapshot magic")
+	}
+	dataLen := binary.LittleEndian.Uint32(raw[4:8])
+	wantCRC := binary.LittleEndian.Uint32(raw[8:12])
+	if int64(walHeaderSize)+int64(dataLen) != int64(len(raw)) {
+		return nil, fmt.Errorf("version: snapshot torn: declares %d payload bytes, has %d",
+			dataLen, len(raw)-walHeaderSize)
+	}
+	data := raw[walHeaderSize:]
+	if crc32.ChecksumIEEE(data) != wantCRC {
+		return nil, fmt.Errorf("version: snapshot crc mismatch")
+	}
+	return decodeSnapshot(data)
+}

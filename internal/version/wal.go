@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -18,23 +20,36 @@ import (
 // restarts — an extension: the paper's prototype kept version state in
 // memory and listed failure handling as future work. Every state-changing
 // event (create, branch, assign, complete, abort) is appended to the log
-// before it is applied, so a manager restarted on the same log file
+// before it is applied, so a manager restarted on the same log
 // continues exactly where the previous incarnation stopped: published
 // snapshots stay published, in-flight updates stay in flight (and are
 // swept by the dead-writer timeout if their writer died with the crash —
 // enable DeadWriterTimeout together with WALPath, or an unfinished update
 // can block publication forever, just as a crashed client could).
 //
+// The log is segmented: records append to the active segment file
+// (<base>.000001, <base>.000002, …) and the committer rolls to a fresh
+// segment once the active one exceeds segBytes. Rolling is what makes
+// compaction possible — the checkpointer (see checkpoint.go) serializes
+// the full state into <base>.snapshot and deletes the segments the
+// snapshot covers, so recovery loads the snapshot and replays only the
+// tail segments instead of the entire history.
+//
 // Record layout (little-endian), following the page store's log format:
 //
 //	uint32 magic | uint32 dataLen | uint32 crc32(data) | data
 //
-// where data is a wire-encoded event. A torn tail (crash mid-append) is
-// truncated on recovery; corruption before valid records fails the open.
+// where data is a wire-encoded event. A torn tail in the final segment
+// (crash mid-append) is truncated on recovery; corruption anywhere else
+// fails the open.
 
 const (
 	walMagic      = 0x5EE5B10C
 	walHeaderSize = 4 + 4 + 4
+
+	// defaultSegmentBytes is the roll threshold when the config leaves
+	// WALSegmentBytes zero.
+	defaultSegmentBytes = 64 << 20
 )
 
 // event kinds.
@@ -119,25 +134,106 @@ func decodeWALEvent(data []byte) (walEvent, error) {
 // errWALClosed is returned to appenders racing a manager shutdown.
 var errWALClosed = errors.New("version: wal closed")
 
-// wal is the open log file. Appends are safe for concurrent use and, by
-// default, group-committed: the first appender to find no active leader
-// becomes one, takes everything queued with it, writes the whole batch
-// with a single WriteAt and at most one fsync, and wakes the batch.
-// Leadership lasts exactly one batch — anything queued behind the batch
-// is handed to the first of those waiters — because appenders lead while
-// holding their blob's shard lock, and an open-ended tenure would stall
-// that blob behind other blobs' traffic. Appenders park until their
-// batch is durable, so the write-ahead contract (state applies only
-// after the event is on disk) holds while concurrent handlers share
+// segmentPath names segment idx of the log rooted at base.
+func segmentPath(base string, idx uint64) string {
+	return fmt.Sprintf("%s.%06d", base, idx)
+}
+
+// listSegments returns the segment indices present for base, ascending.
+// Non-numeric siblings (the snapshot, stray files) are ignored.
+func listSegments(base string) ([]uint64, error) {
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		return nil, fmt.Errorf("version: list wal segments: %w", err)
+	}
+	prefix := filepath.Base(base) + "."
+	var out []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		idx, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+		if err != nil || idx == 0 {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames, creations and deletions in it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RecoveryStats describes what one open of the write-ahead log did: how
+// much of the state came from the snapshot and how much had to be
+// replayed from tail segments. With compaction running, EventsReplayed
+// stays bounded by the checkpoint interval no matter how long the
+// manager has been alive.
+type RecoveryStats struct {
+	SnapshotLoaded bool   // a valid snapshot seeded the state
+	SnapshotBlobs  int    // blobs restored from the snapshot
+	SegmentsOnDisk int    // live segments found or created at open
+	StaleRemoved   int    // covered/stale segments deleted at open
+	EventsReplayed int    // events replayed from tail segments
+	ActiveSegment  uint64 // index of the segment now appended to
+}
+
+// walOptions configures openWAL.
+type walOptions struct {
+	fsync    bool  // fsync each commit
+	serial   bool  // disable group commit (ablation baseline)
+	segBytes int64 // roll threshold (0 = defaultSegmentBytes)
+}
+
+// walRecovery is everything recovered by openWAL: the snapshot state (if
+// a valid one existed), the tail events to replay on top of it, and the
+// stats describing the recovery.
+type walRecovery struct {
+	snap   *snapshotState // nil without a usable snapshot
+	events []walEvent
+	stats  RecoveryStats
+}
+
+// wal is the open segmented log. Appends are safe for concurrent use
+// and, by default, group-committed: the first appender to find no active
+// leader becomes one, takes everything queued with it, writes the whole
+// batch with a single WriteAt and at most one fsync, and wakes the
+// batch. Leadership lasts exactly one batch — anything queued behind the
+// batch is handed to the first of those waiters — because appenders lead
+// while holding their blob's shard lock, and an open-ended tenure would
+// stall that blob behind other blobs' traffic. Appenders park until
+// their batch is durable, so the write-ahead contract (state applies
+// only after the event is on disk) holds while concurrent handlers share
 // fsyncs. The serial flag reverts to one write+fsync per event under the
 // lock — the pre-sharding behavior, kept as an ablation baseline.
+//
+// The active-segment fields (f, segIdx, size) are owned by whichever
+// goroutine is the exclusive committer; they change under mu (roll,
+// close) but are read lock-free inside commit, which is safe because a
+// segment never rolls while a commit is in flight.
 type wal struct {
-	f      *os.File
-	fsync  bool // fsync each commit
-	serial bool // disable group commit (ablation baseline)
+	base     string // path prefix; segments live at base.NNNNNN
+	fsync    bool   // fsync each commit
+	serial   bool   // disable group commit (ablation baseline)
+	segBytes int64  // roll threshold
 
 	mu      sync.Mutex
-	size    int64 // end of the committed log; owned by the committer
+	f       *os.File // active segment
+	segIdx  uint64   // index of the active segment
+	size    int64    // committed bytes in the active segment
 	queue   []*walAppend
 	leading bool
 	closed  bool
@@ -159,30 +255,154 @@ type walAppend struct {
 	promoted  bool
 }
 
-// openWAL opens (creating if needed) the log at path, returning the
-// replayable events found in it. A torn final record is truncated away.
-func openWAL(path string, sync bool) (*wal, []walEvent, error) {
+// openWAL opens (creating if needed) the segmented log rooted at path:
+// it loads the newest valid snapshot, deletes segments the snapshot
+// covers (a compaction crash can leave them behind), replays the tail
+// segments, and opens the highest segment for appending. A torn tail in
+// the final segment is truncated; a torn or corrupt snapshot is ignored
+// and recovery falls back to replaying every segment still on disk. A
+// single-file log from before segmentation is migrated by renaming it to
+// segment 1.
+func openWAL(path string, opts walOptions) (*wal, *walRecovery, error) {
+	if opts.segBytes <= 0 {
+		opts.segBytes = defaultSegmentBytes
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("version: create wal dir: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("version: open wal: %w", err)
+	rec := &walRecovery{}
+	// A torn/corrupt snapshot (crash mid-checkpoint, disk fault) degrades
+	// to full replay — only a durably renamed snapshot ever justified
+	// deleting segments, so the fallback is complete unless the disk lost
+	// an already-synced file; that case is refused below rather than
+	// recovered incompletely.
+	snap, snapErr := loadSnapshot(snapshotPath(path))
+	if snapErr == nil && snap != nil {
+		rec.snap = snap
+		rec.stats.SnapshotLoaded = true
+		rec.stats.SnapshotBlobs = len(snap.blobs)
 	}
-	w := &wal{f: f, fsync: sync}
-	events, err := w.recover()
+	os.Remove(snapshotTmpPath(path)) // a leftover tmp is garbage
+
+	segs, err := listSegments(path)
 	if err != nil {
-		f.Close()
 		return nil, nil, err
 	}
-	return w, events, nil
+	if len(segs) == 0 && rec.snap == nil {
+		// Legacy layout: a single log file at exactly path.
+		if info, err := os.Stat(path); err == nil && info.Mode().IsRegular() {
+			if err := os.Rename(path, segmentPath(path, 1)); err != nil {
+				return nil, nil, fmt.Errorf("version: migrate legacy wal: %w", err)
+			}
+			segs = []uint64{1}
+		}
+	}
+
+	first := uint64(1)
+	if rec.snap != nil {
+		first = rec.snap.nextSeg
+	}
+	var stale, live []uint64
+	for _, s := range segs {
+		if s < first {
+			stale = append(stale, s)
+		} else {
+			live = append(live, s)
+		}
+	}
+	// Validate the live set before touching anything on disk, so a
+	// refused open never destroys segments that could aid recovery.
+	if rec.snap == nil {
+		// Without a usable snapshot, recovery is full replay, which needs
+		// the history from segment 1. Missing earlier segments mean a
+		// prior compaction relied on a snapshot the disk has since lost —
+		// refuse rather than come up with pre-snapshot blobs silently gone.
+		if len(live) > 0 && live[0] != 1 {
+			return nil, nil, fmt.Errorf("version: wal segments before %06d are missing and no usable snapshot exists (snapshot: %v)",
+				live[0], snapErr)
+		}
+		if snapErr != nil && len(live) == 0 {
+			return nil, nil, fmt.Errorf("version: snapshot unreadable and no wal segments remain: %w", snapErr)
+		}
+	}
+	if len(live) > 0 {
+		if rec.snap != nil && live[0] != first {
+			return nil, nil, fmt.Errorf("version: wal segment %06d missing (snapshot covers up to it, oldest present is %06d)",
+				first, live[0])
+		}
+		for i, s := range live {
+			if s != live[0]+uint64(i) {
+				return nil, nil, fmt.Errorf("version: wal segment %06d missing (gap before %06d)",
+					live[0]+uint64(i), s)
+			}
+		}
+	}
+	for _, s := range stale {
+		// Covered by the snapshot; a crash between the snapshot rename
+		// and the deletes leaves them behind.
+		if err := os.Remove(segmentPath(path, s)); err != nil {
+			return nil, nil, fmt.Errorf("version: remove stale wal segment: %w", err)
+		}
+		rec.stats.StaleRemoved++
+	}
+
+	for i, s := range live {
+		events, err := scanSegment(segmentPath(path, s), i == len(live)-1)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.events = append(rec.events, events...)
+	}
+	rec.stats.EventsReplayed = len(rec.events)
+
+	active := first
+	if len(live) > 0 {
+		active = live[len(live)-1]
+	}
+	f, err := os.OpenFile(segmentPath(path, active), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("version: open wal segment: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("version: stat wal segment: %w", err)
+	}
+	w := &wal{
+		base:     path,
+		fsync:    opts.fsync,
+		serial:   opts.serial,
+		segBytes: opts.segBytes,
+		f:        f,
+		segIdx:   active,
+		size:     info.Size(),
+	}
+	if opts.fsync {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("version: sync wal dir: %w", err)
+		}
+	}
+	rec.stats.SegmentsOnDisk = len(live)
+	if len(live) == 0 {
+		rec.stats.SegmentsOnDisk = 1 // the freshly created active segment
+	}
+	rec.stats.ActiveSegment = active
+	return w, rec, nil
 }
 
-// recover scans the log, returning its events and truncating a torn tail.
-func (w *wal) recover() ([]walEvent, error) {
-	info, err := w.f.Stat()
+// scanSegment reads every record in one segment file. A torn tail is
+// truncated away when allowTorn is set (the final segment — a crash
+// mid-append); anywhere else a short or corrupt record fails the open.
+func scanSegment(path string, allowTorn bool) ([]walEvent, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return nil, fmt.Errorf("version: stat wal: %w", err)
+		return nil, fmt.Errorf("version: open wal segment: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("version: stat wal segment: %w", err)
 	}
 	logLen := info.Size()
 	var events []walEvent
@@ -192,11 +412,11 @@ func (w *wal) recover() ([]walEvent, error) {
 		if logLen-off < walHeaderSize {
 			break // torn header
 		}
-		if _, err := w.f.ReadAt(hdr[:], off); err != nil {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
 			return nil, fmt.Errorf("version: read wal header at %d: %w", off, err)
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != walMagic {
-			return nil, fmt.Errorf("version: bad wal magic at offset %d: log corrupted", off)
+			return nil, fmt.Errorf("version: bad wal magic in %s at offset %d: log corrupted", path, off)
 		}
 		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
 		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
@@ -205,11 +425,11 @@ func (w *wal) recover() ([]walEvent, error) {
 			break // torn payload
 		}
 		data := make([]byte, dataLen)
-		if _, err := w.f.ReadAt(data, dataOff); err != nil {
+		if _, err := f.ReadAt(data, dataOff); err != nil {
 			return nil, fmt.Errorf("version: read wal payload at %d: %w", dataOff, err)
 		}
 		if crc32.ChecksumIEEE(data) != wantCRC {
-			return nil, fmt.Errorf("version: wal crc mismatch at offset %d: log corrupted", off)
+			return nil, fmt.Errorf("version: wal crc mismatch in %s at offset %d: log corrupted", path, off)
 		}
 		e, err := decodeWALEvent(data)
 		if err != nil {
@@ -219,11 +439,13 @@ func (w *wal) recover() ([]walEvent, error) {
 		off = dataOff + int64(dataLen)
 	}
 	if off < logLen {
-		if err := w.f.Truncate(off); err != nil {
+		if !allowTorn {
+			return nil, fmt.Errorf("version: torn record in non-final wal segment %s: log corrupted", path)
+		}
+		if err := f.Truncate(off); err != nil {
 			return nil, fmt.Errorf("version: truncate torn wal tail: %w", err)
 		}
 	}
-	w.size = off
 	return events, nil
 }
 
@@ -253,6 +475,9 @@ func (w *wal) append(e walEvent) error {
 		// One write + fsync per event with the lock held throughout, so
 		// concurrent appenders serialize on the disk.
 		err := w.commit([][]byte{rec})
+		if err == nil && w.size >= w.segBytes {
+			w.rollLocked() // best effort: a failed roll leaves the oversized segment active
+		}
 		w.mu.Unlock()
 		return err
 	}
@@ -316,6 +541,9 @@ func (w *wal) lead(self *walAppend) error {
 		err = w.commit(bufs)
 	}
 	w.mu.Lock()
+	if err == nil && len(batch) > 0 && w.size >= w.segBytes {
+		w.rollLocked() // best effort: a failed roll leaves the oversized segment active
+	}
 	for _, a := range batch {
 		if a == self {
 			// Self returns synchronously; its done channel may already be
@@ -339,11 +567,11 @@ func (w *wal) lead(self *walAppend) error {
 	return err
 }
 
-// commit appends bufs contiguously with a single write and at most one
-// fsync. Only one committer runs at a time (the leader, or a serial
-// appender under the lock), so w.size needs no extra synchronization. On
-// error w.size is not advanced and no state based on the batch may be
-// applied.
+// commit appends bufs contiguously to the active segment with a single
+// write and at most one fsync. Only one committer runs at a time (the
+// leader, or a serial appender under the lock), so the active-segment
+// fields need no extra synchronization. On error w.size is not advanced
+// and no state based on the batch may be applied.
 func (w *wal) commit(bufs [][]byte) error {
 	var n int
 	for _, b := range bufs {
@@ -363,6 +591,37 @@ func (w *wal) commit(bufs [][]byte) error {
 		w.syncs.Add(1)
 	}
 	w.size += int64(n)
+	return nil
+}
+
+// rollLocked closes the active segment and opens the next one. Called
+// with w.mu held, and only when no commit is in flight: by the committer
+// itself after its batch, or by the checkpointer while every mutating
+// handler is excluded. Events never span segments, so each segment
+// replays independently.
+func (w *wal) rollLocked() error {
+	if w.closed {
+		return errWALClosed
+	}
+	next := w.segIdx + 1
+	f, err := os.OpenFile(segmentPath(w.base, next), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("version: roll wal segment: %w", err)
+	}
+	if w.fsync {
+		// The new segment's directory entry must be durable before any
+		// event commits into it, or a crash could lose a whole synced
+		// segment while keeping its successor.
+		if err := syncDir(filepath.Dir(w.base)); err != nil {
+			f.Close()
+			return fmt.Errorf("version: sync wal dir: %w", err)
+		}
+	}
+	old := w.f
+	w.f = f
+	w.segIdx = next
+	w.size = 0
+	old.Close() // contents already durable (commit fsyncs); ignore best-effort close
 	return nil
 }
 
@@ -394,11 +653,13 @@ func (w *wal) close() error {
 		w.deliverLocked(a, errWALClosed)
 	}
 	w.queue = nil
+	f := w.f
 	w.mu.Unlock()
-	return w.f.Close()
+	return f.Close()
 }
 
-// replay applies recovered events to an empty manager state. In-flight
+// replay applies recovered events to the manager state — empty, or
+// seeded from a snapshot whose cut the events strictly follow. In-flight
 // updates get assignedAt = now so the dead-writer sweeper measures their
 // staleness from the restart, not from a clock that no longer exists.
 //

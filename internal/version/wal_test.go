@@ -203,7 +203,7 @@ func TestWALBranchAndAbortDurable(t *testing.T) {
 func TestWALTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "vm.wal")
-	w, _, err := openWAL(path, false)
+	w, _, err := openWAL(path, walOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,19 +216,21 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	// Tear the final record: drop its last 3 bytes.
-	raw, err := os.ReadFile(path)
+	// Tear the final record in the active segment: drop its last 3 bytes.
+	seg := segmentPath(path, 1)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+	if err := os.WriteFile(seg, raw[:len(raw)-3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	w2, events, err := openWAL(path, false)
+	w2, rec, err := openWAL(path, walOptions{})
 	if err != nil {
 		t.Fatalf("recovery after torn tail: %v", err)
 	}
 	defer w2.close()
+	events := rec.events
 	if len(events) != 1 || events[0].kind != walCreate {
 		t.Fatalf("recovered %d events, want just the create", len(events))
 	}
@@ -241,23 +243,24 @@ func TestWALTornTailTruncated(t *testing.T) {
 func TestWALDetectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "vm.wal")
-	w, _, err := openWAL(path, false)
+	w, _, err := openWAL(path, walOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.append(walEvent{kind: walCreate, blob: 1, pageSize: 512})
 	w.append(walEvent{kind: walCreate, blob: 2, pageSize: 512})
 	w.close()
-	raw, _ := os.ReadFile(path)
+	seg := segmentPath(path, 1)
+	raw, _ := os.ReadFile(seg)
 	raw[walHeaderSize] ^= 0xFF // flip a payload byte of the first record
-	os.WriteFile(path, raw, 0o644)
-	if _, _, err := openWAL(path, false); err == nil {
+	os.WriteFile(seg, raw, 0o644)
+	if _, _, err := openWAL(path, walOptions{}); err == nil {
 		t.Fatal("mid-log corruption accepted")
 	}
 	// Bad magic is corruption too.
 	binary.LittleEndian.PutUint32(raw[0:4], 0xDEADBEEF)
-	os.WriteFile(path, raw, 0o644)
-	if _, _, err := openWAL(path, false); err == nil {
+	os.WriteFile(seg, raw, 0o644)
+	if _, _, err := openWAL(path, walOptions{}); err == nil {
 		t.Fatal("bad magic accepted")
 	}
 }
@@ -305,13 +308,13 @@ func TestWALReplayIsDeterministic(t *testing.T) {
 
 	path := filepath.Join(r.dir, "vm.wal")
 	load := func() (map[wire.BlobID]*blobState, wire.BlobID) {
-		w, events, err := openWAL(path, false)
+		w, rec, err := openWAL(path, walOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer w.close()
 		blobs := make(map[wire.BlobID]*blobState)
-		next, err := replay(events, blobs, 0)
+		next, err := replay(rec.events, blobs, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -125,6 +125,174 @@ func TestDurableClusterFullRestart(t *testing.T) {
 	}
 }
 
+// TestDurableClusterCheckpointedRestart is the segmented-recovery matrix:
+// tiny WAL segments, a forced checkpoint between two restarts, and
+// automatic checkpointing running throughout. History written before the
+// checkpoint recovers from the snapshot; history after it replays from
+// tail segments; branches and version continuity must survive both
+// paths twice. (In-flight update survival across the snapshot is pinned
+// at the version-manager layer, where an update can be held open —
+// TestSegmentedWALBoundedRecovery in internal/version.)
+func TestDurableClusterCheckpointedRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cluster")
+	ctx := context.Background()
+	opts := blobseer.ClusterOptions{
+		DataProviders:     1,
+		MetadataProviders: 1,
+		DiskDir:           dir,
+		WALSegmentBytes:   256, // a few events per segment
+		CheckpointEvery:   8,   // auto-compaction kicks in mid-workload
+	}
+
+	cl, err := blobseer.StartCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Create(ctx, blobseer.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := bytes.Repeat([]byte{0x11}, 2*512)
+	v1, err := blob.Append(ctx, gen1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := blob.Branch(ctx, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := fork.Append(ctx, bytes.Repeat([]byte{0x22}, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Sync(ctx, fv); err != nil {
+		t.Fatal(err)
+	}
+	// Everything so far goes into the snapshot; what follows is tail.
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatalf("forced checkpoint: %v", err)
+	}
+	v2, err := blob.Append(ctx, bytes.Repeat([]byte{0x33}, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blob.Sync(ctx, v2); err != nil {
+		t.Fatal(err)
+	}
+	blobID, forkID := blob.ID(), fork.ID()
+	c.Close()
+	cl.Close()
+
+	// First restart: snapshot + tail.
+	cl2, err := blobseer.StartCluster(opts)
+	if err != nil {
+		t.Fatalf("restart 1: %v", err)
+	}
+	c2, err := cl2.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := c2.Open(ctx, blobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(gen1))
+	if err := blob2.Read(ctx, v1, got, 0); err != nil {
+		t.Fatalf("read pre-checkpoint history after restart: %v", err)
+	}
+	if !bytes.Equal(got, gen1) {
+		t.Fatal("pre-checkpoint history changed across segmented restart")
+	}
+	rv, rsize, err := blob2.Recent(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv != v2 || rsize != uint64(len(gen1)+512) {
+		t.Fatalf("recent after restart 1 = %d/%d, want %d/%d", rv, rsize, v2, len(gen1)+512)
+	}
+	fork2, err := c2.Open(ctx, forkID)
+	if err != nil {
+		t.Fatalf("open branch after restart 1: %v", err)
+	}
+	fbuf := make([]byte, 512)
+	if err := fork2.Read(ctx, fv, fbuf, uint64(len(gen1))); err != nil {
+		t.Fatal(err)
+	}
+	if fbuf[0] != 0x22 {
+		t.Fatal("branch tail changed across segmented restart")
+	}
+	// More history plus another checkpoint before the second restart.
+	v3, err := blob2.Append(ctx, bytes.Repeat([]byte{0x44}, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 != v2+1 {
+		t.Fatalf("post-restart version = %d, want %d", v3, v2+1)
+	}
+	if err := blob2.Sync(ctx, v3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Checkpoint(); err != nil {
+		t.Fatalf("second checkpoint: %v", err)
+	}
+	c2.Close()
+	cl2.Close()
+
+	// Second restart: the snapshot now embeds state recovered from the
+	// first snapshot, catching anything written back wrongly.
+	cl3, err := blobseer.StartCluster(opts)
+	if err != nil {
+		t.Fatalf("restart 2: %v", err)
+	}
+	defer cl3.Close()
+	c3, err := cl3.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	blob3, err := c3.Open(ctx, blobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blob3.Read(ctx, v1, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, gen1) {
+		t.Fatal("oldest history lost after double checkpointed restart")
+	}
+	rv, rsize, err = blob3.Recent(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv != v3 || rsize != uint64(len(gen1)+2*512) {
+		t.Fatalf("recent after restart 2 = %d/%d, want %d/%d", rv, rsize, v3, len(gen1)+2*512)
+	}
+	fork3, err := c3.Open(ctx, forkID)
+	if err != nil {
+		t.Fatalf("open branch after restart 2: %v", err)
+	}
+	if err := fork3.Read(ctx, fv, fbuf, uint64(len(gen1))); err != nil {
+		t.Fatal(err)
+	}
+	if fbuf[0] != 0x22 {
+		t.Fatal("branch content lost after double checkpointed restart")
+	}
+	v4, err := blob3.Append(ctx, bytes.Repeat([]byte{0x55}, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4 != v3+1 {
+		t.Fatalf("version continuity broken: %d after %d", v4, v3)
+	}
+	if err := blob3.Sync(ctx, v4); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDurableClusterDoubleRestart replays the logs twice to catch state
 // that survives one restart but is written back wrongly for the next.
 func TestDurableClusterDoubleRestart(t *testing.T) {
