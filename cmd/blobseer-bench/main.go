@@ -12,51 +12,103 @@
 //	blobseer-bench -exp replication # A5: page replication cost/benefit (extension)
 //	blobseer-bench -exp vm         # A6: version-manager sharding + WAL group commit
 //	blobseer-bench -exp recovery   # A7: restart cost, WAL compaction on/off
+//	blobseer-bench -exp pagestore  # A8: provider page store — group commit, bounded reopen, compaction
 //	blobseer-bench -exp all        # everything above
+//
+// -exp also accepts a comma-separated list (`-exp vm,recovery,pagestore`),
+// which is how CI's bench-smoke job runs the fast ablations in one go.
 //
 // The -quick flag shrinks every experiment (fewer providers, smaller
 // blobs) for a fast smoke run; without it the experiments use the paper's
 // deployment sizes (175 nodes, multi-GB blobs) and take a few minutes.
+//
+// With -json DIR, every experiment additionally writes its raw result as
+// DIR/BENCH_<exp>.json, so CI can archive the perf trajectory per push.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"blobseer/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, all")
+	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, all")
 	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
 	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
+	jsonDir := flag.String("json", "", "write each experiment's raw result as BENCH_<exp>.json into this directory")
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+	known := map[string]bool{
+		"all": true, "calibrate": true, "fig2a": true, "fig2b": true, "writers": true,
+		"space": true, "vm": true, "recovery": true, "pagestore": true, "replication": true,
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if !known[name] {
+			// A typo in a list must not silently drop an experiment (CI
+			// would keep passing while an ablation vanished from the
+			// artifacts).
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		selected[name] = true
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiment selected")
+		os.Exit(2)
+	}
+
+	writeJSON := func(name string, v any) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+		raw, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*jsonDir, "BENCH_"+name+".json"), append(raw, '\n'), 0o644)
+	}
+
+	run := func(name string, fn func() (any, error)) {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		fmt.Printf("# %s\n", name)
 		start := time.Now()
-		if err := fn(); err != nil {
+		result, err := fn()
+		if err == nil {
+			err = writeJSON(name, result)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("# (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
-	run("calibrate", func() error {
+	run("calibrate", func() (any, error) {
 		tab, err := bench.RunCalibration(bench.SimParams{Scale: *scale})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tab.Fprint(os.Stdout)
-		return nil
+		return tab, nil
 	})
 
-	run("fig2a", func() error {
+	run("fig2a", func() (any, error) {
 		cfg := bench.Fig2aConfig{Sim: bench.SimParams{Scale: *scale}}
 		if *quick {
 			cfg.ProviderCounts = []int{16}
@@ -64,16 +116,16 @@ func main() {
 		}
 		series, err := bench.RunFig2a(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Figure 2(a): append throughput as the blob grows")
 		for _, s := range series {
 			s.Fprint(os.Stdout)
 		}
-		return nil
+		return series, nil
 	})
 
-	run("fig2b", func() error {
+	run("fig2b", func() (any, error) {
 		cfg := bench.Fig2bConfig{Sim: bench.SimParams{Scale: *scale}}
 		if *quick {
 			cfg.Providers = 16
@@ -82,14 +134,14 @@ func main() {
 		}
 		s, err := bench.RunFig2b(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Figure 2(b): read throughput under concurrency")
 		s.Fprint(os.Stdout)
-		return nil
+		return s, nil
 	})
 
-	run("writers", func() error {
+	run("writers", func() (any, error) {
 		cfg := bench.WritersConfig{Sim: bench.SimParams{Scale: *scale}}
 		if *quick {
 			cfg.Providers = 16
@@ -98,16 +150,16 @@ func main() {
 		}
 		series, err := bench.RunWriters(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Ablation A1: concurrent appenders, border-set weaving vs serialized metadata")
 		for _, s := range series {
 			s.Fprint(os.Stdout)
 		}
-		return nil
+		return series, nil
 	})
 
-	run("space", func() error {
+	run("space", func() (any, error) {
 		cfg := bench.SpaceConfig{}
 		if *quick {
 			cfg.BlobPages = 1024
@@ -115,17 +167,17 @@ func main() {
 		}
 		tab, err := bench.RunSpace(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Ablation A2: versioning storage overhead")
 		tab.Fprint(os.Stdout)
-		return nil
+		return tab, nil
 	})
 
-	run("vm", func() error {
+	run("vm", func() (any, error) {
 		dir, err := os.MkdirTemp("", "blobseer-vm-bench")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer os.RemoveAll(dir)
 		cfg := bench.VMConfig{Writers: 8, WALDir: dir}
@@ -135,17 +187,17 @@ func main() {
 		}
 		res, err := bench.RunVersionManager(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Ablation A6: version-manager per-blob locking + WAL group commit")
 		res.Table().Fprint(os.Stdout)
-		return nil
+		return res, nil
 	})
 
-	run("recovery", func() error {
+	run("recovery", func() (any, error) {
 		dir, err := os.MkdirTemp("", "blobseer-recovery-bench")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer os.RemoveAll(dir)
 		cfg := bench.RecoveryConfig{WALDir: dir}
@@ -155,14 +207,40 @@ func main() {
 		}
 		res, err := bench.RunRecovery(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Ablation A7: bounded recovery — segmented WAL + snapshot/compaction")
 		res.Table().Fprint(os.Stdout)
-		return nil
+		return res, nil
 	})
 
-	run("replication", func() error {
+	run("pagestore", func() (any, error) {
+		dir, err := os.MkdirTemp("", "blobseer-pagestore-bench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := bench.PageStoreConfig{Dir: dir}
+		if *quick {
+			cfg.Writers = 4
+			cfg.PutsPerWriter = 150
+			cfg.PageBytes = 1024
+			cfg.ReopenPages = 3000
+			cfg.ChurnPages = 1500
+			cfg.SegmentBytes = 64 << 10
+		}
+		res, err := bench.RunPageStore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("Ablation A8: provider page store — group commit, bounded reopen, compaction")
+		for _, tab := range res.Tables() {
+			tab.Fprint(os.Stdout)
+		}
+		return res, nil
+	})
+
+	run("replication", func() (any, error) {
 		cfg := bench.ReplicationConfig{Sim: bench.SimParams{Scale: *scale}}
 		if *quick {
 			cfg.Providers = 8
@@ -171,10 +249,10 @@ func main() {
 		}
 		tab, err := bench.RunReplication(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println("Ablation A5: page replication (extension: the paper's future work)")
 		tab.Fprint(os.Stdout)
-		return nil
+		return tab, nil
 	})
 }

@@ -49,6 +49,11 @@ func main() {
 	globalLock := flag.Bool("global-lock", false, "serialize all version-manager handlers behind one mutex (ablation baseline)")
 	deadTimeout := flag.Duration("dead-writer-timeout", 0, "abort updates of silent writers after this duration (version-manager role; 0 disables)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period (data role)")
+	pageSync := flag.Bool("page-sync", false, "fsync page records before PUT_PAGE acknowledges (data role)")
+	pageGroup := flag.Bool("page-group-commit", true, "coalesce concurrent page writes into shared write+fsync batches (data role)")
+	pageSegBytes := flag.Int64("page-segment-bytes", 64<<20, "roll the page log into a new segment past this size (data role)")
+	pageSnapEvery := flag.Int("page-snapshot-every", 4096, "write the page-index snapshot every N records; 0 = manual only (data role)")
+	pageCompact := flag.Float64("page-compact-ratio", 0.5, "rewrite page-log segments whose live ratio drops below this; 0 disables (data role)")
 	flag.Parse()
 
 	sched := vclock.NewReal()
@@ -103,19 +108,21 @@ func main() {
 		if *managerAddr == "" {
 			log.Fatal("data role requires -manager")
 		}
-		var store pagestore.Store = pagestore.NewMem()
-		if *diskPath != "" {
-			store, err = pagestore.OpenDisk(*diskPath, pagestore.DiskOptions{})
-			if err != nil {
-				log.Fatalf("open page log: %v", err)
-			}
-		}
 		cfg := provider.Config{
-			Store:          store,
 			Sched:          sched,
 			ManagerAddr:    *managerAddr,
 			Client:         rpc.NewClient(net, sched, rpc.ClientOptions{}),
 			HeartbeatEvery: *heartbeat,
+		}
+		if *diskPath != "" {
+			cfg.PageLog = *diskPath
+			cfg.PageStore = pagestore.DiskOptions{
+				Sync:          *pageSync,
+				GroupCommit:   *pageGroup,
+				SegmentBytes:  *pageSegBytes,
+				SnapshotEvery: *pageSnapEvery,
+				CompactRatio:  *pageCompact,
+			}
 		}
 		p, err := serveDataProvider(ln, cfg, *advertise)
 		if err != nil {

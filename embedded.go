@@ -41,8 +41,8 @@ type ClusterOptions struct {
 	// Strategy is the page placement policy (default round-robin).
 	Strategy PlacementStrategy
 	// DiskDir, when non-empty, makes the cluster durable: each data
-	// provider stores pages in a crash-safe append-only log under this
-	// directory instead of RAM, and the version manager keeps a
+	// provider stores pages in a crash-safe segmented page log under
+	// this directory instead of RAM, and the version manager keeps a
 	// segmented write-ahead log of version state there too.
 	DiskDir string
 	// WALSegmentBytes rolls the version manager's WAL into a fresh
@@ -56,6 +56,26 @@ type ClusterOptions struct {
 	CheckpointEvery int
 	// DeadWriterTimeout aborts updates of crashed writers (0 disables).
 	DeadWriterTimeout time.Duration
+
+	// Page-store knobs, the data-path mirror of the WAL knobs above.
+	// Only meaningful with DiskDir.
+
+	// PageSegmentBytes rolls each provider's page log into a fresh
+	// segment past this size (0 = 64 MB default).
+	PageSegmentBytes int64
+	// PageSnapshotEvery, when positive, writes each page store's index
+	// snapshot after that many records, bounding provider reopen replay.
+	PageSnapshotEvery int
+	// PageCompactRatio, when in (0,1), makes providers rewrite page-log
+	// segments whose live-byte ratio falls below it, reclaiming the
+	// space of deleted (garbage-collected) pages.
+	PageCompactRatio float64
+	// PageGroupCommit coalesces concurrent page writes on one provider
+	// into shared write+fsync batches.
+	PageGroupCommit bool
+	// PageSync forces page records to disk before PUT_PAGE acknowledges
+	// (pair with PageGroupCommit to keep concurrent writers fast).
+	PageSync bool
 }
 
 // Cluster is an embedded single-process BlobSeer deployment: every
@@ -85,15 +105,13 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		cfg.VersionWALSegmentBytes = opts.WALSegmentBytes
 		cfg.VersionCheckpointEvery = opts.CheckpointEvery
 		cfg.MetaLogDir = dir
-		cfg.NewStore = func(i int) pagestore.Store {
-			d, err := pagestore.OpenDisk(
-				dir+"/provider-"+itoa(i)+".log", pagestore.DiskOptions{})
-			if err != nil {
-				// Surfacing the error through the factory would complicate
-				// every call site; a provider without storage is fatal.
-				panic("blobseer: cannot open page log: " + err.Error())
-			}
-			return d
+		cfg.PageDir = dir
+		cfg.PageStore = pagestore.DiskOptions{
+			Sync:          opts.PageSync,
+			GroupCommit:   opts.PageGroupCommit,
+			SegmentBytes:  opts.PageSegmentBytes,
+			SnapshotEvery: opts.PageSnapshotEvery,
+			CompactRatio:  opts.PageCompactRatio,
 		}
 	}
 	inner, err := cluster.StartInproc(net, sched, cfg)
@@ -126,19 +144,4 @@ func (c *Cluster) Checkpoint() error {
 func (c *Cluster) Close() {
 	c.inner.Close()
 	c.net.Close()
-}
-
-// itoa avoids importing strconv for one call site.
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var b [20]byte
-	p := len(b)
-	for i > 0 {
-		p--
-		b[p] = byte('0' + i%10)
-		i /= 10
-	}
-	return string(b[p:])
 }

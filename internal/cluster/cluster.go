@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"blobseer/internal/client"
@@ -43,8 +44,17 @@ type Config struct {
 	PageReplication int
 	// Strategy is the provider manager's page placement policy.
 	Strategy provider.Strategy
-	// NewStore builds each data provider's page engine (default in-memory).
+	// NewStore builds each data provider's page engine. Nil defaults to
+	// in-memory stores, or — when PageDir is set — to durable page
+	// stores owned by the providers.
 	NewStore func(i int) pagestore.Store
+	// PageDir, when non-empty and NewStore is nil, gives every data
+	// provider a durable segmented page store at
+	// PageDir/provider-<i>.log, tuned by PageStore. The provider opens
+	// and closes it.
+	PageDir string
+	// PageStore tunes the page stores opened under PageDir.
+	PageStore pagestore.DiskOptions
 	// DeadWriterTimeout enables the version manager's crashed-writer
 	// sweeper when positive.
 	DeadWriterTimeout time.Duration
@@ -80,9 +90,6 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Replication <= 0 {
 		c.Replication = 1
-	}
-	if c.NewStore == nil {
-		c.NewStore = func(int) pagestore.Store { return pagestore.NewMem() }
 	}
 }
 
@@ -242,13 +249,19 @@ func (cl *Cluster) start(
 		// network charges the right links.
 		aux := rpc.NewClient(providerNet(i), cl.sched, rpc.ClientOptions{})
 		cl.aux = append(cl.aux, aux)
-		p, err := provider.Serve(ln, provider.Config{
-			Store:          cfg.NewStore(i),
+		pcfg := provider.Config{
 			Sched:          cl.sched,
 			ManagerAddr:    cl.PM.Addr(),
 			Client:         aux,
 			HeartbeatEvery: cfg.HeartbeatEvery,
-		})
+		}
+		if cfg.NewStore != nil {
+			pcfg.Store = cfg.NewStore(i)
+		} else if cfg.PageDir != "" {
+			pcfg.PageLog = filepath.Join(cfg.PageDir, fmt.Sprintf("provider-%d.log", i))
+			pcfg.PageStore = cfg.PageStore
+		}
+		p, err := provider.Serve(ln, pcfg)
 		if err != nil {
 			return fmt.Errorf("cluster: data provider %d: %w", i, err)
 		}

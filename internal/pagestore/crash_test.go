@@ -1,0 +1,298 @@
+package pagestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blobseer/internal/wire"
+)
+
+// errInjected is the simulated crash: the maintenance pass aborts
+// exactly as a process death at that point would, and the test then
+// restarts on whatever the disk holds.
+var errInjected = errors.New("injected crash")
+
+// crashOpts uses segments small enough that the workload spans many of
+// them, so compaction has real victims to crash on.
+func crashOpts() DiskOptions {
+	return DiskOptions{Sync: true, SegmentBytes: 256}
+}
+
+// crashWorkload drives a deterministic history with everything the
+// snapshotter and compactor must preserve: pages spread over many
+// segments, deletions before the snapshot (reclaimable, reflected in
+// the snapshot), a snapshot, and deletions after it (tombstones only in
+// the tail). Returns the expected surviving pages; every other worked
+// id must stay deleted.
+func crashWorkload(t *testing.T, d *Disk) map[int][]byte {
+	t.Helper()
+	const n = 24
+	for i := 0; i < n; i++ {
+		if err := d.Put(pidN(i), pageData(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i%3 == 1 {
+			if err := d.Delete(pidN(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			if err := d.Delete(pidN(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	live := make(map[int][]byte)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			live[i] = pageData(i)
+		}
+	}
+	return live
+}
+
+// verifyPages asserts the store holds exactly the live pages
+// byte-identically and none of the deleted ones.
+func verifyPages(t *testing.T, d *Disk, live map[int][]byte) {
+	t.Helper()
+	const n = 24
+	for i := 0; i < n; i++ {
+		if data, ok := live[i]; ok {
+			got, err := d.Get(pidN(i), 0, wire.WholePage)
+			if err != nil {
+				t.Fatalf("live page %d: %v", i, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("live page %d not byte-identical after recovery", i)
+			}
+		} else if d.Has(pidN(i)) {
+			t.Fatalf("deleted page %d resurrected", i)
+		}
+	}
+	if pages, _ := d.Stats(); pages != uint64(len(live)) {
+		t.Fatalf("pages = %d, want %d", pages, len(live))
+	}
+}
+
+// TestMaintenanceCrashInjection kills the snapshotter and the compactor
+// at every fault point — plus torn-file variants a hook cannot
+// express — and asserts the recovered pages are byte-identical to an
+// uncrashed store's.
+func TestMaintenanceCrashInjection(t *testing.T) {
+	// The control must survive a clean restart unchanged, or the
+	// comparisons below prove nothing.
+	controlDir := t.TempDir()
+	control := mustOpen(t, filepath.Join(controlDir, "pages.log"), crashOpts())
+	want := crashWorkload(t, control)
+	verifyPages(t, control, want)
+	control.Close()
+	control2 := mustOpen(t, filepath.Join(controlDir, "pages.log"), crashOpts())
+	verifyPages(t, control2, want)
+	control2.Close()
+
+	// op is what the hook crashes: a snapshot or a compaction pass.
+	type tamper func(t *testing.T, base string)
+	cases := []struct {
+		name   string
+		op     string // "snapshot" or "compact"
+		point  string // "" = no hook crash, tamper only
+		tamper tamper
+	}{
+		{name: "snap-begin", op: "snapshot", point: crashSnapBegin},
+		{name: "snap-captured", op: "snapshot", point: crashSnapCaptured},
+		{name: "snap-tmp-written", op: "snapshot", point: crashSnapTmpWritten},
+		{name: "snap-renamed", op: "snapshot", point: crashSnapRenamed},
+		{name: "compact-tmp-written", op: "compact", point: crashCompactTmpWritten},
+		{name: "compact-renamed", op: "compact", point: crashCompactRenamed},
+		{name: "compact-applied", op: "compact", point: crashCompactApplied},
+		{name: "torn-snapshot-tmp", op: "snapshot", point: crashSnapTmpWritten, tamper: func(t *testing.T, base string) {
+			truncateTail(t, snapshotTmpPath(base), 7)
+		}},
+		{name: "torn-snapshot", op: "snapshot", point: crashSnapRenamed, tamper: func(t *testing.T, base string) {
+			truncateTail(t, snapshotPath(base), 7)
+		}},
+		{name: "corrupt-snapshot-crc", op: "snapshot", point: crashSnapRenamed, tamper: func(t *testing.T, base string) {
+			flipByte(t, snapshotPath(base), recHeaderSize+3)
+		}},
+		{name: "torn-compact-tmp", op: "compact", point: crashCompactTmpWritten, tamper: func(t *testing.T, base string) {
+			truncateTail(t, compactTmpPath(base), 5)
+		}},
+		{name: "torn-segment-tail", op: "", tamper: func(t *testing.T, base string) {
+			// A crash mid-append of a record that never applied: a valid
+			// frame header claiming more payload than follows.
+			var hdr [recHeaderSize]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], recMagic)
+			binary.LittleEndian.PutUint32(hdr[4:8], 64)
+			binary.LittleEndian.PutUint32(hdr[8:12], 0xBAD)
+			appendBytes(t, newestSegmentFile(t, base), hdr[:])
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := filepath.Join(t.TempDir(), "pages.log")
+			d := mustOpen(t, base, crashOpts())
+			want := crashWorkload(t, d)
+			if tc.point != "" {
+				fired := false
+				d.crashHook = func(p string) error {
+					if p == tc.point {
+						fired = true
+						return errInjected
+					}
+					return nil
+				}
+				var err error
+				switch tc.op {
+				case "snapshot":
+					err = d.Snapshot()
+				case "compact":
+					err = d.Compact()
+				}
+				if !errors.Is(err, errInjected) {
+					t.Fatalf("%s survived the injected crash: %v", tc.op, err)
+				}
+				if !fired {
+					t.Fatalf("fault point %q never reached", tc.point)
+				}
+			}
+			d.Close() // process death: nothing else runs
+			if tc.tamper != nil {
+				tc.tamper(t, base)
+			}
+			d2 := mustOpen(t, base, crashOpts())
+			defer d2.Close()
+			verifyPages(t, d2, want)
+			// The recovered store still serves: new pages, deletes, and
+			// another maintenance pass all work.
+			if err := d2.Put(pidN(1000), pageData(1000)); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := d2.Get(pidN(1000), 0, wire.WholePage); err != nil || !bytes.Equal(got, pageData(1000)) {
+				t.Fatalf("recovered store put/get: %v", err)
+			}
+			if err := d2.Delete(pidN(1000)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d2.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			verifyPages(t, d2, want)
+		})
+	}
+}
+
+// TestEveryMaintenanceCrashPointIsExercised keeps the fault-point table
+// honest: a snapshot plus a compaction with work to do must pass
+// through every declared point.
+func TestEveryMaintenanceCrashPointIsExercised(t *testing.T) {
+	d := mustOpen(t, filepath.Join(t.TempDir(), "pages.log"), crashOpts())
+	defer d.Close()
+	crashWorkload(t, d)
+	seen := make(map[string]bool)
+	d.crashHook = func(p string) error {
+		seen[p] = true
+		return nil
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range crashPoints {
+		if !seen[p] {
+			t.Errorf("maintenance never reached fault point %q", p)
+		}
+	}
+}
+
+// TestCompactionCrashThenCompactAgain drives the generation-mismatch
+// recovery path end to end: crash after the rewrite is live but before
+// the covering snapshot, recover (stale rescan), then compact again.
+func TestCompactionCrashThenCompactAgain(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "pages.log")
+	d := mustOpen(t, base, crashOpts())
+	want := crashWorkload(t, d)
+	d.crashHook = func(p string) error {
+		if p == crashCompactApplied {
+			return errInjected
+		}
+		return nil
+	}
+	if err := d.Compact(); !errors.Is(err, errInjected) {
+		t.Fatalf("compact survived: %v", err)
+	}
+	d.Close()
+
+	d2 := mustOpen(t, base, crashOpts())
+	if st := d2.RecoveryStats(); st.StaleRescanned == 0 {
+		t.Fatalf("expected a stale (rewritten) segment rescan, got %+v", st)
+	}
+	verifyPages(t, d2, want)
+	if err := d2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verifyPages(t, d2, want)
+	d2.Close()
+
+	d3 := mustOpen(t, base, crashOpts())
+	defer d3.Close()
+	verifyPages(t, d3, want)
+}
+
+func truncateTail(t *testing.T, path string, n int64) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendBytes(t *testing.T, path string, p []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newestSegmentFile(t *testing.T, base string) string {
+	t.Helper()
+	segs, err := listSegments(base)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments at %s: %v", base, err)
+	}
+	return segmentPath(base, segs[len(segs)-1])
+}

@@ -1,204 +1,820 @@
 package pagestore
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"blobseer/internal/wire"
 )
 
-// Disk is a durable Store: a single append-only log file plus an
-// in-memory index rebuilt on open. Records are CRC-checked; a torn tail
-// (crash mid-append) is detected and truncated on recovery, while
-// corruption in the middle of the log is reported as an error.
+// Disk is the durable Store: a segmented, CRC-framed page log with an
+// index snapshot for bounded-reopen recovery, group-committed fsyncs,
+// a striped in-memory index, and a background compactor that rewrites
+// mostly-dead segments. It is the data-path twin of the version
+// manager's segmented WAL; see segment.go and snapshot.go for the
+// on-disk formats and maintain.go for the snapshotter/compactor.
 //
-// Log record layout (little-endian):
-//
-//	uint32 magic | uint32 dataLen | 16-byte PageID | uint32 crc32(data) | data
+// Safety rule for space reclamation: the store itself never invents
+// garbage. A page's bytes are only ever dropped by compaction after the
+// page was explicitly Deleted, and Delete's contract is that the caller
+// (a garbage collector walking version metadata) has proven the page
+// unreachable from every retained version. Everything still indexed
+// survives any crash/compaction interleaving byte-identical — the
+// invariant the crash-injection suite asserts.
 type Disk struct {
-	mu    sync.RWMutex
-	f     *os.File
-	index map[wire.PageID]recordPos
-	size  int64 // current log length
-	bytes uint64
-	sync  bool // fsync after every put
-}
+	base string
+	opts DiskOptions
 
-type recordPos struct {
-	off    int64 // file offset of the data payload
-	length uint32
+	// stripes spread index lookups over independent RW locks so reads
+	// never serialize behind writes to unrelated pages.
+	stripes [indexStripes]indexStripe
+
+	// stateMu makes index snapshots a consistent cut: Put and Delete
+	// hold it shared from before their record is queued until after the
+	// index applies, and the snapshotter holds it exclusively only while
+	// rolling the active segment and cloning the index. Readers never
+	// touch it. Lock order: stateMu, then wmu, then segMu/seg.mu, then
+	// stripe locks.
+	stateMu sync.RWMutex
+
+	// segMu guards the segment table. Segments are never removed from
+	// it (compaction rewrites in place), so a pointer read under RLock
+	// stays valid forever.
+	segMu sync.RWMutex
+	segs  map[uint32]*segment
+
+	// wmu guards the writer state: the active-segment pointer, the
+	// group-commit queue and shutdown. The write+fsync itself runs
+	// outside wmu by the unique leader, exactly like the version WAL.
+	wmu     sync.Mutex
+	active  *segment
+	queue   []*diskAppend
+	leading bool
+
+	closed  atomic.Bool
+	nextGen atomic.Uint64 // last generation handed out
+
+	pages     atomic.Uint64 // live pages
+	dataBytes atomic.Uint64 // live page payload bytes (Stats)
+	appends   atomic.Uint64 // records accepted
+	syncs     atomic.Uint64 // fsyncs issued
+
+	// Maintenance (snapshot + compaction) machinery, see maintain.go.
+	maintMu     sync.Mutex
+	maintEvents atomic.Uint64
+	snapRuns    atomic.Uint64
+	compactRuns atomic.Uint64
+	maintC      chan struct{}
+	quitC       chan struct{}
+	recStats    RecoveryStats
+
+	// crashHook is the test-only maintenance fault injector.
+	crashHook func(point string) error
 }
 
 const (
-	diskMagic     = 0xB10B5EE5
-	recHeaderSize = 4 + 4 + 16 + 4
+	indexStripes = 64
+
+	// defaultSegmentBytes is the roll threshold when the options leave
+	// SegmentBytes zero.
+	defaultSegmentBytes = 64 << 20
 )
 
-// DiskOptions tunes a Disk store.
-type DiskOptions struct {
-	// Sync forces an fsync after every Put. Slower, but a crash loses at
-	// most the in-flight page instead of the OS write-back window.
-	Sync bool
+type indexStripe struct {
+	mu    sync.RWMutex
+	pages map[wire.PageID]indexEntry
 }
 
-// OpenDisk opens (creating if needed) the log at path and rebuilds the
-// index by scanning it. A torn final record is truncated away.
+// DiskOptions tunes a Disk store. The zero value reproduces the
+// pre-segmentation behaviour: serial unsynced appends, 64 MB segments,
+// no automatic snapshots or compaction.
+type DiskOptions struct {
+	// Sync forces page records to disk before Put returns. Slower, but
+	// a crash loses at most in-flight pages instead of the OS
+	// write-back window. Pair with GroupCommit so concurrent writers
+	// share fsyncs.
+	Sync bool
+	// GroupCommit coalesces concurrent Puts/Deletes into one
+	// write (+ at most one fsync): the first appender to find no active
+	// leader writes the whole queued batch. Off, every record performs
+	// its own write (+fsync when Sync) under the writer lock — the
+	// ablation baseline.
+	GroupCommit bool
+	// SegmentBytes rolls the log into a fresh segment file once the
+	// active one exceeds this many bytes (default 64 MB). Compaction
+	// rewrites whole sealed segments, so smaller segments reclaim at a
+	// finer grain for more files.
+	SegmentBytes int64
+	// SnapshotEvery, when positive, writes an index snapshot
+	// automatically after that many appended records, bounding reopen
+	// replay by the interval. Zero disables automatic snapshots;
+	// Snapshot remains available on demand either way.
+	SnapshotEvery int
+	// CompactRatio, when positive, makes the background compactor
+	// rewrite any sealed segment whose live-byte ratio falls below this
+	// threshold (0 < ratio < 1), dropping records of Deleted pages.
+	// Zero disables automatic compaction; Compact remains available on
+	// demand.
+	CompactRatio float64
+}
+
+// diskAppend is one queued record and its appender's parking spot.
+type diskAppend struct {
+	frame   []byte
+	kind    byte
+	id      wire.PageID
+	dataLen uint32
+
+	// Filled by the committer for puts: where the page body landed.
+	seg     uint32
+	dataOff int64
+
+	done chan struct{}
+	err  error
+	// delivered guards done against double close; promoted tells the
+	// woken waiter its record is NOT yet durable and it must lead the
+	// next batch itself. Both are written under wmu before done is
+	// closed and read only after done fires.
+	delivered bool
+	promoted  bool
+}
+
+// RecoveryStats describes what one OpenDisk did: how much of the index
+// came from the snapshot and how much had to be replayed by scanning
+// segments. With automatic snapshots, RecordsReplayed stays bounded by
+// SnapshotEvery no matter how many pages the store holds.
+type RecoveryStats struct {
+	SnapshotLoaded    bool // a valid index snapshot seeded the index
+	SnapshotPages     int  // pages restored from the snapshot
+	SegmentsOnDisk    int  // segment files found or created at open
+	SegmentsRescanned int  // segments scanned record-by-record
+	StaleRescanned    int  // of those, rewritten after the snapshot (compaction crash)
+	RecordsReplayed   int  // records applied by rescans
+	LegacyMigrated    bool // a pre-segmentation single-file log was converted
+}
+
+// OpenDisk opens (creating if needed) the segmented page store rooted
+// at path and rebuilds the index: it loads the newest valid index
+// snapshot, verifies each covered segment's generation, and rescans
+// only the tail (plus any segment a crashed compaction rewrote). A torn
+// record at the tail of the highest segment is truncated away; a torn
+// or corrupt snapshot degrades to a full rescan; a single-file log from
+// before segmentation is migrated in place.
 func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("pagestore: create dir: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("pagestore: open log: %w", err)
+	d := &Disk{base: path, opts: opts, segs: make(map[uint32]*segment)}
+	for i := range d.stripes {
+		d.stripes[i].pages = make(map[wire.PageID]indexEntry)
 	}
-	d := &Disk{f: f, index: make(map[wire.PageID]recordPos), sync: opts.Sync}
 	if err := d.recover(); err != nil {
-		f.Close()
+		d.closeFiles()
 		return nil, err
+	}
+	// Replayed tail records count toward the auto-snapshot interval, or
+	// a crash-looping store whose runs each log fewer than SnapshotEvery
+	// records would grow its tail without bound.
+	d.maintEvents.Store(uint64(d.recStats.RecordsReplayed))
+	if opts.SnapshotEvery > 0 || opts.CompactRatio > 0 {
+		d.maintC = make(chan struct{}, 1)
+		d.quitC = make(chan struct{})
+		go d.maintainLoop()
+		if opts.SnapshotEvery > 0 && d.recStats.RecordsReplayed >= opts.SnapshotEvery {
+			d.nudgeMaintain()
+		}
 	}
 	return d, nil
 }
 
-// recover scans the log, rebuilding the index. It stops cleanly at a torn
-// tail and truncates it; a bad record with valid records after it is
-// corruption and fails the open.
+func (d *Disk) stripe(id wire.PageID) *indexStripe {
+	// The low id bytes are a counter; the first bytes are random. Mix a
+	// few for an even spread (same scheme as Mem).
+	return &d.stripes[(uint(id[0])^uint(id[8])^uint(id[15]))%indexStripes]
+}
+
+// recover rebuilds the index from disk. See the package comments in
+// segment.go and snapshot.go for the crash-consistency argument.
 func (d *Disk) recover() error {
-	info, err := d.f.Stat()
+	base := d.base
+	// Leftover tmp files from interrupted maintenance are garbage: only
+	// the atomic renames ever activate them.
+	os.Remove(snapshotTmpPath(base))
+	os.Remove(compactTmpPath(base))
+	os.Remove(base + ".migrate.tmp")
+
+	segIdxs, err := listSegments(base)
 	if err != nil {
-		return fmt.Errorf("pagestore: stat log: %w", err)
+		return err
 	}
-	logLen := info.Size()
-	var off int64
-	var hdr [recHeaderSize]byte
-	for off < logLen {
-		if logLen-off < recHeaderSize {
-			break // torn header
+	if len(segIdxs) == 0 {
+		migrated, err := migrateLegacy(base)
+		if err != nil {
+			return err
 		}
-		if _, err := d.f.ReadAt(hdr[:], off); err != nil {
-			return fmt.Errorf("pagestore: read header at %d: %w", off, err)
+		if migrated {
+			d.recStats.LegacyMigrated = true
+			if segIdxs, err = listSegments(base); err != nil {
+				return err
+			}
 		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != diskMagic {
-			return fmt.Errorf("pagestore: bad magic at offset %d: log corrupted", off)
-		}
-		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
-		var id wire.PageID
-		copy(id[:], hdr[8:24])
-		wantCRC := binary.LittleEndian.Uint32(hdr[24:28])
-		dataOff := off + recHeaderSize
-		if dataOff+int64(dataLen) > logLen {
-			break // torn payload
-		}
-		data := make([]byte, dataLen)
-		if _, err := d.f.ReadAt(data, dataOff); err != nil {
-			return fmt.Errorf("pagestore: read payload at %d: %w", dataOff, err)
-		}
-		if crc32.ChecksumIEEE(data) != wantCRC {
-			return fmt.Errorf("pagestore: crc mismatch for page %v at offset %d: log corrupted", id, off)
-		}
-		if _, dup := d.index[id]; !dup {
-			d.index[id] = recordPos{off: dataOff, length: dataLen}
-			d.bytes += uint64(dataLen)
-		}
-		off = dataOff + int64(dataLen)
-	}
-	if off < logLen {
-		// Torn tail from a crash mid-append: discard it.
-		if err := d.f.Truncate(off); err != nil {
-			return fmt.Errorf("pagestore: truncate torn tail: %w", err)
+	} else if info, err := os.Stat(base); err == nil && info.Mode().IsRegular() {
+		// A legacy log next to segments is the leftover of a migration
+		// that crashed between activating segment 1 and removing it.
+		if err := os.Remove(base); err != nil {
+			return fmt.Errorf("pagestore: remove migrated legacy log: %w", err)
 		}
 	}
-	d.size = off
+
+	// A roll that crashed before completing the 16-byte header leaves a
+	// short highest segment with nothing in it; drop it and append to
+	// its predecessor.
+	if n := len(segIdxs); n > 0 {
+		p := segmentPath(base, segIdxs[n-1])
+		if info, err := os.Stat(p); err == nil && info.Size() < segHeaderSize {
+			if err := os.Remove(p); err != nil {
+				return fmt.Errorf("pagestore: remove torn segment: %w", err)
+			}
+			segIdxs = segIdxs[:n-1]
+		}
+	}
+
+	snap, snapErr := loadSnapshot(snapshotPath(base))
+	if snapErr != nil {
+		// Torn or corrupt (crash racing the rename, disk fault): data
+		// segments are never deleted, so a full rescan recovers
+		// everything — the snapshot only ever buys speed.
+		snap = nil
+	}
+
+	if len(segIdxs) == 0 {
+		if snap != nil && len(snap.gens) > 0 {
+			return fmt.Errorf("pagestore: snapshot covers %d segments but none exist on disk", len(snap.gens))
+		}
+		seg, err := d.createSegment(1, 1)
+		if err != nil {
+			return err
+		}
+		d.segs[1] = seg
+		d.active = seg
+		d.nextGen.Store(1)
+		d.recStats.SegmentsOnDisk = 1
+		return nil
+	}
+	for i, idx := range segIdxs {
+		if idx != uint32(i+1) {
+			return fmt.Errorf("pagestore: segment %06d missing (found %06d): pages may be lost", i+1, idx)
+		}
+	}
+	if snap != nil && len(snap.gens) > len(segIdxs) {
+		return fmt.Errorf("pagestore: snapshot covers %d segments, only %d exist: pages may be lost",
+			len(snap.gens), len(segIdxs))
+	}
+
+	// Open every segment and validate its header.
+	var maxGen uint64
+	for _, idx := range segIdxs {
+		p := segmentPath(base, idx)
+		f, err := os.OpenFile(p, os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("pagestore: open segment: %w", err)
+		}
+		gen, err := readSegmentHeader(f, p)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("pagestore: stat segment: %w", err)
+		}
+		seg := &segment{idx: idx, f: f, gen: gen}
+		seg.size.Store(info.Size())
+		d.segs[idx] = seg
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	d.recStats.SegmentsOnDisk = len(segIdxs)
+
+	// Seed the index from the snapshot where the generations still
+	// match; a mismatch means a compaction rewrote that segment after
+	// the snapshot (its offsets are stale) and it joins the rescan.
+	highest := segIdxs[len(segIdxs)-1]
+	stale := make(map[uint32]bool)
+	var rescan []uint32
+	if snap != nil {
+		d.recStats.SnapshotLoaded = true
+		for i, g := range snap.gens {
+			idx := uint32(i + 1)
+			if d.segs[idx].gen != g {
+				stale[idx] = true
+				rescan = append(rescan, idx)
+			}
+		}
+		for _, e := range snap.entries {
+			if stale[e.seg] {
+				continue
+			}
+			seg := d.segs[e.seg]
+			if e.off+int64(e.len) > seg.size.Load() {
+				return fmt.Errorf("pagestore: snapshot entry for page %v beyond segment %06d", e.id, e.seg)
+			}
+			d.stripe(e.id).pages[e.id] = e.indexEntry
+			seg.liveBytes.Add(framedRecBytes + int64(e.len))
+			d.pages.Add(1)
+			d.dataBytes.Add(uint64(e.len))
+			d.recStats.SnapshotPages++
+		}
+		for idx := uint32(len(snap.gens) + 1); idx <= uint32(len(segIdxs)); idx++ {
+			rescan = append(rescan, idx)
+		}
+		// The highest segment is rescanned even when the snapshot covers
+		// it: a torn roll can demote the active segment back into the
+		// covered range, after which post-snapshot records append there
+		// — and a torn tail must be truncated before new appends land
+		// behind it. Duplicate puts are skipped, so re-visiting records
+		// the snapshot already indexed is a no-op.
+		if len(rescan) == 0 || rescan[len(rescan)-1] != highest {
+			rescan = append(rescan, highest)
+		}
+	} else {
+		for _, idx := range segIdxs {
+			rescan = append(rescan, idx)
+		}
+	}
+	d.recStats.StaleRescanned = len(stale)
+
+	// Rescan in index order — the chronological write order, since
+	// records never move between segments. dead remembers tombstones
+	// seen during this pass so a put record can never resurrect a page
+	// whose tombstone sits in an earlier rescanned segment.
+	dead := make(map[wire.PageID]bool)
+	for _, idx := range rescan {
+		seg := d.segs[idx]
+		size, err := scanSegment(seg.f, segmentPath(base, idx), idx == highest, func(sr scannedRecord) error {
+			d.recStats.RecordsReplayed++
+			switch sr.rec.kind {
+			case recTomb:
+				seg.tombBytes.Add(framedRecBytes)
+				dead[sr.rec.id] = true
+				d.dropEntry(sr.rec.id)
+			case recPut:
+				if dead[sr.rec.id] {
+					return nil
+				}
+				st := d.stripe(sr.rec.id)
+				if _, dup := st.pages[sr.rec.id]; dup {
+					return nil // duplicate record; first wins
+				}
+				st.pages[sr.rec.id] = indexEntry{seg: idx, off: sr.dataOff, len: sr.dataLen}
+				seg.liveBytes.Add(framedRecBytes + int64(sr.dataLen))
+				d.pages.Add(1)
+				d.dataBytes.Add(uint64(sr.dataLen))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		seg.size.Store(size)
+		d.recStats.SegmentsRescanned++
+	}
+
+	d.active = d.segs[highest]
+	d.nextGen.Store(maxGen)
 	return nil
 }
 
-// Put implements Store.
-func (d *Disk) Put(id wire.PageID, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.f == nil {
-		return errors.New("pagestore: store closed")
+// dropEntry removes id from the index, adjusting the counters. Used by
+// recovery and by the tombstone apply path.
+func (d *Disk) dropEntry(id wire.PageID) {
+	st := d.stripe(id)
+	st.mu.Lock()
+	e, ok := st.pages[id]
+	if ok {
+		delete(st.pages, id)
 	}
-	if _, dup := d.index[id]; dup {
-		return nil
+	st.mu.Unlock()
+	if !ok {
+		return
 	}
-	rec := make([]byte, recHeaderSize+len(data))
-	binary.LittleEndian.PutUint32(rec[0:4], diskMagic)
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(data)))
-	copy(rec[8:24], id[:])
-	binary.LittleEndian.PutUint32(rec[24:28], crc32.ChecksumIEEE(data))
-	copy(rec[recHeaderSize:], data)
-	if _, err := d.f.WriteAt(rec, d.size); err != nil {
-		return fmt.Errorf("pagestore: append: %w", err)
+	d.segMu.RLock()
+	seg := d.segs[e.seg]
+	d.segMu.RUnlock()
+	seg.liveBytes.Add(-(framedRecBytes + int64(e.len)))
+	d.pages.Add(^uint64(0))
+	d.dataBytes.Add(^(uint64(e.len) - 1))
+}
+
+// createSegment creates and opens a fresh segment file with a durable
+// header.
+func (d *Disk) createSegment(idx uint32, gen uint64) (*segment, error) {
+	p := segmentPath(d.base, idx)
+	f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: create segment: %w", err)
 	}
-	if d.sync {
-		if err := d.f.Sync(); err != nil {
-			return fmt.Errorf("pagestore: fsync: %w", err)
+	if err := writeSegmentHeader(f, gen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if d.opts.Sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pagestore: sync segment header: %w", err)
+		}
+		// The directory entry must be durable before any record commits
+		// into the new segment, or a crash could lose a whole synced
+		// segment while keeping its successor.
+		if err := syncDir(filepath.Dir(d.base)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pagestore: sync dir: %w", err)
 		}
 	}
-	d.index[id] = recordPos{off: d.size + recHeaderSize, length: uint32(len(data))}
-	d.size += int64(len(rec))
-	d.bytes += uint64(len(data))
+	seg := &segment{idx: idx, f: f, gen: gen}
+	seg.size.Store(segHeaderSize)
+	return seg, nil
+}
+
+// rollLocked seals the active segment and opens the next one. Called
+// with wmu held, and only when no commit is in flight: by the committer
+// itself after its batch, or by the snapshotter while every mutator is
+// excluded via stateMu. The sealed segment's file stays open — unlike a
+// WAL segment it still serves page reads.
+func (d *Disk) rollLocked() error {
+	seg, err := d.createSegment(d.active.idx+1, d.nextGen.Add(1))
+	if err != nil {
+		return err
+	}
+	d.segMu.Lock()
+	d.segs[seg.idx] = seg
+	d.segMu.Unlock()
+	d.active = seg
 	return nil
+}
+
+// Put implements Store: it durably appends a put record (sharing
+// write+fsync with concurrent appenders when GroupCommit is on) and
+// then indexes the page.
+func (d *Disk) Put(id wire.PageID, data []byte) error {
+	if d.closed.Load() {
+		return errStoreClosed
+	}
+	st := d.stripe(id)
+	st.mu.RLock()
+	_, dup := st.pages[id]
+	st.mu.RUnlock()
+	if dup {
+		return nil // immutable pages: idempotent
+	}
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	return d.append(&diskAppend{
+		frame:   frameRecord((&segRecord{kind: recPut, id: id, data: data}).encode()),
+		kind:    recPut,
+		id:      id,
+		dataLen: uint32(len(data)),
+		done:    make(chan struct{}),
+	})
+}
+
+// Delete implements Store: it durably appends a tombstone and drops the
+// page from the index, making its bytes reclaimable by compaction.
+// Deleting an unknown page is a no-op.
+func (d *Disk) Delete(id wire.PageID) error {
+	if d.closed.Load() {
+		return errStoreClosed
+	}
+	st := d.stripe(id)
+	st.mu.RLock()
+	_, ok := st.pages[id]
+	st.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	return d.append(&diskAppend{
+		frame: frameRecord((&segRecord{kind: recTomb, id: id}).encode()),
+		kind:  recTomb,
+		id:    id,
+		done:  make(chan struct{}),
+	})
+}
+
+// append writes one record durably and applies its index effect.
+// Callers hold stateMu shared (see Put/Delete), so a snapshot capture
+// never splits a durable record from its index change. Concurrent
+// appends coalesce into group commits unless GroupCommit is off.
+func (d *Disk) append(a *diskAppend) error {
+	d.wmu.Lock()
+	if d.closed.Load() {
+		d.wmu.Unlock()
+		return errStoreClosed
+	}
+	d.appends.Add(1)
+	if !d.opts.GroupCommit {
+		// One write (+fsync) per record with the lock held throughout,
+		// so concurrent appenders serialize on the disk — the ablation
+		// baseline and the pre-segmentation behaviour.
+		err := d.commit([]*diskAppend{a})
+		if err == nil {
+			d.applyBatch([]*diskAppend{a})
+			if d.active.size.Load() >= d.opts.SegmentBytes {
+				d.rollLocked() // best effort: a failed roll leaves the oversized segment active
+			}
+		}
+		d.wmu.Unlock()
+		return err
+	}
+	d.queue = append(d.queue, a)
+	if !d.leading {
+		d.leading = true
+		return d.lead(a) // releases wmu
+	}
+	d.wmu.Unlock()
+	<-a.done
+	if a.promoted {
+		d.wmu.Lock()
+		return d.lead(a) // releases wmu
+	}
+	return a.err
+}
+
+// lead commits one batch — the current queue, which includes self's own
+// record — with a single write and at most one fsync, applies the index
+// changes, delivers the outcome, and hands leadership to the first
+// appender queued behind the batch. Called with wmu held; returns
+// self's outcome with wmu released. The structure mirrors the version
+// WAL's leader.
+func (d *Disk) lead(self *diskAppend) error {
+	// Yield once so appenders that are runnable right now join this
+	// batch instead of each eating an fsync (see version/wal.go).
+	d.wmu.Unlock()
+	runtime.Gosched()
+	d.wmu.Lock()
+	batch := d.queue
+	d.queue = nil
+	closed := d.closed.Load()
+	d.wmu.Unlock()
+	var err error
+	if closed {
+		err = errStoreClosed
+	} else if len(batch) > 0 {
+		err = d.commit(batch)
+	}
+	d.wmu.Lock()
+	if err == nil && len(batch) > 0 {
+		d.applyBatch(batch)
+		// Re-check closed before rolling: Close may have finished while
+		// the commit ran outside wmu, and a roll now would create a
+		// stray segment after closeFiles already swept the table.
+		if !d.closed.Load() && d.active.size.Load() >= d.opts.SegmentBytes {
+			d.rollLocked() // best effort
+		}
+	}
+	for _, a := range batch {
+		if a == self {
+			// Self returns synchronously; its done channel may already
+			// be closed when it led a batch it was promoted into.
+			a.delivered = true
+			a.err = err
+		} else {
+			d.deliverLocked(a, err)
+		}
+	}
+	if len(d.queue) > 0 && !d.closed.Load() {
+		// One-batch tenure: whoever queued first behind this batch
+		// leads the next one.
+		next := d.queue[0]
+		next.promoted = true
+		d.deliverLocked(next, nil)
+	} else {
+		d.leading = false
+	}
+	d.wmu.Unlock()
+	return err
+}
+
+// deliverLocked wakes a parked appender exactly once. Called with wmu
+// held.
+func (d *Disk) deliverLocked(a *diskAppend, err error) {
+	if a.delivered {
+		return
+	}
+	a.delivered = true
+	a.err = err
+	close(a.done)
+}
+
+// commit appends the batch contiguously to the active segment with a
+// single write and at most one fsync, and stamps each record with where
+// its body landed. Only one committer runs at a time (the leader, or a
+// serial appender under wmu), so the active-segment fields need no
+// extra synchronization: the segment cannot roll while a commit is in
+// flight. On error nothing is applied.
+func (d *Disk) commit(batch []*diskAppend) error {
+	seg := d.active
+	base := seg.size.Load()
+	var n int
+	for _, a := range batch {
+		n += len(a.frame)
+	}
+	out := make([]byte, 0, n)
+	off := base
+	for _, a := range batch {
+		a.seg = seg.idx
+		a.dataOff = off + recHeaderSize + recPayloadMin
+		out = append(out, a.frame...)
+		off += int64(len(a.frame))
+	}
+	if _, err := seg.f.WriteAt(out, base); err != nil {
+		return fmt.Errorf("pagestore: append: %w", err)
+	}
+	if d.opts.Sync {
+		if err := seg.f.Sync(); err != nil {
+			return fmt.Errorf("pagestore: fsync: %w", err)
+		}
+		d.syncs.Add(1)
+	}
+	seg.size.Store(off)
+	return nil
+}
+
+// applyBatch indexes a durable batch: puts insert (first of a duplicate
+// pair wins), tombstones drop. Called with wmu held by the committer.
+func (d *Disk) applyBatch(batch []*diskAppend) {
+	var nudge bool
+	for _, a := range batch {
+		switch a.kind {
+		case recPut:
+			st := d.stripe(a.id)
+			st.mu.Lock()
+			if _, dup := st.pages[a.id]; !dup {
+				st.pages[a.id] = indexEntry{seg: a.seg, off: a.dataOff, len: a.dataLen}
+				d.segLive(a.seg).liveBytes.Add(framedRecBytes + int64(a.dataLen))
+				d.pages.Add(1)
+				d.dataBytes.Add(uint64(a.dataLen))
+			}
+			st.mu.Unlock()
+		case recTomb:
+			d.segLive(a.seg).tombBytes.Add(framedRecBytes)
+			d.dropEntry(a.id)
+			if d.opts.CompactRatio > 0 {
+				nudge = true
+			}
+		}
+	}
+	events := d.maintEvents.Add(uint64(len(batch)))
+	if n := d.opts.SnapshotEvery; n > 0 && events >= uint64(n) {
+		nudge = true
+	}
+	if nudge {
+		d.nudgeMaintain()
+	}
+}
+
+func (d *Disk) segLive(idx uint32) *segment {
+	d.segMu.RLock()
+	seg := d.segs[idx]
+	d.segMu.RUnlock()
+	return seg
 }
 
 // Get implements Store.
 func (d *Disk) Get(id wire.PageID, off, length uint32) ([]byte, error) {
-	d.mu.RLock()
-	pos, ok := d.index[id]
-	f := d.f
-	d.mu.RUnlock()
-	if f == nil {
-		return nil, errors.New("pagestore: store closed")
+	if d.closed.Load() {
+		return nil, errStoreClosed
 	}
+	st := d.stripe(id)
+	st.mu.RLock()
+	e, ok := st.pages[id]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
-	if uint64(off) > uint64(pos.length) {
-		return nil, fmt.Errorf("%w: offset %d beyond page of %d bytes", ErrBadRange, off, pos.length)
+	seg := d.segLive(e.seg)
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	// Re-fetch under the segment lock: a compaction may have moved the
+	// body between the lookup and here, and it swaps the file handle and
+	// rewrites the entries as one unit under seg.mu. Records never move
+	// between segments, so the entry still points into seg.
+	st.mu.RLock()
+	e, ok = st.pages[id]
+	st.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
-	n := pos.length - off
+	if uint64(off) > uint64(e.len) {
+		return nil, fmt.Errorf("%w: offset %d beyond page of %d bytes", ErrBadRange, off, e.len)
+	}
+	n := e.len - off
 	if length != wire.WholePage {
-		if uint64(off)+uint64(length) > uint64(pos.length) {
-			return nil, fmt.Errorf("%w: [%d,+%d) beyond page of %d bytes", ErrBadRange, off, length, pos.length)
+		if uint64(off)+uint64(length) > uint64(e.len) {
+			return nil, fmt.Errorf("%w: [%d,+%d) beyond page of %d bytes", ErrBadRange, off, length, e.len)
 		}
 		n = length
 	}
 	out := make([]byte, n)
-	if _, err := d.f.ReadAt(out, pos.off+int64(off)); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("pagestore: read page %v: %w", id, err)
+	if n > 0 {
+		if _, err := seg.f.ReadAt(out, e.off+int64(off)); err != nil {
+			if errors.Is(err, fs.ErrClosed) {
+				return nil, errStoreClosed // lost the race with Close
+			}
+			return nil, fmt.Errorf("pagestore: read page %v: %w", id, err)
+		}
 	}
 	return out, nil
 }
 
 // Has implements Store.
 func (d *Disk) Has(id wire.PageID) bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	_, ok := d.index[id]
+	st := d.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.pages[id]
 	return ok
 }
 
 // Stats implements Store.
 func (d *Disk) Stats() (pages, bytes uint64) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return uint64(len(d.index)), d.bytes
+	return d.pages.Load(), d.dataBytes.Load()
 }
 
-// Close implements Store.
+// WriteStats reports records appended and fsyncs issued since open.
+// Group commit shows up as syncs < appends.
+func (d *Disk) WriteStats() (appends, syncs uint64) {
+	return d.appends.Load(), d.syncs.Load()
+}
+
+// LogBytes reports the store's on-disk footprint: the summed size of
+// every segment file. Compaction shrinks it.
+func (d *Disk) LogBytes() int64 {
+	d.segMu.RLock()
+	defer d.segMu.RUnlock()
+	var n int64
+	for _, seg := range d.segs {
+		n += seg.size.Load()
+	}
+	return n
+}
+
+// RecoveryStats reports what this open of the store did: whether a
+// snapshot seeded the index and how many records had to be rescanned.
+func (d *Disk) RecoveryStats() RecoveryStats { return d.recStats }
+
+// closeFiles closes every segment file. The handles deliberately stay
+// non-nil: a group-commit leader mid-write or a reader that slipped
+// past the closed check simply gets fs.ErrClosed from the file instead
+// of a nil dereference, exactly like the version WAL's shutdown.
+func (d *Disk) closeFiles() error {
+	d.segMu.Lock()
+	defer d.segMu.Unlock()
+	var first error
+	for _, seg := range d.segs {
+		seg.mu.Lock()
+		if err := seg.f.Close(); err != nil && first == nil && !errors.Is(err, fs.ErrClosed) {
+			first = err
+		}
+		seg.mu.Unlock()
+	}
+	return first
+}
+
+// Close implements Store. It is idempotent: queued appenders fail with
+// a closed error, in-flight maintenance finishes first, and every
+// segment file is closed.
 func (d *Disk) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.f == nil {
+	if d.closed.Swap(true) {
 		return nil
 	}
-	err := d.f.Close()
-	d.f = nil
+	d.wmu.Lock()
+	for _, a := range d.queue {
+		// A promoted waiter was already woken and will observe closed
+		// when it leads; deliverLocked skips it.
+		d.deliverLocked(a, errStoreClosed)
+	}
+	d.queue = nil
+	d.wmu.Unlock()
+	if d.quitC != nil {
+		close(d.quitC)
+	}
+	// Barrier: an in-flight snapshot or compaction finishes (its output
+	// is valid and worth keeping) before the files close under it.
+	d.maintMu.Lock()
+	err := d.closeFiles()
+	d.maintMu.Unlock()
 	return err
 }

@@ -1,0 +1,416 @@
+package pagestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blobseer/internal/wire"
+)
+
+// Maintenance turns the segmented page log from "rescan everything on
+// open, grow forever" into a bounded store: the snapshotter serializes
+// the page index at a segment boundary so reopen replays only the tail,
+// and the compactor rewrites sealed segments whose live-byte ratio fell
+// below the configured threshold, dropping records of Deleted pages and
+// duplicate puts. Crash-consistency invariants, in order:
+//
+//  1. A snapshot capture is a consistent cut: every Put/Delete holds
+//     stateMu shared from before its record is queued until after the
+//     index applies, and the capture holds stateMu exclusively while it
+//     rolls the active segment and clones the index — so the clone
+//     equals exactly the replay of all segments below the cut.
+//  2. Snapshots and compaction outputs become visible only by the
+//     atomic rename of a fully written (and, for compaction, always
+//     fsynced) tmp file: recovery never sees a half-written one.
+//  3. A compaction rewrite bumps the segment's generation. The index
+//     snapshot records the generation of every covered segment, so a
+//     crash after the rename but before the follow-up snapshot is
+//     detected on reopen (generation mismatch) and that segment alone
+//     is rescanned instead of trusting stale offsets.
+//  4. Tombstone records are preserved by rewrites, so even the
+//     no-snapshot fallback (full rescan) can never resurrect a Deleted
+//     page.
+//
+// The crash-injection tests drive a hook through every fault point
+// below and assert the recovered pages are byte-identical to an
+// uncrashed store's.
+
+// Maintenance fault points, in execution order. Tests enumerate these.
+const (
+	crashSnapBegin      = "snap-begin"       // before anything happened
+	crashSnapCaptured   = "snap-captured"    // index cloned, nothing on disk yet
+	crashSnapTmpWritten = "snap-tmp-written" // tmp snapshot fully written (+synced)
+	crashSnapRenamed    = "snap-renamed"     // snapshot live
+
+	crashCompactTmpWritten = "compact-tmp-written" // rewrite tmp fully written+synced
+	crashCompactRenamed    = "compact-renamed"     // rewrite live, index not yet updated
+	crashCompactApplied    = "compact-applied"     // index updated, snapshot not yet rewritten
+)
+
+// crashPoints lists every fault point in order, for tests that want to
+// enumerate them exhaustively.
+var crashPoints = []string{
+	crashSnapBegin, crashSnapCaptured, crashSnapTmpWritten, crashSnapRenamed,
+	crashCompactTmpWritten, crashCompactRenamed, crashCompactApplied,
+}
+
+// crash fires the test-only fault-injection hook; a non-nil return
+// aborts the maintenance pass exactly as a process death at that point
+// would — nothing needs unwinding, recovery handles every prefix.
+func (d *Disk) crash(point string) error {
+	if d.crashHook == nil {
+		return nil
+	}
+	return d.crashHook(point)
+}
+
+// nudgeMaintain wakes the background maintainer (no-op when none runs).
+func (d *Disk) nudgeMaintain() {
+	if d.maintC == nil {
+		return
+	}
+	select {
+	case d.maintC <- struct{}{}:
+	default: // a nudge is already pending
+	}
+}
+
+// maintainLoop runs automatic snapshots and compaction. It is a plain
+// goroutine: maintenance is disk work with no simulated-time component.
+// Errors are not fatal — the log simply keeps growing until the next
+// trigger succeeds.
+func (d *Disk) maintainLoop() {
+	for {
+		select {
+		case <-d.quitC:
+			return
+		case <-d.maintC:
+			if d.closed.Load() {
+				return
+			}
+			if n := d.opts.SnapshotEvery; n > 0 && d.maintEvents.Load() >= uint64(n) {
+				d.Snapshot()
+			}
+			if d.opts.CompactRatio > 0 {
+				d.Compact()
+			}
+		}
+	}
+}
+
+// Snapshot serializes the page index into an atomically renamed
+// snapshot file, so the next reopen replays only records logged after
+// this call. It is safe to call concurrently with traffic (the
+// stop-the-world portion is only a segment roll plus an index clone)
+// and serialized against compaction.
+func (d *Disk) Snapshot() error {
+	d.maintMu.Lock()
+	defer d.maintMu.Unlock()
+	return d.snapshotLocked()
+}
+
+func (d *Disk) snapshotLocked() error {
+	if d.closed.Load() {
+		return errStoreClosed
+	}
+	if err := d.crash(crashSnapBegin); err != nil {
+		return err
+	}
+	snap, err := d.capture()
+	if err != nil {
+		return err
+	}
+	if err := d.crash(crashSnapCaptured); err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(d.base, encodeIndexSnapshot(snap), d.opts.Sync); err != nil {
+		return err
+	}
+	if err := d.crash(crashSnapTmpWritten); err != nil {
+		return err
+	}
+	if err := os.Rename(snapshotTmpPath(d.base), snapshotPath(d.base)); err != nil {
+		return fmt.Errorf("pagestore: activate snapshot: %w", err)
+	}
+	if d.opts.Sync {
+		if err := syncDir(filepath.Dir(d.base)); err != nil {
+			return fmt.Errorf("pagestore: sync snapshot dir: %w", err)
+		}
+	}
+	if err := d.crash(crashSnapRenamed); err != nil {
+		return err
+	}
+	d.snapRuns.Add(1)
+	return nil
+}
+
+// capture rolls the log to a fresh segment and clones the index. It
+// holds stateMu exclusively, which excludes every mutator (they hold
+// stateMu shared across record-append and index apply) — so no commit
+// is in flight during the roll and the clone is exactly the state the
+// segments below the cut replay to.
+func (d *Disk) capture() (*indexSnapshot, error) {
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
+	d.wmu.Lock()
+	if d.closed.Load() {
+		d.wmu.Unlock()
+		return nil, errStoreClosed
+	}
+	if d.active.size.Load() > segHeaderSize {
+		if err := d.rollLocked(); err != nil {
+			d.wmu.Unlock()
+			return nil, err
+		}
+	}
+	covered := d.active.idx - 1
+	d.wmu.Unlock()
+
+	snap := &indexSnapshot{gens: make([]uint64, covered)}
+	d.segMu.RLock()
+	for i := uint32(1); i <= covered; i++ {
+		snap.gens[i-1] = d.segs[i].gen
+	}
+	d.segMu.RUnlock()
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.RLock()
+		for id, e := range st.pages {
+			if e.seg > covered {
+				continue // cannot happen (mutators are excluded); defensive
+			}
+			snap.entries = append(snap.entries, snapEntry{id: id, indexEntry: e})
+		}
+		st.mu.RUnlock()
+	}
+	// Records up to the cut are covered; restart the auto-snapshot
+	// countdown. Exact because no append can race this store.
+	d.maintEvents.Store(0)
+	return snap, nil
+}
+
+// Snapshots reports how many index snapshots completed since open.
+func (d *Disk) Snapshots() uint64 { return d.snapRuns.Load() }
+
+// Compactions reports how many segment rewrites completed since open.
+func (d *Disk) Compactions() uint64 { return d.compactRuns.Load() }
+
+// Compact rewrites every sealed segment whose live-byte ratio is below
+// CompactRatio (or, when CompactRatio is zero, below 1 — on-demand
+// compaction reclaims whatever it can), then writes a fresh index
+// snapshot so the rewrites are covered. Pages still indexed — every
+// page not explicitly Deleted, i.e. every page still reachable from a
+// retained version — are preserved byte-identically; only records of
+// Deleted pages and duplicate puts are dropped.
+func (d *Disk) Compact() error {
+	d.maintMu.Lock()
+	defer d.maintMu.Unlock()
+	return d.compactLocked()
+}
+
+func (d *Disk) compactLocked() error {
+	if d.closed.Load() {
+		return errStoreClosed
+	}
+	ratio := d.opts.CompactRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	rewrote := 0
+	for {
+		victim := d.pickVictim(ratio)
+		if victim == nil {
+			break
+		}
+		if err := d.rewriteSegment(victim); err != nil {
+			return err
+		}
+		rewrote++
+	}
+	if rewrote > 0 {
+		// Cover the rewrites so reopen trusts the new offsets instead of
+		// taking the generation-mismatch rescan path.
+		return d.snapshotLocked()
+	}
+	return nil
+}
+
+// pickVictim returns the sealed segment with the most reclaimable bytes
+// among those whose live ratio is below the threshold, or nil. A
+// freshly rewritten segment estimates zero reclaimable bytes, so
+// compaction always terminates.
+func (d *Disk) pickVictim(ratio float64) *segment {
+	d.wmu.Lock()
+	activeIdx := d.active.idx
+	d.wmu.Unlock()
+	d.segMu.RLock()
+	defer d.segMu.RUnlock()
+	var best *segment
+	var bestReclaim int64
+	for _, seg := range d.segs {
+		if seg.idx >= activeIdx {
+			continue // never the active segment
+		}
+		payload := seg.size.Load() - segHeaderSize
+		if payload <= 0 {
+			continue
+		}
+		live := seg.liveBytes.Load()
+		reclaim := payload - live - seg.tombBytes.Load()
+		if reclaim <= 0 || float64(live)/float64(payload) >= ratio {
+			continue
+		}
+		if reclaim > bestReclaim {
+			best, bestReclaim = seg, reclaim
+		}
+	}
+	return best
+}
+
+// keptRecord is one record surviving a rewrite, with its offsets in the
+// old and new files.
+type keptRecord struct {
+	frame  []byte
+	put    bool
+	id     wire.PageID
+	oldOff int64 // old body offset (puts; index match key)
+	newOff int64 // new body offset
+	length uint32
+}
+
+// rewriteSegment compacts one sealed segment in place: the records
+// still live — puts the index points at, and every tombstone — are
+// written to a tmp file under a fresh generation, fsynced (always, even
+// in non-Sync stores: a rewrite replaces previously durable data, so it
+// must itself be durable before the rename), renamed over the segment,
+// and the index entries are retargeted to the new offsets under the
+// segment lock. Readers mid-pread keep the old file handle and stay
+// correct; the old inode lives until their locks release.
+func (d *Disk) rewriteSegment(victim *segment) error {
+	path := segmentPath(d.base, victim.idx)
+	var kept []keptRecord
+	if _, err := scanSegment(victim.f, path, false, func(sr scannedRecord) error {
+		switch sr.rec.kind {
+		case recTomb:
+			kept = append(kept, keptRecord{
+				frame: frameRecord(sr.rec.encode()),
+				id:    sr.rec.id,
+			})
+		case recPut:
+			st := d.stripe(sr.rec.id)
+			st.mu.RLock()
+			e, ok := st.pages[sr.rec.id]
+			st.mu.RUnlock()
+			// Keep only the record the index points at: duplicates and
+			// Deleted pages are dropped. A concurrent Delete between
+			// this check and the apply below is re-checked there.
+			if ok && e.seg == victim.idx && e.off == sr.dataOff {
+				kept = append(kept, keptRecord{
+					frame:  frameRecord(sr.rec.encode()),
+					put:    true,
+					id:     sr.rec.id,
+					oldOff: sr.dataOff,
+					length: sr.dataLen,
+				})
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	newGen := d.nextGen.Add(1)
+	tmp := compactTmpPath(d.base)
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: create compaction tmp: %w", err)
+	}
+	if err := writeSegmentHeader(f, newGen); err != nil {
+		f.Close()
+		return err
+	}
+	var off int64 = segHeaderSize
+	var flushed int64 = segHeaderSize
+	var tombBytes int64
+	buf := make([]byte, 0, 1<<16)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := f.WriteAt(buf, flushed); err != nil {
+			return fmt.Errorf("pagestore: write compaction tmp: %w", err)
+		}
+		flushed += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	for i := range kept {
+		k := &kept[i]
+		k.newOff = off + recHeaderSize + recPayloadMin
+		buf = append(buf, k.frame...)
+		off += int64(len(k.frame))
+		if !k.put {
+			tombBytes += framedRecBytes
+		}
+		if len(buf) >= 1<<20 {
+			if err := flush(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("pagestore: sync compaction tmp: %w", err)
+	}
+	if err := d.crash(crashCompactTmpWritten); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return fmt.Errorf("pagestore: activate compacted segment: %w", err)
+	}
+	if err := syncDir(filepath.Dir(d.base)); err != nil {
+		f.Close()
+		return fmt.Errorf("pagestore: sync dir after compaction: %w", err)
+	}
+	if err := d.crash(crashCompactRenamed); err != nil {
+		f.Close()
+		return err
+	}
+
+	// Swap the handle and retarget the index as one unit under the
+	// segment lock; Get re-fetches entries under it (see disk.go).
+	victim.mu.Lock()
+	old := victim.f
+	victim.f = f
+	victim.gen = newGen
+	victim.size.Store(off)
+	var live int64
+	for i := range kept {
+		k := &kept[i]
+		if !k.put {
+			continue
+		}
+		st := d.stripe(k.id)
+		st.mu.Lock()
+		if e, ok := st.pages[k.id]; ok && e.seg == victim.idx && e.off == k.oldOff {
+			e.off = k.newOff
+			st.pages[k.id] = e
+			live += framedRecBytes + int64(k.length)
+		}
+		st.mu.Unlock()
+	}
+	victim.liveBytes.Store(live)
+	victim.tombBytes.Store(tombBytes)
+	victim.mu.Unlock()
+	old.Close()
+	d.compactRuns.Add(1)
+	return d.crash(crashCompactApplied)
+}

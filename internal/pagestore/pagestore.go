@@ -37,6 +37,12 @@ type Store interface {
 	Get(id wire.PageID, off, length uint32) ([]byte, error)
 	// Has reports whether the page exists.
 	Has(id wire.PageID) bool
+	// Delete removes the page, making its bytes reclaimable. Deleting
+	// an unknown page is a no-op. Deletion is final: ids are globally
+	// unique and never reused, and the caller — a garbage collector
+	// walking version metadata — must have proven the page unreachable
+	// from every retained version before calling.
+	Delete(id wire.PageID) error
 	// Stats returns the number of stored pages and their total byte size.
 	Stats() (pages, bytes uint64)
 	// Close releases resources. The store must not be used afterwards.
@@ -120,6 +126,18 @@ func (m *Mem) Has(id wire.PageID) bool {
 	defer s.mu.RUnlock()
 	_, ok := s.pages[id]
 	return ok
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(id wire.PageID) error {
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if data, ok := s.pages[id]; ok {
+		s.bytes -= uint64(len(data))
+		delete(s.pages, id)
+	}
+	return nil
 }
 
 // Stats implements Store.

@@ -92,6 +92,28 @@ func exerciseStore(t *testing.T, s Store) {
 	if string(got) != "mutable" {
 		t.Fatalf("store aliased caller buffer: %q", got)
 	}
+
+	// Delete removes a page; deleting again (or a never-stored id) is a
+	// no-op.
+	if err := s.Delete(pid(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(pid(2)) {
+		t.Fatal("Has after Delete")
+	}
+	if _, err := s.Get(pid(2), 0, wire.WholePage); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete(pid(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(pid(99)); err != nil {
+		t.Fatal(err)
+	}
+	pages, byteCount = s.Stats()
+	if pages != 2 || byteCount != uint64(len(data)+len(buf)) {
+		t.Fatalf("Stats after Delete = %d pages, %d bytes", pages, byteCount)
+	}
 }
 
 func TestMemConformance(t *testing.T) { exerciseStore(t, NewMem()) }
@@ -179,8 +201,9 @@ func TestDiskTornTailTruncated(t *testing.T) {
 	d.Close()
 
 	// Chop bytes off the final record to simulate a crash mid-append.
-	info, _ := os.Stat(path)
-	if err := os.Truncate(path, info.Size()-5); err != nil {
+	seg1 := segmentPath(path, 1)
+	info, _ := os.Stat(seg1)
+	if err := os.Truncate(seg1, info.Size()-5); err != nil {
 		t.Fatal(err)
 	}
 
@@ -214,8 +237,8 @@ func TestDiskDetectsMidLogCorruption(t *testing.T) {
 	d.Close()
 
 	// Flip a payload byte of the first record.
-	f, _ := os.OpenFile(path, os.O_RDWR, 0)
-	f.WriteAt([]byte{0xFF}, recHeaderSize+2)
+	f, _ := os.OpenFile(segmentPath(path, 1), os.O_RDWR, 0)
+	f.WriteAt([]byte{0xFF}, segHeaderSize+recHeaderSize+recPayloadMin+2)
 	f.Close()
 
 	if _, err := OpenDisk(path, DiskOptions{}); err == nil {
@@ -229,14 +252,14 @@ func TestDiskDetectsBadMagic(t *testing.T) {
 	d.Put(pid(1), []byte("record"))
 	d.Close()
 
-	f, _ := os.OpenFile(path, os.O_RDWR, 0)
+	f, _ := os.OpenFile(segmentPath(path, 1), os.O_RDWR, 0)
 	var bad [4]byte
 	binary.LittleEndian.PutUint32(bad[:], 0x12345678)
-	f.WriteAt(bad[:], 0)
+	f.WriteAt(bad[:], segHeaderSize)
 	f.Close()
 
 	if _, err := OpenDisk(path, DiskOptions{}); err == nil {
-		t.Fatal("bad magic not detected")
+		t.Fatal("bad record magic not detected")
 	}
 }
 

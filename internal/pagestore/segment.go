@@ -1,0 +1,381 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"blobseer/internal/wire"
+)
+
+// The disk store's log is segmented: page records append to the active
+// segment file (<base>.000001, <base>.000002, ...) and the committer
+// rolls to a fresh segment once the active one exceeds the configured
+// size. Sealed segments are immutable except for compaction, which
+// rewrites a whole segment in place (tmp + fsync + atomic rename over
+// the same name), so the set of segment indices on disk is always
+// contiguous from 1 — unlike the version manager's WAL, old segments
+// still hold live page bodies and are never deleted.
+//
+// Every segment file starts with a fixed header carrying a generation
+// number. Compaction bumps the generation of the segment it rewrites;
+// the index snapshot records the generation it saw for every covered
+// segment, so recovery detects a rewrite that happened after the
+// snapshot (its offsets are stale for that segment) and rescans just
+// that segment instead of trusting the snapshot.
+//
+// Segment header (16 bytes, little-endian):
+//
+//	uint32 segMagic | uint32 segFormat | uint64 generation
+//
+// Record frame, following the version WAL's layout:
+//
+//	uint32 recMagic | uint32 payloadLen | uint32 crc32(payload) | payload
+//
+// and the payload is a segRecord encoding (see encode below): one kind
+// byte, the 16-byte page id, and — for puts — the page body. A torn
+// frame at the tail of the highest segment (crash mid-append) is
+// truncated on recovery; torn or corrupt frames anywhere else fail the
+// open, because sealed segments and compaction outputs are only ever
+// activated complete.
+
+const (
+	segMagic  = 0xB10B5E60
+	segFormat = 1
+	recMagic  = 0xB10B5EE5 // shared with the pre-segmentation log format
+
+	segHeaderSize = 4 + 4 + 8
+	recHeaderSize = 4 + 4 + 4
+	// recPayloadMin is kind + page id, the payload of a tombstone and the
+	// prefix of every put.
+	recPayloadMin = 1 + 16
+)
+
+// record kinds.
+const (
+	recPut  byte = 1
+	recTomb byte = 2
+)
+
+// segRecord is one decoded log record: a stored page or a tombstone
+// marking a page reclaimed by the garbage collector.
+type segRecord struct {
+	kind byte
+	id   wire.PageID
+	data []byte // recPut only
+}
+
+func (r *segRecord) encode() []byte {
+	w := wire.NewWriter(recPayloadMin + len(r.data))
+	w.Uint8(r.kind)
+	w.Raw(r.id[:])
+	if r.kind == recPut {
+		w.Raw(r.data)
+	}
+	return w.Bytes()
+}
+
+// decodeSegmentRecord parses a record payload. It never panics on
+// arbitrary bytes and the encoding is canonical — a successful decode
+// re-encodes to exactly the input — which FuzzDecodeSegmentRecord pins.
+func decodeSegmentRecord(data []byte) (segRecord, error) {
+	r := wire.NewReader(data)
+	var rec segRecord
+	rec.kind = r.Uint8()
+	copy(rec.id[:], r.Raw(16))
+	switch rec.kind {
+	case recPut:
+		rec.data = r.Raw(r.Remaining())
+	case recTomb:
+		// No body; trailing bytes are a corrupt frame.
+	default:
+		if r.Err() == nil {
+			return segRecord{}, fmt.Errorf("pagestore: unknown record kind %d", rec.kind)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return segRecord{}, fmt.Errorf("pagestore: decoding record: %w", err)
+	}
+	return rec, nil
+}
+
+// frameRecord wraps an encoded payload in the on-disk frame.
+func frameRecord(payload []byte) []byte {
+	rec := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], recMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(payload))
+	copy(rec[recHeaderSize:], payload)
+	return rec
+}
+
+// framedRecBytes is the framed size of a record with an empty body —
+// exactly one tombstone, and the fixed overhead of every put. The
+// live/tombstone byte accounting that drives compaction victim
+// selection counts framed bytes with this one constant, so a fully
+// rewritten segment estimates exactly zero reclaimable bytes.
+const framedRecBytes = recHeaderSize + recPayloadMin
+
+// segment is one log file and its in-memory accounting. The file handle
+// is swapped by compaction under mu; readers hold mu.RLock across their
+// pread so a swap never closes a file out from under them.
+type segment struct {
+	idx uint32
+
+	mu  sync.RWMutex
+	f   *os.File
+	gen uint64
+	// size is the file length. For the active segment it is advanced
+	// only by the unique committer (see disk.go); for sealed segments it
+	// changes only under mu (compaction). Atomic so stats and the
+	// compactor can read it from anywhere.
+	size atomic.Int64
+
+	// liveBytes is the payload bytes of records the index still points
+	// at; tombBytes is the framed bytes of tombstone records, which
+	// compaction preserves. size - segHeaderSize - liveBytes - tombBytes
+	// estimates what a rewrite would reclaim (tombBytes may read low
+	// after a snapshot-seeded recovery, which at worst costs one
+	// no-op rewrite).
+	liveBytes atomic.Int64
+	tombBytes atomic.Int64
+}
+
+// segmentPath names segment idx of the store rooted at base.
+func segmentPath(base string, idx uint32) string {
+	return fmt.Sprintf("%s.%06d", base, idx)
+}
+
+// listSegments returns the segment indices present for base, ascending.
+// Non-numeric siblings (the snapshot, tmp files, the legacy log) are
+// ignored.
+func listSegments(base string) ([]uint32, error) {
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: list segments: %w", err)
+	}
+	prefix := filepath.Base(base) + "."
+	var out []uint32
+	for _, ent := range entries {
+		name := ent.Name()
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		idx, err := strconv.ParseUint(name[len(prefix):], 10, 32)
+		if err != nil || idx == 0 {
+			continue
+		}
+		out = append(out, uint32(idx))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames, creations and deletions in it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSegmentHeader writes the 16-byte header to a fresh segment file.
+func writeSegmentHeader(f *os.File, gen uint64) error {
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segFormat)
+	binary.LittleEndian.PutUint64(hdr[8:16], gen)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("pagestore: write segment header: %w", err)
+	}
+	return nil
+}
+
+// readSegmentHeader validates a segment file's header and returns its
+// generation.
+func readSegmentHeader(f *os.File, path string) (uint64, error) {
+	var hdr [segHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("pagestore: read segment header of %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != segMagic {
+		return 0, fmt.Errorf("pagestore: bad segment magic in %s", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != segFormat {
+		return 0, fmt.Errorf("pagestore: unknown segment format %d in %s", v, path)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
+}
+
+// scannedRecord is one record located by scanSegment: the decoded
+// payload plus where its body sits in the file.
+type scannedRecord struct {
+	rec     segRecord
+	dataOff int64 // file offset of the put body (payload start + kind + id)
+	dataLen uint32
+}
+
+// scanSegment reads every record frame in one segment file, already
+// open with a validated header. A torn frame at the tail is truncated
+// away when allowTorn is set (the highest segment — a crash
+// mid-append); anywhere else it fails the open. The file size after any
+// truncation is returned.
+func scanSegment(f *os.File, path string, allowTorn bool, visit func(scannedRecord) error) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("pagestore: stat segment: %w", err)
+	}
+	logLen := info.Size()
+	var off int64 = segHeaderSize
+	var hdr [recHeaderSize]byte
+	for off < logLen {
+		if logLen-off < recHeaderSize {
+			break // torn header
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, fmt.Errorf("pagestore: read record header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recMagic {
+			return 0, fmt.Errorf("pagestore: bad record magic in %s at offset %d: log corrupted", path, off)
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		payloadOff := off + recHeaderSize
+		if payloadOff+int64(payloadLen) > logLen {
+			break // torn payload
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := f.ReadAt(payload, payloadOff); err != nil {
+			return 0, fmt.Errorf("pagestore: read record payload at %d: %w", payloadOff, err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return 0, fmt.Errorf("pagestore: record crc mismatch in %s at offset %d: log corrupted", path, off)
+		}
+		rec, err := decodeSegmentRecord(payload)
+		if err != nil {
+			return 0, fmt.Errorf("pagestore: %s at offset %d: %w", path, off, err)
+		}
+		if err := visit(scannedRecord{
+			rec:     rec,
+			dataOff: payloadOff + recPayloadMin,
+			dataLen: payloadLen - recPayloadMin,
+		}); err != nil {
+			return 0, err
+		}
+		off = payloadOff + int64(payloadLen)
+	}
+	if off < logLen {
+		if !allowTorn {
+			return 0, fmt.Errorf("pagestore: torn record in sealed segment %s: log corrupted", path)
+		}
+		if err := f.Truncate(off); err != nil {
+			return 0, fmt.Errorf("pagestore: truncate torn tail: %w", err)
+		}
+	}
+	return off, nil
+}
+
+// errStoreClosed is returned by operations racing Close.
+var errStoreClosed = errors.New("pagestore: store closed")
+
+// Legacy single-file log (pre-segmentation) support. The old format had
+// no file header and framed records as
+//
+//	uint32 recMagic | uint32 dataLen | 16-byte PageID | uint32 crc32(data) | data
+//
+// A store opened on such a file migrates it once: the records are
+// rewritten into segment 1 (tmp + fsync + rename, so a crash
+// mid-migration leaves the legacy file untouched) and the legacy file
+// is removed.
+const legacyHeaderSize = 4 + 4 + 16 + 4
+
+// migrateLegacy converts the single-file log at base into segment 1.
+// Returns whether a migration happened.
+func migrateLegacy(base string) (bool, error) {
+	info, err := os.Stat(base)
+	if err != nil || !info.Mode().IsRegular() {
+		return false, nil // nothing to migrate
+	}
+	src, err := os.Open(base)
+	if err != nil {
+		return false, fmt.Errorf("pagestore: open legacy log: %w", err)
+	}
+	defer src.Close()
+
+	tmp := base + ".migrate.tmp"
+	dst, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("pagestore: create migration tmp: %w", err)
+	}
+	if err := writeSegmentHeader(dst, 1); err != nil {
+		dst.Close()
+		return false, err
+	}
+	logLen := info.Size()
+	var off int64
+	var wOff int64 = segHeaderSize
+	var hdr [legacyHeaderSize]byte
+	for off < logLen {
+		if logLen-off < legacyHeaderSize {
+			break // torn header: the legacy format truncated these too
+		}
+		if _, err := src.ReadAt(hdr[:], off); err != nil {
+			return false, fmt.Errorf("pagestore: read legacy header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recMagic {
+			return false, fmt.Errorf("pagestore: bad magic at offset %d: legacy log corrupted", off)
+		}
+		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
+		var id wire.PageID
+		copy(id[:], hdr[8:24])
+		wantCRC := binary.LittleEndian.Uint32(hdr[24:28])
+		dataOff := off + legacyHeaderSize
+		if dataOff+int64(dataLen) > logLen {
+			break // torn payload
+		}
+		data := make([]byte, dataLen)
+		if _, err := src.ReadAt(data, dataOff); err != nil {
+			return false, fmt.Errorf("pagestore: read legacy payload at %d: %w", dataOff, err)
+		}
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			return false, fmt.Errorf("pagestore: crc mismatch for page %v at offset %d: legacy log corrupted", id, off)
+		}
+		frame := frameRecord((&segRecord{kind: recPut, id: id, data: data}).encode())
+		if _, err := dst.WriteAt(frame, wOff); err != nil {
+			dst.Close()
+			return false, fmt.Errorf("pagestore: write migrated record: %w", err)
+		}
+		wOff += int64(len(frame))
+		off = dataOff + int64(dataLen)
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		return false, fmt.Errorf("pagestore: sync migration tmp: %w", err)
+	}
+	if err := dst.Close(); err != nil {
+		return false, fmt.Errorf("pagestore: close migration tmp: %w", err)
+	}
+	if err := os.Rename(tmp, segmentPath(base, 1)); err != nil {
+		return false, fmt.Errorf("pagestore: activate migrated segment: %w", err)
+	}
+	if err := syncDir(filepath.Dir(base)); err != nil {
+		return false, fmt.Errorf("pagestore: sync dir after migration: %w", err)
+	}
+	if err := os.Remove(base); err != nil {
+		return false, fmt.Errorf("pagestore: remove legacy log: %w", err)
+	}
+	return true, nil
+}

@@ -1,0 +1,223 @@
+package pagestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sort"
+
+	"blobseer/internal/wire"
+)
+
+// An index snapshot is the page index — every live page's segment,
+// offset and length — serialized at a segment boundary. Unlike the
+// version manager's snapshot it carries no payload data: page bodies
+// stay in their segments forever, so the snapshot only spares reopen
+// the full rescan (reading and CRC-checking every page body). Recovery
+// loads the newest valid snapshot, verifies each covered segment's
+// generation, and replays only the tail segments (plus any segment a
+// post-snapshot compaction rewrote, detected by a generation mismatch).
+// A torn or corrupt snapshot degrades to a full rescan, which is always
+// possible because data segments are never deleted.
+//
+// File layout mirrors a segment record frame, with its own magic:
+//
+//	uint32 psnapMagic | uint32 dataLen | uint32 crc32(data) | data
+//
+// written to <base>.snapshot.tmp, fsynced (when the store syncs), then
+// atomically renamed to <base>.snapshot.
+//
+// The payload encoding is canonical: covered-segment generations in
+// index order, entries strictly ascending by page id, counts bounded by
+// the remaining input, no trailing bytes. That makes encode∘decode the
+// identity on valid inputs — the property FuzzDecodeIndexSnapshot pins.
+
+const (
+	psnapMagic = 0xB10B55A9
+	psnapFmt   = 1
+)
+
+// snapshotPath names the live index snapshot of the store rooted at base.
+func snapshotPath(base string) string { return base + ".snapshot" }
+
+// snapshotTmpPath names the in-progress snapshot; never read by recovery.
+func snapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+
+// compactTmpPath names a compaction rewrite in progress; never read by
+// recovery.
+func compactTmpPath(base string) string { return base + ".compact.tmp" }
+
+// indexEntry locates one live page body: data byte range [off, off+len)
+// inside segment seg.
+type indexEntry struct {
+	seg uint32
+	off int64
+	len uint32
+}
+
+// snapEntry pairs a page id with its location, the unit of the snapshot
+// encoding.
+type snapEntry struct {
+	id wire.PageID
+	indexEntry
+}
+
+// indexSnapshot is a consistent cut of the page index. Segments
+// 1..len(gens) are covered: every record in them is reflected in the
+// entries, and gens[i] is segment i+1's generation at the cut. Segments
+// above len(gens) are the tail recovery replays.
+type indexSnapshot struct {
+	gens    []uint64
+	entries []snapEntry
+}
+
+// encodeIndexSnapshot serializes s canonically (entries sorted by id).
+func encodeIndexSnapshot(s *indexSnapshot) []byte {
+	sort.Slice(s.entries, func(i, j int) bool {
+		return bytes.Compare(s.entries[i].id[:], s.entries[j].id[:]) < 0
+	})
+	w := wire.NewWriter(16 + len(s.gens)*8 + len(s.entries)*32)
+	w.Uint32(psnapFmt)
+	w.Uint32(uint32(len(s.gens)))
+	for _, g := range s.gens {
+		w.Uint64(g)
+	}
+	w.Uint32(uint32(len(s.entries)))
+	for _, e := range s.entries {
+		w.Raw(e.id[:])
+		w.Uint32(e.seg)
+		w.Uint64(uint64(e.off))
+		w.Uint32(e.len)
+	}
+	return w.Bytes()
+}
+
+// errSnapshotEncoding tags structurally invalid snapshot payloads.
+var errSnapshotEncoding = errors.New("pagestore: invalid snapshot encoding")
+
+// snapCount reads a length prefix and bounds it by the bytes that many
+// entries of at least elemBytes each would need, so a hostile prefix
+// cannot drive a huge allocation.
+func snapCount(r *wire.Reader, elemBytes int) (int, error) {
+	n := r.Uint32()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if int64(n)*int64(elemBytes) > int64(r.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining input", errSnapshotEncoding, n)
+	}
+	return int(n), nil
+}
+
+// decodeIndexSnapshot parses a snapshot payload. It never panics on
+// arbitrary bytes and rejects non-canonical input — unsorted or
+// duplicate ids, entries pointing outside the covered segments or
+// before the segment header, trailing bytes — so a successful decode
+// re-encodes to exactly the input.
+func decodeIndexSnapshot(data []byte) (*indexSnapshot, error) {
+	r := wire.NewReader(data)
+	if f := r.Uint32(); r.Err() == nil && f != psnapFmt {
+		return nil, fmt.Errorf("%w: unknown format %d", errSnapshotEncoding, f)
+	}
+	s := &indexSnapshot{}
+	nsegs, err := snapCount(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	s.gens = make([]uint64, 0, nsegs)
+	for i := 0; i < nsegs; i++ {
+		s.gens = append(s.gens, r.Uint64())
+	}
+	nent, err := snapCount(r, 32)
+	if err != nil {
+		return nil, err
+	}
+	s.entries = make([]snapEntry, 0, nent)
+	for i := 0; i < nent; i++ {
+		var e snapEntry
+		copy(e.id[:], r.Raw(16))
+		e.seg = r.Uint32()
+		e.off = int64(r.Uint64())
+		e.len = r.Uint32()
+		if r.Err() != nil {
+			break
+		}
+		if i > 0 && bytes.Compare(e.id[:], s.entries[i-1].id[:]) <= 0 {
+			return nil, fmt.Errorf("%w: page ids not strictly ascending", errSnapshotEncoding)
+		}
+		if e.seg == 0 || int(e.seg) > nsegs {
+			return nil, fmt.Errorf("%w: entry in uncovered segment %d", errSnapshotEncoding, e.seg)
+		}
+		if e.off < segHeaderSize+recHeaderSize+recPayloadMin {
+			return nil, fmt.Errorf("%w: entry offset %d inside segment header", errSnapshotEncoding, e.off)
+		}
+		s.entries = append(s.entries, e)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("pagestore: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// loadSnapshot reads and validates the snapshot file. A missing file is
+// (nil, nil); a torn or corrupt one is an error the caller downgrades
+// to a full rescan.
+func loadSnapshot(path string) (*indexSnapshot, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: read snapshot: %w", err)
+	}
+	if len(raw) < recHeaderSize {
+		return nil, fmt.Errorf("pagestore: snapshot torn: %d bytes", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != psnapMagic {
+		return nil, errors.New("pagestore: bad snapshot magic")
+	}
+	dataLen := binary.LittleEndian.Uint32(raw[4:8])
+	wantCRC := binary.LittleEndian.Uint32(raw[8:12])
+	if int64(recHeaderSize)+int64(dataLen) != int64(len(raw)) {
+		return nil, fmt.Errorf("pagestore: snapshot torn: declares %d payload bytes, has %d",
+			dataLen, len(raw)-recHeaderSize)
+	}
+	data := raw[recHeaderSize:]
+	if crc32.ChecksumIEEE(data) != wantCRC {
+		return nil, errors.New("pagestore: snapshot crc mismatch")
+	}
+	return decodeIndexSnapshot(data)
+}
+
+// writeSnapshotFile writes the framed payload to the tmp path and, when
+// syncing, fsyncs it — everything short of the activating rename.
+func writeSnapshotFile(base string, payload []byte, fsync bool) error {
+	frame := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], psnapMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
+	copy(frame[recHeaderSize:], payload)
+	tmp := snapshotTmpPath(base)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: create snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("pagestore: write snapshot: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("pagestore: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pagestore: close snapshot tmp: %w", err)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/rpc"
@@ -57,15 +58,32 @@ type ManagerConfig struct {
 	Seed int64
 }
 
+// registryStripes shards the id-to-entry lookup map, the same pattern as
+// the version manager's blob registry: heartbeats — the hot, frequent
+// path once hundreds of providers beat every few seconds — take only
+// their stripe's read lock plus atomic stores, so they never serialize
+// behind an Allocate planning placements.
+const registryStripes = 16
+
 // Manager is the provider manager service: the directory of live data
 // providers and the page placement policy.
+//
+// Concurrency regime: the entry registry is striped with RW locks and
+// each entry's mutable load statistics are atomics, so heartbeats touch
+// nothing global. Membership and placement (registration order,
+// round-robin cursor, RNG, in-cycle counts) stay behind a single
+// allocMu — allocation is inherently a global decision — which is taken
+// only by register, allocate, list and expiry. Lock order: allocMu,
+// then a stripe lock; a stripe lock is never held while acquiring
+// allocMu.
 type Manager struct {
 	cfg   ManagerConfig
 	sched vclock.Scheduler
 	srv   *rpc.Server
 
-	mu      sync.Mutex
-	entries map[uint32]*entry
+	stripes [registryStripes]registryStripe
+
+	allocMu sync.Mutex
 	byAddr  map[string]uint32
 	order   []uint32 // registration order, for round-robin
 	nextID  uint32
@@ -76,13 +94,21 @@ type Manager struct {
 	inCycle map[uint32]uint64
 }
 
+type registryStripe struct {
+	mu      sync.RWMutex
+	entries map[uint32]*entry
+}
+
+// entry is one registered provider. addr and id are immutable after
+// creation; the load statistics are atomics written by heartbeats
+// without any manager-wide lock.
 type entry struct {
 	id       uint32
 	addr     string
-	weight   uint32
-	pages    uint64
-	bytes    uint64
-	lastSeen time.Duration
+	weight   atomic.Uint32
+	pages    atomic.Uint64
+	bytes    atomic.Uint64
+	lastSeen atomic.Int64 // sched.Now(), as nanoseconds
 }
 
 // ServeManager starts the provider manager on ln.
@@ -93,10 +119,12 @@ func ServeManager(ln transport.Listener, cfg ManagerConfig) *Manager {
 	m := &Manager{
 		cfg:     cfg,
 		sched:   cfg.Sched,
-		entries: make(map[uint32]*entry),
 		byAddr:  make(map[string]uint32),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		inCycle: make(map[uint32]uint64),
+	}
+	for i := range m.stripes {
+		m.stripes[i].entries = make(map[uint32]*entry)
 	}
 	m.srv = rpc.Serve(ln, cfg.Sched, m.mux())
 	return m
@@ -108,12 +136,25 @@ func (m *Manager) Addr() string { return m.srv.Addr() }
 // Close stops the service.
 func (m *Manager) Close() { m.srv.Close() }
 
+func (m *Manager) stripe(id uint32) *registryStripe {
+	return &m.stripes[id%registryStripes]
+}
+
+// lookup returns the entry for id, or nil. Safe without allocMu.
+func (m *Manager) lookup(id uint32) *entry {
+	s := m.stripe(id)
+	s.mu.RLock()
+	e := s.entries[id]
+	s.mu.RUnlock()
+	return e
+}
+
 // ProviderCount returns the number of live providers.
 func (m *Manager) ProviderCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	m.expireLocked()
-	return len(m.entries)
+	return len(m.order)
 }
 
 func (m *Manager) mux() *rpc.Mux {
@@ -147,33 +188,56 @@ func (m *Manager) mux() *rpc.Mux {
 }
 
 func (m *Manager) register(addr string, weight uint32) uint32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	if id, ok := m.byAddr[addr]; ok {
-		e := m.entries[id]
-		e.lastSeen = m.sched.Now()
-		e.weight = weight
+		// byAddr and the stripes mutate together under allocMu, so the
+		// entry is always present.
+		e := m.lookup(id)
+		e.lastSeen.Store(int64(m.sched.Now()))
+		e.weight.Store(weight)
 		return id
 	}
 	m.nextID++
 	id := m.nextID
-	m.entries[id] = &entry{id: id, addr: addr, weight: weight, lastSeen: m.sched.Now()}
+	e := &entry{id: id, addr: addr}
+	e.weight.Store(weight)
+	e.lastSeen.Store(int64(m.sched.Now()))
+	s := m.stripe(id)
+	s.mu.Lock()
+	s.entries[id] = e
+	s.mu.Unlock()
 	m.byAddr[addr] = id
 	m.order = append(m.order, id)
 	return id
 }
 
+// heartbeat refreshes one provider's liveness and load. It is the hot
+// path under many providers and deliberately takes no manager-wide
+// lock: a stripe read lock around the entry update, atomics for the
+// fields. Holding the stripe lock across the stores means expiry —
+// which re-checks lastSeen under the stripe write lock — can never
+// delete an entry whose beat was just acknowledged.
 func (m *Manager) heartbeat(req *wire.HeartbeatReq) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[req.ID]
-	if !ok {
+	s := m.stripe(req.ID)
+	s.mu.RLock()
+	e := s.entries[req.ID]
+	if e == nil {
+		s.mu.RUnlock()
 		return false
 	}
-	e.pages = req.Pages
-	e.bytes = req.Bytes
-	e.lastSeen = m.sched.Now()
-	delete(m.inCycle, req.ID) // fresh ground truth supersedes estimates
+	e.pages.Store(req.Pages)
+	e.bytes.Store(req.Bytes)
+	e.lastSeen.Store(int64(m.sched.Now()))
+	s.mu.RUnlock()
+	if m.cfg.Strategy == LeastLoaded {
+		// Fresh ground truth supersedes the in-cycle estimates. Only
+		// LeastLoaded keeps them, so the other strategies' heartbeats
+		// stay entirely off the placement lock.
+		m.allocMu.Lock()
+		delete(m.inCycle, req.ID)
+		m.allocMu.Unlock()
+	}
 	return true
 }
 
@@ -193,8 +257,8 @@ func (m *Manager) Allocate(n, copies int) ([]string, error) {
 	if copies < 1 {
 		copies = 1
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	m.expireLocked()
 	if len(m.order) == 0 {
 		return nil, wire.NewError(wire.CodeUnavailable, "no data providers registered")
@@ -208,7 +272,7 @@ func (m *Manager) Allocate(n, copies int) ([]string, error) {
 			best := uint32(0)
 			var bestLoad uint64
 			for _, id := range m.order {
-				load := m.entries[id].pages + m.inCycle[id]
+				load := m.lookup(id).pages.Load() + m.inCycle[id]
 				if best == 0 || load < bestLoad {
 					best, bestLoad = id, load
 				}
@@ -238,37 +302,50 @@ func (m *Manager) Allocate(n, copies int) ([]string, error) {
 				}
 			}
 			group[id] = struct{}{}
-			addrs = append(addrs, m.entries[id].addr)
+			addrs = append(addrs, m.lookup(id).addr)
 		}
 	}
 	return addrs, nil
 }
 
 func (m *Manager) list() *wire.ListProvidersResp {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	m.expireLocked()
 	resp := &wire.ListProvidersResp{}
 	for _, id := range m.order {
-		e := m.entries[id]
+		e := m.lookup(id)
 		resp.Providers = append(resp.Providers, wire.ProviderInfo{
-			Addr: e.addr, Pages: e.pages, Bytes: e.bytes,
+			Addr: e.addr, Pages: e.pages.Load(), Bytes: e.bytes.Load(),
 		})
 	}
 	return resp
 }
 
-// expireLocked drops providers whose heartbeats stopped.
+// expireLocked drops providers whose heartbeats stopped. Called with
+// allocMu held; stripe locks nest inside it.
 func (m *Manager) expireLocked() {
 	if m.cfg.Expiry <= 0 {
 		return
 	}
-	cutoff := m.sched.Now() - m.cfg.Expiry
+	cutoff := int64(m.sched.Now()) - int64(m.cfg.Expiry)
 	keep := m.order[:0]
 	for _, id := range m.order {
-		e := m.entries[id]
-		if e.lastSeen < cutoff {
-			delete(m.entries, id)
+		e := m.lookup(id)
+		expired := false
+		if e.lastSeen.Load() < cutoff {
+			s := m.stripe(id)
+			s.mu.Lock()
+			// Re-check under the stripe write lock: a heartbeat holds the
+			// read lock across its stores, so a beat acknowledged before
+			// this point is visible here and saves the entry.
+			if e.lastSeen.Load() < cutoff {
+				delete(s.entries, id)
+				expired = true
+			}
+			s.mu.Unlock()
+		}
+		if expired {
 			delete(m.byAddr, e.addr)
 			delete(m.inCycle, id)
 			continue

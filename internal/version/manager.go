@@ -260,11 +260,13 @@ func (m *Manager) Close() {
 		if m.quitC != nil {
 			close(m.quitC)
 		}
-		// Barrier: an in-flight checkpoint finishes (its snapshot is
-		// valid and worth keeping) before the log closes under it.
+		// Closing the log under ckptMu is the shutdown barrier: an
+		// in-flight checkpoint finishes first (its snapshot is valid and
+		// worth keeping), and any later Checkpoint observes the closed
+		// flag before touching the log.
 		m.ckptMu.Lock()
-		m.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 		m.log.close()
+		m.ckptMu.Unlock()
 	})
 }
 
