@@ -84,6 +84,10 @@ type ClientOptions struct {
 	// MetadataCacheNodes bounds the client metadata cache (default
 	// 16384 nodes; negative disables caching).
 	MetadataCacheNodes int
+	// MetadataCacheBytes additionally bounds the metadata cache by the
+	// bytes of its keys and node payloads, so a few wide replicated
+	// leaves cannot dominate memory (0 = no byte bound).
+	MetadataCacheBytes int64
 }
 
 // Client is a handle to a BlobSeer cluster, safe for concurrent use by
@@ -113,6 +117,7 @@ func newClient(net transport.Network, sched vclock.Scheduler, opts ClientOptions
 		MetaRing:        ring,
 		ConnsPerHost:    opts.ConnsPerHost,
 		MetaCacheNodes:  opts.MetadataCacheNodes,
+		MetaCacheBytes:  opts.MetadataCacheBytes,
 		PageReplication: opts.PageReplication,
 	})
 	if err != nil {
@@ -204,4 +209,30 @@ func (b *Blob) Branch(ctx context.Context, v Version) (*Blob, error) {
 		return nil, err
 	}
 	return &Blob{c: b.c, id: nid}, nil
+}
+
+// GCStats summarizes one garbage collection run.
+type GCStats = client.GCStats
+
+// Expire marks every snapshot of the blob up to and including upTo as
+// expired: permanently unreadable, its exclusively owned pages
+// reclaimable by GC. The paper's model keeps every snapshot forever;
+// this is the production-scale retention extension. The version manager
+// refuses to expire the newest readable snapshot, the branch point any
+// live branch rests on, or the base an in-flight update still weaves
+// against, and silently clamps to the cluster's keep-last-N policy. The
+// returned floor is the first non-expired version.
+func (b *Blob) Expire(ctx context.Context, upTo Version) (Version, error) {
+	floor, _, err := b.c.inner.ExpireVersions(ctx, b.id, upTo)
+	return floor, err
+}
+
+// GC reclaims the pages of the blob's expired snapshots: it walks their
+// metadata trees, keeps every page the oldest retained snapshot (and
+// thus any retained snapshot or branch) still reaches, and deletes the
+// rest from the data providers. It is idempotent and safe to run
+// concurrently with reads, writes and branches; re-run it after a crash
+// or partial failure to finish the sweep.
+func (b *Blob) GC(ctx context.Context) (GCStats, error) {
+	return b.c.inner.CollectGarbage(ctx, b.id)
 }

@@ -13,6 +13,7 @@
 //	blobseer-bench -exp vm         # A6: version-manager sharding + WAL group commit
 //	blobseer-bench -exp recovery   # A7: restart cost, WAL compaction on/off
 //	blobseer-bench -exp pagestore  # A8: provider page store — group commit, bounded reopen, compaction
+//	blobseer-bench -exp gc         # A9: retention + distributed page GC, footprint shrink vs read-back
 //	blobseer-bench -exp all        # everything above
 //
 // -exp also accepts a comma-separated list (`-exp vm,recovery,pagestore`),
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, all")
+	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, gc, all")
 	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
 	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
 	jsonDir := flag.String("json", "", "write each experiment's raw result as BENCH_<exp>.json into this directory")
@@ -47,7 +48,8 @@ func main() {
 
 	known := map[string]bool{
 		"all": true, "calibrate": true, "fig2a": true, "fig2b": true, "writers": true,
-		"space": true, "vm": true, "recovery": true, "pagestore": true, "replication": true,
+		"space": true, "vm": true, "recovery": true, "pagestore": true, "gc": true,
+		"replication": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
@@ -237,6 +239,29 @@ func main() {
 		for _, tab := range res.Tables() {
 			tab.Fprint(os.Stdout)
 		}
+		return res, nil
+	})
+
+	run("gc", func() (any, error) {
+		dir, err := os.MkdirTemp("", "blobseer-gc-bench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := bench.GCConfig{Dir: dir}
+		if *quick {
+			cfg.BlobPages = 64
+			cfg.Churn = 16
+			cfg.OverwritePages = 16
+			cfg.PageSize = 1024
+			cfg.SegmentBytes = 32 << 10
+		}
+		res, err := bench.RunGC(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("Ablation A9: retention + distributed page GC")
+		res.Table().Fprint(os.Stdout)
 		return res, nil
 	})
 

@@ -149,6 +149,27 @@ func main() {
 		}
 		fmt.Println(uint64(nb.ID()))
 
+	case "expire":
+		fs := flag.NewFlagSet("expire", flag.ExitOnError)
+		upTo := fs.Uint64("up-to", 0, "expire every version <= this (required)")
+		fs.Parse(argsTail(args))
+		blob := openBlob(ctx, c, args)
+		floor, err := blob.Expire(ctx, blobseer.Version(*upTo))
+		if err != nil {
+			log.Fatalf("expire: %v", err)
+		}
+		fmt.Printf("floor %d\n", floor)
+
+	case "gc":
+		blob := openBlob(ctx, c, args)
+		stats, err := blob.GC(ctx)
+		if err != nil {
+			log.Fatalf("gc: %v", err)
+		}
+		fmt.Printf("expired versions %d, candidates %d, retained %d, deleted %d (%d rpc)\n",
+			stats.ExpiredVersions, stats.CandidatePages, stats.RetainedPages,
+			stats.DeletedPages, stats.DeleteRPCs)
+
 	default:
 		usage()
 	}
@@ -184,6 +205,8 @@ commands:
   write <blob> -offset N      overwrite at offset from stdin
   read <blob> [-version V] [-offset N] [-length L]
   stat <blob>                 list versions and sizes
-  branch <blob> -version V    branch at a published version`)
+  branch <blob> -version V    branch at a published version
+  expire <blob> -up-to V      expire snapshots <= V (retention floor)
+  gc <blob>                   reclaim pages of expired snapshots`)
 	os.Exit(2)
 }

@@ -45,6 +45,7 @@ func main() {
 	walSerial := flag.Bool("wal-serial", false, "disable WAL group commit: one write+fsync per event (version-manager role; ablation baseline)")
 	walSegBytes := flag.Int64("wal-segment-bytes", 64<<20, "roll the version WAL into a new segment past this size (version-manager role)")
 	checkpointEvery := flag.Int("checkpoint-every", 4096, "snapshot version state and compact the WAL every N logged events; 0 = manual only (version-manager role)")
+	retain := flag.Int("retain-versions", 1, "keep-last-N retention policy: EXPIRE keeps at least this many newest versions per blob (version-manager role)")
 	stripes := flag.Int("registry-stripes", 16, "RW-lock stripes over the blob registry (version-manager role)")
 	globalLock := flag.Bool("global-lock", false, "serialize all version-manager handlers behind one mutex (ablation baseline)")
 	deadTimeout := flag.Duration("dead-writer-timeout", 0, "abort updates of silent writers after this duration (version-manager role; 0 disables)")
@@ -74,6 +75,7 @@ func main() {
 			WALSerial:         *walSerial,
 			WALSegmentBytes:   *walSegBytes,
 			CheckpointEvery:   *checkpointEvery,
+			RetainVersions:    *retain,
 			RegistryStripes:   *stripes,
 			GlobalLock:        *globalLock,
 		})

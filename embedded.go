@@ -56,6 +56,11 @@ type ClusterOptions struct {
 	CheckpointEvery int
 	// DeadWriterTimeout aborts updates of crashed writers (0 disables).
 	DeadWriterTimeout time.Duration
+	// RetainVersions is the keep-last-N retention policy: Blob.Expire
+	// requests are clamped so at least this many of a blob's newest
+	// published versions stay readable (default 1 — only the newest is
+	// guaranteed).
+	RetainVersions int
 
 	// Page-store knobs, the data-path mirror of the WAL knobs above.
 	// Only meaningful with DiskDir.
@@ -98,6 +103,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		PageReplication:   opts.PageReplication,
 		Strategy:          opts.Strategy,
 		DeadWriterTimeout: opts.DeadWriterTimeout,
+		RetainVersions:    opts.RetainVersions,
 	}
 	if opts.DiskDir != "" {
 		dir := opts.DiskDir

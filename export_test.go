@@ -15,3 +15,14 @@ func (c *Cluster) DataProviderCount() int { return len(c.inner.Providers) }
 
 // MetaNodeCount returns the number of metadata nodes in the cluster.
 func (c *Cluster) MetaNodeCount() int { return len(c.inner.MetaNodes) }
+
+// ProviderPages sums live page counts over the cluster's data providers,
+// so retention tests can watch the GC actually reclaim storage.
+func (c *Cluster) ProviderPages() (pages, bytes uint64) {
+	for _, p := range c.inner.Providers {
+		n, b := p.Store().Stats()
+		pages += n
+		bytes += b
+	}
+	return pages, bytes
+}

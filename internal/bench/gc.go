@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"blobseer/internal/client"
+	"blobseer/internal/cluster"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+	"blobseer/internal/workload"
+)
+
+// GCConfig parameterizes the A9 ablation: end-to-end reclamation. A blob
+// is churned through many overwrite versions on durable providers, a
+// branch is taken mid-history (pinning its branch point), old versions
+// are expired and collected, and the provider page logs are compacted.
+// The claims under test: the on-disk footprint shrinks by roughly the
+// expired versions' exclusive pages, every retained version and the
+// branch read back byte-identical, and expiring across the branch pin is
+// rejected.
+type GCConfig struct {
+	// Dir holds the provider page logs. Required.
+	Dir string
+	// PageSize in bytes (default 4096).
+	PageSize uint64
+	// BlobPages is the initial blob size in pages (default 256).
+	BlobPages uint64
+	// Churn is the number of overwrite versions created (default 40).
+	Churn int
+	// OverwritePages is the size of each overwrite (default 32 pages).
+	OverwritePages uint64
+	// KeepLast is the cluster's keep-last-N retention policy (default 4).
+	KeepLast int
+	// SegmentBytes rolls provider page logs (default 256 KB, small so
+	// compaction has sealed segments to rewrite at bench scale).
+	SegmentBytes int64
+}
+
+func (c *GCConfig) fill() {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.BlobPages == 0 {
+		c.BlobPages = 256
+	}
+	if c.Churn == 0 {
+		c.Churn = 40
+	}
+	if c.OverwritePages == 0 {
+		c.OverwritePages = 32
+	}
+	if c.KeepLast == 0 {
+		c.KeepLast = 4
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 256 << 10
+	}
+}
+
+// GCResult is the A9 outcome.
+type GCResult struct {
+	Versions       int
+	KeepLast       int
+	Floor          uint64 // retention floor after the expire
+	BranchPoint    uint64
+	PinRejected    bool // expiring across the branch pin was refused
+	ExpiredReads   int  // expired versions verified unreadable
+	VerifiedReads  int  // retained versions verified byte-identical
+	VerifiedBranch bool
+
+	DeletedPages int
+	RetainedPage int // candidates kept because the oldest retained snapshot shares them
+	WalkedNodes  int
+
+	PagesBefore    uint64
+	PagesAfter     uint64
+	LogBytesBefore int64 // provider on-disk footprint before GC
+	LogBytesAfter  int64 // after GC + compaction
+	GCMillis       float64
+	CompactMillis  float64
+}
+
+// Table renders the result.
+func (r *GCResult) Table() Table {
+	pct := func(a, b int64) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(b-a)/float64(b))
+	}
+	return Table{
+		Name: fmt.Sprintf("gc: retention + distributed page GC over %d versions (keep-last-%d + branch pin)",
+			r.Versions, r.KeepLast),
+		Header: []string{"quantity", "value", "notes"},
+		Rows: [][]string{
+			{"expire floor", fmt.Sprintf("%d", r.Floor),
+				fmt.Sprintf("branch pinned at %d; expiring past it rejected=%v", r.BranchPoint, r.PinRejected)},
+			{"pages deleted", fmt.Sprintf("%d", r.DeletedPages),
+				fmt.Sprintf("%d candidates kept (shared with retained), %d nodes walked", r.RetainedPage, r.WalkedNodes)},
+			{"provider pages", fmt.Sprintf("%d -> %d", r.PagesBefore, r.PagesAfter), ""},
+			{"on-disk footprint", fmt.Sprintf("%d -> %d bytes", r.LogBytesBefore, r.LogBytesAfter),
+				"shrink " + pct(r.LogBytesAfter, r.LogBytesBefore)},
+			{"verification", fmt.Sprintf("%d retained + branch byte-identical", r.VerifiedReads),
+				fmt.Sprintf("%d expired versions unreadable, branch ok=%v", r.ExpiredReads, r.VerifiedBranch)},
+			{"gc / compact time", fmt.Sprintf("%.1f / %.1f ms", r.GCMillis, r.CompactMillis), ""},
+		},
+	}
+}
+
+// RunGC runs the A9 ablation.
+func RunGC(cfg GCConfig) (*GCResult, error) {
+	cfg.fill()
+	net := transport.NewInproc()
+	defer net.Close()
+	sched := vclock.NewReal()
+	cl, err := cluster.StartInproc(net, sched, cluster.Config{
+		DataProviders:  4,
+		MetaProviders:  4,
+		RetainVersions: cfg.KeepLast,
+		PageDir:        cfg.Dir,
+		PageStore: pagestore.DiskOptions{
+			SegmentBytes: cfg.SegmentBytes,
+			CompactRatio: 0.9,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	c, err := cl.NewClient("")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	ps := cfg.PageSize
+	blob, err := c.Create(ctx, uint32(ps))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Append(ctx, blob, workload.Chunk(1, int(cfg.BlobPages*ps))); err != nil {
+		return nil, err
+	}
+	// Churn: overwrites cycling over the blob, so expired versions own
+	// exclusive garbage while untouched pages stay shared forward.
+	rng := newXorShift(7)
+	overwrite := func(i int) (wire.Version, error) {
+		maxStart := cfg.BlobPages - cfg.OverwritePages
+		start := rng.next() % (maxStart + 1)
+		return c.Write(ctx, blob, workload.Chunk(uint64(i+2), int(cfg.OverwritePages*ps)), start*ps)
+	}
+	half := cfg.Churn / 2
+	var v wire.Version
+	for i := 0; i < half; i++ {
+		if v, err = overwrite(i); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Sync(ctx, blob, v); err != nil {
+		return nil, err
+	}
+	res := &GCResult{Versions: cfg.Churn + 1, KeepLast: cfg.KeepLast, BranchPoint: v}
+	branch, err := c.Branch(ctx, blob, v)
+	if err != nil {
+		return nil, err
+	}
+	branchGold, err := readAll(ctx, c, branch, v, cfg.BlobPages*ps)
+	if err != nil {
+		return nil, err
+	}
+	var last wire.Version
+	for i := half; i < cfg.Churn; i++ {
+		if last, err = overwrite(i); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Sync(ctx, blob, last); err != nil {
+		return nil, err
+	}
+
+	// Golden copies of everything that must survive.
+	golden := make(map[wire.Version][]byte)
+	for ver := res.BranchPoint; ver <= last; ver++ {
+		if golden[ver], err = readAll(ctx, c, blob, ver, cfg.BlobPages*ps); err != nil {
+			return nil, err
+		}
+	}
+
+	// Expiring across the branch pin must be rejected — a claim under
+	// test, not just a recorded observation.
+	if _, _, err := c.ExpireVersions(ctx, blob, res.BranchPoint); err == nil {
+		return nil, fmt.Errorf("expiring across the branch pin (version %d) was not rejected", res.BranchPoint)
+	}
+	res.PinRejected = true
+
+	res.PagesBefore, _ = providerStats(cl)
+	res.LogBytesBefore = providerLogBytes(cl)
+
+	floor, _, err := c.ExpireVersions(ctx, blob, uint64(res.BranchPoint)-1)
+	if err != nil {
+		return nil, fmt.Errorf("expire: %w", err)
+	}
+	res.Floor = floor
+	start := time.Now()
+	stats, err := c.CollectGarbage(ctx, blob)
+	if err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	res.GCMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.DeletedPages = stats.DeletedPages
+	res.RetainedPage = stats.RetainedPages
+	res.WalkedNodes = stats.WalkedNodes
+
+	start = time.Now()
+	for _, p := range cl.Providers {
+		if err := p.Store().(*pagestore.Disk).Compact(); err != nil {
+			return nil, fmt.Errorf("compact: %w", err)
+		}
+	}
+	res.CompactMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.PagesAfter, _ = providerStats(cl)
+	res.LogBytesAfter = providerLogBytes(cl)
+
+	// Verify: every retained version byte-identical, expired unreadable,
+	// branch intact.
+	for ver := floor; ver <= last; ver++ {
+		got, err := readAll(ctx, c, blob, ver, cfg.BlobPages*ps)
+		if err != nil {
+			return nil, fmt.Errorf("retained version %d after gc: %w", ver, err)
+		}
+		if !bytes.Equal(got, golden[ver]) {
+			return nil, fmt.Errorf("retained version %d corrupted by gc", ver)
+		}
+		res.VerifiedReads++
+	}
+	for ver := wire.Version(1); ver < floor; ver++ {
+		if _, err := readAll(ctx, c, blob, ver, ps); err == nil {
+			return nil, fmt.Errorf("expired version %d still readable", ver)
+		}
+		res.ExpiredReads++
+	}
+	got, err := readAll(ctx, c, branch, res.BranchPoint, cfg.BlobPages*ps)
+	if err != nil {
+		return nil, fmt.Errorf("branch after gc: %w", err)
+	}
+	if !bytes.Equal(got, branchGold) {
+		return nil, fmt.Errorf("branch corrupted by gc")
+	}
+	res.VerifiedBranch = true
+
+	if res.LogBytesAfter >= res.LogBytesBefore {
+		return nil, fmt.Errorf("footprint did not shrink: %d -> %d bytes",
+			res.LogBytesBefore, res.LogBytesAfter)
+	}
+	return res, nil
+}
+
+func readAll(ctx context.Context, c *client.Client, id wire.BlobID, v wire.Version, n uint64) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := c.Read(ctx, id, v, buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func providerStats(cl *cluster.Cluster) (pages, bytes uint64) {
+	for _, p := range cl.Providers {
+		n, b := p.Store().Stats()
+		pages += n
+		bytes += b
+	}
+	return pages, bytes
+}
+
+func providerLogBytes(cl *cluster.Cluster) int64 {
+	var total int64
+	for _, p := range cl.Providers {
+		total += p.Store().(*pagestore.Disk).LogBytes()
+	}
+	return total
+}

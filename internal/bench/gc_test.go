@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGCAblation(t *testing.T) {
+	res, err := RunGC(GCConfig{
+		Dir:            t.TempDir(),
+		PageSize:       1024,
+		BlobPages:      64,
+		Churn:          16,
+		OverwritePages: 16,
+		SegmentBytes:   32 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Table().Fprint(&sb)
+	t.Logf("\n%s", sb.String())
+
+	// RunGC itself verifies byte-identical retained reads, rejected
+	// expired reads, branch integrity and footprint shrink; the test pins
+	// the headline claims on top.
+	if !res.PinRejected {
+		t.Error("expiring across the branch pin was not rejected")
+	}
+	if res.DeletedPages == 0 {
+		t.Error("churn produced no reclaimable pages")
+	}
+	if res.LogBytesAfter >= res.LogBytesBefore {
+		t.Errorf("footprint did not shrink: %d -> %d", res.LogBytesBefore, res.LogBytesAfter)
+	}
+	if !res.VerifiedBranch || res.VerifiedReads == 0 {
+		t.Errorf("verification incomplete: %+v", res)
+	}
+}

@@ -180,11 +180,20 @@ func runRecoveryMode(cfg RecoveryConfig, name string, checkpointEvery int) (Reco
 		return RecoveryRow{}, err
 	}
 	if checkpointEvery > 0 {
-		// The claim is "replay bounded by the interval", which needs at
-		// least one completed checkpoint; the async one races Close.
+		// The claim is "replay bounded by the interval", which needs the
+		// background checkpointer to have caught up with the traffic —
+		// not just completed once: under CPU starvation (the full test
+		// suite, race-instrumented CI) the loop can lag far behind the
+		// writers. Wait until it has run at least once and then quiesced.
 		deadline := time.Now().Add(10 * time.Second)
-		for m.Checkpoints() == 0 && time.Now().Before(deadline) {
-			time.Sleep(time.Millisecond)
+		var last uint64
+		for time.Now().Before(deadline) {
+			n := m.Checkpoints()
+			if n > 0 && n == last {
+				break
+			}
+			last = n
+			time.Sleep(5 * time.Millisecond)
 		}
 		if m.Checkpoints() == 0 {
 			m.Close()

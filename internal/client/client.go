@@ -41,6 +41,11 @@ type Config struct {
 	// MetaCacheNodes sets the client metadata cache capacity in nodes
 	// (default 16384; negative disables caching).
 	MetaCacheNodes int
+	// MetaCacheBytes additionally bounds the metadata cache by the bytes
+	// of its keys and node payloads, so a few wide replicated leaves
+	// cannot dominate memory while the entry count looks modest (0 = no
+	// byte bound).
+	MetaCacheBytes int64
 	// MaxFanout bounds how many page transfers one operation keeps in
 	// flight (default 64, like the prototype's bounded I/O threads;
 	// negative means unbounded).
@@ -70,6 +75,11 @@ type Client struct {
 
 	mu    sync.Mutex
 	blobs map[wire.BlobID]*blobHandle
+
+	// gcCrash is the test-only fault injector for CollectGarbage: called
+	// once per delete batch, a non-nil return drops that batch as a crash
+	// would.
+	gcCrash func(chunk int) error
 }
 
 // blobHandle caches a blob's immutable attributes.
@@ -104,7 +114,7 @@ func New(cfg Config) (*Client, error) {
 	}
 	var cache *meta.Cache
 	if cacheNodes > 0 {
-		cache = meta.NewCache(cacheNodes)
+		cache = meta.NewCacheBytes(cacheNodes, cfg.MetaCacheBytes)
 	}
 	rc := rpc.NewClient(cfg.Net, cfg.Sched, rpc.ClientOptions{ConnsPerHost: cfg.ConnsPerHost})
 	return &Client{

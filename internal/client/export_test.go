@@ -1,0 +1,6 @@
+package client
+
+// SetGCCrashHook installs the test-only CollectGarbage fault injector:
+// fn runs once per delete batch and a non-nil return drops that batch
+// exactly as a collector crash at that point would.
+func (c *Client) SetGCCrashHook(fn func(chunk int) error) { c.gcCrash = fn }

@@ -1,0 +1,260 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"blobseer/internal/core"
+	"blobseer/internal/meta"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// This file implements the client side of version retention: EXPIRE
+// marks old snapshots unreadable at the version manager, and
+// CollectGarbage turns that decision into reclaimed bytes by walking the
+// expired snapshots' segment trees and deleting every page reachable
+// only from them.
+//
+// Safety rests on one structural property of the versioned segment tree:
+// trees share monotonically. A node created at version c appears in
+// snapshot r's tree exactly when no update in (c, r] touched its range,
+// so any page an expired snapshot shares with some retained snapshot is
+// also shared with the oldest retained one — diffing expired trees
+// against that single tree finds precisely the pages no retained version
+// (or branch, whose branch point the manager pins above the floor) can
+// still reach. The walk prunes at the namespace boundary (links below
+// the blob's own lineage floor lead into an ancestor's trees): pages
+// written by an ancestor are candidates only when the ancestor itself is
+// collected, under its own pins.
+//
+// Crash safety: EXPIRE is durable at the manager, GC_INFO is a read, and
+// page deletes are idempotent, so a collector that dies mid-sweep is
+// simply re-run. Pages already deleted stay deleted (they were already
+// proven unreachable); the rest are found again.
+
+// gcDeleteBatch bounds one DELETE_PAGES request, so a huge sweep neither
+// builds one enormous frame nor serializes on a single round trip.
+const gcDeleteBatch = 4096
+
+// GCStats summarizes one CollectGarbage run.
+type GCStats struct {
+	ExpiredVersions int // expired snapshot trees walked
+	WalkedNodes     int // metadata nodes visited across all walks
+	CandidatePages  int // distinct pages reachable from expired snapshots
+	RetainedPages   int // candidates kept: the oldest retained snapshot still reaches them
+	DeletedPages    int // pages whose deletion was issued
+	DeleteRPCs      int // DELETE_PAGES round trips to providers
+}
+
+// ExpireVersions marks every snapshot of the blob's own namespace with
+// version <= upTo as expired: permanently unreadable, its exclusive
+// pages reclaimable by CollectGarbage. The manager refuses to expire the
+// newest readable snapshot, a branch point some live branch rests on, or
+// the base an in-flight update is weaving against, and clamps to the
+// cluster's keep-last-N retention policy. It returns the blob's expiry
+// floor and the versions newly expired by this call.
+func (c *Client) ExpireVersions(ctx context.Context, id wire.BlobID, upTo wire.Version) (wire.Version, []wire.Version, error) {
+	resp, err := c.vm(ctx, &wire.ExpireReq{Blob: id, UpTo: upTo})
+	if err != nil {
+		return 0, nil, err
+	}
+	r := resp.(*wire.ExpireResp)
+	return r.Floor, r.Expired, nil
+}
+
+// CollectGarbage reclaims the pages of the blob's expired snapshots: it
+// fetches the GC plan from the version manager, walks each expired
+// snapshot's tree for candidate pages, subtracts everything the oldest
+// retained snapshot still reaches, and issues batched deletes to the
+// providers holding the remainder (all replicas). It is idempotent and
+// safe to re-run after a crash or partial failure, and safe against
+// concurrent updates, branches and readers: anything they can reference
+// is retained by construction.
+func (c *Client) CollectGarbage(ctx context.Context, id wire.BlobID) (GCStats, error) {
+	var stats GCStats
+	h, err := c.handle(ctx, id)
+	if err != nil {
+		return stats, err
+	}
+	resp, err := c.vm(ctx, &wire.GCInfoReq{Blob: id})
+	if err != nil {
+		return stats, err
+	}
+	info := resp.(*wire.GCInfoResp)
+	if len(info.Expired) == 0 {
+		return stats, nil
+	}
+	stats.ExpiredVersions = len(info.Expired)
+	ps := h.pageSize
+
+	// Mark: pages the oldest retained snapshot reaches in this namespace.
+	mark := make(map[wire.PageID]bool)
+	if info.Retained.Size > 0 {
+		root := core.RootID(info.Retained.Version, pagesOf(info.Retained.Size, ps))
+		err := c.walkTree(ctx, h.store, root, info.OwnMin, nil, &stats, func(n core.Node) {
+			mark[n.Page] = true
+		})
+		if err != nil {
+			return stats, fmt.Errorf("gc: walking retained snapshot %d: %w", info.Retained.Version, err)
+		}
+	}
+
+	// Sweep candidates: expired-reachable pages the mark does not cover.
+	// Consecutive expired snapshots share most of their trees (that is
+	// the whole versioning design), so a visited set shared across the
+	// walks prunes every shared subtree after its first visit — a NodeID
+	// names an immutable subtree, the same property the mark diff rests
+	// on.
+	visited := make(map[core.NodeID]bool)
+	seen := make(map[wire.PageID]bool)
+	victims := make(map[wire.PageID][]string)
+	for _, e := range info.Expired {
+		if e.Size == 0 {
+			continue // the empty snapshot 0 has no tree
+		}
+		root := core.RootID(e.Version, pagesOf(e.Size, ps))
+		err := c.walkTree(ctx, h.store, root, info.OwnMin, visited, &stats, func(n core.Node) {
+			if seen[n.Page] {
+				return
+			}
+			seen[n.Page] = true
+			if mark[n.Page] {
+				stats.RetainedPages++
+				return
+			}
+			victims[n.Page] = n.Providers
+		})
+		if err != nil {
+			return stats, fmt.Errorf("gc: walking expired snapshot %d: %w", e.Version, err)
+		}
+	}
+	stats.CandidatePages = len(seen)
+	stats.DeletedPages = len(victims)
+	if len(victims) == 0 {
+		return stats, nil
+	}
+
+	// Group by provider (every replica) and delete in bounded batches.
+	byAddr := make(map[string][]wire.PageID)
+	for pg, provs := range victims {
+		for _, addr := range provs {
+			byAddr[addr] = append(byAddr[addr], pg)
+		}
+	}
+	type chunk struct {
+		addr  string
+		pages []wire.PageID
+	}
+	var chunks []chunk
+	addrs := make([]string, 0, len(byAddr))
+	for addr := range byAddr {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		pages := byAddr[addr]
+		// Deterministic batch contents so a partial failure is reproducible.
+		sort.Slice(pages, func(i, j int) bool {
+			return string(pages[i][:]) < string(pages[j][:])
+		})
+		for len(pages) > 0 {
+			n := len(pages)
+			if n > gcDeleteBatch {
+				n = gcDeleteBatch
+			}
+			chunks = append(chunks, chunk{addr: addr, pages: pages[:n]})
+			pages = pages[n:]
+		}
+	}
+	stats.DeleteRPCs = len(chunks)
+	err = vclock.ParallelLimit(c.sched, len(chunks), c.cfg.MaxFanout, func(i int) error {
+		if c.gcCrash != nil {
+			// Test-only fault injection: simulate the collector dying
+			// after issuing only part of its deletes.
+			if err := c.gcCrash(i); err != nil {
+				return err
+			}
+		}
+		_, err := c.rpc.Call(ctx, chunks[i].addr, &wire.DeletePagesReq{Pages: chunks[i].pages})
+		return err
+	})
+	if err != nil {
+		return stats, fmt.Errorf("gc: deleting pages: %w", err)
+	}
+	return stats, nil
+}
+
+// walkTree visits every leaf of one snapshot tree that belongs to the
+// blob's own namespace, descending breadth-first with one batched
+// metadata fetch per level (the read-path pattern). Links carrying
+// wire.NoVersion (never-written holes of an incomplete tree) and links
+// below ownMin (subtrees woven in from an ancestor blob's namespace) are
+// pruned, as is any node already in visited (optional, shared across
+// walks of trees that weave into each other: nodes are immutable, so a
+// NodeID seen once never needs descending again).
+func (c *Client) walkTree(ctx context.Context, st *meta.Store, root core.NodeID,
+	ownMin wire.Version, visited map[core.NodeID]bool, stats *GCStats, leaf func(core.Node)) error {
+
+	if root.Version == wire.NoVersion || root.Version < ownMin || visited[root] {
+		return nil
+	}
+	if visited != nil {
+		visited[root] = true
+	}
+	frontier := []core.NodeID{root}
+	for len(frontier) > 0 {
+		nodes, err := st.GetNodes(ctx, frontier)
+		if err != nil {
+			return err
+		}
+		stats.WalkedNodes += len(nodes)
+		var next []core.NodeID
+		for i, id := range frontier {
+			n := nodes[i]
+			if id.IsLeaf() {
+				if !n.Leaf {
+					return fmt.Errorf("node %v should be a leaf", id)
+				}
+				leaf(n)
+				continue
+			}
+			if n.Leaf {
+				return fmt.Errorf("node %v should be inner", id)
+			}
+			for _, child := range []core.NodeID{id.Left(n.VL), id.Right(n.VR)} {
+				if child.Version == wire.NoVersion || child.Version < ownMin || visited[child] {
+					continue
+				}
+				if visited != nil {
+					visited[child] = true
+				}
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// reclaimPages best-effort deletes pages this writer stored but will
+// never reference: their update aborted before completing, or an
+// optimistic append bet failed before any metadata named them. The page
+// ids are private to this writer until its metadata is woven, so nothing
+// else can reach them and deletion is always safe; failures just leave
+// garbage a later sweep may never see, which is why this runs eagerly.
+func (c *Client) reclaimPages(ctx context.Context, pws []core.PageWrite) {
+	if len(pws) == 0 {
+		return
+	}
+	byAddr := make(map[string][]wire.PageID)
+	for _, pw := range pws {
+		for _, addr := range pw.Providers {
+			byAddr[addr] = append(byAddr[addr], pw.Page)
+		}
+	}
+	for addr, pages := range byAddr {
+		_, _ = c.rpc.Call(ctx, addr, &wire.DeletePagesReq{Pages: pages}) // best effort
+	}
+}

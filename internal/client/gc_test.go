@@ -1,0 +1,523 @@
+package client_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blobseer/internal/cluster"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/wire"
+)
+
+// providerPages sums live page counts over the cluster's data providers.
+func providerPages(cl *cluster.Cluster) (pages, bytes uint64) {
+	for _, p := range cl.Providers {
+		n, b := p.Store().Stats()
+		pages += n
+		bytes += b
+	}
+	return pages, bytes
+}
+
+func TestGCReclaimsExpiredPages(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{})
+	ctx := ctxb()
+	const ps = 256
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial blob of 8 pages, then churn: every overwrite replaces the
+	// same 4 pages, so expired versions hold exclusive garbage while the
+	// untouched half stays shared all the way to the newest snapshot.
+	if _, err := c.Append(ctx, id, pattern(1, 8*ps)); err != nil {
+		t.Fatal(err)
+	}
+	var last wire.Version
+	for i := 0; i < 10; i++ {
+		last, err = c.Write(ctx, id, pattern(byte(10+i), 4*ps), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx, id, last); err != nil {
+		t.Fatal(err)
+	}
+	// Golden copies of every snapshot before any expiry.
+	golden := make(map[wire.Version][]byte)
+	for v := wire.Version(1); v <= last; v++ {
+		sz, err := c.Size(ctx, id, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, sz)
+		if err := c.Read(ctx, id, v, buf, 0); err != nil {
+			t.Fatalf("read v%d: %v", v, err)
+		}
+		golden[v] = buf
+	}
+	pagesBefore, _ := providerPages(cl)
+
+	floor, expired, err := c.ExpireVersions(ctx, id, last-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != last-1 {
+		t.Fatalf("floor = %d, want %d", floor, last-1)
+	}
+	if len(expired) != int(last-2)+1 { // versions 0..last-2
+		t.Fatalf("expired %d versions: %v", len(expired), expired)
+	}
+	stats, err := c.CollectGarbage(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeletedPages == 0 || stats.RetainedPages == 0 {
+		t.Fatalf("stats = %+v: churn must yield both garbage and shared pages", stats)
+	}
+	pagesAfter, _ := providerPages(cl)
+	if pagesAfter != pagesBefore-uint64(stats.DeletedPages) {
+		t.Fatalf("provider pages %d -> %d, deleted %d", pagesBefore, pagesAfter, stats.DeletedPages)
+	}
+	// Each expired overwrite owned exactly its 4 exclusive pages, except
+	// those the retained snapshots still share; the initial append's
+	// untouched pages must all survive.
+	if pagesAfter < 8 {
+		t.Fatalf("only %d pages left", pagesAfter)
+	}
+
+	// Every retained version reads back byte-identical.
+	for v := floor; v <= last; v++ {
+		buf := make([]byte, len(golden[v]))
+		if err := c.Read(ctx, id, v, buf, 0); err != nil {
+			t.Fatalf("retained v%d unreadable after GC: %v", v, err)
+		}
+		if !bytes.Equal(buf, golden[v]) {
+			t.Fatalf("retained v%d changed after GC", v)
+		}
+	}
+	// Every expired version is gone.
+	for v := wire.Version(1); v < floor; v++ {
+		if err := c.Read(ctx, id, v, make([]byte, 1), 0); err == nil {
+			t.Fatalf("expired v%d still readable", v)
+		}
+	}
+	// Idempotent re-run: it re-issues the same (no-op) deletes — the
+	// expired metadata still names the victims — but removes nothing.
+	if _, err := c.CollectGarbage(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := providerPages(cl); again != pagesAfter {
+		t.Fatalf("re-run changed provider pages: %d -> %d", pagesAfter, again)
+	}
+}
+
+func TestGCKeepsPagesSharedWithBranches(t *testing.T) {
+	_, c := newCluster(t, cluster.Config{})
+	ctx := ctxb()
+	const ps = 256
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, id, pattern(1, 8*ps)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write(ctx, id, pattern(byte(10+i), 2*ps), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	branchAt := wire.Version(6)
+	child, err := c.Branch(ctx, id, branchAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch diverges: overwrite the tail, keep sharing the head
+	// (which the parent's expired versions also reference).
+	if _, err := c.Write(ctx, child, pattern(99, 2*ps), 6*ps); err != nil {
+		t.Fatal(err)
+	}
+	var last wire.Version
+	for i := 0; i < 4; i++ {
+		if last, err = c.Write(ctx, id, pattern(byte(30+i), 2*ps), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx, id, last); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctx, child, branchAt+1); err != nil {
+		t.Fatal(err)
+	}
+	childGold := make([]byte, 8*ps)
+	if err := c.Read(ctx, child, branchAt+1, childGold, 0); err != nil {
+		t.Fatal(err)
+	}
+	branchGold := make([]byte, 8*ps)
+	if err := c.Read(ctx, child, branchAt, branchGold, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expiring past the branch point is rejected.
+	if _, _, err := c.ExpireVersions(ctx, id, branchAt); err == nil {
+		t.Fatal("expire across the branch point succeeded")
+	}
+	// Expiring below it works; GC must keep everything the branch shares.
+	floor, _, err := c.ExpireVersions(ctx, id, branchAt-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != branchAt {
+		t.Fatalf("floor = %d, want %d", floor, branchAt)
+	}
+	if _, err := c.CollectGarbage(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	// The branch point snapshot and the branch's own head both read back
+	// byte-identical through the shared metadata.
+	got := make([]byte, 8*ps)
+	if err := c.Read(ctx, child, branchAt, got, 0); err != nil {
+		t.Fatalf("branch-point read after parent GC: %v", err)
+	}
+	if !bytes.Equal(got, branchGold) {
+		t.Fatal("branch-point snapshot changed after parent GC")
+	}
+	if err := c.Read(ctx, child, branchAt+1, got, 0); err != nil {
+		t.Fatalf("branch head read after parent GC: %v", err)
+	}
+	if !bytes.Equal(got, childGold) {
+		t.Fatal("branch head changed after parent GC")
+	}
+}
+
+// TestGCUnderConcurrentChurn expires and collects while a writer keeps
+// churning the same blob and branches keep being taken: every retained
+// version and every branch must read back byte-identical at the end —
+// no reachable page is ever deleted.
+func TestGCUnderConcurrentChurn(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 4, MetaProviders: 4})
+	_ = cl
+	ctx := ctxb()
+	const ps = 128
+	const rounds = 60
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type branchRef struct {
+		id   wire.BlobID
+		at   wire.Version
+		gold []byte
+	}
+	var (
+		mu       sync.Mutex
+		golden   = make(map[wire.Version][]byte)
+		branches []branchRef
+		pinAt    wire.Version // oldest branch point; 0 = no branch yet
+	)
+	var expect []byte
+	apply := func(off uint64, chunk []byte) {
+		if end := off + uint64(len(chunk)); end > uint64(len(expect)) {
+			expect = append(expect, make([]byte, end-uint64(len(expect)))...)
+		}
+		copy(expect[off:], chunk)
+	}
+
+	var wg sync.WaitGroup
+	gcErr := make(chan error, 1)
+	done := make(chan struct{})
+	// Collector: expire aggressively and sweep, staying below any branch
+	// pin and tolerating refusals from in-flight bases — under churn
+	// those are routine, not failures.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v, _, err := c.Recent(ctx, id)
+			if err != nil || v <= 4 {
+				continue
+			}
+			upTo := v - 4
+			mu.Lock()
+			if pinAt != 0 && upTo >= pinAt {
+				upTo = pinAt - 1
+			}
+			mu.Unlock()
+			if upTo == 0 {
+				continue
+			}
+			if _, _, err := c.ExpireVersions(ctx, id, upTo); err != nil && wire.CodeOf(err) != wire.CodeBadRequest {
+				select {
+				case gcErr <- fmt.Errorf("expire: %w", err):
+				default:
+				}
+				return
+			}
+			if _, err := c.CollectGarbage(ctx, id); err != nil {
+				select {
+				case gcErr <- fmt.Errorf("gc: %w", err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	// Writer: deterministic single-writer churn (appends and overwrites,
+	// page-aligned and not), recording the expected contents per version.
+	for i := 0; i < rounds; i++ {
+		var v wire.Version
+		switch i % 3 {
+		case 0: // append one page
+			chunk := pattern(byte(i), ps)
+			if v, err = c.Append(ctx, id, chunk); err != nil {
+				t.Fatal(err)
+			}
+			apply(uint64(len(expect)), chunk)
+		case 1: // aligned overwrite of two pages at the front
+			chunk := pattern(byte(i), 2*ps)
+			if v, err = c.Write(ctx, id, chunk, 0); err != nil {
+				t.Fatal(err)
+			}
+			apply(0, chunk)
+		case 2: // unaligned overwrite straddling the final page boundary
+			chunk := pattern(byte(i), ps)
+			off := uint64(len(expect)) - uint64(ps/2)
+			if v, err = c.Write(ctx, id, chunk, off); err != nil {
+				t.Fatal(err)
+			}
+			apply(off, chunk)
+		}
+		mu.Lock()
+		golden[v] = append([]byte(nil), expect...)
+		mu.Unlock()
+		if i == rounds*3/4 {
+			// Take a branch at the current published head and freeze its
+			// expected contents; the collector must stay below it from
+			// here on.
+			if err := c.Sync(ctx, id, v); err != nil {
+				t.Fatal(err)
+			}
+			bid, err := c.Branch(ctx, id, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu.Lock()
+			branches = append(branches, branchRef{id: bid, at: v, gold: append([]byte(nil), expect...)})
+			if pinAt == 0 || v < pinAt {
+				pinAt = v
+			}
+			mu.Unlock()
+		}
+	}
+	lastV, _, err := c.Recent(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctx, id, lastV); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-gcErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// One final expire+sweep with no traffic (nothing in flight, the pin
+	// respected), then verify everything.
+	mu.Lock()
+	final := pinAt - 1
+	mu.Unlock()
+	floor, _, err := c.ExpireVersions(ctx, id, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CollectGarbage(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range golden {
+		if v < floor {
+			continue // expired during the run
+		}
+		got := make([]byte, len(want))
+		if err := c.Read(ctx, id, v, got, 0); err != nil {
+			t.Fatalf("retained v%d unreadable: %v", v, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("retained v%d corrupted by concurrent GC", v)
+		}
+	}
+	for _, br := range branches {
+		got := make([]byte, len(br.gold))
+		if err := c.Read(ctx, br.id, br.at, got, 0); err != nil {
+			t.Fatalf("branch %v at v%d unreadable: %v", br.id, br.at, err)
+		}
+		if !bytes.Equal(got, br.gold) {
+			t.Fatalf("branch %v at v%d corrupted by GC", br.id, br.at)
+		}
+	}
+}
+
+// TestGCCrashBetweenDeletesAndCompaction kills the collector after only
+// part of its deletes were issued, verifies nothing reachable was lost,
+// re-runs the sweep to completion and then compacts the provider page
+// logs, proving the bytes actually come back.
+func TestGCCrashBetweenDeletesAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cl, c := newCluster(t, cluster.Config{
+		DataProviders: 2,
+		PageDir:       dir,
+		PageStore: pagestore.DiskOptions{
+			SegmentBytes: 8 << 10,
+			CompactRatio: 0.9,
+		},
+	})
+	ctx := ctxb()
+	const ps = 256
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, id, pattern(1, 8*ps)); err != nil {
+		t.Fatal(err)
+	}
+	var last wire.Version
+	for i := 0; i < 20; i++ {
+		if last, err = c.Write(ctx, id, pattern(byte(10+i), 4*ps), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx, id, last); err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]byte, 8*ps)
+	if err := c.Read(ctx, id, last, golden, 0); err != nil {
+		t.Fatal(err)
+	}
+	prevGold := make([]byte, 8*ps)
+	if err := c.Read(ctx, id, last-1, prevGold, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := c.ExpireVersions(ctx, id, last-2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: only the first delete batch lands.
+	c.SetGCCrashHook(func(chunk int) error {
+		if chunk > 0 {
+			return fmt.Errorf("injected collector crash before batch %d", chunk)
+		}
+		return nil
+	})
+	if _, err := c.CollectGarbage(ctx, id); err == nil {
+		t.Fatal("crashed GC reported success")
+	}
+	c.SetGCCrashHook(nil)
+
+	// The partial sweep deleted only unreachable pages: both retained
+	// snapshots still read back byte-identical.
+	for v, want := range map[wire.Version][]byte{last: golden, last - 1: prevGold} {
+		got := make([]byte, len(want))
+		if err := c.Read(ctx, id, v, got, 0); err != nil {
+			t.Fatalf("retained v%d after crashed GC: %v", v, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("retained v%d corrupted by crashed GC", v)
+		}
+	}
+
+	// Re-run to completion, then compact the page logs and measure.
+	logBytes := func() int64 {
+		var total int64
+		for _, p := range cl.Providers {
+			total += p.Store().(*pagestore.Disk).LogBytes()
+		}
+		return total
+	}
+	before := logBytes()
+	stats, err := c.CollectGarbage(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeletedPages == 0 {
+		t.Fatal("re-run found nothing to delete")
+	}
+	for _, p := range cl.Providers {
+		if err := p.Store().(*pagestore.Disk).Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := logBytes()
+	if after >= before {
+		t.Fatalf("page logs did not shrink: %d -> %d bytes", before, after)
+	}
+	for v, want := range map[wire.Version][]byte{last: golden, last - 1: prevGold} {
+		got := make([]byte, len(want))
+		if err := c.Read(ctx, id, v, got, 0); err != nil {
+			t.Fatalf("retained v%d after compaction: %v", v, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("retained v%d corrupted by compaction", v)
+		}
+	}
+}
+
+// Abandoned optimistic append pages and aborted updates' pages are
+// reclaimed eagerly by the writer that owns them.
+func TestWriterReclaimsAbandonedPages(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{})
+	ctx := ctxb()
+	const ps = 4096
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unaligned tail: the next append's optimistic bet must fail.
+	if _, err := c.Append(ctx, id, pattern(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Append(ctx, id, pattern(2, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctx, id, v); err != nil {
+		t.Fatal(err)
+	}
+	// Live pages: v1's single short page + v2's two merged pages. The
+	// abandoned optimistic page was deleted, not orphaned.
+	if pages, _ := providerPages(cl); pages != 3 {
+		t.Fatalf("provider pages = %d, want 3 (no orphans)", pages)
+	}
+	got := make([]byte, 100+ps)
+	if err := c.Read(ctx, id, v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:100], pattern(1, 100)) || !bytes.Equal(got[100:], pattern(2, ps)) {
+		t.Fatal("merged append content wrong")
+	}
+
+	// Aborted update: fail metadata weaving by killing every metadata
+	// node; the stored pages must be reclaimed when the abort lands.
+	pagesBefore, _ := providerPages(cl)
+	for i := range cl.MetaNodes {
+		cl.MetaNodes[i].Close()
+	}
+	if _, err := c.Write(ctx, id, pattern(3, ps), 0); err == nil {
+		t.Fatal("write with dead metadata nodes succeeded")
+	}
+	if pages, _ := providerPages(cl); pages != pagesBefore {
+		t.Fatalf("aborted update leaked pages: %d -> %d", pagesBefore, pages)
+	}
+}

@@ -53,6 +53,10 @@ func (c *Client) update(ctx context.Context, id wire.BlobID, buf []byte, offset 
 		}
 		resp, err := c.assign(ctx, id, offset, size, false)
 		if err != nil {
+			// No version was assigned, so no abort can ever cover these
+			// pages — reclaim them now or they leak forever (no metadata
+			// names them, so GC can never find them).
+			c.reclaimPages(ctx, pws)
 			return 0, err
 		}
 		return c.finishUpdate(ctx, id, h, resp, offset/ps, pws)
@@ -77,13 +81,17 @@ func (c *Client) appendUpdate(ctx context.Context, id wire.BlobID, h *blobHandle
 	}
 	resp, err := c.assign(ctx, id, 0, uint64(len(buf)), true)
 	if err != nil {
+		// No version assigned: reclaim now, nothing else ever will.
+		c.reclaimPages(ctx, pws)
 		return 0, err
 	}
 	if resp.Offset%ps == 0 {
 		return c.finishUpdate(ctx, id, h, resp, resp.Offset/ps, pws)
 	}
 	// Unaligned append offset: the optimistic pages have the wrong
-	// layout. Merge the boundary and restore.
+	// layout. Reclaim them — no metadata will ever name them — then
+	// merge the boundary and restore.
+	c.reclaimPages(ctx, pws)
 	return c.mergeAndFinish(ctx, id, h, resp, buf)
 }
 
@@ -116,20 +124,20 @@ func (c *Client) mergeAndFinish(ctx context.Context, id wire.BlobID, h *blobHand
 		// The boundary bytes belong to snapshot vw-1; wait for it.
 		prev := resp.Version - 1
 		if err := c.Sync(ctx, id, prev); err != nil {
-			return 0, c.abortAfter(ctx, id, resp.Version,
+			return 0, c.abortAfter(ctx, id, resp.Version, nil,
 				fmt.Errorf("waiting for predecessor %d: %w", prev, err))
 		}
 		m := make([]byte, headLen+uint64(len(buf))+tailLen)
 		if headLen > 0 {
 			if err := c.Read(ctx, id, prev, m[:headLen], offset-headLen); err != nil {
-				return 0, c.abortAfter(ctx, id, resp.Version,
+				return 0, c.abortAfter(ctx, id, resp.Version, nil,
 					fmt.Errorf("merging head bytes: %w", err))
 			}
 		}
 		copy(m[headLen:], buf)
 		if tailLen > 0 {
 			if err := c.Read(ctx, id, prev, m[headLen+uint64(len(buf)):], end); err != nil {
-				return 0, c.abortAfter(ctx, id, resp.Version,
+				return 0, c.abortAfter(ctx, id, resp.Version, nil,
 					fmt.Errorf("merging tail bytes: %w", err))
 			}
 		}
@@ -137,7 +145,7 @@ func (c *Client) mergeAndFinish(ctx context.Context, id wire.BlobID, h *blobHand
 	}
 	pws, err := c.storePages(ctx, merged, ps)
 	if err != nil {
-		return 0, c.abortAfter(ctx, id, resp.Version, err)
+		return 0, c.abortAfter(ctx, id, resp.Version, pws, err)
 	}
 	return c.finishUpdate(ctx, id, h, resp, (offset-headLen)/ps, pws)
 }
@@ -151,11 +159,11 @@ func (c *Client) finishUpdate(ctx context.Context, id wire.BlobID, h *blobHandle
 		// Ablation baseline: behave like a versioning scheme without the
 		// in-flight border set — metadata writes wait for the predecessor.
 		if err := c.Sync(ctx, id, resp.Version-1); err != nil {
-			return 0, c.abortAfter(ctx, id, resp.Version, err)
+			return 0, c.abortAfter(ctx, id, resp.Version, pws, err)
 		}
 	}
 	if err := c.buildMetadata(ctx, h, resp, startPage, pws); err != nil {
-		return 0, c.abortAfter(ctx, id, resp.Version, err)
+		return 0, c.abortAfter(ctx, id, resp.Version, pws, err)
 	}
 	if _, err := c.vm(ctx, &wire.CompleteReq{Blob: id, Version: resp.Version}); err != nil {
 		return 0, err
@@ -173,9 +181,18 @@ func (c *Client) assign(ctx context.Context, id wire.BlobID, offset, size uint64
 }
 
 // abortAfter withdraws an assigned version after a mid-update failure so
-// publication is not stalled, then returns the original error.
-func (c *Client) abortAfter(ctx context.Context, id wire.BlobID, v wire.Version, cause error) error {
-	_, _ = c.vm(ctx, &wire.AbortReq{Blob: id, Version: v}) // best effort
+// publication is not stalled, reclaims any pages the failed update had
+// already stored (the abort guarantees no published tree will ever
+// reference them — it cascades to every later in-flight version that
+// could have border-referenced this one), and returns the original
+// error.
+func (c *Client) abortAfter(ctx context.Context, id wire.BlobID, v wire.Version, pws []core.PageWrite, cause error) error {
+	if _, err := c.vm(ctx, &wire.AbortReq{Blob: id, Version: v}); err == nil {
+		// Only reclaim when the abort is confirmed: if it did not land
+		// (say the version already published after a duplicate-complete
+		// race), the pages may be live.
+		c.reclaimPages(ctx, pws)
+	}
 	return cause
 }
 
@@ -219,6 +236,9 @@ func (c *Client) storePages(ctx context.Context, data []byte, ps uint64) ([]core
 		return nil
 	})
 	if err != nil {
+		// Some transfers may have landed before the failure; their ids
+		// die with this call, so reclaim whatever stuck.
+		c.reclaimPages(ctx, pws)
 		return nil, err
 	}
 	return pws, nil

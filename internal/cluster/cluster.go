@@ -69,6 +69,10 @@ type Config struct {
 	// compacts the WAL after that many logged events, so restarts replay
 	// only the tail (0 disables automatic checkpoints).
 	VersionCheckpointEvery int
+	// RetainVersions is the version manager's keep-last-N retention
+	// policy: EXPIRE requests are clamped so at least this many of a
+	// blob's newest published versions stay readable (default 1).
+	RetainVersions int
 	// MetaLogDir makes the metadata (DHT) nodes durable: node i keeps an
 	// append-only pair log at MetaLogDir/meta-<i>.log and reloads it on
 	// start. Combine with VersionWALPath and a disk-backed NewStore for a
@@ -201,6 +205,7 @@ func (cl *Cluster) start(
 		WALPath:           cfg.VersionWALPath,
 		WALSegmentBytes:   cfg.VersionWALSegmentBytes,
 		CheckpointEvery:   cfg.VersionCheckpointEvery,
+		RetainVersions:    cfg.RetainVersions,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: version manager: %w", err)

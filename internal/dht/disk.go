@@ -20,6 +20,14 @@ import (
 // pairs are immutable and never deleted, so recovery is a linear scan
 // with no compaction concerns.
 //
+// Durability contract: with sync on, a pair is on disk before the put is
+// acknowledged. With sync off, acknowledged pairs may be lost by a crash
+// — but never by a clean shutdown: close fsyncs the buffered tail before
+// closing the file. In both modes the log's directory entry is fsynced
+// at creation (a freshly created log must not vanish with its directory
+// update after a crash), and a torn tail truncated during recovery is
+// fsynced away before new appends land on top of it.
+//
 // Record layout (little-endian):
 //
 //	uint32 magic | uint32 keyLen | uint32 valLen | uint32 crc32(key|val) | key | val
@@ -36,7 +44,9 @@ const (
 )
 
 // openNodeLog opens the log and returns the recovered pairs. A torn tail
-// is truncated; corruption before valid data fails the open.
+// is truncated; corruption before valid data fails the open. The parent
+// directory is fsynced so a just-created log file cannot vanish after a
+// crash, losing every subsequently synced append with it.
 func openNodeLog(path string, syncEach bool) (*nodeLog, [][2][]byte, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("dht: create log dir: %w", err)
@@ -46,21 +56,46 @@ func openNodeLog(path string, syncEach bool) (*nodeLog, [][2][]byte, error) {
 		return nil, nil, fmt.Errorf("dht: open log: %w", err)
 	}
 	l := &nodeLog{f: f, sync: syncEach}
-	pairs, err := l.recover()
+	pairs, truncated, err := l.recover()
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
+	if truncated {
+		// The truncate must be durable before new records append at the
+		// cut, or a crash could resurrect torn bytes beneath valid ones.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dht: sync truncated log: %w", err)
+		}
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dht: sync log dir: %w", err)
+	}
 	return l, pairs, nil
 }
 
-func (l *nodeLog) recover() ([][2][]byte, error) {
+// syncDir fsyncs a directory so creations and truncations in it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (l *nodeLog) recover() (pairs [][2][]byte, truncated bool, err error) {
 	info, err := l.f.Stat()
 	if err != nil {
-		return nil, fmt.Errorf("dht: stat log: %w", err)
+		return nil, false, fmt.Errorf("dht: stat log: %w", err)
 	}
 	logLen := info.Size()
-	var pairs [][2][]byte
 	var off int64
 	var hdr [dhtLogHeaderLen]byte
 	for off < logLen {
@@ -68,10 +103,10 @@ func (l *nodeLog) recover() ([][2][]byte, error) {
 			break // torn header
 		}
 		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
-			return nil, fmt.Errorf("dht: read log header at %d: %w", off, err)
+			return nil, false, fmt.Errorf("dht: read log header at %d: %w", off, err)
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtLogMagic {
-			return nil, fmt.Errorf("dht: bad log magic at offset %d: corrupted", off)
+			return nil, false, fmt.Errorf("dht: bad log magic at offset %d: corrupted", off)
 		}
 		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
 		valLen := binary.LittleEndian.Uint32(hdr[8:12])
@@ -83,21 +118,22 @@ func (l *nodeLog) recover() ([][2][]byte, error) {
 		}
 		data := make([]byte, total)
 		if _, err := l.f.ReadAt(data, dataOff); err != nil {
-			return nil, fmt.Errorf("dht: read log payload at %d: %w", dataOff, err)
+			return nil, false, fmt.Errorf("dht: read log payload at %d: %w", dataOff, err)
 		}
 		if crc32.ChecksumIEEE(data) != wantCRC {
-			return nil, fmt.Errorf("dht: log crc mismatch at offset %d: corrupted", off)
+			return nil, false, fmt.Errorf("dht: log crc mismatch at offset %d: corrupted", off)
 		}
 		pairs = append(pairs, [2][]byte{data[:keyLen:keyLen], data[keyLen:]})
 		off = dataOff + total
 	}
 	if off < logLen {
 		if err := l.f.Truncate(off); err != nil {
-			return nil, fmt.Errorf("dht: truncate torn log tail: %w", err)
+			return nil, false, fmt.Errorf("dht: truncate torn log tail: %w", err)
 		}
+		truncated = true
 	}
 	l.size = off
-	return pairs, nil
+	return pairs, truncated, nil
 }
 
 // append writes one pair durably.
@@ -129,6 +165,9 @@ func (l *nodeLog) append(key, value []byte) error {
 	return nil
 }
 
+// close flushes and closes the log. Without per-append sync, acknowledged
+// pairs may still sit in the page cache; fsyncing here makes a clean
+// shutdown lose nothing — only a crash can (that is the sync=false deal).
 func (l *nodeLog) close() error {
 	if l == nil {
 		return nil
@@ -138,7 +177,10 @@ func (l *nodeLog) close() error {
 	if l.f == nil {
 		return nil
 	}
-	err := l.f.Close()
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
 	l.f = nil
 	return err
 }

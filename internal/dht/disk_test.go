@@ -138,6 +138,48 @@ func TestDurableNodeTornTail(t *testing.T) {
 	}
 }
 
+func TestNodeLogCloseFlushesAndTornTailReopens(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.log")
+	l, _, err := openNodeLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sync=false appends sit in the page cache until close, which must
+	// fsync them (a clean shutdown loses nothing) and then refuse use.
+	if err := l.append([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatalf("close with buffered tail: %v", err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := l.append([]byte("k2"), []byte("v2")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+
+	// Truncating a torn tail during open must leave a log that recovers
+	// the valid prefix and accepts appends at the cut.
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, append(raw, 0xAA, 0xBB), 0o644)
+	l2, pairs, err := openNodeLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	if len(pairs) != 1 || string(pairs[0][0]) != "k1" {
+		t.Fatalf("recovered pairs = %v", pairs)
+	}
+	if err := l2.append([]byte("k3"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := os.Stat(path); info.Size() != l2.size {
+		t.Fatalf("file size %d vs tracked %d", info.Size(), l2.size)
+	}
+}
+
 func TestDurableNodeDetectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "meta.log")

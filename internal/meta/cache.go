@@ -9,29 +9,58 @@ import (
 
 // Cache is a thread-safe LRU cache of tree nodes keyed by their DHT key.
 // Nodes are immutable, so entries never go stale; the only reason to
-// evict is memory. A capacity of 0 disables the cache (every get misses).
+// evict is memory. Two bounds apply independently: an entry count and —
+// because entries are not uniform, a handful of wide replicated leaves
+// can hold more memory than thousands of inner nodes — an optional byte
+// budget covering keys and node payloads. Whichever bound is exceeded
+// evicts from the LRU tail. A capacity of 0 disables the cache (every
+// get misses).
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	entries  map[string]*list.Element
+	mu            sync.Mutex
+	capacity      int
+	capacityBytes int64 // 0 = no byte bound
+	bytes         int64
+	ll            *list.List // front = most recently used
+	entries       map[string]*list.Element
 
 	hits   uint64
 	misses uint64
 }
 
 type cacheEntry struct {
-	key  string
-	node core.Node
+	key   string
+	node  core.Node
+	bytes int64
 }
 
-// NewCache returns an LRU cache holding up to capacity nodes.
+// NewCache returns an LRU cache holding up to capacity nodes, with no
+// byte bound.
 func NewCache(capacity int) *Cache {
+	return NewCacheBytes(capacity, 0)
+}
+
+// NewCacheBytes returns an LRU cache bounded by both an entry count and,
+// when capacityBytes > 0, a total byte budget over keys and node
+// payloads. An entry larger than the whole byte budget is simply not
+// retained.
+func NewCacheBytes(capacity int, capacityBytes int64) *Cache {
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		entries:  make(map[string]*list.Element),
+		capacity:      capacity,
+		capacityBytes: capacityBytes,
+		ll:            list.New(),
+		entries:       make(map[string]*list.Element),
 	}
+}
+
+// entryBytes estimates one entry's memory cost: the key, the fixed node
+// fields, and the provider address list of a leaf (the part that actually
+// varies — a widely replicated page's leaf dwarfs an inner node).
+func entryBytes(key []byte, n core.Node) int64 {
+	cost := int64(len(key)) + 48 // key + node struct + list element overhead
+	for _, p := range n.Providers {
+		cost += int64(len(p)) + 16
+	}
+	return cost
 }
 
 func (c *Cache) get(key []byte) (core.Node, bool) {
@@ -56,12 +85,17 @@ func (c *Cache) put(key []byte, n core.Node) {
 		c.ll.MoveToFront(el)
 		return // immutable: the stored value is already correct
 	}
-	el := c.ll.PushFront(&cacheEntry{key: string(key), node: n})
+	cost := entryBytes(key, n)
+	el := c.ll.PushFront(&cacheEntry{key: string(key), node: n, bytes: cost})
 	c.entries[string(key)] = el
-	if c.ll.Len() > c.capacity {
+	c.bytes += cost
+	for c.ll.Len() > 0 &&
+		(c.ll.Len() > c.capacity || (c.capacityBytes > 0 && c.bytes > c.capacityBytes)) {
 		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.bytes -= ent.bytes
+		delete(c.entries, ent.key)
 	}
 }
 
@@ -70,6 +104,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the accounted memory cost of the cached nodes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Stats returns cumulative hit and miss counts.

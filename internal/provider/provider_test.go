@@ -124,6 +124,37 @@ func TestGetBadRangeError(t *testing.T) {
 	}
 }
 
+func TestDeletePagesReclaimsAndIsIdempotent(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	addr := r.provs[0].Addr()
+	keep := wire.PageID{1}
+	gone := wire.PageID{2}
+	r.call(t, addr, &wire.PutPageReq{Page: keep, Data: []byte("keep")})
+	r.call(t, addr, &wire.PutPageReq{Page: gone, Data: []byte("gone")})
+
+	// The batch may mix stored and never-stored ids: both are fine.
+	r.call(t, addr, &wire.DeletePagesReq{Pages: []wire.PageID{gone, {9, 9}}})
+	if _, err := r.client.Call(context.Background(), addr,
+		&wire.GetPageReq{Page: gone, Length: wire.WholePage}); !wire.IsNotFound(err) {
+		t.Fatalf("deleted page read: err = %v", err)
+	}
+	resp := r.call(t, addr, &wire.GetPageReq{Page: keep, Length: wire.WholePage})
+	if !bytes.Equal(resp.(*wire.GetPageResp).Data, []byte("keep")) {
+		t.Fatal("unrelated page affected by delete")
+	}
+	stats := r.call(t, addr, &wire.ProviderStatsReq{}).(*wire.ProviderStatsResp)
+	if stats.Pages != 1 || stats.Bytes != 4 {
+		t.Fatalf("stats after delete = %+v", stats)
+	}
+	// Idempotent: a retried sweep changes nothing.
+	r.call(t, addr, &wire.DeletePagesReq{Pages: []wire.PageID{gone}})
+
+	if _, err := r.client.Call(context.Background(), addr,
+		&wire.DeletePagesReq{Pages: []wire.PageID{{}}}); wire.CodeOf(err) != wire.CodeBadRequest {
+		t.Fatal("zero page id accepted by delete")
+	}
+}
+
 func TestPutZeroPageIDRejected(t *testing.T) {
 	r := newRig(t, 1, ManagerConfig{})
 	_, err := r.client.Call(context.Background(), r.provs[0].Addr(),

@@ -18,13 +18,17 @@ import (
 
 // update is one assigned, not-yet-published update of a blob.
 type update struct {
-	version    wire.Version
-	offset     uint64 // byte offset of the rewritten range
-	size       uint64 // byte length of the rewritten range
-	newSize    uint64 // blob size after this update
-	completed  bool   // writer reported success; awaiting ordered publication
-	aborted    bool
-	assignedAt int64 // scheduler time in nanoseconds, for dead-writer sweeps
+	version wire.Version
+	offset  uint64 // byte offset of the rewritten range
+	size    uint64 // byte length of the rewritten range
+	newSize uint64 // blob size after this update
+	// basePublished is the readable version at assign time: the snapshot
+	// whose tree the writer weaves its untouched ranges against. Expiry
+	// must not pass it while this update is in flight (see planExpire).
+	basePublished wire.Version
+	completed     bool // writer reported success; awaiting ordered publication
+	aborted       bool
+	assignedAt    int64 // scheduler time in nanoseconds, for dead-writer sweeps
 }
 
 // blobState is the version manager's bookkeeping for one blob. It is a
@@ -38,6 +42,19 @@ type blobState struct {
 	published   wire.Version // dense publication pointer (may rest on an aborted version)
 	readable    wire.Version // latest published non-aborted version
 	pendingSize uint64       // size including all assigned updates
+
+	// expireFloor is the retention watermark: every version below it that
+	// this blob's namespace owns is expired — permanently unreadable, its
+	// exclusively owned pages fair game for the garbage collector. It only
+	// ever rises, and never past the oldest version a reader, branch or
+	// in-flight update still needs (EXPIRE enforces that before logging).
+	expireFloor wire.Version
+
+	// pins maps each live child blob branched off this one to its branch
+	// point. A branch's whole lineage rests on that snapshot, so EXPIRE
+	// refuses to move the floor past any pin. Derived state: rebuilt from
+	// blob lineages on recovery, not persisted separately.
+	pins map[wire.BlobID]wire.Version
 
 	sizes    map[wire.Version]uint64 // sizes of published versions owned by this blob
 	aborted  map[wire.Version]bool   // aborted version numbers (never readable)
@@ -91,6 +108,12 @@ func newBranchState(id wire.BlobID, parent *blobState, at wire.Version, sizeAt u
 func (b *blobState) clone() *blobState {
 	c := *b
 	c.lineage = append(wire.Lineage(nil), b.lineage...)
+	if b.pins != nil {
+		c.pins = make(map[wire.BlobID]wire.Version, len(b.pins))
+		for id, at := range b.pins {
+			c.pins[id] = at
+		}
+	}
 	c.sizes = make(map[wire.Version]uint64, len(b.sizes))
 	for v, sz := range b.sizes {
 		c.sizes[v] = sz
@@ -151,7 +174,7 @@ func (b *blobState) applyAssignState(p assignPlan, now int64) {
 	b.pendingSize = p.newSize
 	b.inflight[p.version] = &update{
 		version: p.version, offset: p.offset, size: p.size,
-		newSize: p.newSize, assignedAt: now,
+		newSize: p.newSize, basePublished: b.readable, assignedAt: now,
 	}
 }
 
@@ -212,10 +235,19 @@ func (b *blobState) complete(v wire.Version) (newlyReadable []wire.Version, err 
 		if b.aborted[v] {
 			return nil, wire.NewError(wire.CodeAborted, "version %d was aborted", v)
 		}
-		if v <= b.published {
+		// Only versions this namespace actually published count as
+		// idempotent duplicates. v <= b.published alone is not enough: on
+		// a branch it also covers pre-branch versions owned by the parent
+		// lineage and versions never assigned on this blob at all, and
+		// answering success for those would tell a confused writer its
+		// update published when no such update exists here. The ownMin
+		// guard matters because a branch seeds sizes with its (parent-
+		// owned) branch point.
+		if _, published := b.sizes[v]; published && v >= b.ownMin() {
 			return nil, nil // duplicate completion after publication: idempotent
 		}
-		return nil, wire.NewError(wire.CodeNotFound, "version %d was never assigned", v)
+		return nil, wire.NewError(wire.CodeNotFound,
+			"version %d was never assigned on blob %v", v, b.id)
 	}
 	if u.aborted {
 		return nil, wire.NewError(wire.CodeAborted, "version %d was aborted", v)
@@ -295,8 +327,124 @@ func (b *blobState) sizeAfter(v wire.Version) uint64 {
 
 // sizeOf looks up the size of published version v, following nothing:
 // the manager resolves lineage before calling. ok is false if v is not
-// readable on this state.
+// readable on this state — never published here, aborted, or expired.
 func (b *blobState) sizeOf(v wire.Version) (uint64, bool) {
+	if v < b.expireFloor {
+		return 0, false // expired: permanently unreadable
+	}
 	sz, ok := b.sizes[v]
 	return sz, ok
+}
+
+// ownMin is the namespace floor from the lineage: versions below it were
+// written under an ancestor blob's namespace.
+func (b *blobState) ownMin() wire.Version {
+	if len(b.lineage) == 0 {
+		return 0
+	}
+	return b.lineage[0].MinVersion
+}
+
+// registerPin records that child was branched off at version at of this
+// namespace, so EXPIRE never moves the floor past at.
+func (b *blobState) registerPin(child wire.BlobID, at wire.Version) {
+	if b.pins == nil {
+		b.pins = make(map[wire.BlobID]wire.Version)
+	}
+	b.pins[child] = at
+}
+
+// planExpire validates an EXPIRE request against the current state and
+// returns the floor it would set plus the published versions it would
+// newly expire, without mutating anything. Safety refusals are errors:
+// the newest readable version, any child branch's pin, and the published
+// base any in-flight update is still weaving against must all stay below
+// the floor. The keep-last-N retention policy (retain) is a clamp, not a
+// refusal: the request simply expires less. A fully clamped or repeated
+// request returns the current floor with no newly expired versions.
+func (b *blobState) planExpire(upTo wire.Version, retain int) (wire.Version, []wire.Version, error) {
+	if upTo >= b.readable {
+		return 0, nil, wire.NewError(wire.CodeBadRequest,
+			"cannot expire blob %v up to %d: version %d is the newest readable snapshot",
+			b.id, upTo, b.readable)
+	}
+	for child, at := range b.pins {
+		if upTo >= at {
+			return 0, nil, wire.NewError(wire.CodeBadRequest,
+				"cannot expire blob %v up to %d: version %d is pinned as the branch point of blob %v",
+				b.id, upTo, at, child)
+		}
+	}
+	for _, u := range b.inflight {
+		if !u.aborted && u.basePublished <= upTo {
+			return 0, nil, wire.NewError(wire.CodeBadRequest,
+				"cannot expire blob %v up to %d: in-flight version %d still weaves against snapshot %d",
+				b.id, upTo, u.version, u.basePublished)
+		}
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	own := b.ownPublished()
+	if len(own) == 0 {
+		return b.expireFloor, nil, nil // nothing owned to expire
+	}
+	floor := upTo + 1
+	keepFrom := own[0]
+	if len(own) > retain {
+		keepFrom = own[len(own)-retain]
+	}
+	if floor > keepFrom {
+		floor = keepFrom // keep-last-N: the N newest own versions survive
+	}
+	if floor <= b.expireFloor {
+		return b.expireFloor, nil, nil // idempotent repeat or fully clamped
+	}
+	var expired []wire.Version
+	for _, v := range own {
+		if v >= b.expireFloor && v < floor {
+			expired = append(expired, v)
+		}
+	}
+	return floor, expired, nil
+}
+
+// applyExpire raises the retention floor (replay applies logged floors
+// without re-validation: the checks ran before the event was logged).
+func (b *blobState) applyExpire(floor wire.Version) {
+	if floor > b.expireFloor {
+		b.expireFloor = floor
+	}
+}
+
+// ownPublished lists this namespace's published non-aborted versions,
+// ascending (expired ones included: their metadata is retained for GC).
+func (b *blobState) ownPublished() []wire.Version {
+	min := b.ownMin()
+	out := make([]wire.Version, 0, len(b.sizes))
+	for v := range b.sizes {
+		if v >= min {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// gcPlan describes what a garbage collection of this namespace walks:
+// every expired published version (deletion candidates come from their
+// trees) and the oldest retained one (the diff base — any page a
+// retained snapshot still reaches is reachable from the oldest, because
+// segment trees share monotonically).
+func (b *blobState) gcPlan() (ownMin wire.Version, retained wire.VersionInfo, expired []wire.VersionInfo) {
+	ownMin = b.ownMin()
+	retained = wire.VersionInfo{Version: b.readable, Size: b.sizes[b.readable]}
+	for _, v := range b.ownPublished() {
+		if v < b.expireFloor {
+			expired = append(expired, wire.VersionInfo{Version: v, Size: b.sizes[v]})
+		} else if v < retained.Version {
+			retained = wire.VersionInfo{Version: v, Size: b.sizes[v]}
+		}
+	}
+	return ownMin, retained, expired
 }

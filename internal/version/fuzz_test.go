@@ -19,6 +19,7 @@ func FuzzDecodeWALEvent(f *testing.F) {
 		{kind: walAssign, blob: 7, version: 12, offset: 4096, size: 8192, newSize: 1 << 20},
 		{kind: walComplete, blob: 7, version: 12},
 		{kind: walAbort, blob: 9, version: 5},
+		{kind: walExpire, blob: 7, version: 9},
 	} {
 		f.Add(e.encode())
 	}
@@ -51,7 +52,8 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	rich.sizes[1] = 100
 	rich.sizes[3] = 300
 	rich.aborted[4] = true
-	rich.inflight[5] = &update{version: 5, offset: 300, size: 600, newSize: 900, completed: true}
+	rich.inflight[5] = &update{version: 5, offset: 300, size: 600, newSize: 900, basePublished: 3, completed: true}
+	rich.expireFloor = 1
 	branch := newBranchState(2, rich, 3, 300)
 	branch.inflight[4] = &update{version: 4, size: 10, newSize: 310, aborted: true}
 	f.Add(encodeSnapshot(&snapshotState{nextSeg: 7, nextBlob: 2, blobs: []*blobState{rich, branch}}))

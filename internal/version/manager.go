@@ -52,6 +52,11 @@ type ManagerConfig struct {
 	// replay work by the interval. Zero disables automatic checkpoints;
 	// Checkpoint() remains available on demand either way.
 	CheckpointEvery int
+	// RetainVersions is the keep-last-N retention policy: EXPIRE requests
+	// are clamped so at least this many of a blob's newest own published
+	// versions stay readable (default 1 — the newest readable snapshot
+	// can never expire regardless).
+	RetainVersions int
 	// RegistryStripes is the number of RW-locked stripes sharding the
 	// blob-id registry (default 16). Only blob lookup, create, and branch
 	// touch the registry; all per-blob work runs under that blob's own
@@ -200,6 +205,18 @@ func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, er
 		m.log = log
 		m.recStats = rec.stats
 		m.nextBlob.Store(uint64(next))
+		// Branch pins are derived state: every blob with a parent entry in
+		// its lineage pins its branch point on the owner of that snapshot,
+		// so EXPIRE keeps refusing to cut the ground from under branches
+		// after a restart.
+		for _, b := range blobs {
+			if len(b.lineage) < 2 {
+				continue
+			}
+			if owner := blobs[b.lineage[1].Blob]; owner != nil {
+				owner.registerPin(b.id, b.lineage[0].MinVersion-1)
+			}
+		}
 		// Pre-serve: no handler can race these inserts.
 		for id, b := range blobs {
 			m.stripe(id).blobs[id] = newShard(b)
@@ -467,6 +484,8 @@ func (m *Manager) newMux() *rpc.Mux {
 	mux.Register(wire.KindSizeReq, m.handleSize)
 	mux.Register(wire.KindSyncReq, m.handleSync)
 	mux.Register(wire.KindBranchReq, m.handleBranch)
+	mux.Register(wire.KindExpireReq, m.handleExpire)
+	mux.Register(wire.KindGCInfoReq, m.handleGCInfo)
 	return mux
 }
 
@@ -724,10 +743,25 @@ func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"cannot branch blob %v at unpublished version %d", b.id, req.Version)
 	}
-	sizeAt, ok := m.sizeThroughLineage(sh, req.Version)
+	// The branch point's size lives on its namespace owner, and the new
+	// branch pins that owner's retention floor. Holding the owner's shard
+	// mutex from the size check through pin registration closes the race
+	// with a concurrent EXPIRE on the owner (lock nesting child-to-
+	// ancestor is safe: ancestors have strictly smaller blob ids).
+	ob := b
+	if owner := b.lineage.Owner(req.Version); owner != b.id {
+		osh, err := m.shard(owner)
+		if err != nil {
+			return nil, err
+		}
+		osh.mu.Lock()
+		defer osh.mu.Unlock()
+		ob = osh.state
+	}
+	sizeAt, ok := ob.sizeOf(req.Version)
 	if !ok {
 		return nil, wire.NewError(wire.CodeNotPublished,
-			"cannot branch blob %v at aborted version %d", b.id, req.Version)
+			"cannot branch blob %v at version %d: aborted or expired", b.id, req.Version)
 	}
 	if m.closed.Load() {
 		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
@@ -740,5 +774,52 @@ func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error
 		return nil, err
 	}
 	m.register(id, newShard(newBranchState(id, b, req.Version, sizeAt)))
+	ob.registerPin(id, req.Version)
 	return &wire.BranchResp{NewBlob: id}, nil
+}
+
+func (m *Manager) handleExpire(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.ExpireReq)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	defer m.mutate()()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.state
+	floor, expired, err := b.planExpire(req.UpTo, m.cfg.RetainVersions)
+	if err != nil {
+		return nil, err
+	}
+	if floor <= b.expireFloor {
+		// Idempotent repeat or fully clamped request: nothing to log.
+		return &wire.ExpireResp{Floor: b.expireFloor}, nil
+	}
+	if err := m.logEvent(walEvent{kind: walExpire, blob: req.Blob, version: floor}); err != nil {
+		return nil, err
+	}
+	b.applyExpire(floor)
+	return &wire.ExpireResp{Floor: floor, Expired: expired}, nil
+}
+
+func (m *Manager) handleGCInfo(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+	req := msg.(*wire.GCInfoReq)
+	unlock := m.enter()
+	defer unlock()
+	sh, err := m.shard(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ownMin, retained, expired := sh.state.gcPlan()
+	return &wire.GCInfoResp{
+		OwnMin:   ownMin,
+		Floor:    sh.state.expireFloor,
+		Retained: retained,
+		Expired:  expired,
+	}, nil
 }

@@ -35,8 +35,13 @@ import (
 // property FuzzDecodeSnapshot pins.
 
 const (
-	snapMagic  = 0x5EE55AA7
-	snapFormat = 1
+	snapMagic = 0x5EE55AA7
+	// Format 2 added the retention floor per blob and the assign-time
+	// published base per in-flight update. Format 1 snapshots are
+	// refused (the open falls back to full segment replay when one is
+	// still covered by segments; a compacted format-1 log needs the
+	// previous binary to finish a checkpoint first).
+	snapFormat = 2
 
 	// update flag bits in the in-flight encoding.
 	snapInflightCompleted = 1
@@ -89,6 +94,7 @@ func encodeBlobState(w *wire.Writer, b *blobState) {
 	w.Uint64(uint64(b.published))
 	w.Uint64(uint64(b.readable))
 	w.Uint64(b.pendingSize)
+	w.Uint64(uint64(b.expireFloor))
 
 	sizes := sortedVersions(len(b.sizes), func(yield func(wire.Version)) {
 		for v := range b.sizes {
@@ -123,6 +129,7 @@ func encodeBlobState(w *wire.Writer, b *blobState) {
 		w.Uint64(u.offset)
 		w.Uint64(u.size)
 		w.Uint64(u.newSize)
+		w.Uint64(uint64(u.basePublished))
 		var flags uint8
 		if u.completed {
 			flags |= snapInflightCompleted
@@ -174,7 +181,7 @@ func decodeSnapshot(data []byte) (*snapshotState, error) {
 		nextSeg:  r.Uint64(),
 		nextBlob: wire.BlobID(r.Uint64()),
 	}
-	nblobs, err := snapCount(r, 8+4+4+4*8+3*4)
+	nblobs, err := snapCount(r, 8+4+4+5*8+3*4)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +222,7 @@ func decodeBlobState(r *wire.Reader) (*blobState, error) {
 	b.published = wire.Version(r.Uint64())
 	b.readable = wire.Version(r.Uint64())
 	b.pendingSize = r.Uint64()
+	b.expireFloor = wire.Version(r.Uint64())
 
 	nsizes, err := snapCount(r, 16)
 	if err != nil {
@@ -244,7 +252,7 @@ func decodeBlobState(r *wire.Reader) (*blobState, error) {
 		b.aborted[v] = true
 	}
 
-	ninflight, err := snapCount(r, 4*8+1)
+	ninflight, err := snapCount(r, 5*8+1)
 	if err != nil {
 		return nil, err
 	}
@@ -256,10 +264,11 @@ func decodeBlobState(r *wire.Reader) (*blobState, error) {
 		}
 		prev = v
 		u := &update{
-			version: v,
-			offset:  r.Uint64(),
-			size:    r.Uint64(),
-			newSize: r.Uint64(),
+			version:       v,
+			offset:        r.Uint64(),
+			size:          r.Uint64(),
+			newSize:       r.Uint64(),
+			basePublished: wire.Version(r.Uint64()),
 		}
 		flags := r.Uint8()
 		if flags&^uint8(snapInflightCompleted|snapInflightAborted) != 0 {

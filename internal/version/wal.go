@@ -59,6 +59,7 @@ const (
 	walAssign
 	walComplete
 	walAbort
+	walExpire // version carries the new retention floor
 )
 
 // walEvent is one decoded log record.
@@ -91,7 +92,7 @@ func (e *walEvent) encode() []byte {
 		w.Uint64(e.offset)
 		w.Uint64(e.size)
 		w.Uint64(e.newSize)
-	case walComplete, walAbort:
+	case walComplete, walAbort, walExpire:
 		w.Uint64(uint64(e.blob))
 		w.Uint64(uint64(e.version))
 	default:
@@ -119,7 +120,7 @@ func decodeWALEvent(data []byte) (walEvent, error) {
 		e.offset = r.Uint64()
 		e.size = r.Uint64()
 		e.newSize = r.Uint64()
-	case walComplete, walAbort:
+	case walComplete, walAbort, walExpire:
 		e.blob = wire.BlobID(r.Uint64())
 		e.version = wire.Version(r.Uint64())
 	default:
@@ -720,6 +721,14 @@ func replay(events []walEvent, blobs map[wire.BlobID]*blobState, now int64) (nex
 			if _, aerr := b.abort(e.version); aerr != nil {
 				return 0, fmt.Errorf("version: wal event %d: %v", i, aerr)
 			}
+		case walExpire:
+			b, ok := blobs[e.blob]
+			if !ok {
+				return 0, fmt.Errorf("version: wal event %d expires on unknown blob %v", i, e.blob)
+			}
+			// The refusal checks ran before the event was logged; replay
+			// applies the floor verbatim.
+			b.applyExpire(e.version)
 		}
 	}
 	return nextBlob, nil

@@ -56,6 +56,14 @@ const (
 	KindBranchReq
 	KindBranchResp
 	KindErrorResp
+	// Retention/GC kinds postdate KindErrorResp; the append-only rule
+	// outweighs the requests-odd convention above.
+	KindDeletePagesReq
+	KindDeletePagesResp
+	KindExpireReq
+	KindExpireResp
+	KindGCInfoReq
+	KindGCInfoResp
 	kindMax
 )
 
@@ -108,6 +116,12 @@ var kindNames = [...]string{
 	KindBranchReq:         "BranchReq",
 	KindBranchResp:        "BranchResp",
 	KindErrorResp:         "ErrorResp",
+	KindDeletePagesReq:    "DeletePagesReq",
+	KindDeletePagesResp:   "DeletePagesResp",
+	KindExpireReq:         "ExpireReq",
+	KindExpireResp:        "ExpireResp",
+	KindGCInfoReq:         "GCInfoReq",
+	KindGCInfoResp:        "GCInfoResp",
 }
 
 // String returns the symbolic name of the kind.
@@ -238,6 +252,18 @@ func New(k Kind) Msg {
 		return &BranchResp{}
 	case KindErrorResp:
 		return &ErrorResp{}
+	case KindDeletePagesReq:
+		return &DeletePagesReq{}
+	case KindDeletePagesResp:
+		return &DeletePagesResp{}
+	case KindExpireReq:
+		return &ExpireReq{}
+	case KindExpireResp:
+		return &ExpireResp{}
+	case KindGCInfoReq:
+		return &GCInfoReq{}
+	case KindGCInfoResp:
+		return &GCInfoResp{}
 	}
 	return nil
 }
@@ -1088,4 +1114,179 @@ func (m *ErrorResp) MarshalTo(w *Writer) {
 func (m *ErrorResp) unmarshal(r *Reader) {
 	m.Code = ErrCode(r.Uint16())
 	m.Msg = r.String()
+}
+
+// --------------------------------------------------------- retention / GC
+
+// DeletePagesReq asks a data provider to drop a batch of pages. The
+// caller — the garbage collector walking version metadata, or a writer
+// reclaiming pages it abandoned before they were ever referenced — must
+// have proven every page unreachable from all retained snapshot versions.
+// Deleting an unknown page is a no-op, so retries and concurrent
+// collectors are harmless.
+type DeletePagesReq struct{ Pages []PageID }
+
+// Kind implements Msg.
+func (*DeletePagesReq) Kind() Kind { return KindDeletePagesReq }
+
+// MarshalTo implements Msg.
+func (m *DeletePagesReq) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Pages)))
+	for i := range m.Pages {
+		w.Raw(m.Pages[i][:])
+	}
+}
+
+func (m *DeletePagesReq) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/16 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Pages = make([]PageID, n)
+	for i := 0; i < n; i++ {
+		copy(m.Pages[i][:], r.Raw(16))
+	}
+}
+
+// DeletePagesResp acknowledges DeletePagesReq: every requested page is
+// now absent (deleted, or never stored here).
+type DeletePagesResp struct{}
+
+// Kind implements Msg.
+func (*DeletePagesResp) Kind() Kind { return KindDeletePagesResp }
+
+// MarshalTo implements Msg.
+func (m *DeletePagesResp) MarshalTo(*Writer) {}
+func (m *DeletePagesResp) unmarshal(*Reader) {}
+
+// ExpireReq implements EXPIRE: it asks the version manager to mark every
+// snapshot of Blob's own namespace with version <= UpTo as expired
+// (permanently unreadable), making their exclusively owned pages
+// reclaimable by GC. The manager refuses if UpTo reaches the newest
+// readable version, a version pinned as a branch point by a live child
+// blob, or the published base an in-flight update is weaving against; it
+// silently clamps to the configured keep-last-N retention policy.
+type ExpireReq struct {
+	Blob BlobID
+	UpTo Version
+}
+
+// Kind implements Msg.
+func (*ExpireReq) Kind() Kind { return KindExpireReq }
+
+// MarshalTo implements Msg.
+func (m *ExpireReq) MarshalTo(w *Writer) {
+	w.Uint64(uint64(m.Blob))
+	w.Uint64(m.UpTo)
+}
+
+func (m *ExpireReq) unmarshal(r *Reader) {
+	m.Blob = BlobID(r.Uint64())
+	m.UpTo = r.Uint64()
+}
+
+// ExpireResp reports the blob's expiry floor after the request: every
+// owned version below Floor is expired. Expired lists the published
+// versions this call newly expired (empty for an idempotent repeat or a
+// fully clamped request).
+type ExpireResp struct {
+	Floor   Version
+	Expired []Version
+}
+
+// Kind implements Msg.
+func (*ExpireResp) Kind() Kind { return KindExpireResp }
+
+// MarshalTo implements Msg.
+func (m *ExpireResp) MarshalTo(w *Writer) {
+	w.Uint64(m.Floor)
+	w.Uint32(uint32(len(m.Expired)))
+	for _, v := range m.Expired {
+		w.Uint64(v)
+	}
+}
+
+func (m *ExpireResp) unmarshal(r *Reader) {
+	m.Floor = r.Uint64()
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Expired = make([]Version, 0, n)
+	for i := 0; i < n; i++ {
+		m.Expired = append(m.Expired, r.Uint64())
+	}
+}
+
+// VersionInfo pairs a snapshot version with its byte size, enough for a
+// GC walker to construct the snapshot's tree root.
+type VersionInfo struct {
+	Version Version
+	Size    uint64
+}
+
+func (v VersionInfo) encode(w *Writer) {
+	w.Uint64(v.Version)
+	w.Uint64(v.Size)
+}
+
+func decodeVersionInfo(r *Reader) VersionInfo {
+	return VersionInfo{Version: r.Uint64(), Size: r.Uint64()}
+}
+
+// GCInfoReq asks the version manager what a garbage collection of Blob
+// should walk. It is read-only and idempotent, so a collector that
+// crashed mid-sweep can re-fetch the same plan and resume.
+type GCInfoReq struct{ Blob BlobID }
+
+// Kind implements Msg.
+func (*GCInfoReq) Kind() Kind { return KindGCInfoReq }
+
+// MarshalTo implements Msg.
+func (m *GCInfoReq) MarshalTo(w *Writer) { w.Uint64(uint64(m.Blob)) }
+func (m *GCInfoReq) unmarshal(r *Reader) { m.Blob = BlobID(r.Uint64()) }
+
+// GCInfoResp is the GC plan for one blob namespace: the expired published
+// versions whose trees the collector walks for deletion candidates, and
+// the oldest retained version whose tree it diffs against (any page a
+// retained snapshot can still reach is reachable from the oldest one —
+// trees share monotonically). OwnMin is the blob's own namespace floor
+// from its lineage: nodes referenced below it belong to an ancestor blob
+// and are that ancestor's GC's business.
+type GCInfoResp struct {
+	OwnMin   Version
+	Floor    Version
+	Retained VersionInfo
+	Expired  []VersionInfo
+}
+
+// Kind implements Msg.
+func (*GCInfoResp) Kind() Kind { return KindGCInfoResp }
+
+// MarshalTo implements Msg.
+func (m *GCInfoResp) MarshalTo(w *Writer) {
+	w.Uint64(m.OwnMin)
+	w.Uint64(m.Floor)
+	m.Retained.encode(w)
+	w.Uint32(uint32(len(m.Expired)))
+	for _, v := range m.Expired {
+		v.encode(w)
+	}
+}
+
+func (m *GCInfoResp) unmarshal(r *Reader) {
+	m.OwnMin = r.Uint64()
+	m.Floor = r.Uint64()
+	m.Retained = decodeVersionInfo(r)
+	n := int(r.Uint32())
+	if n > MaxSliceLen/16 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Expired = make([]VersionInfo, 0, n)
+	for i := 0; i < n; i++ {
+		m.Expired = append(m.Expired, decodeVersionInfo(r))
+	}
 }
