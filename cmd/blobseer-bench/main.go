@@ -14,6 +14,7 @@
 //	blobseer-bench -exp recovery   # A7: restart cost, WAL compaction on/off
 //	blobseer-bench -exp pagestore  # A8: provider page store — group commit, bounded reopen, compaction
 //	blobseer-bench -exp gc         # A9: retention + distributed page GC, footprint shrink vs read-back
+//	blobseer-bench -exp dhtgc      # A10: metadata reclamation — DHT node deletion + log compaction
 //	blobseer-bench -exp all        # everything above
 //
 // -exp also accepts a comma-separated list (`-exp vm,recovery,pagestore`),
@@ -40,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, gc, all")
+	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, gc, dhtgc, all")
 	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
 	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
 	jsonDir := flag.String("json", "", "write each experiment's raw result as BENCH_<exp>.json into this directory")
@@ -49,7 +50,7 @@ func main() {
 	known := map[string]bool{
 		"all": true, "calibrate": true, "fig2a": true, "fig2b": true, "writers": true,
 		"space": true, "vm": true, "recovery": true, "pagestore": true, "gc": true,
-		"replication": true,
+		"dhtgc": true, "replication": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
@@ -261,6 +262,29 @@ func main() {
 			return nil, err
 		}
 		fmt.Println("Ablation A9: retention + distributed page GC")
+		res.Table().Fprint(os.Stdout)
+		return res, nil
+	})
+
+	run("dhtgc", func() (any, error) {
+		dir, err := os.MkdirTemp("", "blobseer-dhtgc-bench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := bench.DHTGCConfig{Dir: dir}
+		if *quick {
+			cfg.BlobPages = 64
+			cfg.Churn = 24
+			cfg.OverwritePages = 16
+			cfg.PageSize = 1024
+			cfg.MetaSegmentBytes = 8 << 10
+		}
+		res, err := bench.RunDHTGC(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("Ablation A10: metadata reclamation — DHT delete + segmented-log compaction")
 		res.Table().Fprint(os.Stdout)
 		return res, nil
 	})

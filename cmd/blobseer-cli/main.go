@@ -166,9 +166,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("gc: %v", err)
 		}
-		fmt.Printf("expired versions %d, candidates %d, retained %d, deleted %d (%d rpc)\n",
+		fmt.Printf("expired versions %d, candidate pages %d, retained %d, deleted %d (%d rpc)\n",
 			stats.ExpiredVersions, stats.CandidatePages, stats.RetainedPages,
 			stats.DeletedPages, stats.DeleteRPCs)
+		fmt.Printf("metadata nodes walked %d, retained %d, deleted %d (%d batches)\n",
+			stats.WalkedNodes, stats.RetainedNodes, stats.DeletedNodes, stats.NodeDeleteBatches)
 
 	default:
 		usage()

@@ -55,6 +55,10 @@ func main() {
 	pageSegBytes := flag.Int64("page-segment-bytes", 64<<20, "roll the page log into a new segment past this size (data role)")
 	pageSnapEvery := flag.Int("page-snapshot-every", 4096, "write the page-index snapshot every N records; 0 = manual only (data role)")
 	pageCompact := flag.Float64("page-compact-ratio", 0.5, "rewrite page-log segments whose live ratio drops below this; 0 disables (data role)")
+	metaSync := flag.Bool("meta-sync", false, "fsync metadata records before DHT puts/deletes acknowledge (metadata role)")
+	metaSegBytes := flag.Int64("meta-segment-bytes", 64<<20, "roll the metadata log into a new segment past this size (metadata role)")
+	metaSnapEvery := flag.Int("meta-snapshot-every", 4096, "write the metadata index snapshot every N records; 0 = manual only (metadata role)")
+	metaCompact := flag.Float64("meta-compact-ratio", 0.5, "rewrite metadata-log segments whose live ratio drops below this; 0 disables (metadata role)")
 	flag.Parse()
 
 	sched := vclock.NewReal()
@@ -96,7 +100,12 @@ func main() {
 	case "metadata":
 		var n *blobdht.Node
 		if *diskPath != "" {
-			n, err = blobdht.ServeDurableNode(ln, sched, *diskPath, false)
+			n, err = blobdht.ServeDurableNode(ln, sched, *diskPath, blobdht.LogOptions{
+				Sync:          *metaSync,
+				SegmentBytes:  *metaSegBytes,
+				SnapshotEvery: *metaSnapEvery,
+				CompactRatio:  *metaCompact,
+			})
 			if err != nil {
 				log.Fatalf("start metadata provider: %v", err)
 			}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"blobseer/internal/cluster"
+	"blobseer/internal/dht"
 	"blobseer/internal/pagestore"
 	"blobseer/internal/provider"
 	"blobseer/internal/transport"
@@ -81,6 +82,23 @@ type ClusterOptions struct {
 	// PageSync forces page records to disk before PUT_PAGE acknowledges
 	// (pair with PageGroupCommit to keep concurrent writers fast).
 	PageSync bool
+
+	// Metadata-log knobs, the DHT mirror of the page-store knobs above.
+	// Only meaningful with DiskDir.
+
+	// MetaSegmentBytes rolls each metadata node's pair log into a fresh
+	// segment past this size (0 = 64 MB default).
+	MetaSegmentBytes int64
+	// MetaSnapshotEvery, when positive, writes each metadata log's index
+	// snapshot after that many records, bounding node reopen replay.
+	MetaSnapshotEvery int
+	// MetaCompactRatio, when in (0,1), makes metadata nodes rewrite log
+	// segments whose live-byte ratio falls below it, reclaiming the
+	// space of deleted (garbage-collected) tree nodes.
+	MetaCompactRatio float64
+	// MetaSync forces metadata records to disk before a DHT put or
+	// delete acknowledges.
+	MetaSync bool
 }
 
 // Cluster is an embedded single-process BlobSeer deployment: every
@@ -111,6 +129,12 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		cfg.VersionWALSegmentBytes = opts.WALSegmentBytes
 		cfg.VersionCheckpointEvery = opts.CheckpointEvery
 		cfg.MetaLogDir = dir
+		cfg.MetaLog = dht.LogOptions{
+			Sync:          opts.MetaSync,
+			SegmentBytes:  opts.MetaSegmentBytes,
+			SnapshotEvery: opts.MetaSnapshotEvery,
+			CompactRatio:  opts.MetaCompactRatio,
+		}
 		cfg.PageDir = dir
 		cfg.PageStore = pagestore.DiskOptions{
 			Sync:          opts.PageSync,
@@ -144,6 +168,16 @@ func (c *Cluster) Client() (*Client, error) {
 // calling it optional.
 func (c *Cluster) Checkpoint() error {
 	return c.inner.VM.Checkpoint()
+}
+
+// CompactMetadata forces every metadata node to rewrite pair-log
+// segments dominated by deleted (garbage-collected) tree nodes and to
+// cover the rewrites with fresh index snapshots, shrinking the on-disk
+// metadata footprint after Blob.GC. It is a no-op for a non-durable
+// cluster; automatic compaction (MetaCompactRatio) makes calling it
+// optional.
+func (c *Cluster) CompactMetadata() error {
+	return c.inner.CompactMetadata()
 }
 
 // Close stops every service in the cluster.

@@ -26,3 +26,11 @@ func (c *Cluster) ProviderPages() (pages, bytes uint64) {
 	}
 	return pages, bytes
 }
+
+// MetaStats sums key and value-byte counts over the cluster's metadata
+// nodes, so retention tests can watch the GC reclaim metadata too.
+func (c *Cluster) MetaStats() (keys, bytes uint64) { return c.inner.MetaStats() }
+
+// MetaLogBytes sums the on-disk metadata log footprint over the
+// cluster's durable metadata nodes (0 for an in-memory cluster).
+func (c *Cluster) MetaLogBytes() int64 { return c.inner.MetaLogBytes() }

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"blobseer/internal/client"
+	"blobseer/internal/cluster"
+	"blobseer/internal/dht"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+	"blobseer/internal/workload"
+)
+
+// DHTGCConfig parameterizes the A10 ablation: metadata reclamation. A
+// blob is churned through many overwrite versions on durable metadata
+// nodes, old versions are expired and collected — which now deletes
+// their exclusively-owned segment-tree nodes from the DHT — and the
+// metadata logs are compacted. The claims under test: the DHT's
+// in-memory key/byte footprint and the on-disk metadata log footprint
+// both shrink, while every retained version reads back byte-identical
+// through a cache-less client that must walk the pruned DHT itself.
+type DHTGCConfig struct {
+	// Dir holds the metadata pair logs. Required.
+	Dir string
+	// PageSize in bytes (default 1024).
+	PageSize uint64
+	// BlobPages is the initial blob size in pages (default 128).
+	BlobPages uint64
+	// Churn is the number of overwrite versions created (default 48).
+	Churn int
+	// OverwritePages is the size of each overwrite (default 16 pages).
+	OverwritePages uint64
+	// KeepLast is the cluster's keep-last-N retention policy (default 4).
+	KeepLast int
+	// MetaSegmentBytes rolls the metadata logs (default 16 KB, small so
+	// compaction has sealed segments to rewrite at bench scale).
+	MetaSegmentBytes int64
+}
+
+func (c *DHTGCConfig) fill() {
+	if c.PageSize == 0 {
+		c.PageSize = 1024
+	}
+	if c.BlobPages == 0 {
+		c.BlobPages = 128
+	}
+	if c.Churn == 0 {
+		c.Churn = 48
+	}
+	if c.OverwritePages == 0 {
+		c.OverwritePages = 16
+	}
+	if c.KeepLast == 0 {
+		c.KeepLast = 4
+	}
+	if c.MetaSegmentBytes == 0 {
+		c.MetaSegmentBytes = 16 << 10
+	}
+}
+
+// DHTGCResult is the A10 outcome.
+type DHTGCResult struct {
+	Versions int
+	KeepLast int
+	Floor    uint64
+
+	DeletedNodes  int // tree nodes deleted from the metadata replicas
+	RetainedNodes int // expired-reachable nodes kept (shared with retained trees)
+	WalkedNodes   int
+
+	KeysBefore     uint64 // DHT keys before expire+GC
+	KeysAfter      uint64
+	MetaBytesIn    uint64 // DHT value bytes before
+	MetaBytesOut   uint64
+	LogBytesBefore int64 // on-disk metadata log footprint before GC
+	LogBytesAfter  int64 // after GC + compaction
+
+	VerifiedReads int // retained versions verified byte-identical, cache-less
+	ExpiredReads  int // expired versions verified unreadable
+	GCMillis      float64
+	CompactMillis float64
+}
+
+// Table renders the result.
+func (r *DHTGCResult) Table() Table {
+	pct := func(a, b int64) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(b-a)/float64(b))
+	}
+	return Table{
+		Name: fmt.Sprintf("dhtgc: metadata reclamation over %d versions (keep-last-%d)",
+			r.Versions, r.KeepLast),
+		Header: []string{"quantity", "value", "notes"},
+		Rows: [][]string{
+			{"expire floor", fmt.Sprintf("%d", r.Floor), ""},
+			{"tree nodes deleted", fmt.Sprintf("%d", r.DeletedNodes),
+				fmt.Sprintf("%d kept (shared with retained trees), %d walked", r.RetainedNodes, r.WalkedNodes)},
+			{"DHT keys", fmt.Sprintf("%d -> %d", r.KeysBefore, r.KeysAfter),
+				"shrink " + pct(int64(r.KeysAfter), int64(r.KeysBefore))},
+			{"DHT value bytes", fmt.Sprintf("%d -> %d", r.MetaBytesIn, r.MetaBytesOut),
+				"shrink " + pct(int64(r.MetaBytesOut), int64(r.MetaBytesIn))},
+			{"on-disk metadata logs", fmt.Sprintf("%d -> %d bytes", r.LogBytesBefore, r.LogBytesAfter),
+				"shrink " + pct(r.LogBytesAfter, r.LogBytesBefore)},
+			{"verification", fmt.Sprintf("%d retained byte-identical (cache-less)", r.VerifiedReads),
+				fmt.Sprintf("%d expired versions unreadable", r.ExpiredReads)},
+			{"gc / compact time", fmt.Sprintf("%.1f / %.1f ms", r.GCMillis, r.CompactMillis), ""},
+		},
+	}
+}
+
+// RunDHTGC runs the A10 ablation.
+func RunDHTGC(cfg DHTGCConfig) (*DHTGCResult, error) {
+	cfg.fill()
+	net := transport.NewInproc()
+	defer net.Close()
+	sched := vclock.NewReal()
+	cl, err := cluster.StartInproc(net, sched, cluster.Config{
+		DataProviders:  4,
+		MetaProviders:  4,
+		RetainVersions: cfg.KeepLast,
+		MetaLogDir:     cfg.Dir,
+		MetaLog: dht.LogOptions{
+			SegmentBytes: cfg.MetaSegmentBytes,
+			CompactRatio: 0.9,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	c, err := cl.NewClient("")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	ps := cfg.PageSize
+	blob, err := c.Create(ctx, uint32(ps))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Append(ctx, blob, workload.Chunk(1, int(cfg.BlobPages*ps))); err != nil {
+		return nil, err
+	}
+	rng := newXorShift(13)
+	var last wire.Version
+	for i := 0; i < cfg.Churn; i++ {
+		maxStart := cfg.BlobPages - cfg.OverwritePages
+		start := rng.next() % (maxStart + 1)
+		if last, err = c.Write(ctx, blob,
+			workload.Chunk(uint64(i+2), int(cfg.OverwritePages*ps)), start*ps); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Sync(ctx, blob, last); err != nil {
+		return nil, err
+	}
+	res := &DHTGCResult{Versions: cfg.Churn + 1, KeepLast: cfg.KeepLast}
+
+	res.KeysBefore, res.MetaBytesIn = cl.MetaStats()
+	res.LogBytesBefore = cl.MetaLogBytes()
+
+	// The manager refuses to expire the newest readable snapshot and
+	// clamps the rest to keep-last-N; asking for everything below the
+	// head exercises the clamp.
+	floor, _, err := c.ExpireVersions(ctx, blob, last-1)
+	if err != nil {
+		return nil, fmt.Errorf("expire: %w", err)
+	}
+	res.Floor = floor
+
+	// Golden copies of everything that must survive, captured before any
+	// metadata is deleted.
+	golden := make(map[wire.Version][]byte)
+	for ver := floor; ver <= last; ver++ {
+		if golden[ver], err = readAll(ctx, c, blob, ver, cfg.BlobPages*ps); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	stats, err := c.CollectGarbage(ctx, blob)
+	if err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	res.GCMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.DeletedNodes = stats.DeletedNodes
+	res.RetainedNodes = stats.RetainedNodes
+	res.WalkedNodes = stats.WalkedNodes
+	res.KeysAfter, res.MetaBytesOut = cl.MetaStats()
+
+	start = time.Now()
+	if err := cl.CompactMetadata(); err != nil {
+		return nil, fmt.Errorf("compact metadata logs: %w", err)
+	}
+	res.CompactMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.LogBytesAfter = cl.MetaLogBytes()
+
+	// Verify through a cache-less client: every retained version must be
+	// reconstructible from the pruned DHT alone.
+	verifier, err := cl.NewClientCfg("", func(cc *client.Config) { cc.MetaCacheNodes = -1 })
+	if err != nil {
+		return nil, err
+	}
+	for ver := floor; ver <= last; ver++ {
+		got, err := readAll(ctx, verifier, blob, ver, cfg.BlobPages*ps)
+		if err != nil {
+			return nil, fmt.Errorf("retained version %d after metadata gc: %w", ver, err)
+		}
+		if !bytes.Equal(got, golden[ver]) {
+			return nil, fmt.Errorf("retained version %d corrupted by metadata gc", ver)
+		}
+		res.VerifiedReads++
+	}
+	for ver := wire.Version(1); ver < floor; ver++ {
+		if _, err := readAll(ctx, verifier, blob, ver, ps); err == nil {
+			return nil, fmt.Errorf("expired version %d still readable", ver)
+		}
+		res.ExpiredReads++
+	}
+
+	if res.KeysAfter >= res.KeysBefore || res.MetaBytesOut >= res.MetaBytesIn {
+		return nil, fmt.Errorf("DHT footprint did not shrink: %d keys/%d bytes -> %d/%d",
+			res.KeysBefore, res.MetaBytesIn, res.KeysAfter, res.MetaBytesOut)
+	}
+	if res.LogBytesAfter >= res.LogBytesBefore {
+		return nil, fmt.Errorf("metadata log footprint did not shrink: %d -> %d bytes",
+			res.LogBytesBefore, res.LogBytesAfter)
+	}
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"blobseer/internal/client"
 	"blobseer/internal/cluster"
 	"blobseer/internal/pagestore"
 	"blobseer/internal/wire"
@@ -20,6 +21,10 @@ func providerPages(cl *cluster.Cluster) (pages, bytes uint64) {
 	}
 	return pages, bytes
 }
+
+// metaStats sums key and value-byte counts over the cluster's metadata
+// nodes.
+func metaStats(cl *cluster.Cluster) (keys, bytes uint64) { return cl.MetaStats() }
 
 func TestGCReclaimsExpiredPages(t *testing.T) {
 	cl, c := newCluster(t, cluster.Config{})
@@ -59,6 +64,7 @@ func TestGCReclaimsExpiredPages(t *testing.T) {
 		golden[v] = buf
 	}
 	pagesBefore, _ := providerPages(cl)
+	metaKeysBefore, metaBytesBefore := metaStats(cl)
 
 	floor, expired, err := c.ExpireVersions(ctx, id, last-2)
 	if err != nil {
@@ -74,12 +80,20 @@ func TestGCReclaimsExpiredPages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.DeletedPages == 0 || stats.RetainedPages == 0 {
-		t.Fatalf("stats = %+v: churn must yield both garbage and shared pages", stats)
+	if stats.DeletedPages == 0 || stats.DeletedNodes == 0 || stats.RetainedNodes == 0 {
+		t.Fatalf("stats = %+v: churn must yield garbage plus shared structure", stats)
 	}
 	pagesAfter, _ := providerPages(cl)
 	if pagesAfter != pagesBefore-uint64(stats.DeletedPages) {
 		t.Fatalf("provider pages %d -> %d, deleted %d", pagesBefore, pagesAfter, stats.DeletedPages)
+	}
+	metaKeysAfter, metaBytesAfter := metaStats(cl)
+	if metaKeysAfter != metaKeysBefore-uint64(stats.DeletedNodes) {
+		t.Fatalf("metadata keys %d -> %d, deleted %d nodes",
+			metaKeysBefore, metaKeysAfter, stats.DeletedNodes)
+	}
+	if metaBytesAfter >= metaBytesBefore {
+		t.Fatalf("metadata bytes did not shrink: %d -> %d", metaBytesBefore, metaBytesAfter)
 	}
 	// Each expired overwrite owned exactly its 4 exclusive pages, except
 	// those the retained snapshots still share; the initial append's
@@ -88,14 +102,22 @@ func TestGCReclaimsExpiredPages(t *testing.T) {
 		t.Fatalf("only %d pages left", pagesAfter)
 	}
 
-	// Every retained version reads back byte-identical.
+	// Every retained version reads back byte-identical — both through
+	// the client whose cache may still hold deleted nodes, and through a
+	// fresh cache-less client that must walk the pruned DHT itself.
+	fresh, err := cl.NewClientCfg("", func(cc *client.Config) { cc.MetaCacheNodes = -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := floor; v <= last; v++ {
-		buf := make([]byte, len(golden[v]))
-		if err := c.Read(ctx, id, v, buf, 0); err != nil {
-			t.Fatalf("retained v%d unreadable after GC: %v", v, err)
-		}
-		if !bytes.Equal(buf, golden[v]) {
-			t.Fatalf("retained v%d changed after GC", v)
+		for name, rc := range map[string]*client.Client{"cached": c, "fresh": fresh} {
+			buf := make([]byte, len(golden[v]))
+			if err := rc.Read(ctx, id, v, buf, 0); err != nil {
+				t.Fatalf("retained v%d unreadable after GC (%s client): %v", v, name, err)
+			}
+			if !bytes.Equal(buf, golden[v]) {
+				t.Fatalf("retained v%d changed after GC (%s client)", v, name)
+			}
 		}
 	}
 	// Every expired version is gone.
@@ -104,13 +126,25 @@ func TestGCReclaimsExpiredPages(t *testing.T) {
 			t.Fatalf("expired v%d still readable", v)
 		}
 	}
-	// Idempotent re-run: it re-issues the same (no-op) deletes — the
-	// expired metadata still names the victims — but removes nothing.
+	// Idempotent re-run: the expired walks prune subtrees the first
+	// sweep already collected (or re-issue no-op deletes where the
+	// client cache still names them) and remove nothing.
 	if _, err := c.CollectGarbage(ctx, id); err != nil {
 		t.Fatal(err)
 	}
 	if again, _ := providerPages(cl); again != pagesAfter {
 		t.Fatalf("re-run changed provider pages: %d -> %d", pagesAfter, again)
+	}
+	if again, _ := metaStats(cl); again != metaKeysAfter {
+		t.Fatalf("re-run changed metadata keys: %d -> %d", metaKeysAfter, again)
+	}
+	// A second re-run through the fresh client sees the already-pruned
+	// trees (no cache to mask the deletions) and must also be a no-op.
+	if _, err := fresh.CollectGarbage(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := metaStats(cl); again != metaKeysAfter {
+		t.Fatalf("fresh-client re-run changed metadata keys: %d", again)
 	}
 }
 
@@ -471,6 +505,319 @@ func TestGCCrashBetweenDeletesAndCompaction(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("retained v%d corrupted by compaction", v)
 		}
+	}
+}
+
+// TestGCVsReadersStress runs concurrent cache-less readers over the
+// whole version history while a collector expires snapshots and deletes
+// their pages AND metadata tree nodes. The invariants, asserted under
+// -race: a read that succeeds is byte-identical to the golden copy no
+// matter how it interleaved with the sweep (pages and nodes are
+// immutable — deletion removes, never mutates), a read may only fail
+// for a version the collector was allowed to expire, and the branch
+// pinned above the expiry bound never fails at all. Afterwards the DHT
+// must hold measurably fewer keys and bytes.
+func TestGCVsReadersStress(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 4, MetaProviders: 4})
+	ctx := ctxb()
+	const ps = 128
+	const rounds = 24
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, id, pattern(1, 8*ps)); err != nil {
+		t.Fatal(err)
+	}
+	golden := make(map[wire.Version][]byte)
+	expect := pattern(1, 8*ps)
+	golden[1] = append([]byte(nil), expect...)
+	var last wire.Version
+	for i := 0; i < rounds; i++ {
+		chunk := pattern(byte(10+i), 2*ps)
+		off := uint64((i % 4) * 2 * ps)
+		if last, err = c.Write(ctx, id, chunk, off); err != nil {
+			t.Fatal(err)
+		}
+		copy(expect[off:], chunk)
+		golden[last] = append([]byte(nil), expect...)
+	}
+	if err := c.Sync(ctx, id, last); err != nil {
+		t.Fatal(err)
+	}
+	// The branch pins its branch point; the collector stays below it.
+	branchAt := last - 4
+	child, err := c.Branch(ctx, id, branchAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expireBound := branchAt - 1
+
+	keysBefore, bytesBefore := metaStats(cl)
+	done := make(chan struct{})
+	fail := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case fail <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	// Readers: separate cache-less clients, so every walk hits the DHT
+	// the collector is concurrently deleting from.
+	for r := 0; r < 3; r++ {
+		reader, err := cl.NewClientCfg("", func(cc *client.Config) { cc.MetaCacheNodes = -1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			v := wire.Version(seed)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v = 1 + (v+wire.Version(i))%last
+				want := golden[v]
+				buf := make([]byte, len(want))
+				err := reader.Read(ctx, id, v, buf, 0)
+				switch {
+				case err == nil:
+					if !bytes.Equal(buf, want) {
+						report(fmt.Errorf("reader: v%d read succeeded with wrong bytes under GC", v))
+						return
+					}
+				case v > expireBound:
+					report(fmt.Errorf("reader: retained v%d failed under GC: %w", v, err))
+					return
+				}
+				// The branch point is pinned: it must never fail.
+				got := make([]byte, len(golden[branchAt]))
+				if err := reader.Read(ctx, child, branchAt, got, 0); err != nil {
+					report(fmt.Errorf("reader: pinned branch point v%d failed: %w", branchAt, err))
+					return
+				}
+				if !bytes.Equal(got, golden[branchAt]) {
+					report(fmt.Errorf("reader: pinned branch point v%d corrupted", branchAt))
+					return
+				}
+			}
+		}(r)
+	}
+	// Collector: expire step by step and sweep after every step, so
+	// deletes keep landing while the readers walk.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for upTo := wire.Version(2); upTo <= expireBound; upTo++ {
+			if _, _, err := c.ExpireVersions(ctx, id, upTo); err != nil {
+				report(fmt.Errorf("expire %d: %w", upTo, err))
+				return
+			}
+			if _, err := c.CollectGarbage(ctx, id); err != nil {
+				report(fmt.Errorf("gc at %d: %w", upTo, err))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+
+	keysAfter, bytesAfter := metaStats(cl)
+	if keysAfter >= keysBefore || bytesAfter >= bytesBefore {
+		t.Fatalf("metadata did not shrink under GC: %d keys/%d bytes -> %d/%d",
+			keysBefore, bytesBefore, keysAfter, bytesAfter)
+	}
+	// Quiescent verification: every retained version and the branch read
+	// back byte-identical through a fresh cache-less client.
+	fresh, err := cl.NewClientCfg("", func(cc *client.Config) { cc.MetaCacheNodes = -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := expireBound + 1; v <= last; v++ {
+		buf := make([]byte, len(golden[v]))
+		if err := fresh.Read(ctx, id, v, buf, 0); err != nil {
+			t.Fatalf("retained v%d after stress: %v", v, err)
+		}
+		if !bytes.Equal(buf, golden[v]) {
+			t.Fatalf("retained v%d corrupted by stress", v)
+		}
+	}
+	got := make([]byte, len(golden[branchAt]))
+	if err := fresh.Read(ctx, child, branchAt, got, 0); err != nil || !bytes.Equal(got, golden[branchAt]) {
+		t.Fatalf("branch after stress: %v", err)
+	}
+}
+
+// TestGCCrashBetweenPageAndNodeDeletes kills the collector after every
+// page delete landed but before any metadata delete, then re-runs: the
+// re-run's tolerant expired walk must still find and remove the
+// metadata, and nothing retained may be harmed at either point.
+func TestGCCrashBetweenPageAndNodeDeletes(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 2, MetaProviders: 2})
+	ctx := ctxb()
+	const ps = 256
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, id, pattern(1, 8*ps)); err != nil {
+		t.Fatal(err)
+	}
+	var last wire.Version
+	for i := 0; i < 10; i++ {
+		if last, err = c.Write(ctx, id, pattern(byte(10+i), 4*ps), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx, id, last); err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]byte, 8*ps)
+	if err := c.Read(ctx, id, last, golden, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ExpireVersions(ctx, id, last-2); err != nil {
+		t.Fatal(err)
+	}
+
+	// With 2 data providers and fewer victims than a batch, the page
+	// sweep issues exactly 2 chunks; chunk numbering continues into the
+	// metadata batches, so failing every chunk >= 2 crashes the
+	// collector exactly between the two sweeps.
+	pagesBefore, _ := providerPages(cl)
+	metaBefore, _ := metaStats(cl)
+	c.SetGCCrashHook(func(chunk int) error {
+		if chunk >= 2 {
+			return fmt.Errorf("injected crash before metadata batch %d", chunk)
+		}
+		return nil
+	})
+	if _, err := c.CollectGarbage(ctx, id); err == nil {
+		t.Fatal("crashed GC reported success")
+	}
+	c.SetGCCrashHook(nil)
+	pagesMid, _ := providerPages(cl)
+	if pagesMid >= pagesBefore {
+		t.Fatalf("page sweep did not land before the crash: %d -> %d", pagesBefore, pagesMid)
+	}
+	if metaMid, _ := metaStats(cl); metaMid != metaBefore {
+		t.Fatalf("metadata deletes leaked past the crash point: %d -> %d", metaBefore, metaMid)
+	}
+	// The retained snapshot survived the partial sweep.
+	got := make([]byte, len(golden))
+	if err := c.Read(ctx, id, last, got, 0); err != nil || !bytes.Equal(got, golden) {
+		t.Fatalf("retained head after crashed GC: %v", err)
+	}
+
+	// Re-run to completion: pages are already gone (no-op deletes), the
+	// metadata sweep now lands.
+	stats, err := c.CollectGarbage(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeletedNodes == 0 {
+		t.Fatal("re-run deleted no metadata nodes")
+	}
+	metaAfter, _ := metaStats(cl)
+	if metaAfter != metaBefore-uint64(stats.DeletedNodes) {
+		t.Fatalf("metadata keys %d -> %d, deleted %d", metaBefore, metaAfter, stats.DeletedNodes)
+	}
+	if err := c.Read(ctx, id, last, got, 0); err != nil || !bytes.Equal(got, golden) {
+		t.Fatalf("retained head after completed GC: %v", err)
+	}
+}
+
+// TestGCCrashMidNodeSweepLeavesNoOrphans kills the collector in the
+// middle of the metadata sweep — after the leaf level landed but before
+// any inner level — and re-runs through a cache-less client. Node
+// deletion is ordered bottom-up precisely so this works: the surviving
+// inner nodes still lead the re-walk to every remaining victim, and the
+// final DHT key count equals exactly "before minus the full victim
+// set" — nothing stranded, nothing leaked.
+func TestGCCrashMidNodeSweepLeavesNoOrphans(t *testing.T) {
+	cl, c := newCluster(t, cluster.Config{DataProviders: 2, MetaProviders: 2})
+	ctx := ctxb()
+	const ps = 256
+	id, err := c.Create(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The collector must not be shielded by a metadata cache, or the
+	// re-run would re-walk from memory instead of the pruned DHT.
+	collector, err := cl.NewClientCfg("", func(cc *client.Config) { cc.MetaCacheNodes = -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, id, pattern(1, 8*ps)); err != nil {
+		t.Fatal(err)
+	}
+	var last wire.Version
+	for i := 0; i < 12; i++ {
+		if last, err = c.Write(ctx, id, pattern(byte(10+i), 4*ps), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(ctx, id, last); err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]byte, 8*ps)
+	if err := c.Read(ctx, id, last, golden, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ExpireVersions(ctx, id, last-2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chunks 0-1 are the two providers' page batches, chunk 2 the
+	// span-1 (leaf) metadata level; failing from chunk 3 on kills the
+	// collector with leaves deleted and every inner victim still there.
+	metaBefore, _ := metaStats(cl)
+	collector.SetGCCrashHook(func(chunk int) error {
+		if chunk >= 3 {
+			return fmt.Errorf("injected crash at metadata chunk %d", chunk)
+		}
+		return nil
+	})
+	if _, err := collector.CollectGarbage(ctx, id); err == nil {
+		t.Fatal("crashed GC reported success")
+	}
+	collector.SetGCCrashHook(nil)
+	metaMid, _ := metaStats(cl)
+	if metaMid >= metaBefore {
+		t.Fatalf("leaf level did not land before the crash: %d -> %d", metaBefore, metaMid)
+	}
+
+	// The cache-less re-run must rediscover the complete victim set
+	// through the surviving inner nodes (deleted leaves are re-issued as
+	// no-ops), so the final count proves no descendant was orphaned.
+	stats, err := collector.CollectGarbage(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaAfter, _ := metaStats(cl)
+	if metaAfter != metaBefore-uint64(stats.DeletedNodes) {
+		t.Fatalf("orphaned metadata: %d keys left, want %d (%d before, full victim set %d)",
+			metaAfter, metaBefore-uint64(stats.DeletedNodes), metaBefore, stats.DeletedNodes)
+	}
+	// A third sweep finds nothing more to remove.
+	if _, err := collector.CollectGarbage(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := metaStats(cl); again != metaAfter {
+		t.Fatalf("third sweep changed metadata keys: %d -> %d", metaAfter, again)
+	}
+	got := make([]byte, len(golden))
+	if err := collector.Read(ctx, id, last, got, 0); err != nil || !bytes.Equal(got, golden) {
+		t.Fatalf("retained head after mid-sweep crash recovery: %v", err)
 	}
 }
 

@@ -73,11 +73,14 @@ type Config struct {
 	// policy: EXPIRE requests are clamped so at least this many of a
 	// blob's newest published versions stay readable (default 1).
 	RetainVersions int
-	// MetaLogDir makes the metadata (DHT) nodes durable: node i keeps an
-	// append-only pair log at MetaLogDir/meta-<i>.log and reloads it on
-	// start. Combine with VersionWALPath and a disk-backed NewStore for a
-	// fully restartable cluster.
+	// MetaLogDir makes the metadata (DHT) nodes durable: node i keeps a
+	// segmented pair log rooted at MetaLogDir/meta-<i>.log and reloads it
+	// on start. Combine with VersionWALPath and a disk-backed NewStore
+	// for a fully restartable cluster.
 	MetaLogDir string
+	// MetaLog tunes the durable metadata logs opened under MetaLogDir
+	// (segment size, index-snapshot interval, compaction threshold).
+	MetaLog dht.LogOptions
 	// HeartbeatEvery tunes provider heartbeats (default 5s).
 	HeartbeatEvery time.Duration
 	// ClientCacheNodes sets new clients' metadata cache capacity
@@ -229,7 +232,7 @@ func (cl *Cluster) start(
 		var node *dht.Node
 		if cfg.MetaLogDir != "" {
 			node, err = dht.ServeDurableNode(ln, cl.sched,
-				fmt.Sprintf("%s/meta-%d.log", cfg.MetaLogDir, i), false)
+				fmt.Sprintf("%s/meta-%d.log", cfg.MetaLogDir, i), cfg.MetaLog)
 			if err != nil {
 				ln.Close()
 				return fmt.Errorf("cluster: metadata provider %d: %w", i, err)
@@ -271,6 +274,40 @@ func (cl *Cluster) start(
 			return fmt.Errorf("cluster: data provider %d: %w", i, err)
 		}
 		cl.Providers = append(cl.Providers, p)
+	}
+	return nil
+}
+
+// MetaStats sums key and value-byte counts over the cluster's metadata
+// nodes, so callers can watch the GC reclaim metadata.
+func (cl *Cluster) MetaStats() (keys, bytes uint64) {
+	for _, n := range cl.MetaNodes {
+		k, b := n.Stats()
+		keys += k
+		bytes += b
+	}
+	return keys, bytes
+}
+
+// MetaLogBytes sums the on-disk metadata log footprint over the
+// cluster's durable metadata nodes (0 for an in-memory cluster).
+// Compaction shrinks it.
+func (cl *Cluster) MetaLogBytes() int64 {
+	var total int64
+	for _, n := range cl.MetaNodes {
+		total += n.LogBytes()
+	}
+	return total
+}
+
+// CompactMetadata forces every metadata node to rewrite pair-log
+// segments dominated by deleted tree nodes and cover the rewrites with
+// fresh index snapshots. No-op for in-memory nodes.
+func (cl *Cluster) CompactMetadata() error {
+	for _, n := range cl.MetaNodes {
+		if err := n.CompactLog(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

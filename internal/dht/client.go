@@ -150,6 +150,44 @@ func (c *Client) MultiGet(ctx context.Context, keys [][]byte) (values [][]byte, 
 	return values, found, nil
 }
 
+// Delete removes a batch of keys from every replica, grouping them per
+// destination node so each node receives one round trip per replica.
+// Every replica must acknowledge — a surviving copy of a collected tree
+// node would resurrect on replica failover and anchor an undeletable
+// subtree. Deletes are idempotent, so a collector that crashed
+// mid-batch simply re-runs. Returns the number of pair copies actually
+// removed, summed over all replicas (a progress figure: a retried sweep
+// reports 0 for work already done).
+func (c *Client) Delete(ctx context.Context, keys [][]byte) (uint64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	batches := make(map[string][][]byte)
+	var order []string
+	for i := range keys {
+		for _, node := range c.ring.Nodes(keys[i]) {
+			if _, ok := batches[node]; !ok {
+				order = append(order, node)
+			}
+			batches[node] = append(batches[node], keys[i])
+		}
+	}
+	removed := make([]uint64, len(order))
+	err := vclock.Parallel(c.sched, len(order), func(i int) error {
+		resp, err := c.rpc.Call(ctx, order[i], &wire.DHTDeleteReq{Keys: batches[order[i]]})
+		if err != nil {
+			return err
+		}
+		removed[i] = resp.(*wire.DHTDeleteResp).Deleted
+		return nil
+	})
+	var total uint64
+	for _, d := range removed {
+		total += d
+	}
+	return total, err
+}
+
 // Stats sums key and byte counts over all ring nodes.
 func (c *Client) Stats(ctx context.Context) (keys, bytes uint64, err error) {
 	for _, node := range c.ring.Addrs() {

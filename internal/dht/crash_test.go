@@ -1,0 +1,284 @@
+package dht
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// errInjected is the simulated crash: the maintenance pass aborts
+// exactly as a process death at that point would, and the test then
+// reopens on whatever the disk holds.
+var errInjected = errors.New("injected crash")
+
+// crashLogOpts uses segments small enough that the workload spans many
+// of them, so compaction has real victims to crash on.
+func crashLogOpts() LogOptions {
+	return LogOptions{Sync: true, SegmentBytes: 512}
+}
+
+func crashKey(i int) []byte { return []byte(fmt.Sprintf("tree/node/%03d", i)) }
+func crashVal(i int) []byte { return bytes.Repeat([]byte{byte(i), byte(i >> 3)}, 40+i%7) }
+func mustOpenLog(t *testing.T, path string, opts LogOptions) *metaLog {
+	t.Helper()
+	l, _, err := openMetaLog(path, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return l
+}
+
+// crashWorkload drives a deterministic history with everything the
+// snapshotter and compactor must preserve: pairs spread over many
+// segments, deletions before the snapshot (reclaimable, reflected in
+// the snapshot), a snapshot, and deletions after it (delete records
+// only in the tail). Returns the expected surviving pairs; every other
+// worked key must stay deleted.
+func crashWorkload(t *testing.T, l *metaLog) map[int][]byte {
+	t.Helper()
+	const n = 24
+	for i := 0; i < n; i++ {
+		if err := l.appendPut(crashKey(i), crashVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i%3 == 1 {
+			if err := l.appendDelete(crashKey(i), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			if err := l.appendDelete(crashKey(i), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	live := make(map[int][]byte)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			live[i] = crashVal(i)
+		}
+	}
+	return live
+}
+
+// verifyRecovered reopens the log and asserts it recovers exactly the
+// live pairs byte-identically and none of the deleted ones, then proves
+// the recovered log still serves (append, delete, another maintenance
+// pass). Returns the reopened log's recovery stats.
+func verifyRecovered(t *testing.T, path string, live map[int][]byte) logRecoveryStats {
+	t.Helper()
+	l, pairs, err := openMetaLog(path, crashLogOpts())
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer l.close()
+	got := make(map[string][]byte)
+	for _, kv := range pairs {
+		got[string(kv[0])] = kv[1]
+	}
+	if len(got) != len(live) {
+		t.Fatalf("recovered %d pairs, want %d", len(got), len(live))
+	}
+	for i, want := range live {
+		if !bytes.Equal(got[string(crashKey(i))], want) {
+			t.Fatalf("live pair %d not byte-identical after recovery", i)
+		}
+	}
+	// The recovered log still serves: new pairs, deletes, and another
+	// maintenance pass all work.
+	if err := l.appendPut(crashKey(1000), crashVal(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.appendDelete(crashKey(1000), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.compact(); err != nil {
+		t.Fatal(err)
+	}
+	return l.recStats
+}
+
+// TestDHTMaintenanceCrashInjection kills the snapshotter and the
+// compactor at every fault point — plus torn-file variants a hook
+// cannot express — and asserts the recovered pairs are byte-identical
+// to an uncrashed node's.
+func TestDHTMaintenanceCrashInjection(t *testing.T) {
+	// The control must survive a clean restart unchanged, or the
+	// comparisons below prove nothing.
+	controlDir := t.TempDir()
+	controlPath := filepath.Join(controlDir, "meta.log")
+	control := mustOpenLog(t, controlPath, crashLogOpts())
+	want := crashWorkload(t, control)
+	control.close()
+	verifyRecovered(t, controlPath, want)
+
+	type tamper func(t *testing.T, base string)
+	cases := []struct {
+		name   string
+		op     string // "snapshot" or "compact"
+		point  string // "" = no hook crash, tamper only
+		tamper tamper
+	}{
+		{name: "snap-begin", op: "snapshot", point: dhtCrashSnapBegin},
+		{name: "snap-captured", op: "snapshot", point: dhtCrashSnapCaptured},
+		{name: "snap-tmp-written", op: "snapshot", point: dhtCrashSnapTmpWritten},
+		{name: "snap-renamed", op: "snapshot", point: dhtCrashSnapRenamed},
+		{name: "compact-tmp-written", op: "compact", point: dhtCrashCompactTmpWritten},
+		{name: "compact-renamed", op: "compact", point: dhtCrashCompactRenamed},
+		{name: "compact-applied", op: "compact", point: dhtCrashCompactApplied},
+		{name: "torn-snapshot-tmp", op: "snapshot", point: dhtCrashSnapTmpWritten, tamper: func(t *testing.T, base string) {
+			truncateTail(t, dhtSnapshotTmpPath(base), 7)
+		}},
+		{name: "torn-snapshot", op: "snapshot", point: dhtCrashSnapRenamed, tamper: func(t *testing.T, base string) {
+			truncateTail(t, dhtSnapshotPath(base), 7)
+		}},
+		{name: "corrupt-snapshot-crc", op: "snapshot", point: dhtCrashSnapRenamed, tamper: func(t *testing.T, base string) {
+			flipByte(t, dhtSnapshotPath(base), dhtRecHeaderSize+3)
+		}},
+		{name: "torn-compact-tmp", op: "compact", point: dhtCrashCompactTmpWritten, tamper: func(t *testing.T, base string) {
+			truncateTail(t, dhtCompactTmpPath(base), 5)
+		}},
+		{name: "torn-segment-tail", op: "", tamper: func(t *testing.T, base string) {
+			// A crash mid-append of a record that never applied: a valid
+			// frame header claiming more payload than follows.
+			var hdr [dhtRecHeaderSize]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], dhtRecMagic)
+			binary.LittleEndian.PutUint32(hdr[4:8], 64)
+			binary.LittleEndian.PutUint32(hdr[8:12], 0xBAD)
+			appendBytes(t, newestSegment(t, base), hdr[:])
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := filepath.Join(t.TempDir(), "meta.log")
+			l := mustOpenLog(t, base, crashLogOpts())
+			want := crashWorkload(t, l)
+			if tc.point != "" {
+				fired := false
+				l.crashHook = func(p string) error {
+					if p == tc.point {
+						fired = true
+						return errInjected
+					}
+					return nil
+				}
+				var err error
+				switch tc.op {
+				case "snapshot":
+					err = l.snapshot()
+				case "compact":
+					err = l.compact()
+				}
+				if !errors.Is(err, errInjected) {
+					t.Fatalf("%s survived the injected crash: %v", tc.op, err)
+				}
+				if !fired {
+					t.Fatalf("fault point %q never reached", tc.point)
+				}
+			}
+			l.close() // process death: nothing else runs
+			if tc.tamper != nil {
+				tc.tamper(t, base)
+			}
+			verifyRecovered(t, base, want)
+		})
+	}
+}
+
+// TestEveryDHTMaintenanceCrashPointIsExercised keeps the fault-point
+// table honest: a snapshot plus a compaction with work to do must pass
+// through every declared point.
+func TestEveryDHTMaintenanceCrashPointIsExercised(t *testing.T) {
+	l := mustOpenLog(t, filepath.Join(t.TempDir(), "meta.log"), crashLogOpts())
+	defer l.close()
+	crashWorkload(t, l)
+	seen := make(map[string]bool)
+	l.crashHook = func(p string) error {
+		seen[p] = true
+		return nil
+	}
+	if err := l.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dhtCrashPoints {
+		if !seen[p] {
+			t.Errorf("maintenance never reached fault point %q", p)
+		}
+	}
+}
+
+// TestDHTCompactionCrashThenCompactAgain drives the generation-mismatch
+// recovery path end to end: crash after the rewrite is live but before
+// the covering snapshot, recover (stale rescan), then compact again.
+func TestDHTCompactionCrashThenCompactAgain(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "meta.log")
+	l := mustOpenLog(t, base, crashLogOpts())
+	want := crashWorkload(t, l)
+	l.crashHook = func(p string) error {
+		if p == dhtCrashCompactApplied {
+			return errInjected
+		}
+		return nil
+	}
+	if err := l.compact(); !errors.Is(err, errInjected) {
+		t.Fatalf("compact survived: %v", err)
+	}
+	l.close()
+
+	if st := verifyRecovered(t, base, want); st.staleRescanned == 0 {
+		t.Fatalf("expected a stale (rewritten) segment rescan, got %+v", st)
+	}
+	// And once more on the post-compaction state.
+	verifyRecovered(t, base, want)
+}
+
+func truncateTail(t *testing.T, path string, n int64) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendBytes(t *testing.T, path string, p []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

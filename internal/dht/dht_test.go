@@ -10,6 +10,7 @@ import (
 	"blobseer/internal/rpc"
 	"blobseer/internal/transport"
 	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
 )
 
 // newCluster spins up n metadata nodes plus a client with the given
@@ -231,11 +232,76 @@ func TestEmptyKeyRejected(t *testing.T) {
 func TestImmutableReput(t *testing.T) {
 	c, _ := newCluster(t, 1, 1)
 	ctx := context.Background()
-	c.Put(ctx, []byte("k"), []byte("first"))
-	c.Put(ctx, []byte("k"), []byte("second"))
+	if err := c.Put(ctx, []byte("k"), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// An identical re-put is an idempotent no-op (writers retry, replicas
+	// re-send)...
+	if err := c.Put(ctx, []byte("k"), []byte("first")); err != nil {
+		t.Fatalf("identical re-put rejected: %v", err)
+	}
+	// ...but a divergent re-put is a corruption signal, not a silent
+	// keep-first: node keys embed version+range, so two writers can only
+	// ever produce identical bytes for the same key.
+	err := c.Put(ctx, []byte("k"), []byte("second"))
+	if err == nil {
+		t.Fatal("divergent re-put accepted")
+	}
+	if wire.CodeOf(err) != wire.CodeBadRequest {
+		t.Fatalf("divergent re-put error = %v, want CodeBadRequest", err)
+	}
 	v, _, _ := c.Get(ctx, []byte("k"))
 	if string(v) != "first" {
-		t.Fatalf("re-put overwrote immutable value: %q", v)
+		t.Fatalf("divergent re-put overwrote immutable value: %q", v)
+	}
+	// The same contract holds inside a MultiPut batch.
+	err = c.MultiPut(ctx, [][]byte{[]byte("k")}, [][]byte{[]byte("third")})
+	if err == nil || wire.CodeOf(err) != wire.CodeBadRequest {
+		t.Fatalf("divergent multi-put error = %v, want CodeBadRequest", err)
+	}
+}
+
+func TestDeleteRemovesPairsOnEveryReplica(t *testing.T) {
+	c, nodes := newCluster(t, 4, 2)
+	ctx := context.Background()
+	var keys [][]byte
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		keys = append(keys, k)
+		if err := c.Put(ctx, k, bytes.Repeat([]byte{byte(i)}, 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := c.Delete(ctx, keys[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 60 { // 30 keys x 2 replicas
+		t.Fatalf("removed %d copies, want 60", removed)
+	}
+	for i, k := range keys {
+		_, ok, err := c.Get(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 30 && ok {
+			t.Fatalf("deleted key %s still readable through some replica", k)
+		}
+		if i >= 30 && !ok {
+			t.Fatalf("live key %s lost by delete batch", k)
+		}
+	}
+	var totalKeys uint64
+	for _, n := range nodes {
+		k, _ := n.Stats()
+		totalKeys += k
+	}
+	if totalKeys != 20 { // 10 live keys x 2 replicas
+		t.Fatalf("stats count %d key copies after delete, want 20", totalKeys)
+	}
+	// Idempotent: nothing left to remove.
+	if again, err := c.Delete(ctx, keys[:30]); err != nil || again != 0 {
+		t.Fatalf("re-delete: %d, %v", again, err)
 	}
 }
 

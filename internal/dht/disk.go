@@ -1,9 +1,8 @@
 package dht
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -13,71 +12,149 @@ import (
 	"blobseer/internal/vclock"
 )
 
-// Durable metadata nodes persist every pair to an append-only log and
-// reload it on start, so the segment trees survive a restart of the
-// whole cluster (extension — the paper's metadata lived in RAM and node
-// volatility was future work). The store is a natural fit for a log:
-// pairs are immutable and never deleted, so recovery is a linear scan
-// with no compaction concerns.
+// Durable metadata nodes persist every pair to a segmented,
+// CRC-framed log and reload it on start, so the segment trees survive a
+// restart of the whole cluster (extension — the paper's metadata lived
+// in RAM and node volatility was future work). Since the retention/GC
+// line landed, pairs are no longer immutable forever: the garbage
+// collector deletes tree nodes reachable only from expired snapshots,
+// so the log needs the same segment + snapshot + compaction treatment
+// the version WAL and the provider page store already have. See
+// segment.go and snapshot.go for the on-disk formats and maintain.go
+// for the snapshotter/compactor.
 //
-// Durability contract: with sync on, a pair is on disk before the put is
-// acknowledged. With sync off, acknowledged pairs may be lost by a crash
-// — but never by a clean shutdown: close fsyncs the buffered tail before
-// closing the file. In both modes the log's directory entry is fsynced
-// at creation (a freshly created log must not vanish with its directory
-// update after a crash), and a torn tail truncated during recovery is
-// fsynced away before new appends land on top of it.
+// Durability contract: with sync on, a record is on disk before the put
+// or delete is acknowledged. With sync off, acknowledged records in the
+// active segment may be lost by a crash — but never by a clean
+// shutdown (close fsyncs every segment before closing), and never in a
+// way that prevents reopening: sealing a segment fsyncs it and its
+// directory entry, so only the highest segment can carry a torn tail,
+// which recovery truncates (and fsyncs away before new appends land on
+// top of it).
 //
-// Record layout (little-endian):
-//
-//	uint32 magic | uint32 keyLen | uint32 valLen | uint32 crc32(key|val) | key | val
-type nodeLog struct {
-	mu   sync.Mutex
-	f    *os.File
-	size int64
-	sync bool
+// Safety rule for space reclamation: the log itself never invents
+// garbage. A pair's bytes are only ever dropped by compaction after the
+// pair was explicitly deleted, and delete's contract is that the caller
+// (the GC walking version metadata) has proven the pair unreachable
+// from every retained snapshot and branch. Everything still live
+// survives any crash/compaction interleaving byte-identical — the
+// invariant crash_test.go asserts at every fault point.
+type metaLog struct {
+	base string
+	opts LogOptions
+
+	// logMu guards everything below: the pair index, the segment table,
+	// the active segment and the byte accounting. Appends are serial —
+	// metadata records are tiny, so one mutex is the whole write path,
+	// exactly like the pre-segmentation log. Lock order: maintMu, then
+	// logMu.
+	logMu  sync.Mutex
+	index  map[string]metaEntry
+	segs   map[uint32]*metaSegment
+	active *metaSegment
+	closed bool
+
+	nextGen uint64
+	events  int // records appended since the last snapshot capture
+
+	// Maintenance (snapshot + compaction) machinery, see maintain.go.
+	maintMu     sync.Mutex
+	maintC      chan struct{}
+	quitC       chan struct{}
+	snapRuns    uint64
+	compactRuns uint64
+
+	recStats logRecoveryStats
+
+	// crashHook is the test-only maintenance fault injector.
+	crashHook func(point string) error
 }
 
-const (
-	dhtLogMagic     = 0xD47A106E
-	dhtLogHeaderLen = 4 + 4 + 4 + 4
-)
+// LogOptions tunes a durable node's metadata log. The zero value
+// reproduces the pre-segmentation behaviour: unsynced serial appends,
+// 64 MB segments, no automatic snapshots or compaction.
+type LogOptions struct {
+	// Sync forces records to disk before a put or delete is
+	// acknowledged. Slower, but a crash loses at most in-flight pairs
+	// instead of the OS write-back window.
+	Sync bool
+	// SegmentBytes rolls the log into a fresh segment file once the
+	// active one exceeds this many bytes (default 64 MB). Compaction
+	// rewrites whole sealed segments, so smaller segments reclaim at a
+	// finer grain for more files.
+	SegmentBytes int64
+	// SnapshotEvery, when positive, writes an index snapshot
+	// automatically after that many appended records, bounding reopen
+	// replay by the interval. Zero disables automatic snapshots.
+	SnapshotEvery int
+	// CompactRatio, when positive, makes the background compactor
+	// rewrite any sealed segment whose live-byte ratio falls below this
+	// threshold (0 < ratio < 1), dropping records of deleted pairs.
+	// Zero disables automatic compaction; CompactLog remains available
+	// on demand.
+	CompactRatio float64
+}
 
-// openNodeLog opens the log and returns the recovered pairs. A torn tail
-// is truncated; corruption before valid data fails the open. The parent
-// directory is fsynced so a just-created log file cannot vanish after a
-// crash, losing every subsequently synced append with it.
-func openNodeLog(path string, syncEach bool) (*nodeLog, [][2][]byte, error) {
+const defaultMetaSegmentBytes = 64 << 20
+
+// logRecoveryStats describes what one openMetaLog did: how much of the
+// index came from the snapshot and how much had to be replayed by
+// scanning segments.
+type logRecoveryStats struct {
+	snapshotLoaded    bool
+	snapshotPairs     int
+	segmentsOnDisk    int
+	segmentsRescanned int
+	staleRescanned    int // of those, rewritten after the snapshot (compaction crash)
+	recordsReplayed   int
+	legacyMigrated    bool
+}
+
+var errLogClosed = errors.New("dht: log closed")
+
+// openMetaLog opens (creating if needed) the segmented log rooted at
+// path and returns the recovered pairs: it loads the newest valid index
+// snapshot, verifies each covered segment's generation, rescans only
+// the tail (plus any segment a crashed compaction rewrote), and reads
+// snapshot-covered values straight out of their segments. A torn record
+// at the tail of the highest segment is truncated away; a torn or
+// corrupt snapshot degrades to a full rescan; a single-file log from
+// before segmentation is migrated in place.
+func openMetaLog(path string, opts LogOptions) (*metaLog, [][2][]byte, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultMetaSegmentBytes
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("dht: create log dir: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("dht: open log: %w", err)
+	l := &metaLog{
+		base:  path,
+		opts:  opts,
+		index: make(map[string]metaEntry),
+		segs:  make(map[uint32]*metaSegment),
 	}
-	l := &nodeLog{f: f, sync: syncEach}
-	pairs, truncated, err := l.recover()
+	pairs, err := l.recover()
 	if err != nil {
-		f.Close()
+		l.closeFiles()
 		return nil, nil, err
 	}
-	if truncated {
-		// The truncate must be durable before new records append at the
-		// cut, or a crash could resurrect torn bytes beneath valid ones.
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("dht: sync truncated log: %w", err)
+	// Replayed tail records count toward the auto-snapshot interval, or
+	// a crash-looping node whose runs each log fewer than SnapshotEvery
+	// records would grow its tail without bound.
+	l.events = l.recStats.recordsReplayed
+	if opts.SnapshotEvery > 0 || opts.CompactRatio > 0 {
+		l.maintC = make(chan struct{}, 1)
+		l.quitC = make(chan struct{})
+		go l.maintainLoop()
+		if opts.SnapshotEvery > 0 && l.events >= opts.SnapshotEvery {
+			l.nudgeMaintain()
 		}
-	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("dht: sync log dir: %w", err)
 	}
 	return l, pairs, nil
 }
 
-// syncDir fsyncs a directory so creations and truncations in it are
-// durable.
+// syncDir fsyncs a directory so renames, creations and truncations in
+// it are durable.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -90,105 +167,442 @@ func syncDir(dir string) error {
 	return err
 }
 
-func (l *nodeLog) recover() (pairs [][2][]byte, truncated bool, err error) {
-	info, err := l.f.Stat()
+// recover rebuilds the index and the pair set from disk. See the
+// package comments in segment.go and snapshot.go for the
+// crash-consistency argument.
+func (l *metaLog) recover() ([][2][]byte, error) {
+	base := l.base
+	// Leftover tmp files from interrupted maintenance are garbage: only
+	// the atomic renames ever activate them.
+	os.Remove(dhtSnapshotTmpPath(base))
+	os.Remove(dhtCompactTmpPath(base))
+	os.Remove(base + ".migrate.tmp")
+
+	segIdxs, err := listDHTSegments(base)
 	if err != nil {
-		return nil, false, fmt.Errorf("dht: stat log: %w", err)
+		return nil, err
 	}
-	logLen := info.Size()
-	var off int64
-	var hdr [dhtLogHeaderLen]byte
-	for off < logLen {
-		if logLen-off < dhtLogHeaderLen {
-			break // torn header
+	if len(segIdxs) == 0 {
+		migrated, err := migrateLegacyNodeLog(base)
+		if err != nil {
+			return nil, err
 		}
-		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
-			return nil, false, fmt.Errorf("dht: read log header at %d: %w", off, err)
+		if migrated {
+			l.recStats.legacyMigrated = true
+			if segIdxs, err = listDHTSegments(base); err != nil {
+				return nil, err
+			}
 		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtLogMagic {
-			return nil, false, fmt.Errorf("dht: bad log magic at offset %d: corrupted", off)
+	} else if info, err := os.Stat(base); err == nil && info.Mode().IsRegular() {
+		// A legacy log next to segments is the leftover of a migration
+		// that crashed between activating segment 1 and removing it.
+		if err := os.Remove(base); err != nil {
+			return nil, fmt.Errorf("dht: remove migrated legacy log: %w", err)
 		}
-		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
-		valLen := binary.LittleEndian.Uint32(hdr[8:12])
-		wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
-		dataOff := off + dhtLogHeaderLen
-		total := int64(keyLen) + int64(valLen)
-		if dataOff+total > logLen {
-			break // torn payload
-		}
-		data := make([]byte, total)
-		if _, err := l.f.ReadAt(data, dataOff); err != nil {
-			return nil, false, fmt.Errorf("dht: read log payload at %d: %w", dataOff, err)
-		}
-		if crc32.ChecksumIEEE(data) != wantCRC {
-			return nil, false, fmt.Errorf("dht: log crc mismatch at offset %d: corrupted", off)
-		}
-		pairs = append(pairs, [2][]byte{data[:keyLen:keyLen], data[keyLen:]})
-		off = dataOff + total
 	}
-	if off < logLen {
-		if err := l.f.Truncate(off); err != nil {
-			return nil, false, fmt.Errorf("dht: truncate torn log tail: %w", err)
+
+	// A roll that crashed before completing the 16-byte header leaves a
+	// short highest segment with nothing in it; drop it and append to
+	// its predecessor.
+	if n := len(segIdxs); n > 0 {
+		p := dhtSegmentPath(base, segIdxs[n-1])
+		if info, err := os.Stat(p); err == nil && info.Size() < dhtSegHeaderSize {
+			if err := os.Remove(p); err != nil {
+				return nil, fmt.Errorf("dht: remove torn segment: %w", err)
+			}
+			segIdxs = segIdxs[:n-1]
 		}
-		truncated = true
 	}
-	l.size = off
-	return pairs, truncated, nil
+
+	snap, snapErr := loadDHTSnapshot(dhtSnapshotPath(base))
+	if snapErr != nil {
+		// Torn or corrupt (crash racing the rename, disk fault):
+		// segments are never deleted, so a full rescan recovers
+		// everything — the snapshot only ever buys speed.
+		snap = nil
+	}
+
+	if len(segIdxs) == 0 {
+		if snap != nil && len(snap.gens) > 0 {
+			return nil, fmt.Errorf("dht: snapshot covers %d segments but none exist on disk", len(snap.gens))
+		}
+		seg, err := l.createSegment(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		l.segs[1] = seg
+		l.active = seg
+		l.nextGen = 1
+		l.recStats.segmentsOnDisk = 1
+		return nil, nil
+	}
+	for i, idx := range segIdxs {
+		if idx != uint32(i+1) {
+			return nil, fmt.Errorf("dht: segment %06d missing (found %06d): pairs may be lost", i+1, idx)
+		}
+	}
+	if snap != nil && len(snap.gens) > len(segIdxs) {
+		return nil, fmt.Errorf("dht: snapshot covers %d segments, only %d exist: pairs may be lost",
+			len(snap.gens), len(segIdxs))
+	}
+
+	// Open every segment and validate its header.
+	var maxGen uint64
+	for _, idx := range segIdxs {
+		p := dhtSegmentPath(base, idx)
+		f, err := os.OpenFile(p, os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dht: open segment: %w", err)
+		}
+		gen, err := readDHTSegmentHeader(f, p)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dht: stat segment: %w", err)
+		}
+		l.segs[idx] = &metaSegment{idx: idx, f: f, gen: gen, size: info.Size()}
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	l.recStats.segmentsOnDisk = len(segIdxs)
+
+	// Seed the index from the snapshot where the generations still
+	// match; a mismatch means a compaction rewrote that segment after
+	// the snapshot (its offsets are stale) and it joins the rescan.
+	highest := segIdxs[len(segIdxs)-1]
+	pairs := make(map[string][]byte)
+	stale := make(map[uint32]bool)
+	var rescan []uint32
+	if snap != nil {
+		l.recStats.snapshotLoaded = true
+		for i, g := range snap.gens {
+			idx := uint32(i + 1)
+			if l.segs[idx].gen != g {
+				stale[idx] = true
+				rescan = append(rescan, idx)
+			}
+		}
+		for _, e := range snap.entries {
+			if stale[e.seg] {
+				continue
+			}
+			seg := l.segs[e.seg]
+			if e.off+int64(e.vlen) > seg.size {
+				return nil, fmt.Errorf("dht: snapshot entry for key %x beyond segment %06d", e.key, e.seg)
+			}
+			val := make([]byte, e.vlen)
+			if e.vlen > 0 {
+				if _, err := seg.f.ReadAt(val, e.off); err != nil {
+					return nil, fmt.Errorf("dht: read snapshot-covered value in segment %06d: %w", e.seg, err)
+				}
+			}
+			l.index[string(e.key)] = e.metaEntry
+			seg.liveBytes += framedPairBytes(len(e.key), int(e.vlen))
+			pairs[string(e.key)] = val
+			l.recStats.snapshotPairs++
+		}
+		for idx := uint32(len(snap.gens) + 1); idx <= uint32(len(segIdxs)); idx++ {
+			rescan = append(rescan, idx)
+		}
+		// The highest segment is rescanned even when the snapshot
+		// covers it: a torn roll can demote the active segment back
+		// into the covered range, after which post-snapshot records
+		// append there — and a torn tail must be truncated before new
+		// appends land behind it. Duplicate puts are skipped, so
+		// re-visiting records the snapshot already indexed is a no-op.
+		if len(rescan) == 0 || rescan[len(rescan)-1] != highest {
+			rescan = append(rescan, highest)
+		}
+	} else {
+		rescan = append(rescan, segIdxs...)
+	}
+	l.recStats.staleRescanned = len(stale)
+
+	// Rescan in index order — the chronological write order, since
+	// records never move between segments. dead remembers deletes seen
+	// during this pass so a put record can never resurrect a pair whose
+	// delete sits in an earlier rescanned segment (keys are never
+	// reused, so a put legitimately following its delete cannot occur).
+	dead := make(map[string]bool)
+	for _, idx := range rescan {
+		seg := l.segs[idx]
+		size, err := scanDHTSegment(seg.f, dhtSegmentPath(base, idx), idx == highest, func(sp scannedPair) error {
+			l.recStats.recordsReplayed++
+			key := string(sp.rec.key)
+			switch sp.rec.kind {
+			case dhtRecDel:
+				seg.tombBytes += framedPairBytes(len(sp.rec.key), 0)
+				dead[key] = true
+				l.dropEntry(key)
+				delete(pairs, key)
+			case dhtRecPut:
+				if dead[key] {
+					return nil
+				}
+				if _, dup := l.index[key]; dup {
+					return nil // duplicate record; first wins
+				}
+				l.index[key] = metaEntry{seg: idx, off: sp.valOff, vlen: sp.valLen}
+				seg.liveBytes += framedPairBytes(len(sp.rec.key), len(sp.rec.value))
+				pairs[key] = append([]byte(nil), sp.rec.value...)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if size < seg.size {
+			// A torn tail was truncated; the truncate must be durable
+			// before new records append at the cut, or a crash could
+			// resurrect torn bytes beneath valid ones.
+			if err := seg.f.Sync(); err != nil {
+				return nil, fmt.Errorf("dht: sync truncated segment: %w", err)
+			}
+		}
+		seg.size = size
+		l.recStats.segmentsRescanned++
+	}
+
+	l.active = l.segs[highest]
+	l.nextGen = maxGen
+	out := make([][2][]byte, 0, len(pairs))
+	for k, v := range pairs {
+		out = append(out, [2][]byte{[]byte(k), v})
+	}
+	return out, nil
 }
 
-// append writes one pair durably.
-func (l *nodeLog) append(key, value []byte) error {
-	rec := make([]byte, dhtLogHeaderLen+len(key)+len(value))
-	binary.LittleEndian.PutUint32(rec[0:4], dhtLogMagic)
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(key)))
-	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(value)))
-	h := crc32.NewIEEE()
-	h.Write(key)
-	h.Write(value)
-	binary.LittleEndian.PutUint32(rec[12:16], h.Sum32())
-	copy(rec[dhtLogHeaderLen:], key)
-	copy(rec[dhtLogHeaderLen+len(key):], value)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return fmt.Errorf("dht: log closed")
+// dropEntry removes key from the index, adjusting the live-byte
+// accounting. Called with mu held (or during single-threaded recovery).
+func (l *metaLog) dropEntry(key string) {
+	e, ok := l.index[key]
+	if !ok {
+		return
 	}
-	if _, err := l.f.WriteAt(rec, l.size); err != nil {
-		return fmt.Errorf("dht: log append: %w", err)
+	delete(l.index, key)
+	l.segs[e.seg].liveBytes -= framedPairBytes(len(key), int(e.vlen))
+}
+
+// createSegment creates and opens a fresh segment file with a durable
+// header.
+func (l *metaLog) createSegment(idx uint32, gen uint64) (*metaSegment, error) {
+	p := dhtSegmentPath(l.base, idx)
+	f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dht: create segment: %w", err)
 	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("dht: log fsync: %w", err)
+	if err := writeDHTSegmentHeader(f, gen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if l.opts.Sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dht: sync segment header: %w", err)
+		}
+		// The directory entry must be durable before any record commits
+		// into the new segment, or a crash could lose a whole synced
+		// segment while keeping its successor.
+		if err := syncDir(filepath.Dir(l.base)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dht: sync dir: %w", err)
 		}
 	}
-	l.size += int64(len(rec))
+	return &metaSegment{idx: idx, f: f, gen: gen, size: dhtSegHeaderSize}, nil
+}
+
+// rollLocked seals the active segment and opens the next one. Called
+// with mu held. The seal is durable even in non-Sync mode: recovery
+// tolerates a torn tail only in the highest segment, so a sealed
+// segment's contents — and its directory entry, which must not vanish
+// while a successor survives — have to outlive any crash from here on.
+// Rolls amortize this to one fsync per SegmentBytes, keeping the
+// non-Sync contract at "a crash loses recent records", never "the node
+// refuses to start". The sealed segment's file stays open — compaction
+// rewrites still read it, and snapshot-covered values are read from it
+// at the next open.
+func (l *metaLog) rollLocked() error {
+	if err := l.active.f.Sync(); err != nil {
+		return fmt.Errorf("dht: seal segment: %w", err)
+	}
+	if !l.opts.Sync {
+		// With Sync on, every created segment already dir-synced; catch
+		// up here otherwise, before the successor's entry can appear.
+		if err := syncDir(filepath.Dir(l.base)); err != nil {
+			return fmt.Errorf("dht: sync dir before roll: %w", err)
+		}
+	}
+	l.nextGen++
+	seg, err := l.createSegment(l.active.idx+1, l.nextGen)
+	if err != nil {
+		l.nextGen--
+		return err
+	}
+	l.segs[seg.idx] = seg
+	l.active = seg
 	return nil
 }
 
-// close flushes and closes the log. Without per-append sync, acknowledged
-// pairs may still sit in the page cache; fsyncing here makes a clean
-// shutdown lose nothing — only a crash can (that is the sync=false deal).
-func (l *nodeLog) close() error {
+// appendPut durably logs one pair and indexes it. The pair must be new
+// (the node dedups re-puts before logging).
+func (l *metaLog) appendPut(key, value []byte) error {
+	rec := metaRecord{kind: dhtRecPut, key: key, value: value}
+	return l.append(key, frameDHTRecord(rec.encode()), true, uint32(len(value)), true)
+}
+
+// appendDelete logs one delete and drops the key from the index, making
+// its bytes reclaimable by compaction. With syncNow false the record is
+// written but not fsynced — callers deleting a batch share one flush()
+// before acknowledging, instead of paying one fsync per key.
+func (l *metaLog) appendDelete(key []byte, syncNow bool) error {
+	rec := metaRecord{kind: dhtRecDel, key: key}
+	return l.append(key, frameDHTRecord(rec.encode()), false, 0, syncNow)
+}
+
+// flush fsyncs the active segment, completing a batch of syncNow=false
+// appends (sealed segments were fsynced at roll time). No-op in
+// non-Sync mode, where losing the unflushed tail to a crash is the
+// accepted deal.
+func (l *metaLog) flush() error {
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	if !l.opts.Sync {
+		return nil
+	}
+	if err := l.active.f.Sync(); err != nil {
+		return fmt.Errorf("dht: log fsync: %w", err)
+	}
+	return nil
+}
+
+// append writes one framed record to the active segment and applies its
+// index effect. Appends serialize under mu — metadata records are tiny,
+// so the single-mutex write path of the pre-segmentation log is kept.
+func (l *metaLog) append(key []byte, frame []byte, put bool, vlen uint32, syncNow bool) error {
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	seg := l.active
+	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
+		return fmt.Errorf("dht: log append: %w", err)
+	}
+	if l.opts.Sync && syncNow {
+		if err := seg.f.Sync(); err != nil {
+			return fmt.Errorf("dht: log fsync: %w", err)
+		}
+	}
+	if put {
+		l.index[string(key)] = metaEntry{
+			seg:  seg.idx,
+			off:  seg.size + dhtRecHeaderSize + dhtRecPayloadMin + int64(len(key)),
+			vlen: vlen,
+		}
+		seg.liveBytes += int64(len(frame))
+	} else {
+		l.dropEntry(string(key))
+		seg.tombBytes += int64(len(frame))
+	}
+	seg.size += int64(len(frame))
+	l.events++
+	var nudge bool
+	if !put && l.opts.CompactRatio > 0 {
+		nudge = true
+	}
+	if n := l.opts.SnapshotEvery; n > 0 && l.events >= n {
+		nudge = true
+	}
+	if seg.size >= l.opts.SegmentBytes {
+		l.rollLocked() // best effort: a failed roll leaves the oversized segment active
+	}
+	if nudge {
+		l.nudgeMaintain()
+	}
+	return nil
+}
+
+// logBytes reports the log's on-disk footprint: the summed size of
+// every segment file. Compaction shrinks it.
+func (l *metaLog) logBytes() int64 {
+	if l == nil {
+		return 0
+	}
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	var n int64
+	for _, seg := range l.segs {
+		n += seg.size
+	}
+	return n
+}
+
+// closeFiles closes every segment file. Called with logMu held or
+// during a failed single-threaded open.
+func (l *metaLog) closeFiles() error {
+	var first error
+	for _, seg := range l.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// close flushes and closes the log. Without per-append sync, the
+// active segment's acknowledged records may still sit in the page
+// cache (sealed segments were fsynced at roll time); syncing every
+// segment and the directory here makes a clean shutdown lose nothing —
+// only a crash can, and only the active tail (that is the sync=false
+// deal). Idempotent.
+func (l *metaLog) close() error {
 	if l == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
+	l.logMu.Lock()
+	if l.closed {
+		l.logMu.Unlock()
 		return nil
 	}
-	err := l.f.Sync()
-	if cerr := l.f.Close(); err == nil {
+	l.closed = true
+	if l.quitC != nil {
+		close(l.quitC)
+	}
+	l.logMu.Unlock()
+	// Barrier: an in-flight snapshot or compaction finishes (its output
+	// is valid and worth keeping) before the files are flushed and
+	// closed under it.
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	var err error
+	for _, seg := range l.segs {
+		if serr := seg.f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	if derr := syncDir(filepath.Dir(l.base)); derr != nil && err == nil {
+		err = derr
+	}
+	if cerr := l.closeFiles(); err == nil {
 		err = cerr
 	}
-	l.f = nil
 	return err
 }
 
 // ServeDurableNode starts a metadata provider whose pairs are persisted
-// to an append-only log at path and reloaded on start.
-func ServeDurableNode(ln transport.Listener, sched vclock.Scheduler, path string, syncEach bool) (*Node, error) {
-	log, pairs, err := openNodeLog(path, syncEach)
+// to a segmented log rooted at path and reloaded on start.
+func ServeDurableNode(ln transport.Listener, sched vclock.Scheduler, path string, opts LogOptions) (*Node, error) {
+	log, pairs, err := openMetaLog(path, opts)
 	if err != nil {
 		return nil, err
 	}

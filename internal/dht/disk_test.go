@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,6 +19,7 @@ import (
 type durableNodeRig struct {
 	t     *testing.T
 	path  string
+	opts  LogOptions
 	net   *transport.Inproc
 	sched vclock.Scheduler
 	rc    *rpc.Client
@@ -27,10 +29,15 @@ type durableNodeRig struct {
 }
 
 func newDurableNodeRig(t *testing.T) *durableNodeRig {
+	return newDurableNodeRigOpts(t, LogOptions{})
+}
+
+func newDurableNodeRigOpts(t *testing.T, opts LogOptions) *durableNodeRig {
 	t.Helper()
 	r := &durableNodeRig{
 		t:     t,
 		path:  filepath.Join(t.TempDir(), "meta.log"),
+		opts:  opts,
 		net:   transport.NewInproc(),
 		sched: vclock.NewReal(),
 	}
@@ -52,7 +59,7 @@ func (r *durableNodeRig) start() {
 	if err != nil {
 		r.t.Fatal(err)
 	}
-	node, err := ServeDurableNode(ln, r.sched, r.path, false)
+	node, err := ServeDurableNode(ln, r.sched, r.path, r.opts)
 	if err != nil {
 		r.t.Fatalf("start durable node: %v", err)
 	}
@@ -72,6 +79,16 @@ func (r *durableNodeRig) client() *Client {
 		r.t.Fatal(err)
 	}
 	return NewClient(ring, r.rc, r.sched)
+}
+
+// newestSegment returns the path of the highest-numbered segment file.
+func newestSegment(t *testing.T, base string) string {
+	t.Helper()
+	segs, err := listDHTSegments(base)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments at %s: %v", base, err)
+	}
+	return dhtSegmentPath(base, segs[len(segs)-1])
 }
 
 func TestDurableNodeSurvivesRestart(t *testing.T) {
@@ -113,6 +130,129 @@ func TestDurableNodeSurvivesRestart(t *testing.T) {
 	}
 }
 
+func TestDurableNodeDeleteSurvivesRestart(t *testing.T) {
+	r := newDurableNodeRig(t)
+	ctx := context.Background()
+	c := r.client()
+	var keys, values [][]byte
+	for i := 0; i < 20; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("node/%d", i)))
+		values = append(values, bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	if err := c.MultiPut(ctx, keys, values); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c.Delete(ctx, keys[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 10 {
+		t.Fatalf("removed %d pairs, want 10", removed)
+	}
+	// Idempotent: re-deleting reports nothing left to remove.
+	if again, err := c.Delete(ctx, keys[:10]); err != nil || again != 0 {
+		t.Fatalf("re-delete: %d, %v", again, err)
+	}
+	wantKeys, wantBytes := r.node.Stats()
+	if wantKeys != 10 {
+		t.Fatalf("stats keys = %d after delete, want 10", wantKeys)
+	}
+
+	r.restart()
+	c = r.client()
+	if k, b := r.node.Stats(); k != wantKeys || b != wantBytes {
+		t.Fatalf("stats changed across restart: %d/%d -> %d/%d", wantKeys, wantBytes, k, b)
+	}
+	for i := range keys {
+		_, ok, err := c.Get(ctx, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 10 && ok {
+			t.Fatalf("deleted key %s resurrected by restart", keys[i])
+		}
+		if i >= 10 && !ok {
+			t.Fatalf("live key %s lost by restart", keys[i])
+		}
+	}
+}
+
+func TestDurableNodeSnapshotBoundsReplay(t *testing.T) {
+	r := newDurableNodeRigOpts(t, LogOptions{SegmentBytes: 512})
+	ctx := context.Background()
+	c := r.client()
+	for i := 0; i < 40; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("node/%d", i)), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.node.SnapshotLog(); err != nil {
+		t.Fatal(err)
+	}
+	// A few tail records after the snapshot.
+	for i := 40; i < 44; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("node/%d", i)), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.restart()
+	st := r.node.log.recStats
+	if !st.snapshotLoaded {
+		t.Fatalf("snapshot not loaded: %+v", st)
+	}
+	if st.recordsReplayed >= 40 {
+		t.Fatalf("replayed %d records despite snapshot", st.recordsReplayed)
+	}
+	c = r.client()
+	for i := 0; i < 44; i++ {
+		v, ok, err := c.Get(ctx, []byte(fmt.Sprintf("node/%d", i)))
+		if err != nil || !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("key %d after snapshot+tail reopen: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestDurableNodeCompactionShrinksLog(t *testing.T) {
+	r := newDurableNodeRigOpts(t, LogOptions{SegmentBytes: 1024})
+	ctx := context.Background()
+	c := r.client()
+	var keys [][]byte
+	for i := 0; i < 60; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("node/%d", i)))
+		if err := c.Put(ctx, keys[i], bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Delete(ctx, keys[:45]); err != nil {
+		t.Fatal(err)
+	}
+	before := r.node.LogBytes()
+	if err := r.node.CompactLog(); err != nil {
+		t.Fatal(err)
+	}
+	after := r.node.LogBytes()
+	if after >= before {
+		t.Fatalf("log did not shrink: %d -> %d bytes", before, after)
+	}
+	if c, s := r.node.log.compactions(), r.node.log.snapshots(); c == 0 || s == 0 {
+		t.Fatalf("compaction pass ran %d rewrites, %d covering snapshots", c, s)
+	}
+	// Everything live survives the rewrite and a restart byte-identically.
+	r.restart()
+	c = r.client()
+	for i := 45; i < 60; i++ {
+		v, ok, err := c.Get(ctx, keys[i])
+		if err != nil || !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 100)) {
+			t.Fatalf("live key %d after compaction+restart: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := 0; i < 45; i++ {
+		if _, ok, _ := c.Get(ctx, keys[i]); ok {
+			t.Fatalf("deleted key %d resurrected by compaction", i)
+		}
+	}
+}
+
 func TestDurableNodeTornTail(t *testing.T) {
 	r := newDurableNodeRig(t)
 	ctx := context.Background()
@@ -121,11 +261,12 @@ func TestDurableNodeTornTail(t *testing.T) {
 	c.Put(ctx, []byte("beta"), []byte("2"))
 	r.node.Close()
 
-	raw, err := os.ReadFile(r.path)
+	seg := newestSegment(t, r.path)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(r.path, raw[:len(raw)-2], 0o644); err != nil {
+	if err := os.WriteFile(seg, raw[:len(raw)-2], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	r.start()
@@ -138,16 +279,16 @@ func TestDurableNodeTornTail(t *testing.T) {
 	}
 }
 
-func TestNodeLogCloseFlushesAndTornTailReopens(t *testing.T) {
+func TestMetaLogCloseFlushesAndTornTailReopens(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "meta.log")
-	l, _, err := openNodeLog(path, false)
+	l, _, err := openMetaLog(path, LogOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// sync=false appends sit in the page cache until close, which must
 	// fsync them (a clean shutdown loses nothing) and then refuse use.
-	if err := l.append([]byte("k1"), []byte("v1")); err != nil {
+	if err := l.appendPut([]byte("k1"), []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.close(); err != nil {
@@ -156,15 +297,16 @@ func TestNodeLogCloseFlushesAndTornTailReopens(t *testing.T) {
 	if err := l.close(); err != nil {
 		t.Fatalf("double close: %v", err)
 	}
-	if err := l.append([]byte("k2"), []byte("v2")); err == nil {
+	if err := l.appendPut([]byte("k2"), []byte("v2")); err == nil {
 		t.Fatal("append after close succeeded")
 	}
 
 	// Truncating a torn tail during open must leave a log that recovers
 	// the valid prefix and accepts appends at the cut.
-	raw, _ := os.ReadFile(path)
-	os.WriteFile(path, append(raw, 0xAA, 0xBB), 0o644)
-	l2, pairs, err := openNodeLog(path, false)
+	seg := newestSegment(t, path)
+	raw, _ := os.ReadFile(seg)
+	os.WriteFile(seg, append(raw, 0xAA, 0xBB), 0o644)
+	l2, pairs, err := openMetaLog(path, LogOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,34 +314,35 @@ func TestNodeLogCloseFlushesAndTornTailReopens(t *testing.T) {
 	if len(pairs) != 1 || string(pairs[0][0]) != "k1" {
 		t.Fatalf("recovered pairs = %v", pairs)
 	}
-	if err := l2.append([]byte("k3"), []byte("v3")); err != nil {
+	if err := l2.appendPut([]byte("k3"), []byte("v3")); err != nil {
 		t.Fatal(err)
 	}
-	if info, _ := os.Stat(path); info.Size() != l2.size {
-		t.Fatalf("file size %d vs tracked %d", info.Size(), l2.size)
+	if info, _ := os.Stat(seg); info.Size() != l2.logBytes() {
+		t.Fatalf("file size %d vs tracked %d", info.Size(), l2.logBytes())
 	}
 }
 
 func TestDurableNodeDetectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "meta.log")
-	l, _, err := openNodeLog(path, false)
+	l, _, err := openMetaLog(path, LogOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l.append([]byte("k1"), []byte("v1"))
-	l.append([]byte("k2"), []byte("v2"))
+	l.appendPut([]byte("k1"), []byte("v1"))
+	l.appendPut([]byte("k2"), []byte("v2"))
 	l.close()
-	raw, _ := os.ReadFile(path)
-	raw[dhtLogHeaderLen] ^= 0xFF // corrupt the first key byte
-	os.WriteFile(path, raw, 0o644)
-	if _, _, err := openNodeLog(path, false); err == nil {
+	seg := newestSegment(t, path)
+	raw, _ := os.ReadFile(seg)
+	raw[dhtSegHeaderSize+dhtRecHeaderSize] ^= 0xFF // corrupt the first record payload
+	os.WriteFile(seg, raw, 0o644)
+	if _, _, err := openMetaLog(path, LogOptions{}); err == nil {
 		t.Fatal("payload corruption accepted")
 	}
-	binary.LittleEndian.PutUint32(raw[0:4], 0x12345678)
-	os.WriteFile(path, raw, 0o644)
-	if _, _, err := openNodeLog(path, false); err == nil {
-		t.Fatal("bad magic accepted")
+	binary.LittleEndian.PutUint32(raw[dhtSegHeaderSize:], 0x12345678)
+	os.WriteFile(seg, raw, 0o644)
+	if _, _, err := openMetaLog(path, LogOptions{}); err == nil {
+		t.Fatal("bad record magic accepted")
 	}
 }
 
@@ -212,11 +355,7 @@ func TestDurableNodeRepeatedRestartsNoGrowth(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		c.Put(ctx, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{1}, 100))
 	}
-	info, err := os.Stat(r.path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	size0 := info.Size()
+	size0 := r.node.LogBytes()
 	for round := 0; round < 3; round++ {
 		r.restart()
 		c = r.client()
@@ -225,11 +364,71 @@ func TestDurableNodeRepeatedRestartsNoGrowth(t *testing.T) {
 			c.Put(ctx, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{1}, 100))
 		}
 	}
-	info, err = os.Stat(r.path)
+	if size := r.node.LogBytes(); size != size0 {
+		t.Fatalf("log grew from %d to %d across idempotent restarts", size0, size)
+	}
+}
+
+// legacyRecord frames one pair in the pre-segmentation single-file
+// format.
+func legacyRecord(key, value []byte) []byte {
+	rec := make([]byte, dhtLogHeaderLen+len(key)+len(value))
+	binary.LittleEndian.PutUint32(rec[0:4], dhtLogMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(value)))
+	h := crc32.NewIEEE()
+	h.Write(key)
+	h.Write(value)
+	binary.LittleEndian.PutUint32(rec[12:16], h.Sum32())
+	copy(rec[dhtLogHeaderLen:], key)
+	copy(rec[dhtLogHeaderLen+len(key):], value)
+	return rec
+}
+
+func TestLegacyNodeLogMigratesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.log")
+	var legacy []byte
+	for i := 0; i < 12; i++ {
+		legacy = append(legacy, legacyRecord(
+			[]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 50))...)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, pairs, err := openMetaLog(path, LogOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Size() != size0 {
-		t.Fatalf("log grew from %d to %d across idempotent restarts", size0, info.Size())
+	if !l.recStats.legacyMigrated {
+		t.Fatalf("no migration recorded: %+v", l.recStats)
+	}
+	if len(pairs) != 12 {
+		t.Fatalf("migrated %d pairs, want 12", len(pairs))
+	}
+	got := make(map[string][]byte)
+	for _, kv := range pairs {
+		got[string(kv[0])] = kv[1]
+	}
+	for i := 0; i < 12; i++ {
+		if !bytes.Equal(got[fmt.Sprintf("k%d", i)], bytes.Repeat([]byte{byte(i)}, 50)) {
+			t.Fatalf("pair k%d lost or changed by migration", i)
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("legacy file survived migration")
+	}
+	// The migrated log keeps working: append, close, reopen.
+	if err := l.appendPut([]byte("new"), []byte("pair")); err != nil {
+		t.Fatal(err)
+	}
+	l.close()
+	l2, pairs2, err := openMetaLog(path, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	if len(pairs2) != 13 {
+		t.Fatalf("reopen after migration recovered %d pairs, want 13", len(pairs2))
 	}
 }

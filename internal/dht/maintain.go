@@ -1,0 +1,413 @@
+package dht
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Maintenance turns the segmented metadata log from "rescan everything
+// on open, grow forever" into a bounded store: the snapshotter
+// serializes the pair index at a segment boundary so reopen replays
+// only the tail, and the compactor rewrites sealed segments whose
+// live-byte ratio fell below the configured threshold, dropping records
+// of deleted pairs and duplicate puts. Crash-consistency invariants, in
+// order:
+//
+//  1. A snapshot capture is a consistent cut: every put/delete applies
+//     its record and its index change under logMu, and the capture
+//     holds logMu while it rolls the active segment and clones the
+//     index — so the clone equals exactly the replay of all segments
+//     below the cut.
+//  2. Snapshots and compaction outputs become visible only by the
+//     atomic rename of a fully written (and, for compaction, always
+//     fsynced) tmp file: recovery never sees a half-written one.
+//  3. A compaction rewrite bumps the segment's generation. The index
+//     snapshot records the generation of every covered segment, so a
+//     crash after the rename but before the follow-up snapshot is
+//     detected on reopen (generation mismatch) and that segment alone
+//     is rescanned instead of trusting stale offsets.
+//  4. Delete records are preserved by rewrites, so even the
+//     no-snapshot fallback (full rescan) can never resurrect a deleted
+//     pair whose put sits in an earlier, unrewritten segment.
+//
+// The crash-injection tests drive a hook through every fault point
+// below and assert the recovered pairs are byte-identical to an
+// uncrashed node's.
+
+// Maintenance fault points, in execution order. Tests enumerate these.
+const (
+	dhtCrashSnapBegin      = "snap-begin"       // before anything happened
+	dhtCrashSnapCaptured   = "snap-captured"    // index cloned, nothing on disk yet
+	dhtCrashSnapTmpWritten = "snap-tmp-written" // tmp snapshot fully written (+synced)
+	dhtCrashSnapRenamed    = "snap-renamed"     // snapshot live
+
+	dhtCrashCompactTmpWritten = "compact-tmp-written" // rewrite tmp fully written+synced
+	dhtCrashCompactRenamed    = "compact-renamed"     // rewrite live, index not yet updated
+	dhtCrashCompactApplied    = "compact-applied"     // index updated, snapshot not yet rewritten
+)
+
+// dhtCrashPoints lists every fault point in order, for tests that want
+// to enumerate them exhaustively.
+var dhtCrashPoints = []string{
+	dhtCrashSnapBegin, dhtCrashSnapCaptured, dhtCrashSnapTmpWritten, dhtCrashSnapRenamed,
+	dhtCrashCompactTmpWritten, dhtCrashCompactRenamed, dhtCrashCompactApplied,
+}
+
+// crash fires the test-only fault-injection hook; a non-nil return
+// aborts the maintenance pass exactly as a process death at that point
+// would — nothing needs unwinding, recovery handles every prefix.
+func (l *metaLog) crash(point string) error {
+	if l.crashHook == nil {
+		return nil
+	}
+	return l.crashHook(point)
+}
+
+// nudgeMaintain wakes the background maintainer (no-op when none runs).
+func (l *metaLog) nudgeMaintain() {
+	if l.maintC == nil {
+		return
+	}
+	select {
+	case l.maintC <- struct{}{}:
+	default: // a nudge is already pending
+	}
+}
+
+// maintainLoop runs automatic snapshots and compaction. Errors are not
+// fatal — the log simply keeps growing until the next trigger succeeds.
+func (l *metaLog) maintainLoop() {
+	for {
+		select {
+		case <-l.quitC:
+			return
+		case <-l.maintC:
+			l.logMu.Lock()
+			closed, events := l.closed, l.events
+			l.logMu.Unlock()
+			if closed {
+				return
+			}
+			if n := l.opts.SnapshotEvery; n > 0 && events >= n {
+				l.snapshot()
+			}
+			if l.opts.CompactRatio > 0 {
+				l.compact()
+			}
+		}
+	}
+}
+
+// snapshot serializes the pair index into an atomically renamed
+// snapshot file, so the next reopen replays only records logged after
+// this call. It is safe to call concurrently with traffic (the
+// stop-the-world portion is only a segment roll plus an index clone)
+// and serialized against compaction.
+func (l *metaLog) snapshot() error {
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
+	return l.snapshotLocked()
+}
+
+func (l *metaLog) snapshotLocked() error {
+	if err := l.crash(dhtCrashSnapBegin); err != nil {
+		return err
+	}
+	snap, err := l.capture()
+	if err != nil {
+		return err
+	}
+	if err := l.crash(dhtCrashSnapCaptured); err != nil {
+		return err
+	}
+	if err := writeDHTSnapshotFile(l.base, encodeDHTIndexSnapshot(snap), l.opts.Sync); err != nil {
+		return err
+	}
+	if err := l.crash(dhtCrashSnapTmpWritten); err != nil {
+		return err
+	}
+	if err := os.Rename(dhtSnapshotTmpPath(l.base), dhtSnapshotPath(l.base)); err != nil {
+		return fmt.Errorf("dht: activate snapshot: %w", err)
+	}
+	if l.opts.Sync {
+		if err := syncDir(filepath.Dir(l.base)); err != nil {
+			return fmt.Errorf("dht: sync snapshot dir: %w", err)
+		}
+	}
+	if err := l.crash(dhtCrashSnapRenamed); err != nil {
+		return err
+	}
+	l.logMu.Lock()
+	l.snapRuns++
+	l.logMu.Unlock()
+	return nil
+}
+
+// capture rolls the log to a fresh segment and clones the index. It
+// holds logMu, which excludes every mutator — so no append is in flight
+// during the roll and the clone is exactly the state the segments below
+// the cut replay to.
+func (l *metaLog) capture() (*dhtIndexSnapshot, error) {
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	if l.closed {
+		return nil, errLogClosed
+	}
+	if l.active.size > dhtSegHeaderSize {
+		if err := l.rollLocked(); err != nil {
+			return nil, err
+		}
+	}
+	covered := l.active.idx - 1
+	snap := &dhtIndexSnapshot{gens: make([]uint64, covered)}
+	for i := uint32(1); i <= covered; i++ {
+		snap.gens[i-1] = l.segs[i].gen
+	}
+	snap.entries = make([]dhtSnapEntry, 0, len(l.index))
+	for key, e := range l.index {
+		snap.entries = append(snap.entries, dhtSnapEntry{key: []byte(key), metaEntry: e})
+	}
+	// Records up to the cut are covered; restart the auto-snapshot
+	// countdown. Exact because no append can race this capture.
+	l.events = 0
+	return snap, nil
+}
+
+// snapshots reports how many index snapshots completed since open.
+func (l *metaLog) snapshots() uint64 {
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	return l.snapRuns
+}
+
+// compactions reports how many segment rewrites completed since open.
+func (l *metaLog) compactions() uint64 {
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	return l.compactRuns
+}
+
+// compact rewrites every sealed segment whose live-byte ratio is below
+// CompactRatio (or, when CompactRatio is zero, below 1 — on-demand
+// compaction reclaims whatever it can), then writes a fresh index
+// snapshot so the rewrites are covered. Pairs still indexed — every
+// pair not explicitly deleted, i.e. every tree node still reachable
+// from a retained version or branch — are preserved byte-identically;
+// only records of deleted pairs and duplicate puts are dropped.
+func (l *metaLog) compact() error {
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
+	return l.compactLocked()
+}
+
+func (l *metaLog) compactLocked() error {
+	ratio := l.opts.CompactRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	rewrote := 0
+	for {
+		victim := l.pickVictim(ratio)
+		if victim == nil {
+			break
+		}
+		if err := l.rewriteSegment(victim); err != nil {
+			return err
+		}
+		rewrote++
+	}
+	if rewrote > 0 {
+		// Cover the rewrites so reopen trusts the new offsets instead
+		// of taking the generation-mismatch rescan path.
+		return l.snapshotLocked()
+	}
+	return nil
+}
+
+// pickVictim returns the sealed segment with the most reclaimable bytes
+// among those whose live ratio is below the threshold, or nil. A
+// freshly rewritten segment estimates zero reclaimable bytes, so
+// compaction always terminates.
+func (l *metaLog) pickVictim(ratio float64) *metaSegment {
+	l.logMu.Lock()
+	defer l.logMu.Unlock()
+	if l.closed {
+		return nil
+	}
+	var best *metaSegment
+	var bestReclaim int64
+	for _, seg := range l.segs {
+		if seg.idx >= l.active.idx {
+			continue // never the active segment
+		}
+		payload := seg.size - dhtSegHeaderSize
+		if payload <= 0 {
+			continue
+		}
+		reclaim := payload - seg.liveBytes - seg.tombBytes
+		if reclaim <= 0 || float64(seg.liveBytes)/float64(payload) >= ratio {
+			continue
+		}
+		if reclaim > bestReclaim {
+			best, bestReclaim = seg, reclaim
+		}
+	}
+	return best
+}
+
+// keptPair is one record surviving a rewrite, with its offsets in the
+// old and new files.
+type keptPair struct {
+	frame  []byte
+	put    bool
+	key    string
+	oldOff int64 // old value offset (puts; index match key)
+	newOff int64 // new value offset
+}
+
+// rewriteSegment compacts one sealed segment in place: the records
+// still live — puts the index points at, and every delete — are written
+// to a tmp file under a fresh generation, fsynced (always, even in
+// non-Sync logs: a rewrite replaces previously durable data, so it must
+// itself be durable before the rename), renamed over the segment, and
+// the index entries are retargeted to the new offsets under logMu. A
+// delete racing the rewrite is re-checked at retarget time: its entry
+// is already gone, and its delete record sits in the active segment,
+// later in replay order than anything this rewrite keeps.
+func (l *metaLog) rewriteSegment(victim *metaSegment) error {
+	// Clone the victim's live set and reserve the new generation under
+	// logMu; the file handle itself is stable (only compaction swaps
+	// it, and compaction is serialized by maintMu, which close also
+	// takes before closing files).
+	l.logMu.Lock()
+	if l.closed {
+		l.logMu.Unlock()
+		return errLogClosed
+	}
+	live := make(map[string]int64)
+	for key, e := range l.index {
+		if e.seg == victim.idx {
+			live[key] = e.off
+		}
+	}
+	l.nextGen++
+	newGen := l.nextGen
+	f := victim.f
+	l.logMu.Unlock()
+
+	path := dhtSegmentPath(l.base, victim.idx)
+	var kept []keptPair
+	if _, err := scanDHTSegment(f, path, false, func(sp scannedPair) error {
+		switch sp.rec.kind {
+		case dhtRecDel:
+			kept = append(kept, keptPair{
+				frame: frameDHTRecord(sp.rec.encode()),
+				key:   string(sp.rec.key),
+			})
+		case dhtRecPut:
+			// Keep only the record the index points at: duplicates and
+			// deleted pairs are dropped.
+			if off, ok := live[string(sp.rec.key)]; ok && off == sp.valOff {
+				kept = append(kept, keptPair{
+					frame:  frameDHTRecord(sp.rec.encode()),
+					put:    true,
+					key:    string(sp.rec.key),
+					oldOff: sp.valOff,
+				})
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	tmp := dhtCompactTmpPath(l.base)
+	out, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dht: create compaction tmp: %w", err)
+	}
+	if err := writeDHTSegmentHeader(out, newGen); err != nil {
+		out.Close()
+		return err
+	}
+	var off int64 = dhtSegHeaderSize
+	var flushed int64 = dhtSegHeaderSize
+	var tombBytes int64
+	buf := make([]byte, 0, 1<<16)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := out.WriteAt(buf, flushed); err != nil {
+			return fmt.Errorf("dht: write compaction tmp: %w", err)
+		}
+		flushed += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	for i := range kept {
+		k := &kept[i]
+		k.newOff = off + dhtRecHeaderSize + dhtRecPayloadMin + int64(len(k.key))
+		buf = append(buf, k.frame...)
+		off += int64(len(k.frame))
+		if !k.put {
+			tombBytes += int64(len(k.frame))
+		}
+		if len(buf) >= 1<<20 {
+			if err := flush(); err != nil {
+				out.Close()
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return fmt.Errorf("dht: sync compaction tmp: %w", err)
+	}
+	if err := l.crash(dhtCrashCompactTmpWritten); err != nil {
+		out.Close()
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		out.Close()
+		return fmt.Errorf("dht: activate compacted segment: %w", err)
+	}
+	if err := syncDir(filepath.Dir(l.base)); err != nil {
+		out.Close()
+		return fmt.Errorf("dht: sync dir after compaction: %w", err)
+	}
+	if err := l.crash(dhtCrashCompactRenamed); err != nil {
+		out.Close()
+		return err
+	}
+
+	// Swap the handle and retarget the index as one unit under logMu.
+	l.logMu.Lock()
+	old := victim.f
+	victim.f = out
+	victim.gen = newGen
+	victim.size = off
+	var liveBytes int64
+	for i := range kept {
+		k := &kept[i]
+		if !k.put {
+			continue
+		}
+		if e, ok := l.index[k.key]; ok && e.seg == victim.idx && e.off == k.oldOff {
+			e.off = k.newOff
+			l.index[k.key] = e
+			liveBytes += int64(len(k.frame))
+		}
+	}
+	victim.liveBytes = liveBytes
+	victim.tombBytes = tombBytes
+	l.compactRuns++
+	l.logMu.Unlock()
+	old.Close()
+	return l.crash(dhtCrashCompactApplied)
+}

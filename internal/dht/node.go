@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"bytes"
 	"context"
 	"sync"
 
@@ -15,10 +16,10 @@ import (
 const kvShards = 64
 
 // Node is one metadata provider: an RPC service storing key/value pairs,
-// optionally persisted to an append-only log (see ServeDurableNode).
+// optionally persisted to a segmented log (see ServeDurableNode).
 type Node struct {
 	srv    *rpc.Server
-	log    *nodeLog // nil for the in-memory node
+	log    *metaLog // nil for the in-memory node
 	shards [kvShards]kvShard
 }
 
@@ -55,24 +56,70 @@ func (n *Node) shard(key []byte) *kvShard {
 	return &n.shards[h%kvShards]
 }
 
-// put stores a pair. Values are immutable: re-puts keep the first value,
-// which is identical by construction (node keys embed version+range). On
-// durable nodes the pair is logged before it becomes visible.
+// put stores a pair. Values are immutable: a re-put of the stored value
+// is an idempotent no-op, but a re-put with a *different* value is
+// rejected — node keys embed version+range, so two writers can only
+// ever produce identical bytes for the same key, and divergence signals
+// corruption (or a buggy client) that silently keeping the first value
+// would hide. On durable nodes the pair is logged before it becomes
+// visible.
 func (n *Node) put(key, value []byte) error {
 	s := n.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.m[string(key)]; dup {
+	if old, dup := s.m[string(key)]; dup {
+		if !bytes.Equal(old, value) {
+			return wire.NewError(wire.CodeBadRequest,
+				"divergent re-put of key %x: stored %d bytes, got %d", key, len(old), len(value))
+		}
 		return nil
 	}
 	if n.log != nil {
-		if err := n.log.append(key, value); err != nil {
+		if err := n.log.appendPut(key, value); err != nil {
 			return wire.NewError(wire.CodeUnavailable, "metadata log: %v", err)
 		}
 	}
 	s.m[string(key)] = append([]byte(nil), value...)
 	s.bytes += uint64(len(value))
 	return nil
+}
+
+// delete removes a batch of pairs, returning how many existed here. On
+// durable nodes each delete is logged before the pair disappears, so a
+// restart cannot resurrect collected metadata; the records of the whole
+// batch share a single fsync issued before the caller acknowledges —
+// GC sweeps delete thousands of keys per request, and one fsync per key
+// would serialize the sweep on the disk. A crash before the flush may
+// resurrect some pairs of an unacknowledged batch; deletes are
+// idempotent, so the collector's re-run removes them again. Unknown
+// keys are no-ops.
+func (n *Node) delete(keys [][]byte) (uint64, error) {
+	var deleted uint64
+	for _, key := range keys {
+		s := n.shard(key)
+		s.mu.Lock()
+		old, ok := s.m[string(key)]
+		if !ok {
+			s.mu.Unlock()
+			continue
+		}
+		if n.log != nil {
+			if err := n.log.appendDelete(key, false); err != nil {
+				s.mu.Unlock()
+				return deleted, wire.NewError(wire.CodeUnavailable, "metadata log: %v", err)
+			}
+		}
+		delete(s.m, string(key))
+		s.bytes -= uint64(len(old))
+		s.mu.Unlock()
+		deleted++
+	}
+	if deleted > 0 && n.log != nil {
+		if err := n.log.flush(); err != nil {
+			return deleted, wire.NewError(wire.CodeUnavailable, "metadata log: %v", err)
+		}
+	}
+	return deleted, nil
 }
 
 // putMem loads a recovered pair without re-logging it.
@@ -103,6 +150,31 @@ func (n *Node) Stats() (keys, bytes uint64) {
 		s.mu.RUnlock()
 	}
 	return keys, bytes
+}
+
+// LogBytes reports the durable node's on-disk footprint: the summed
+// size of every metadata log segment (0 for an in-memory node).
+// Compaction shrinks it.
+func (n *Node) LogBytes() int64 { return n.log.logBytes() }
+
+// SnapshotLog writes the durable node's index snapshot on demand, so
+// the next reopen replays only records logged after this call. No-op
+// for an in-memory node.
+func (n *Node) SnapshotLog() error {
+	if n.log == nil {
+		return nil
+	}
+	return n.log.snapshot()
+}
+
+// CompactLog rewrites metadata log segments dominated by deleted pairs
+// and covers the rewrites with a fresh index snapshot, reclaiming the
+// space of GC'd tree nodes. No-op for an in-memory node.
+func (n *Node) CompactLog() error {
+	if n.log == nil {
+		return nil
+	}
+	return n.log.compact()
 }
 
 func (n *Node) mux() *rpc.Mux {
@@ -155,6 +227,19 @@ func (n *Node) mux() *rpc.Mux {
 	m.Register(wire.KindDHTStatsReq, func(context.Context, wire.Msg) (wire.Msg, error) {
 		keys, bytes := n.Stats()
 		return &wire.DHTStatsResp{Keys: keys, Bytes: bytes}, nil
+	})
+	m.Register(wire.KindDHTDeleteReq, func(_ context.Context, msg wire.Msg) (wire.Msg, error) {
+		req := msg.(*wire.DHTDeleteReq)
+		for i := range req.Keys {
+			if len(req.Keys[i]) == 0 {
+				return nil, wire.NewError(wire.CodeBadRequest, "empty key at index %d", i)
+			}
+		}
+		deleted, err := n.delete(req.Keys)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.DHTDeleteResp{Deleted: deleted}, nil
 	})
 	return m
 }

@@ -1,0 +1,370 @@
+package dht
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"blobseer/internal/wire"
+)
+
+// The durable node's log is segmented on the pattern the version WAL
+// (PR 2) and the provider page store (PR 3) established: pair records
+// append to the active segment file (<base>.000001, <base>.000002, ...)
+// and the appender rolls to a fresh segment once the active one exceeds
+// the configured size. Sealed segments are immutable except for
+// compaction, which rewrites a whole segment in place (tmp + fsync +
+// atomic rename over the same name), so the set of segment indices on
+// disk is always contiguous from 1 — like the page store, old segments
+// still hold live pair values and are never deleted.
+//
+// Every segment file starts with a fixed header carrying a generation
+// number. Compaction bumps the generation of the segment it rewrites;
+// the index snapshot records the generation it saw for every covered
+// segment, so recovery detects a rewrite that happened after the
+// snapshot (its offsets are stale for that segment) and rescans just
+// that segment instead of trusting the snapshot.
+//
+// Segment header (16 bytes, little-endian):
+//
+//	uint32 dhtSegMagic | uint32 dhtSegFormat | uint64 generation
+//
+// Record frame:
+//
+//	uint32 dhtRecMagic | uint32 payloadLen | uint32 crc32(payload) | payload
+//
+// and the payload is a metaRecord encoding (see encode below): one kind
+// byte, the length-prefixed key, and — for puts — the value. A torn
+// frame at the tail of the highest segment (crash mid-append) is
+// truncated on recovery; torn or corrupt frames anywhere else fail the
+// open, because sealed segments and compaction outputs are only ever
+// activated complete.
+
+const (
+	dhtSegMagic  = 0xD47A5E60
+	dhtSegFormat = 1
+	dhtRecMagic  = 0xD47A5EE5
+
+	dhtSegHeaderSize = 4 + 4 + 8
+	dhtRecHeaderSize = 4 + 4 + 4
+	// dhtRecPayloadMin is the kind byte plus the key length prefix: the
+	// fixed overhead of every record.
+	dhtRecPayloadMin = 1 + 4
+)
+
+// record kinds.
+const (
+	dhtRecPut byte = 1
+	dhtRecDel byte = 2
+)
+
+// metaRecord is one decoded log record: a stored pair or a delete
+// marking a pair reclaimed by the metadata garbage collector.
+type metaRecord struct {
+	kind  byte
+	key   []byte
+	value []byte // dhtRecPut only
+}
+
+func (r *metaRecord) encode() []byte {
+	w := wire.NewWriter(dhtRecPayloadMin + len(r.key) + len(r.value))
+	w.Uint8(r.kind)
+	w.Bytes32(r.key)
+	if r.kind == dhtRecPut {
+		w.Raw(r.value)
+	}
+	return w.Bytes()
+}
+
+// decodeDHTSegmentRecord parses a record payload. It never panics on
+// arbitrary bytes and the encoding is canonical — a successful decode
+// re-encodes to exactly the input — which FuzzDecodeDHTSegmentRecord
+// pins.
+func decodeDHTSegmentRecord(data []byte) (metaRecord, error) {
+	r := wire.NewReader(data)
+	var rec metaRecord
+	rec.kind = r.Uint8()
+	rec.key = r.Bytes32Copy()
+	switch rec.kind {
+	case dhtRecPut:
+		rec.value = r.Raw(r.Remaining())
+	case dhtRecDel:
+		// No value; trailing bytes are a corrupt frame.
+	default:
+		if r.Err() == nil {
+			return metaRecord{}, fmt.Errorf("dht: unknown record kind %d", rec.kind)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return metaRecord{}, fmt.Errorf("dht: decoding record: %w", err)
+	}
+	return rec, nil
+}
+
+// frameDHTRecord wraps an encoded payload in the on-disk frame.
+func frameDHTRecord(payload []byte) []byte {
+	rec := make([]byte, dhtRecHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], dhtRecMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(payload))
+	copy(rec[dhtRecHeaderSize:], payload)
+	return rec
+}
+
+// framedPairBytes is the framed size of a pair record, the unit of the
+// live/tombstone byte accounting that drives compaction victim
+// selection.
+func framedPairBytes(keyLen, valLen int) int64 {
+	return int64(dhtRecHeaderSize + dhtRecPayloadMin + keyLen + valLen)
+}
+
+// metaSegment is one log file and its accounting, all guarded by the
+// owning metaLog's mutex (appends are serial; compaction swaps the file
+// handle under the same lock).
+type metaSegment struct {
+	idx  uint32
+	f    *os.File
+	gen  uint64
+	size int64
+
+	// liveBytes is the framed bytes of put records the index still
+	// points at; tombBytes is the framed bytes of delete records, which
+	// compaction preserves (a dropped delete could let a full rescan
+	// resurrect a pair whose put sits in an earlier segment).
+	// size - header - liveBytes - tombBytes estimates what a rewrite
+	// would reclaim (tombBytes may read low after a snapshot-seeded
+	// recovery — the snapshot does not record it — which at worst costs
+	// one no-op rewrite of a delete-heavy segment per reopen).
+	liveBytes int64
+	tombBytes int64
+}
+
+// dhtSegmentPath names segment idx of the log rooted at base.
+func dhtSegmentPath(base string, idx uint32) string {
+	return fmt.Sprintf("%s.%06d", base, idx)
+}
+
+// listDHTSegments returns the segment indices present for base,
+// ascending. Non-numeric siblings (the snapshot, tmp files, the legacy
+// single-file log) are ignored.
+func listDHTSegments(base string) ([]uint32, error) {
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		return nil, fmt.Errorf("dht: list segments: %w", err)
+	}
+	prefix := filepath.Base(base) + "."
+	var out []uint32
+	for _, ent := range entries {
+		name := ent.Name()
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		idx, err := strconv.ParseUint(name[len(prefix):], 10, 32)
+		if err != nil || idx == 0 {
+			continue
+		}
+		out = append(out, uint32(idx))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// writeDHTSegmentHeader writes the 16-byte header to a fresh segment
+// file.
+func writeDHTSegmentHeader(f *os.File, gen uint64) error {
+	var hdr [dhtSegHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], dhtSegMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], dhtSegFormat)
+	binary.LittleEndian.PutUint64(hdr[8:16], gen)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("dht: write segment header: %w", err)
+	}
+	return nil
+}
+
+// readDHTSegmentHeader validates a segment file's header and returns
+// its generation.
+func readDHTSegmentHeader(f *os.File, path string) (uint64, error) {
+	var hdr [dhtSegHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("dht: read segment header of %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != dhtSegMagic {
+		return 0, fmt.Errorf("dht: bad segment magic in %s", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != dhtSegFormat {
+		return 0, fmt.Errorf("dht: unknown segment format %d in %s", v, path)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
+}
+
+// scannedPair is one record located by scanDHTSegment: the decoded
+// payload plus where its value sits in the file.
+type scannedPair struct {
+	rec    metaRecord
+	valOff int64 // file offset of the put value bytes
+	valLen uint32
+}
+
+// scanDHTSegment reads every record frame in one segment file, already
+// open with a validated header. A torn frame at the tail is truncated
+// away when allowTorn is set (the highest segment — a crash
+// mid-append); anywhere else it fails the open. The file size after any
+// truncation is returned.
+func scanDHTSegment(f *os.File, path string, allowTorn bool, visit func(scannedPair) error) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("dht: stat segment: %w", err)
+	}
+	logLen := info.Size()
+	var off int64 = dhtSegHeaderSize
+	var hdr [dhtRecHeaderSize]byte
+	for off < logLen {
+		if logLen-off < dhtRecHeaderSize {
+			break // torn header
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, fmt.Errorf("dht: read record header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtRecMagic {
+			return 0, fmt.Errorf("dht: bad record magic in %s at offset %d: log corrupted", path, off)
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		payloadOff := off + dhtRecHeaderSize
+		if payloadOff+int64(payloadLen) > logLen {
+			break // torn payload
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := f.ReadAt(payload, payloadOff); err != nil {
+			return 0, fmt.Errorf("dht: read record payload at %d: %w", payloadOff, err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return 0, fmt.Errorf("dht: record crc mismatch in %s at offset %d: log corrupted", path, off)
+		}
+		rec, err := decodeDHTSegmentRecord(payload)
+		if err != nil {
+			return 0, fmt.Errorf("dht: %s at offset %d: %w", path, off, err)
+		}
+		if err := visit(scannedPair{
+			rec:    rec,
+			valOff: payloadOff + dhtRecPayloadMin + int64(len(rec.key)),
+			valLen: uint32(len(rec.value)),
+		}); err != nil {
+			return 0, err
+		}
+		off = payloadOff + int64(payloadLen)
+	}
+	if off < logLen {
+		if !allowTorn {
+			return 0, fmt.Errorf("dht: torn record in sealed segment %s: log corrupted", path)
+		}
+		if err := f.Truncate(off); err != nil {
+			return 0, fmt.Errorf("dht: truncate torn tail: %w", err)
+		}
+	}
+	return off, nil
+}
+
+// Legacy single-file log (pre-segmentation) support. The old format
+// framed each pair as
+//
+//	uint32 dhtLogMagic | uint32 keyLen | uint32 valLen | uint32 crc32(key|val) | key | val
+//
+// A node opened on such a file migrates it once: the records are
+// rewritten into segment 1 (tmp + fsync + rename, so a crash
+// mid-migration leaves the legacy file untouched) and the legacy file
+// is removed.
+const (
+	dhtLogMagic     = 0xD47A106E
+	dhtLogHeaderLen = 4 + 4 + 4 + 4
+)
+
+// migrateLegacyNodeLog converts the single-file log at base into
+// segment 1. Returns whether a migration happened.
+func migrateLegacyNodeLog(base string) (bool, error) {
+	info, err := os.Stat(base)
+	if err != nil || !info.Mode().IsRegular() {
+		return false, nil // nothing to migrate
+	}
+	src, err := os.Open(base)
+	if err != nil {
+		return false, fmt.Errorf("dht: open legacy log: %w", err)
+	}
+	defer src.Close()
+
+	tmp := base + ".migrate.tmp"
+	dst, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("dht: create migration tmp: %w", err)
+	}
+	// Closed here on every error path; set to nil after the explicit
+	// close once the tmp is fully written.
+	defer func() {
+		if dst != nil {
+			dst.Close()
+		}
+	}()
+	if err := writeDHTSegmentHeader(dst, 1); err != nil {
+		return false, err
+	}
+	logLen := info.Size()
+	var off int64
+	var wOff int64 = dhtSegHeaderSize
+	var hdr [dhtLogHeaderLen]byte
+	for off < logLen {
+		if logLen-off < dhtLogHeaderLen {
+			break // torn header: the legacy format truncated these too
+		}
+		if _, err := src.ReadAt(hdr[:], off); err != nil {
+			return false, fmt.Errorf("dht: read legacy header at %d: %w", off, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtLogMagic {
+			return false, fmt.Errorf("dht: bad magic at offset %d: legacy log corrupted", off)
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+		valLen := binary.LittleEndian.Uint32(hdr[8:12])
+		wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+		dataOff := off + dhtLogHeaderLen
+		total := int64(keyLen) + int64(valLen)
+		if dataOff+total > logLen {
+			break // torn payload
+		}
+		data := make([]byte, total)
+		if _, err := src.ReadAt(data, dataOff); err != nil {
+			return false, fmt.Errorf("dht: read legacy payload at %d: %w", dataOff, err)
+		}
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			return false, fmt.Errorf("dht: crc mismatch at offset %d: legacy log corrupted", off)
+		}
+		rec := metaRecord{kind: dhtRecPut, key: data[:keyLen:keyLen], value: data[keyLen:]}
+		frame := frameDHTRecord(rec.encode())
+		if _, err := dst.WriteAt(frame, wOff); err != nil {
+			return false, fmt.Errorf("dht: write migrated record: %w", err)
+		}
+		wOff += int64(len(frame))
+		off = dataOff + total
+	}
+	if err := dst.Sync(); err != nil {
+		return false, fmt.Errorf("dht: sync migration tmp: %w", err)
+	}
+	err = dst.Close()
+	dst = nil
+	if err != nil {
+		return false, fmt.Errorf("dht: close migration tmp: %w", err)
+	}
+	if err := os.Rename(tmp, dhtSegmentPath(base, 1)); err != nil {
+		return false, fmt.Errorf("dht: activate migrated segment: %w", err)
+	}
+	if err := syncDir(filepath.Dir(base)); err != nil {
+		return false, fmt.Errorf("dht: sync dir after migration: %w", err)
+	}
+	if err := os.Remove(base); err != nil {
+		return false, fmt.Errorf("dht: remove legacy log: %w", err)
+	}
+	return true, nil
+}

@@ -1,0 +1,231 @@
+package dht
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sort"
+
+	"blobseer/internal/wire"
+)
+
+// An index snapshot is the pair index — every live key's segment,
+// offset and value length — serialized at a segment boundary. Like the
+// page store's snapshot it carries no values: pair values stay in their
+// segments, so the snapshot only spares reopen the full rescan (reading
+// and CRC-checking every record). Recovery loads the newest valid
+// snapshot, verifies each covered segment's generation, and replays
+// only the tail segments (plus any segment a post-snapshot compaction
+// rewrote, detected by a generation mismatch). A torn or corrupt
+// snapshot degrades to a full rescan, which is always possible because
+// segments are never deleted.
+//
+// File layout mirrors a record frame, with its own magic:
+//
+//	uint32 dhtSnapMagic | uint32 dataLen | uint32 crc32(data) | data
+//
+// written to <base>.snapshot.tmp, fsynced (when the log syncs), then
+// atomically renamed to <base>.snapshot.
+//
+// The payload encoding is canonical: covered-segment generations in
+// index order, entries strictly ascending by key, counts bounded by the
+// remaining input, no trailing bytes. That makes encode∘decode the
+// identity on valid inputs — the property FuzzDecodeDHTIndexSnapshot
+// pins.
+
+const (
+	dhtSnapMagic = 0xD47A55A9
+	dhtSnapFmt   = 1
+)
+
+// dhtSnapshotPath names the live index snapshot of the log rooted at
+// base.
+func dhtSnapshotPath(base string) string { return base + ".snapshot" }
+
+// dhtSnapshotTmpPath names the in-progress snapshot; never read by
+// recovery.
+func dhtSnapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+
+// dhtCompactTmpPath names a compaction rewrite in progress; never read
+// by recovery.
+func dhtCompactTmpPath(base string) string { return base + ".compact.tmp" }
+
+// metaEntry locates one live pair value: value byte range
+// [off, off+vlen) inside segment seg.
+type metaEntry struct {
+	seg  uint32
+	off  int64
+	vlen uint32
+}
+
+// dhtSnapEntry pairs a key with its location, the unit of the snapshot
+// encoding.
+type dhtSnapEntry struct {
+	key []byte
+	metaEntry
+}
+
+// dhtIndexSnapshot is a consistent cut of the pair index. Segments
+// 1..len(gens) are covered: every record in them is reflected in the
+// entries, and gens[i] is segment i+1's generation at the cut. Segments
+// above len(gens) are the tail recovery replays.
+type dhtIndexSnapshot struct {
+	gens    []uint64
+	entries []dhtSnapEntry
+}
+
+// encodeDHTIndexSnapshot serializes s canonically (entries sorted by
+// key).
+func encodeDHTIndexSnapshot(s *dhtIndexSnapshot) []byte {
+	sort.Slice(s.entries, func(i, j int) bool {
+		return bytes.Compare(s.entries[i].key, s.entries[j].key) < 0
+	})
+	n := 16 + len(s.gens)*8
+	for _, e := range s.entries {
+		n += 20 + len(e.key)
+	}
+	w := wire.NewWriter(n)
+	w.Uint32(dhtSnapFmt)
+	w.Uint32(uint32(len(s.gens)))
+	for _, g := range s.gens {
+		w.Uint64(g)
+	}
+	w.Uint32(uint32(len(s.entries)))
+	for _, e := range s.entries {
+		w.Bytes32(e.key)
+		w.Uint32(e.seg)
+		w.Uint64(uint64(e.off))
+		w.Uint32(e.vlen)
+	}
+	return w.Bytes()
+}
+
+// errDHTSnapshotEncoding tags structurally invalid snapshot payloads.
+var errDHTSnapshotEncoding = errors.New("dht: invalid snapshot encoding")
+
+// dhtSnapCount reads a length prefix and bounds it by the bytes that
+// many entries of at least elemBytes each would need, so a hostile
+// prefix cannot drive a huge allocation.
+func dhtSnapCount(r *wire.Reader, elemBytes int) (int, error) {
+	n := r.Uint32()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if int64(n)*int64(elemBytes) > int64(r.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining input", errDHTSnapshotEncoding, n)
+	}
+	return int(n), nil
+}
+
+// decodeDHTIndexSnapshot parses a snapshot payload. It never panics on
+// arbitrary bytes and rejects non-canonical input — unsorted or
+// duplicate keys, entries pointing outside the covered segments or
+// before the segment header, trailing bytes — so a successful decode
+// re-encodes to exactly the input.
+func decodeDHTIndexSnapshot(data []byte) (*dhtIndexSnapshot, error) {
+	r := wire.NewReader(data)
+	if f := r.Uint32(); r.Err() == nil && f != dhtSnapFmt {
+		return nil, fmt.Errorf("%w: unknown format %d", errDHTSnapshotEncoding, f)
+	}
+	s := &dhtIndexSnapshot{}
+	nsegs, err := dhtSnapCount(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	s.gens = make([]uint64, 0, nsegs)
+	for i := 0; i < nsegs; i++ {
+		s.gens = append(s.gens, r.Uint64())
+	}
+	nent, err := dhtSnapCount(r, 20)
+	if err != nil {
+		return nil, err
+	}
+	s.entries = make([]dhtSnapEntry, 0, nent)
+	for i := 0; i < nent; i++ {
+		var e dhtSnapEntry
+		e.key = r.Bytes32Copy()
+		e.seg = r.Uint32()
+		e.off = int64(r.Uint64())
+		e.vlen = r.Uint32()
+		if r.Err() != nil {
+			break
+		}
+		if i > 0 && bytes.Compare(e.key, s.entries[i-1].key) <= 0 {
+			return nil, fmt.Errorf("%w: keys not strictly ascending", errDHTSnapshotEncoding)
+		}
+		if e.seg == 0 || int(e.seg) > nsegs {
+			return nil, fmt.Errorf("%w: entry in uncovered segment %d", errDHTSnapshotEncoding, e.seg)
+		}
+		if e.off < dhtSegHeaderSize+dhtRecHeaderSize+dhtRecPayloadMin {
+			return nil, fmt.Errorf("%w: entry offset %d inside segment header", errDHTSnapshotEncoding, e.off)
+		}
+		s.entries = append(s.entries, e)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("dht: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// loadDHTSnapshot reads and validates the snapshot file. A missing file
+// is (nil, nil); a torn or corrupt one is an error the caller
+// downgrades to a full rescan.
+func loadDHTSnapshot(path string) (*dhtIndexSnapshot, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dht: read snapshot: %w", err)
+	}
+	if len(raw) < dhtRecHeaderSize {
+		return nil, fmt.Errorf("dht: snapshot torn: %d bytes", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != dhtSnapMagic {
+		return nil, errors.New("dht: bad snapshot magic")
+	}
+	dataLen := binary.LittleEndian.Uint32(raw[4:8])
+	wantCRC := binary.LittleEndian.Uint32(raw[8:12])
+	if int64(dhtRecHeaderSize)+int64(dataLen) != int64(len(raw)) {
+		return nil, fmt.Errorf("dht: snapshot torn: declares %d payload bytes, has %d",
+			dataLen, len(raw)-dhtRecHeaderSize)
+	}
+	data := raw[dhtRecHeaderSize:]
+	if crc32.ChecksumIEEE(data) != wantCRC {
+		return nil, errors.New("dht: snapshot crc mismatch")
+	}
+	return decodeDHTIndexSnapshot(data)
+}
+
+// writeDHTSnapshotFile writes the framed payload to the tmp path and,
+// when syncing, fsyncs it — everything short of the activating rename.
+func writeDHTSnapshotFile(base string, payload []byte, fsync bool) error {
+	frame := make([]byte, dhtRecHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], dhtSnapMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
+	copy(frame[dhtRecHeaderSize:], payload)
+	tmp := dhtSnapshotTmpPath(base)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dht: create snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("dht: write snapshot: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("dht: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dht: close snapshot tmp: %w", err)
+	}
+	return nil
+}

@@ -58,14 +58,34 @@ func (s *Store) key(id core.NodeID) []byte {
 
 // GetNodes implements core.NodeStore.
 func (s *Store) GetNodes(ctx context.Context, ids []core.NodeID) ([]core.Node, error) {
+	out, found, err := s.TryGetNodes(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	for i, ok := range found {
+		if !ok {
+			return nil, wire.NewError(wire.CodeNotFound, "meta: tree node %v missing", ids[i])
+		}
+	}
+	return out, nil
+}
+
+// TryGetNodes fetches ids like GetNodes but reports absent nodes in
+// found instead of failing the whole batch. The garbage collector uses
+// it to walk expired snapshot trees a previous, crashed collection
+// already partially deleted: a missing node means its subtree was
+// collected and is simply pruned. Transport failures and undecodable
+// values still error — absence is a state, corruption is not.
+func (s *Store) TryGetNodes(ctx context.Context, ids []core.NodeID) ([]core.Node, []bool, error) {
 	out := make([]core.Node, len(ids))
+	ok := make([]bool, len(ids))
 	keys := make([][]byte, 0, len(ids))
 	missIdx := make([]int, 0, len(ids))
 	for i, id := range ids {
 		k := s.key(id)
 		if s.cache != nil {
-			if n, ok := s.cache.get(k); ok {
-				out[i] = n
+			if n, hit := s.cache.get(k); hit {
+				out[i], ok[i] = n, true
 				continue
 			}
 		}
@@ -73,26 +93,26 @@ func (s *Store) GetNodes(ctx context.Context, ids []core.NodeID) ([]core.Node, e
 		missIdx = append(missIdx, i)
 	}
 	if len(keys) == 0 {
-		return out, nil
+		return out, ok, nil
 	}
 	values, found, err := s.dht.MultiGet(ctx, keys)
 	if err != nil {
-		return nil, fmt.Errorf("meta: fetching %d nodes: %w", len(keys), err)
+		return nil, nil, fmt.Errorf("meta: fetching %d nodes: %w", len(keys), err)
 	}
 	for j, i := range missIdx {
 		if !found[j] {
-			return nil, wire.NewError(wire.CodeNotFound, "meta: tree node %v missing", ids[i])
+			continue
 		}
 		n, err := core.DecodeNode(values[j])
 		if err != nil {
-			return nil, fmt.Errorf("meta: node %v: %w", ids[i], err)
+			return nil, nil, fmt.Errorf("meta: node %v: %w", ids[i], err)
 		}
-		out[i] = n
+		out[i], ok[i] = n, true
 		if s.cache != nil {
 			s.cache.put(keys[j], n)
 		}
 	}
-	return out, nil
+	return out, ok, nil
 }
 
 // PutNodes implements core.NodeStore. New nodes always belong to the

@@ -6,14 +6,16 @@ import (
 )
 
 // gcKinds are the retention/GC message kinds introduced for the
-// distributed page collector. Their decoders face bytes from the network,
-// so the fuzz target pins two properties on arbitrary input: no panics,
-// and decode∘encode is a fixed point (a successful decode re-encodes to
-// bytes that decode to the same message).
+// distributed page collector and the metadata (DHT) node collector.
+// Their decoders face bytes from the network, so the fuzz target pins
+// two properties on arbitrary input: no panics, and decode∘encode is a
+// fixed point (a successful decode re-encodes to bytes that decode to
+// the same message).
 var gcKinds = []Kind{
 	KindDeletePagesReq, KindDeletePagesResp,
 	KindExpireReq, KindExpireResp,
 	KindGCInfoReq, KindGCInfoResp,
+	KindDHTDeleteReq, KindDHTDeleteResp,
 }
 
 func marshalBody(m Msg) []byte {
@@ -34,6 +36,8 @@ func FuzzDecodeGCWire(f *testing.F) {
 			Retained: VersionInfo{Version: 42, Size: 1 << 20},
 			Expired:  []VersionInfo{{Version: 3, Size: 4096}, {Version: 5, Size: 0}},
 		},
+		&DHTDeleteReq{Keys: [][]byte{[]byte("node/key/1"), {0xff}, {}}},
+		&DHTDeleteResp{Deleted: 17},
 	}
 	for _, m := range seed {
 		f.Add(uint8(m.Kind()), marshalBody(m))

@@ -64,6 +64,8 @@ const (
 	KindExpireResp
 	KindGCInfoReq
 	KindGCInfoResp
+	KindDHTDeleteReq
+	KindDHTDeleteResp
 	kindMax
 )
 
@@ -122,6 +124,8 @@ var kindNames = [...]string{
 	KindExpireResp:        "ExpireResp",
 	KindGCInfoReq:         "GCInfoReq",
 	KindGCInfoResp:        "GCInfoResp",
+	KindDHTDeleteReq:      "DHTDeleteReq",
+	KindDHTDeleteResp:     "DHTDeleteResp",
 }
 
 // String returns the symbolic name of the kind.
@@ -264,6 +268,10 @@ func New(k Kind) Msg {
 		return &GCInfoReq{}
 	case KindGCInfoResp:
 		return &GCInfoResp{}
+	case KindDHTDeleteReq:
+		return &DHTDeleteReq{}
+	case KindDHTDeleteResp:
+		return &DHTDeleteResp{}
 	}
 	return nil
 }
@@ -1290,3 +1298,46 @@ func (m *GCInfoResp) unmarshal(r *Reader) {
 		m.Expired = append(m.Expired, decodeVersionInfo(r))
 	}
 }
+
+// DHTDeleteReq asks a metadata provider to drop a batch of key/value
+// pairs — the metadata twin of DeletePagesReq. The caller (the garbage
+// collector diffing expired snapshot trees against the oldest retained
+// one) must have proven every key unreachable from all retained
+// versions and branches. Deleting an unknown key is a no-op, so retries
+// and concurrent collectors are harmless.
+type DHTDeleteReq struct{ Keys [][]byte }
+
+// Kind implements Msg.
+func (*DHTDeleteReq) Kind() Kind { return KindDHTDeleteReq }
+
+// MarshalTo implements Msg.
+func (m *DHTDeleteReq) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Keys)))
+	for _, k := range m.Keys {
+		w.Bytes32(k)
+	}
+}
+
+func (m *DHTDeleteReq) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Keys = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m.Keys = append(m.Keys, r.Bytes32Copy())
+	}
+}
+
+// DHTDeleteResp acknowledges DHTDeleteReq: every requested key is now
+// absent on this node. Deleted counts the keys that actually existed
+// here, so collectors can report how much metadata one sweep removed.
+type DHTDeleteResp struct{ Deleted uint64 }
+
+// Kind implements Msg.
+func (*DHTDeleteResp) Kind() Kind { return KindDHTDeleteResp }
+
+// MarshalTo implements Msg.
+func (m *DHTDeleteResp) MarshalTo(w *Writer) { w.Uint64(m.Deleted) }
+func (m *DHTDeleteResp) unmarshal(r *Reader) { m.Deleted = r.Uint64() }
