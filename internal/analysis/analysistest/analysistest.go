@@ -1,0 +1,151 @@
+// Package analysistest runs one analyzer over golden source packages
+// and matches its diagnostics against `// want "regex"` comments, in
+// the spirit of golang.org/x/tools/go/analysis/analysistest but built
+// on this repository's stdlib-only loader.
+//
+// Each golden package lives in testdata/src/<name>/ and is a real,
+// compiling Go package inside this module (the go tool skips testdata
+// directories when expanding ./... patterns, so the deliberate
+// violations in them never reach CI's own vet run). A want comment
+//
+//	s.a.Lock() // want `acquires S\.a while holding S\.b`
+//
+// expects exactly one unsuppressed finding on that line whose message
+// matches the regexp; several backquoted or double-quoted patterns in
+// one comment expect several findings. The run fails on any finding
+// with no want, any want with no finding, any type-check error in the
+// golden package, and any analyzer error — so a golden package that
+// stops compiling fails loudly instead of vacuously passing.
+//
+// Suppressed findings (waived by a well-formed //blobseer:ignore in the
+// golden source) never match wants; a golden package can therefore pin
+// the suppression behaviour by carrying an ignore and no want.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"blobseer/internal/analysis"
+)
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// Run loads each named package from <testdata>/src/<name>, applies the
+// analyzer through the standard runner (so //blobseer:ignore handling
+// is exercised too), and fails t unless unsuppressed findings and want
+// comments match one-to-one.
+func Run(t *testing.T, a *analysis.Analyzer, testdata string, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		dir := filepath.Join(testdata, "src", name)
+		pkgs, err := analysis.Load(dir, ".")
+		if err != nil {
+			t.Errorf("%s: load: %v", name, err)
+			continue
+		}
+		for _, pkg := range pkgs {
+			for _, err := range pkg.Errors {
+				t.Errorf("%s: golden package does not type-check: %v", name, err)
+			}
+		}
+		res := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+		for _, err := range res.Errors {
+			t.Errorf("%s: analyzer error: %v", name, err)
+		}
+
+		wants := collectWants(t, name, pkgs)
+		for _, f := range res.Findings {
+			if f.Suppressed {
+				continue
+			}
+			if !claimWant(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+				t.Errorf("%s: unexpected finding at %s: %s: %s",
+					name, f.Pos, f.Analyzer, f.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: no finding matched want %q at %s:%d",
+					name, w.pattern, w.file, w.line)
+			}
+		}
+	}
+}
+
+// claimWant marks and consumes the first unclaimed want on the
+// finding's line whose pattern matches the message.
+func claimWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want` comment in the package's checked
+// and test files, in source order.
+func collectWants(t *testing.T, name string, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = appendWants(t, name, pkg, wants, f.Comments)
+		}
+		for _, f := range pkg.TestFiles {
+			wants = appendWants(t, name, pkg, wants, f.Comments)
+		}
+	}
+	return wants
+}
+
+func appendWants(t *testing.T, name string, pkg *analysis.Package, wants []*want, groups []*ast.CommentGroup) []*want {
+	t.Helper()
+	for _, cg := range groups {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Errorf("%s: malformed want at %s: %q", name, pos, rest)
+					break
+				}
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Errorf("%s: malformed want pattern at %s: %q", name, pos, q)
+					break
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s: bad want regexp at %s: %v", name, pos, err)
+					break
+				}
+				wants = append(wants, &want{
+					file: pos.Filename, line: pos.Line, pattern: pat, re: re,
+				})
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+		}
+	}
+	return wants
+}

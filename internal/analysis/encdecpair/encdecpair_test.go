@@ -1,0 +1,12 @@
+package encdecpair_test
+
+import (
+	"testing"
+
+	"blobseer/internal/analysis/analysistest"
+	"blobseer/internal/analysis/encdecpair"
+)
+
+func TestEncDecPair(t *testing.T) {
+	analysistest.Run(t, encdecpair.Analyzer, "testdata", "a")
+}

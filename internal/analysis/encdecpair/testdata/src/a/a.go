@@ -1,0 +1,49 @@
+// Package a is golden input for the encdecpair analyzer.
+package a
+
+import "errors"
+
+// Rec pairs a bare encode method with decodeRec by result type.
+type Rec struct {
+	X byte
+}
+
+func (r Rec) encode() []byte { return []byte{r.X} }
+
+func decodeRec(b []byte) (Rec, error) {
+	if len(b) != 1 {
+		return Rec{}, errors.New("bad length")
+	}
+	return Rec{X: b[0]}, nil
+}
+
+// encodeHdr pairs with decodeHdr by name; the fuzz target reaches the
+// decoder through a helper, exercising transitive reachability.
+func encodeHdr(n int) []byte { return []byte{byte(n)} }
+
+func decodeHdr(b []byte) (int, error) {
+	if len(b) != 1 {
+		return 0, errors.New("bad length")
+	}
+	return int(b[0]), nil
+}
+
+func decodeAll(b []byte) error {
+	if _, err := decodeHdr(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encodeOrphan has no decoder at all.
+func encodeOrphan(n int) []byte { return []byte{byte(n)} } // want `encoder encodeOrphan has no matching decoder \(wanted decodeOrphan\)`
+
+// encodeCold has a decoder, but nothing fuzzes it.
+func encodeCold(n int) []byte { return []byte{byte(n)} } // want `decoder decodeCold \(pairing encoder encodeCold\) is not reachable from any Fuzz\* target`
+
+func decodeCold(b []byte) (int, error) {
+	if len(b) != 1 {
+		return 0, errors.New("bad length")
+	}
+	return int(b[0]), nil
+}

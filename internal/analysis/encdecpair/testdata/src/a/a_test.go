@@ -1,0 +1,10 @@
+package a
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeRec(data)
+		decodeAll(data)
+	})
+}

@@ -1,0 +1,12 @@
+package renamesync_test
+
+import (
+	"testing"
+
+	"blobseer/internal/analysis/analysistest"
+	"blobseer/internal/analysis/renamesync"
+)
+
+func TestRenameSync(t *testing.T) {
+	analysistest.Run(t, renamesync.Analyzer, "testdata", "a")
+}

@@ -1,0 +1,117 @@
+// Package a is golden input for the renamesync analyzer.
+package a
+
+import "os"
+
+// syncDir is recognized as a directory syncer by name.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// good follows the full durable-rename protocol: write, fsync the tmp
+// file, rename, fsync the parent directory.
+func good(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(".")
+}
+
+// flushTo syncs conditionally; its transitive summary still marks it a
+// syncer.
+func flushTo(f *os.File, fsync bool) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if fsync {
+		return f.Sync()
+	}
+	return nil
+}
+
+// goodViaHelper reaches File.Sync through flushTo.
+func goodViaHelper(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := flushTo(f, true); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(".")
+}
+
+// badNoFileSync publishes a tmp file that was never fsynced.
+func badNoFileSync(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil { // want `without a preceding File\.Sync`
+		return err
+	}
+	return syncDir(".")
+}
+
+// badNoDirSync never makes the rename itself durable.
+func badNoDirSync(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `without a following directory sync`
+}
+
+// nonTmpRename is out of scope: the source path is not a tmp file, so
+// the tmp-publication protocol does not apply.
+func nonTmpRename(from, to string) error {
+	return os.Rename(from, to)
+}

@@ -1,0 +1,175 @@
+package segdrift_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blobseer/internal/analysis"
+	"blobseer/internal/analysis/segdrift"
+)
+
+// loadCopies loads the two identical golden skeleton packages.
+func loadCopies(t *testing.T) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load("testdata/src", "./copya", "./copyb")
+	if err != nil {
+		t.Fatalf("load golden packages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, err := range pkg.Errors {
+			t.Fatalf("%s: golden package does not type-check: %v", pkg.PkgPath, err)
+		}
+	}
+	return pkgs
+}
+
+// runWith points the analyzer at the given registry file and runs it.
+func runWith(t *testing.T, goldenPath string, pkgs []*analysis.Package) *analysis.Result {
+	t.Helper()
+	old := segdrift.GoldenPath
+	segdrift.GoldenPath = goldenPath
+	defer func() { segdrift.GoldenPath = old }()
+	return analysis.Run([]*analysis.Analyzer{segdrift.Analyzer}, pkgs)
+}
+
+// accurateGolden pins both copies at their current fingerprints, as
+// -update-seglog would.
+func accurateGolden(t *testing.T, pkgs []*analysis.Package) *segdrift.Golden {
+	t.Helper()
+	g := &segdrift.Golden{Roles: make(map[string]map[string]segdrift.Member)}
+	for _, pkg := range pkgs {
+		members, err := segdrift.HashDir(pkg.Dir)
+		if err != nil {
+			t.Fatalf("hash %s: %v", pkg.Dir, err)
+		}
+		for role, m := range members {
+			if g.Roles[role] == nil {
+				g.Roles[role] = make(map[string]segdrift.Member)
+			}
+			g.Roles[role][pkg.PkgPath] = m
+		}
+	}
+	return g
+}
+
+func writeGolden(t *testing.T, g *segdrift.Golden) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := segdrift.WriteGolden(path, g); err != nil {
+		t.Fatalf("write golden: %v", err)
+	}
+	return path
+}
+
+func messages(res *analysis.Result) []string {
+	var out []string
+	for _, f := range res.Findings {
+		out = append(out, f.Pos.Filename+": "+f.Message)
+	}
+	return out
+}
+
+func wantOneContaining(t *testing.T, res *analysis.Result, substrs ...string) {
+	t.Helper()
+	msgs := messages(res)
+	if len(msgs) != len(substrs) {
+		t.Fatalf("want %d finding(s), got %d: %v", len(substrs), len(msgs), msgs)
+	}
+	for i, sub := range substrs {
+		if !strings.Contains(msgs[i], sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, msgs[i], sub)
+		}
+	}
+}
+
+func TestCleanRegistry(t *testing.T) {
+	pkgs := loadCopies(t)
+	res := runWith(t, writeGolden(t, accurateGolden(t, pkgs)), pkgs)
+	if msgs := messages(res); len(msgs) != 0 {
+		t.Fatalf("accurate registry must be clean, got %v", msgs)
+	}
+}
+
+func TestOneCopyDrifted(t *testing.T) {
+	pkgs := loadCopies(t)
+	g := accurateGolden(t, pkgs)
+	// Stale-ify copya's pinned hash: from the analyzer's point of view,
+	// copya changed since the pin while copyb still matches.
+	copya := pkgs[0].PkgPath
+	m := g.Roles["roll"][copya]
+	m.Hash = strings.Repeat("0", 64)
+	g.Roles["roll"][copya] = m
+	res := runWith(t, writeGolden(t, g), pkgs)
+	wantOneContaining(t, res,
+		`roll (seglog role "roll") changed but sibling copy `+pkgs[1].PkgPath+` did not`)
+	if f := res.Findings[0]; !strings.HasSuffix(f.Pos.Filename, "copya.go") {
+		t.Errorf("finding placed in %s, want the drifted copy copya.go", f.Pos.Filename)
+	}
+}
+
+func TestAllCopiesChanged(t *testing.T) {
+	pkgs := loadCopies(t)
+	g := accurateGolden(t, pkgs)
+	for _, pkg := range pkgs {
+		m := g.Roles["roll"][pkg.PkgPath]
+		m.Hash = strings.Repeat("0", 64)
+		g.Roles["roll"][pkg.PkgPath] = m
+	}
+	res := runWith(t, writeGolden(t, g), pkgs)
+	wantOneContaining(t, res,
+		`changed in every copy; re-pin the registry`,
+		`changed in every copy; re-pin the registry`)
+}
+
+func TestRoleMoved(t *testing.T) {
+	pkgs := loadCopies(t)
+	g := accurateGolden(t, pkgs)
+	copya := pkgs[0].PkgPath
+	m := g.Roles["roll"][copya]
+	m.Func = "elsewhere"
+	g.Roles["roll"][copya] = m
+	res := runWith(t, writeGolden(t, g), pkgs)
+	wantOneContaining(t, res, `seglog role "roll" moved from elsewhere to roll`)
+}
+
+func TestAnnotationDropped(t *testing.T) {
+	pkgs := loadCopies(t)
+	g := accurateGolden(t, pkgs)
+	copya := pkgs[0].PkgPath
+	g.Roles["gone"] = map[string]segdrift.Member{
+		copya: {Func: "vanished", Hash: strings.Repeat("0", 64)},
+	}
+	res := runWith(t, writeGolden(t, g), pkgs)
+	wantOneContaining(t, res,
+		`registry lists vanished as seglog role "gone" of `+copya)
+}
+
+func TestMissingRegistry(t *testing.T) {
+	pkgs := loadCopies(t)
+	res := runWith(t, filepath.Join(t.TempDir(), "absent.json"), pkgs)
+	wantOneContaining(t, res,
+		"//blobseer:seglog annotations present but no registry",
+		"//blobseer:seglog annotations present but no registry")
+}
+
+// TestFingerprintIgnoresComments pins the normalization contract:
+// comment-only edits must not change a fingerprint.
+func TestFingerprintIgnoresComments(t *testing.T) {
+	pkgs := loadCopies(t)
+	a, err := segdrift.HashDir(pkgs[0].Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := segdrift.HashDir(pkgs[1].Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["roll"].Hash != b["roll"].Hash {
+		t.Fatalf("identical functions with different doc packages must hash equal: %s vs %s",
+			a["roll"].Hash, b["roll"].Hash)
+	}
+}

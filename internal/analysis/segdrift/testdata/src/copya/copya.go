@@ -1,0 +1,14 @@
+// Package copya is one copy of a shared skeleton for the segdrift
+// analysistest; copyb carries the identical function.
+package copya
+
+// roll is the shared skeleton function.
+//
+//blobseer:seglog roll
+func roll(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

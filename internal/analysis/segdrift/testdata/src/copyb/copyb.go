@@ -1,0 +1,14 @@
+// Package copyb is the sibling copy of copya's skeleton for the
+// segdrift analysistest.
+package copyb
+
+// roll is the shared skeleton function.
+//
+//blobseer:seglog roll
+func roll(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

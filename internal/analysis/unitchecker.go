@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` side of blobseer-vet: the
+// unitchecker protocol. cmd/go drives an external vet tool as follows:
+//
+//   - `tool -flags` must print a JSON array of the tool's flags to
+//     stdout (ours has none that vet may set, so: []);
+//   - `tool -V=full` must print "name version ..." for the build cache
+//     key;
+//   - per package, `tool <unit>.cfg` runs the checks on one compile
+//     unit described by the JSON config, writes diagnostics to stderr,
+//     writes a facts file to VetxOutput (ours is empty — the suite
+//     needs no cross-package facts), and exits 0 (clean), 1 (findings)
+//     or 2 (tool failure).
+
+// vetConfig mirrors the subset of unitchecker.Config cmd/go writes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain handles a unitchecker-protocol invocation when the command
+// line matches one; it returns false when the arguments are not the vet
+// protocol (so the caller can run standalone mode instead). On a
+// protocol match it never returns: it exits with the protocol's code.
+func VetMain(analyzers []*Analyzer, args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasPrefix(args[0], "-V="):
+		// cmd/go keys its build cache on this line and requires a
+		// trailing buildID= field; hash the executable so the key
+		// changes whenever the tool is rebuilt.
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n",
+			filepath.Base(os.Args[0]), selfBuildID())
+		os.Exit(0)
+	case strings.HasSuffix(args[0], ".cfg"):
+		if err := runUnit(analyzers, args[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "blobseer-vet: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// selfBuildID content-hashes the running executable for the -V=full
+// cache key, falling back to a constant when it cannot be read (the
+// only cost is a stale vet cache entry).
+func selfBuildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func runUnit(analyzers []*Analyzer, cfgPath string) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+	// The facts file must exist even when empty, or cmd/go fails the
+	// action; write it first so every exit path below is covered.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	pkg, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return err
+	}
+	res := Run(analyzers, []*Package{pkg})
+	// Type errors in vet mode are not ours to report (the compile step
+	// already did); only surface analyzer findings.
+	res.Errors = nil
+	res.Print(os.Stderr)
+	if res.Unsuppressed() > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+	return nil
+}
+
+// typecheckUnit loads one vet compile unit. Test files in the unit are
+// parsed syntax-only and analyzed as TestFiles, matching standalone
+// mode, so analyzers see the same package shape either way.
+func typecheckUnit(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i] // test variant: "pkg [pkg.test]"
+	}
+	modPath, modDir := findModule(cfg.Dir)
+	pkg := &Package{
+		PkgPath: importPath,
+		Dir:     cfg.Dir,
+		ModPath: modPath,
+		ModDir:  modDir,
+		Fset:    fset,
+	}
+	var checked []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			checked = append(checked, f)
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, cfg.Compiler, lookup)}
+	tpkg, err := conf.Check(importPath, fset, checked, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Pkg = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod, returning the
+// module path and root directory ("", "" when not inside a module).
+func findModule(dir string) (path, root string) {
+	for d := dir; ; {
+		gm := filepath.Join(d, "go.mod")
+		if f, err := os.Open(gm); err == nil {
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					f.Close()
+					return strings.TrimSpace(rest), d
+				}
+			}
+			f.Close()
+			return "", d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}

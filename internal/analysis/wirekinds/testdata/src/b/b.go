@@ -1,0 +1,24 @@
+// Package b is golden input for the wirekinds analyzer: a clean
+// registry, but KindPong is neither dispatched in New nor fuzzed.
+package b
+
+// Kind tags a wire message type.
+type Kind uint8
+
+const (
+	KindInvalid Kind = 0
+	KindPing    Kind = 1
+	KindPong    Kind = 2 // want `kind KindPong has no dispatch case in New` `kind KindPong has no fuzz seed`
+	kindMax     Kind = 3
+)
+
+type Ping struct{}
+type Pong struct{}
+
+func New(k Kind) interface{} {
+	switch k {
+	case KindPing:
+		return &Ping{}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+package b
+
+import "testing"
+
+func FuzzPing(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = Ping{}
+		_ = data
+	})
+}

@@ -1,0 +1,12 @@
+// Package noreg is golden input for the wirekinds analyzer: a Kind
+// enum with no kinds.golden registry at all.
+package noreg
+
+// Kind tags a wire message type.
+type Kind uint8
+
+const (
+	KindInvalid Kind = 0
+	KindOnly    Kind = 1 // want `Kind enum has no kinds\.golden registry`
+	kindMax     Kind = 2
+)

@@ -1,0 +1,244 @@
+// Package wirekinds checks that the wire Kind enum stays append-only
+// and fully wired.
+//
+// Mixed-version clusters survive upgrades only because every Kind value
+// ever shipped keeps meaning the same message forever — the iota block
+// in internal/wire is append-only by convention. This analyzer turns
+// the convention into a gate against a golden registry file
+// (kinds.golden in the package directory, one "value name" line per
+// kind):
+//
+//   - every registered kind must still exist with its registered value
+//     (no renames, renumbers or deletions);
+//   - every kind in the source must be registered (adding a kind forces
+//     a deliberate registry append, which a reviewer sees as an
+//     append-only diff);
+//   - every kind must have a dispatch case in New, or decoding that
+//     code off the network fails;
+//   - every kind's message type must appear in some Fuzz* target, so
+//     the decoder actually faces adversarial bytes for it.
+//
+// The sentinel values KindInvalid and kindMax are exempt.
+package wirekinds
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"blobseer/internal/analysis"
+)
+
+// Analyzer is the wirekinds analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirekinds",
+	Doc:  "check the wire Kind enum against its append-only golden registry, decode dispatch and fuzz seeds",
+	Run:  run,
+}
+
+// GoldenName is the registry file looked up in the package directory.
+const GoldenName = "kinds.golden"
+
+type kindConst struct {
+	name  string
+	value int64
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	kinds := enumKinds(pass)
+	if kinds == nil {
+		return nil // package declares no Kind enum
+	}
+
+	goldenPath := filepath.Join(pass.Dir, GoldenName)
+	golden, err := readGolden(goldenPath)
+	if os.IsNotExist(err) {
+		pass.Reportf(kinds[0].pos, "Kind enum has no %s registry; create it with one \"value name\" line per kind", GoldenName)
+		return nil
+	} else if err != nil {
+		return err
+	}
+
+	byName := make(map[string]kindConst)
+	for _, k := range kinds {
+		byName[k.name] = k
+	}
+
+	// Registered kinds must survive unchanged.
+	maxGolden := int64(-1)
+	for name, val := range golden {
+		if val > maxGolden {
+			maxGolden = val
+		}
+		k, ok := byName[name]
+		if !ok {
+			pass.Reportf(kinds[0].pos,
+				"kind %s (value %d) is registered in %s but missing from the enum: wire kinds are append-only and must never be deleted or renamed",
+				name, val, GoldenName)
+			continue
+		}
+		if k.value != val {
+			pass.Reportf(k.pos,
+				"kind %s has value %d but %s registers %d: wire kind values are frozen forever",
+				name, k.value, GoldenName, val)
+		}
+	}
+	// Unregistered kinds must be strict appends.
+	for _, k := range kinds {
+		if _, ok := golden[k.name]; ok {
+			continue
+		}
+		if k.value <= maxGolden {
+			pass.Reportf(k.pos,
+				"new kind %s has value %d, not above the registry high-water mark %d: insertions renumber every later kind",
+				k.name, k.value, maxGolden)
+		}
+		pass.Reportf(k.pos,
+			"kind %s is not registered in %s; append \"%d %s\" to it",
+			k.name, GoldenName, k.value, k.name)
+	}
+
+	checkDispatch(pass, kinds)
+	checkFuzzSeeds(pass, kinds)
+	return nil
+}
+
+// enumKinds extracts the Kind iota block: every package-level constant
+// of type Kind, excluding the KindInvalid/kindMax sentinels. Returns nil
+// when the package has no Kind type.
+func enumKinds(pass *analysis.Pass) []kindConst {
+	obj := pass.Pkg.Scope().Lookup("Kind")
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.TypeName); !ok {
+		return nil
+	}
+	kindType := obj.Type()
+	var out []kindConst
+	for _, name := range pass.Pkg.Scope().Names() {
+		c, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kindType) {
+			continue
+		}
+		if name == "KindInvalid" || name == "kindMax" {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		out = append(out, kindConst{name: name, value: v, pos: c.Pos()})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	// Sort by value for stable reporting.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].value > out[j].value; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func readGolden(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"value name\", got %q", path, line, text)
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad value %q", path, line, fields[0])
+		}
+		out[fields[1]] = v
+	}
+	return out, sc.Err()
+}
+
+// checkDispatch requires a `case KindX` in the New constructor for
+// every kind.
+func checkDispatch(pass *analysis.Pass, kinds []kindConst) {
+	dispatched := make(map[string]bool)
+	var newFound bool
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "New" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			newFound = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					if id, ok := e.(*ast.Ident); ok {
+						dispatched[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !newFound {
+		return
+	}
+	for _, k := range kinds {
+		if !dispatched[k.name] {
+			pass.Reportf(k.pos, "kind %s has no dispatch case in New: messages of this kind cannot be decoded off the wire", k.name)
+		}
+	}
+}
+
+// checkFuzzSeeds requires the message type of every kind to appear
+// inside some Fuzz* function body, as evidence the decoder is fuzzed
+// with a populated seed of that type.
+func checkFuzzSeeds(pass *analysis.Pass, kinds []kindConst) {
+	fuzzed := make(map[string]bool)
+	for _, f := range pass.TestFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					fuzzed[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, k := range kinds {
+		typ := strings.TrimPrefix(k.name, "Kind")
+		if !fuzzed[typ] {
+			pass.Reportf(k.pos,
+				"kind %s has no fuzz seed: no Fuzz* target mentions %s, so its decoder never faces adversarial bytes",
+				k.name, typ)
+		}
+	}
+}

@@ -155,6 +155,8 @@ func openMetaLog(path string, opts LogOptions) (*metaLog, [][2][]byte, error) {
 
 // syncDir fsyncs a directory so renames, creations and truncations in
 // it are durable.
+//
+//blobseer:seglog sync-dir
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -426,6 +428,8 @@ func (l *metaLog) createSegment(idx uint32, gen uint64) (*metaSegment, error) {
 // refuses to start". The sealed segment's file stays open — compaction
 // rewrites still read it, and snapshot-covered values are read from it
 // at the next open.
+//
+//blobseer:seglog roll
 func (l *metaLog) rollLocked() error {
 	if err := l.active.f.Sync(); err != nil {
 		return fmt.Errorf("dht: seal segment: %w", err)

@@ -34,6 +34,13 @@ import (
 // The crash-injection tests drive a hook through every fault point
 // below and assert the recovered pairs are byte-identical to an
 // uncrashed node's.
+//
+// The node log's lock order — maintenance outermost, then the log
+// mutex (see the metaLog field docs in disk.go) — in the
+// machine-checked form the lockorder analyzer (cmd/blobseer-vet)
+// enforces:
+//
+//blobseer:lockorder maintMu < logMu
 
 // Maintenance fault points, in execution order. Tests enumerate these.
 const (
@@ -77,6 +84,8 @@ func (l *metaLog) nudgeMaintain() {
 
 // maintainLoop runs automatic snapshots and compaction. Errors are not
 // fatal — the log simply keeps growing until the next trigger succeeds.
+//
+//blobseer:seglog maintain-loop
 func (l *metaLog) maintainLoop() {
 	for {
 		select {
@@ -110,6 +119,7 @@ func (l *metaLog) snapshot() error {
 	return l.snapshotLocked()
 }
 
+//blobseer:seglog snapshot-write
 func (l *metaLog) snapshotLocked() error {
 	if err := l.crash(dhtCrashSnapBegin); err != nil {
 		return err
@@ -148,6 +158,8 @@ func (l *metaLog) snapshotLocked() error {
 // holds logMu, which excludes every mutator — so no append is in flight
 // during the roll and the clone is exactly the state the segments below
 // the cut replay to.
+//
+//blobseer:seglog capture
 func (l *metaLog) capture() (*dhtIndexSnapshot, error) {
 	l.logMu.Lock()
 	defer l.logMu.Unlock()
@@ -201,6 +213,7 @@ func (l *metaLog) compact() error {
 	return l.compactLocked()
 }
 
+//blobseer:seglog compact
 func (l *metaLog) compactLocked() error {
 	ratio := l.opts.CompactRatio
 	if ratio <= 0 {
@@ -229,6 +242,8 @@ func (l *metaLog) compactLocked() error {
 // among those whose live ratio is below the threshold, or nil. A
 // freshly rewritten segment estimates zero reclaimable bytes, so
 // compaction always terminates.
+//
+//blobseer:seglog pick-victim
 func (l *metaLog) pickVictim(ratio float64) *metaSegment {
 	l.logMu.Lock()
 	defer l.logMu.Unlock()
@@ -275,6 +290,8 @@ type keptPair struct {
 // delete racing the rewrite is re-checked at retarget time: its entry
 // is already gone, and its delete record sits in the active segment,
 // later in replay order than anything this rewrite keeps.
+//
+//blobseer:seglog rewrite-segment
 func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 	// Clone the victim's live set and reserve the new generation under
 	// logMu; the file handle itself is stable (only compaction swaps

@@ -136,9 +136,11 @@ type metaSegment struct {
 	// compaction preserves (a dropped delete could let a full rescan
 	// resurrect a pair whose put sits in an earlier segment).
 	// size - header - liveBytes - tombBytes estimates what a rewrite
-	// would reclaim (tombBytes may read low after a snapshot-seeded
-	// recovery — the snapshot does not record it — which at worst costs
-	// one no-op rewrite of a delete-heavy segment per reopen).
+	// would reclaim. tombBytes may read low after a snapshot-seeded
+	// recovery; see the canonical undercount note on the page-store
+	// segment struct in internal/pagestore/segment.go — the same
+	// argument (worst case: one no-op rewrite per reopen) applies here
+	// verbatim.
 	liveBytes int64
 	tombBytes int64
 }
@@ -215,6 +217,8 @@ type scannedPair struct {
 // away when allowTorn is set (the highest segment — a crash
 // mid-append); anywhere else it fails the open. The file size after any
 // truncation is returned.
+//
+//blobseer:seglog scan-segment
 func scanDHTSegment(f *os.File, path string, allowTorn bool, visit func(scannedPair) error) (int64, error) {
 	info, err := f.Stat()
 	if err != nil {
@@ -286,6 +290,8 @@ const (
 
 // migrateLegacyNodeLog converts the single-file log at base into
 // segment 1. Returns whether a migration happened.
+//
+//blobseer:seglog migrate-legacy
 func migrateLegacyNodeLog(base string) (bool, error) {
 	info, err := os.Stat(base)
 	if err != nil || !info.Mode().IsRegular() {

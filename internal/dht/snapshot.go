@@ -174,6 +174,8 @@ func decodeDHTIndexSnapshot(data []byte) (*dhtIndexSnapshot, error) {
 // loadDHTSnapshot reads and validates the snapshot file. A missing file
 // is (nil, nil); a torn or corrupt one is an error the caller
 // downgrades to a full rescan.
+//
+//blobseer:seglog load-snapshot
 func loadDHTSnapshot(path string) (*dhtIndexSnapshot, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -203,6 +205,8 @@ func loadDHTSnapshot(path string) (*dhtIndexSnapshot, error) {
 
 // writeDHTSnapshotFile writes the framed payload to the tmp path and,
 // when syncing, fsyncs it — everything short of the activating rename.
+//
+//blobseer:seglog snapshot-file
 func writeDHTSnapshotFile(base string, payload []byte, fsync bool) error {
 	frame := make([]byte, dhtRecHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], dhtSnapMagic)

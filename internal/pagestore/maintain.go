@@ -80,6 +80,8 @@ func (d *Disk) nudgeMaintain() {
 // goroutine: maintenance is disk work with no simulated-time component.
 // Errors are not fatal — the log simply keeps growing until the next
 // trigger succeeds.
+//
+//blobseer:seglog maintain-loop
 func (d *Disk) maintainLoop() {
 	for {
 		select {
@@ -110,6 +112,7 @@ func (d *Disk) Snapshot() error {
 	return d.snapshotLocked()
 }
 
+//blobseer:seglog snapshot-write
 func (d *Disk) snapshotLocked() error {
 	if d.closed.Load() {
 		return errStoreClosed
@@ -150,6 +153,8 @@ func (d *Disk) snapshotLocked() error {
 // stateMu shared across record-append and index apply) — so no commit
 // is in flight during the roll and the clone is exactly the state the
 // segments below the cut replay to.
+//
+//blobseer:seglog capture
 func (d *Disk) capture() (*indexSnapshot, error) {
 	d.stateMu.Lock()
 	defer d.stateMu.Unlock()
@@ -209,6 +214,7 @@ func (d *Disk) Compact() error {
 	return d.compactLocked()
 }
 
+//blobseer:seglog compact
 func (d *Disk) compactLocked() error {
 	if d.closed.Load() {
 		return errStoreClosed
@@ -240,6 +246,8 @@ func (d *Disk) compactLocked() error {
 // among those whose live ratio is below the threshold, or nil. A
 // freshly rewritten segment estimates zero reclaimable bytes, so
 // compaction always terminates.
+//
+//blobseer:seglog pick-victim
 func (d *Disk) pickVictim(ratio float64) *segment {
 	d.wmu.Lock()
 	activeIdx := d.active.idx
@@ -287,6 +295,8 @@ type keptRecord struct {
 // and the index entries are retargeted to the new offsets under the
 // segment lock. Readers mid-pread keep the old file handle and stay
 // correct; the old inode lives until their locks release.
+//
+//blobseer:seglog rewrite-segment
 func (d *Disk) rewriteSegment(victim *segment) error {
 	path := segmentPath(d.base, victim.idx)
 	var kept []keptRecord

@@ -141,9 +141,17 @@ type segment struct {
 	// liveBytes is the payload bytes of records the index still points
 	// at; tombBytes is the framed bytes of tombstone records, which
 	// compaction preserves. size - segHeaderSize - liveBytes - tombBytes
-	// estimates what a rewrite would reclaim (tombBytes may read low
-	// after a snapshot-seeded recovery, which at worst costs one
-	// no-op rewrite).
+	// estimates what a rewrite would reclaim.
+	//
+	// Canonical tombBytes-undercount note (the DHT metaSegment copy in
+	// internal/dht/segment.go defers here): tombBytes may read LOW after
+	// a snapshot-seeded recovery, because snapshots record only the live
+	// index, not per-segment tombstone accounting — tombstones in
+	// snapshot-covered segments are never re-counted. An undercount only
+	// inflates the reclaim estimate, so the worst case is one no-op
+	// rewrite of a tombstone-heavy segment per reopen, after which the
+	// rewrite recomputes the true value. It can never mask reclaimable
+	// space or drop a tombstone.
 	liveBytes atomic.Int64
 	tombBytes atomic.Int64
 }
@@ -180,6 +188,8 @@ func listSegments(base string) ([]uint32, error) {
 
 // syncDir fsyncs a directory so renames, creations and deletions in it
 // are durable.
+//
+//blobseer:seglog sync-dir
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -233,6 +243,8 @@ type scannedRecord struct {
 // away when allowTorn is set (the highest segment — a crash
 // mid-append); anywhere else it fails the open. The file size after any
 // truncation is returned.
+//
+//blobseer:seglog scan-segment
 func scanSegment(f *os.File, path string, allowTorn bool, visit func(scannedRecord) error) (int64, error) {
 	info, err := f.Stat()
 	if err != nil {
@@ -304,6 +316,8 @@ const legacyHeaderSize = 4 + 4 + 16 + 4
 
 // migrateLegacy converts the single-file log at base into segment 1.
 // Returns whether a migration happened.
+//
+//blobseer:seglog migrate-legacy
 func migrateLegacy(base string) (bool, error) {
 	info, err := os.Stat(base)
 	if err != nil || !info.Mode().IsRegular() {

@@ -166,6 +166,8 @@ func decodeIndexSnapshot(data []byte) (*indexSnapshot, error) {
 // loadSnapshot reads and validates the snapshot file. A missing file is
 // (nil, nil); a torn or corrupt one is an error the caller downgrades
 // to a full rescan.
+//
+//blobseer:seglog load-snapshot
 func loadSnapshot(path string) (*indexSnapshot, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -195,6 +197,8 @@ func loadSnapshot(path string) (*indexSnapshot, error) {
 
 // writeSnapshotFile writes the framed payload to the tmp path and, when
 // syncing, fsyncs it — everything short of the activating rename.
+//
+//blobseer:seglog snapshot-file
 func writeSnapshotFile(base string, payload []byte, fsync bool) error {
 	frame := make([]byte, recHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], psnapMagic)

@@ -31,6 +31,15 @@ import (
 // The crash-injection tests drive a hook through every fault point below
 // and assert the recovered state is byte-identical to an uncrashed
 // manager's.
+//
+// The manager-wide lock order those invariants lean on — checkpointer
+// outermost, then the state cut, then a blob's shard, then the WAL;
+// registry stripes innermost (see the Manager field docs) — in the
+// machine-checked form the lockorder analyzer (cmd/blobseer-vet)
+// enforces:
+//
+//blobseer:lockorder ckptMu < stateMu < blobShard.mu < wal.mu
+//blobseer:lockorder blobShard.mu < registryStripe.mu
 
 // Checkpoint fault points, in execution order. Tests enumerate these.
 const (
@@ -63,6 +72,8 @@ func (m *Manager) crash(point string) error {
 // stop-the-world portion is only a segment roll plus a state clone), and
 // serialized against other checkpoints. The background checkpointer
 // calls it every CheckpointEvery events; it is also the on-demand hook.
+//
+//blobseer:seglog snapshot-write
 func (m *Manager) Checkpoint() error {
 	if m.log == nil {
 		return nil
@@ -130,6 +141,8 @@ func (m *Manager) Checkpoint() error {
 // mutating handler (they hold stateMu.RLock across log-append and state
 // apply) — so no commit is in flight during the roll and the clone is
 // exactly the state the segments below the cut replay to.
+//
+//blobseer:seglog capture
 func (m *Manager) captureLocked() (*snapshotState, error) {
 	w := m.log
 	w.mu.Lock()
@@ -157,6 +170,8 @@ func (m *Manager) captureLocked() (*snapshotState, error) {
 
 // writeSnapshotFile writes the framed payload to the tmp path and, when
 // syncing, fsyncs it — everything short of the activating rename.
+//
+//blobseer:seglog snapshot-file
 func writeSnapshotFile(base string, payload []byte, fsync bool) error {
 	frame := make([]byte, walHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], snapMagic)
@@ -188,6 +203,8 @@ func writeSnapshotFile(base string, payload []byte, fsync bool) error {
 // It is a plain goroutine (not scheduler-driven): checkpointing is disk
 // work with no simulated-time component. Errors are not fatal — the log
 // simply keeps growing until the next trigger succeeds.
+//
+//blobseer:seglog maintain-loop
 func (m *Manager) checkpointLoop() {
 	for {
 		select {

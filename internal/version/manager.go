@@ -649,6 +649,7 @@ func (m *Manager) handleRecent(_ context.Context, msg wire.Msg) (wire.Msg, error
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	b := sh.state
+	//blobseer:ignore lockorder nested shard lock is a strict lineage ancestor (smaller blob id, see sizeThroughLineage), never this shard
 	sz, ok := m.sizeThroughLineage(sh, b.readable)
 	if !ok {
 		return nil, wire.NewError(wire.CodeUnknown,
@@ -672,6 +673,7 @@ func (m *Manager) handleSize(_ context.Context, msg wire.Msg) (wire.Msg, error) 
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"version %d of blob %v is not published", req.Version, b.id)
 	}
+	//blobseer:ignore lockorder nested shard lock is a strict lineage ancestor (smaller blob id, see sizeThroughLineage), never this shard
 	sz, ok := m.sizeThroughLineage(sh, req.Version)
 	if !ok {
 		return nil, wire.NewError(wire.CodeNotPublished,
@@ -754,6 +756,7 @@ func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error
 		if err != nil {
 			return nil, err
 		}
+		//blobseer:ignore lockorder nested shard lock is a strict lineage ancestor (smaller blob id), never this shard
 		osh.mu.Lock()
 		defer osh.mu.Unlock()
 		ob = osh.state

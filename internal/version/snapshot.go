@@ -287,6 +287,8 @@ func decodeBlobState(r *wire.Reader) (*blobState, error) {
 // loadSnapshot reads and validates the snapshot file. A missing file is
 // (nil, nil); a torn or corrupt one is an error the caller downgrades to
 // full replay.
+//
+//blobseer:seglog load-snapshot
 func loadSnapshot(path string) (*snapshotState, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {

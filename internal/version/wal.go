@@ -166,6 +166,8 @@ func listSegments(base string) ([]uint64, error) {
 
 // syncDir fsyncs a directory so renames, creations and deletions in it
 // are durable.
+//
+//blobseer:seglog sync-dir
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -395,6 +397,8 @@ func openWAL(path string, opts walOptions) (*wal, *walRecovery, error) {
 // scanSegment reads every record in one segment file. A torn tail is
 // truncated away when allowTorn is set (the final segment — a crash
 // mid-append); anywhere else a short or corrupt record fails the open.
+//
+//blobseer:seglog scan-segment
 func scanSegment(path string, allowTorn bool) ([]walEvent, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -492,6 +496,7 @@ func (w *wal) append(e walEvent) error {
 	<-a.done
 	if a.promoted {
 		w.mu.Lock()
+		//blobseer:ignore lockorder lead is a lock handoff: it runs with w.mu held and its first action is to release it before re-locking
 		return w.lead(a) // releases w.mu
 	}
 	return a.err
@@ -600,6 +605,8 @@ func (w *wal) commit(bufs [][]byte) error {
 // itself after its batch, or by the checkpointer while every mutating
 // handler is excluded. Events never span segments, so each segment
 // replays independently.
+//
+//blobseer:seglog roll
 func (w *wal) rollLocked() error {
 	if w.closed {
 		return errWALClosed
