@@ -1,13 +1,12 @@
 // Command blobseer-vet runs the repository's invariant analyzers: the
 // declared lock orders, the tmp+fsync+rename durability contract, the
 // append-only wire-kind registry, encoder/decoder/fuzz pairing, and the
-// segmented-log drift tripwire. See README.md "Static analysis".
+// seglog-containment tripwire. See README.md "Static analysis".
 //
 // Usage:
 //
 //	blobseer-vet ./...              # standalone, from the module root
 //	blobseer-vet -list              # print the analyzers and what they check
-//	blobseer-vet -update-seglog     # re-pin the segdrift golden registry
 //	go vet -vettool=$(which blobseer-vet) ./...   # as a vet tool
 //
 // Exit status is 0 when clean, 1 when findings remain unsuppressed, 2
@@ -21,7 +20,6 @@ import (
 	"os"
 
 	"blobseer/internal/analysis"
-	"blobseer/internal/analysis/segdrift"
 	"blobseer/internal/analysis/suite"
 )
 
@@ -34,8 +32,6 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list analyzers and exit")
-	updateSeglog := flag.Bool("update-seglog", false,
-		"re-pin the segdrift golden registry from the current tree and exit")
 	flag.Parse()
 
 	if *list {
@@ -55,14 +51,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *updateSeglog {
-		if err := updateSeglogGolden(pkgs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		return
-	}
-
 	res := analysis.Run(suite.Analyzers, pkgs)
 	res.Print(os.Stdout)
 	switch {
@@ -71,38 +59,4 @@ func main() {
 	case res.Unsuppressed() > 0:
 		os.Exit(1)
 	}
-}
-
-// updateSeglogGolden rebuilds golden.json from every //blobseer:seglog
-// annotation in the loaded packages.
-func updateSeglogGolden(pkgs []*analysis.Package) error {
-	golden := &segdrift.Golden{Roles: make(map[string]map[string]segdrift.Member)}
-	var modDir string
-	for _, p := range pkgs {
-		if p.ModDir != "" {
-			modDir = p.ModDir
-		}
-		members, err := segdrift.HashDir(p.Dir)
-		if err != nil {
-			return fmt.Errorf("blobseer-vet: hash %s: %v", p.PkgPath, err)
-		}
-		for role, m := range members {
-			if golden.Roles[role] == nil {
-				golden.Roles[role] = make(map[string]segdrift.Member)
-			}
-			golden.Roles[role][p.PkgPath] = m
-		}
-	}
-	if len(golden.Roles) == 0 {
-		return fmt.Errorf("blobseer-vet: no //blobseer:seglog annotations found")
-	}
-	if modDir == "" {
-		return fmt.Errorf("blobseer-vet: cannot locate module root for golden.json")
-	}
-	path := fmt.Sprintf("%s/internal/analysis/segdrift/golden.json", modDir)
-	if err := segdrift.WriteGolden(path, golden); err != nil {
-		return err
-	}
-	fmt.Printf("blobseer-vet: wrote %s (%d roles)\n", path, len(golden.Roles))
-	return nil
 }

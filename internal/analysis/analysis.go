@@ -96,9 +96,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	    waivers cannot accumulate.
 //
 //	//blobseer:seglog role
-//	    Marks a function as one copy of the shared segmented-log
-//	    skeleton. The segdrift analyzer fingerprints every copy of a
-//	    role and fails when one copy changes while its siblings do not.
+//	    Marks a fault point of the shared segmented-log core. Allowed
+//	    only inside internal/seglog; the segdrift analyzer flags any
+//	    occurrence elsewhere as a re-ported copy of skeleton logic.
 const directivePrefix = "blobseer:"
 
 // Directive is one parsed //blobseer: comment.

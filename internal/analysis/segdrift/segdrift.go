@@ -1,38 +1,22 @@
-// Package segdrift keeps the three hand-ported segmented-log skeletons
-// from drifting apart.
+// Package segdrift guards the internal/seglog extraction.
 //
-// The ROADMAP's top standing hazard: the segmented, snapshot-compacted
-// log core exists three times — page store, version WAL, DHT node log —
-// and a fix hand-ported to two of three copies passes every test until
-// the third copy crashes. Until an internal/seglog extraction lands,
-// this analyzer is the tripwire: every copy of a skeleton function is
-// annotated with its role,
+// The segmented, snapshot-compacted log core used to exist three times —
+// page store, version WAL, DHT node log — and this analyzer's old job
+// was fingerprinting the hand-ported copies so a fix applied to two of
+// three would fail the build. The extraction landed: the shared core is
+// blobseer/internal/seglog, and the stores keep only their record
+// formats and policy. What remains to check is that the triplication
+// never creeps back. Every fault point of the shared core is annotated
 //
-//	//blobseer:seglog rewrite-segment
+//	//blobseer:seglog snapshot-write
 //
-// and a golden registry (internal/analysis/segdrift/golden.json) pins a
-// normalized fingerprint (comments stripped, gofmt-printed, sha256) of
-// every copy. When one copy of a role changes while a sibling still
-// matches its golden fingerprint, the changed package gets a finding:
-// port the change to every sibling or justify the divergence. When all
-// copies changed together, the finding says to re-pin the registry with
-// `blobseer-vet -update-seglog` — a deliberate, reviewable diff.
+// inside internal/seglog, and any such annotation appearing in any other
+// package is a finding: it marks a re-ported copy of skeleton logic that
+// belongs in the shared core.
 package segdrift
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
 	"go/ast"
-	"go/parser"
-	"go/printer"
-	"go/token"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"blobseer/internal/analysis"
 )
@@ -40,231 +24,39 @@ import (
 // Analyzer is the segdrift analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "segdrift",
-	Doc:  "fail when one copy of the segmented-log skeleton changes but its siblings do not",
+	Doc:  "fail when a //blobseer:seglog annotation appears outside internal/seglog: the shared core is extracted, copies must not come back",
 	Run:  run,
 }
 
-// GoldenPath overrides the registry location (tests point it at a
-// fixture). Empty means <module>/internal/analysis/segdrift/golden.json.
-var GoldenPath string
+// HomePkg overrides the one package allowed to carry //blobseer:seglog
+// annotations (tests point it at a fixture). Empty means
+// <module>/internal/seglog.
+var HomePkg string
 
-// Member is one registered copy of a role.
-type Member struct {
-	Func string `json:"func"`
-	Hash string `json:"hash"`
-}
-
-// Golden is the registry: role -> import path -> member.
-type Golden struct {
-	Roles map[string]map[string]Member `json:"roles"`
-}
-
-func goldenPath(pass *analysis.Pass) string {
-	if GoldenPath != "" {
-		return GoldenPath
+func home(pass *analysis.Pass) string {
+	if HomePkg != "" {
+		return HomePkg
 	}
-	return filepath.Join(pass.ModDir, "internal", "analysis", "segdrift", "golden.json")
-}
-
-// ReadGolden loads a registry file.
-func ReadGolden(path string) (*Golden, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var g Golden
-	if err := json.Unmarshal(data, &g); err != nil {
-		return nil, fmt.Errorf("segdrift: parse %s: %v", path, err)
-	}
-	if g.Roles == nil {
-		g.Roles = make(map[string]map[string]Member)
-	}
-	return &g, nil
-}
-
-// WriteGolden writes a registry file with stable formatting.
-func WriteGolden(path string, g *Golden) error {
-	data, err := json.MarshalIndent(g, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// annotated is one //blobseer:seglog-marked function in the package
-// under analysis.
-type annotated struct {
-	role string
-	fn   *ast.FuncDecl
-	hash string
-}
-
-// Fingerprint returns the normalized hash of a function: the decl is
-// printed without its doc comment (interior comments are dropped too,
-// as the printer emits only node-attached text) and sha256'd, so
-// comment-only edits never trip the wire.
-func Fingerprint(fset *token.FileSet, fd *ast.FuncDecl) string {
-	norm := *fd
-	norm.Doc = nil
-	var buf bytes.Buffer
-	if err := printer.Fprint(&buf, fset, &norm); err != nil {
-		// Printing a parsed decl cannot realistically fail; fold the
-		// error into the hash so it is at least deterministic.
-		fmt.Fprintf(&buf, "printer error: %v", err)
-	}
-	sum := sha256.Sum256(buf.Bytes())
-	return hex.EncodeToString(sum[:])
-}
-
-// seglogRole extracts the //blobseer:seglog role from a declaration's
-// doc comment, if any.
-func seglogRole(fd *ast.FuncDecl) (string, bool) {
-	if fd.Doc == nil {
-		return "", false
-	}
-	for _, c := range fd.Doc.List {
-		if d, ok := analysis.ParseDirective(c); ok && d.Verb == "seglog" {
-			role := strings.TrimSpace(d.Args)
-			if role != "" {
-				return role, true
-			}
-		}
-	}
-	return "", false
-}
-
-// RoleHashes fingerprints every annotated function in the files.
-// Duplicate roles within one package are rejected by the caller.
-func RoleHashes(fset *token.FileSet, files []*ast.File) []annotated {
-	var out []annotated
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if role, ok := seglogRole(fd); ok {
-				out = append(out, annotated{role: role, fn: fd, hash: Fingerprint(fset, fd)})
-			}
-		}
-	}
-	return out
-}
-
-// HashDir parses a package directory from disk (non-test files,
-// syntax-only) and returns role -> member for its annotated functions.
-// Used both to hash sibling copies and by -update-seglog.
-func HashDir(dir string) (map[string]Member, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]Member)
-	for _, pkg := range pkgs {
-		var files []*ast.File
-		for _, f := range pkg.Files {
-			files = append(files, f)
-		}
-		sort.Slice(files, func(i, j int) bool {
-			return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
-		})
-		for _, a := range RoleHashes(fset, files) {
-			out[a.role] = Member{Func: a.fn.Name.Name, Hash: a.hash}
-		}
-	}
-	return out, nil
-}
-
-// pkgDir maps an import path in the registry to its on-disk directory.
-func pkgDir(pass *analysis.Pass, importPath string) string {
-	rel := strings.TrimPrefix(importPath, pass.ModPath+"/")
-	return filepath.Join(pass.ModDir, filepath.FromSlash(rel))
+	return pass.ModPath + "/internal/seglog"
 }
 
 func run(pass *analysis.Pass) error {
-	anns := RoleHashes(pass.Fset, pass.Files)
-	path := goldenPath(pass)
-	golden, err := ReadGolden(path)
-	if os.IsNotExist(err) {
-		if len(anns) > 0 {
-			pass.Reportf(anns[0].fn.Pos(),
-				"//blobseer:seglog annotations present but no registry at %s; run blobseer-vet -update-seglog", path)
-		}
+	if pass.PkgPath == home(pass) {
 		return nil
-	} else if err != nil {
-		return err
 	}
-
-	seen := make(map[string]bool)
-	for _, a := range anns {
-		if seen[a.role] {
-			pass.Reportf(a.fn.Pos(), "duplicate //blobseer:seglog role %q in package %s", a.role, pass.PkgPath)
-			continue
-		}
-		seen[a.role] = true
-		members := golden.Roles[a.role]
-		reg, ok := members[pass.PkgPath]
-		if !ok {
-			pass.Reportf(a.fn.Pos(),
-				"seglog role %q in %s is not in the registry; run blobseer-vet -update-seglog", a.role, pass.PkgPath)
-			continue
-		}
-		if reg.Func != a.fn.Name.Name {
-			pass.Reportf(a.fn.Pos(),
-				"seglog role %q moved from %s to %s; run blobseer-vet -update-seglog if intended",
-				a.role, reg.Func, a.fn.Name.Name)
-			continue
-		}
-		if reg.Hash == a.hash {
-			continue
-		}
-		// This copy changed. Did the siblings change too?
-		var unchanged, changed []string
-		for _, sib := range sortedKeys(members) {
-			if sib == pass.PkgPath {
-				continue
-			}
-			cur, err := HashDir(pkgDir(pass, sib))
-			if err != nil {
-				pass.Reportf(a.fn.Pos(), "seglog role %q: cannot hash sibling %s: %v", a.role, sib, err)
-				continue
-			}
-			if m, ok := cur[a.role]; ok && m.Hash == members[sib].Hash {
-				unchanged = append(unchanged, sib)
-			} else {
-				changed = append(changed, sib)
+	check := func(files []*ast.File) {
+		for _, f := range files {
+			for _, d := range analysis.Directives(f) {
+				if d.Verb != "seglog" {
+					continue
+				}
+				pass.Reportf(d.Pos,
+					"//blobseer:seglog %s outside %s: the segmented-log core is shared now — extend internal/seglog instead of porting a copy into %s",
+					d.Args, home(pass), pass.PkgPath)
 			}
 		}
-		if len(unchanged) > 0 {
-			pass.Reportf(a.fn.Pos(),
-				"%s (seglog role %q) changed but sibling copy %s did not: port the change to every copy or justify the divergence, then run blobseer-vet -update-seglog",
-				a.fn.Name.Name, a.role, strings.Join(unchanged, ", "))
-		} else {
-			pass.Reportf(a.fn.Pos(),
-				"%s (seglog role %q) changed in every copy; re-pin the registry with blobseer-vet -update-seglog",
-				a.fn.Name.Name, a.role)
-		}
 	}
-
-	// Registered members of this package must still exist, annotated.
-	for _, role := range sortedKeys(golden.Roles) {
-		if m, ok := golden.Roles[role][pass.PkgPath]; ok && !seen[role] {
-			pass.Reportf(pass.Files[0].Pos(),
-				"registry lists %s as seglog role %q of %s, but no function carries that annotation; restore it or run blobseer-vet -update-seglog",
-				m.Func, role, pass.PkgPath)
-		}
-	}
+	check(pass.Files)
+	check(pass.TestFiles)
 	return nil
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -1,7 +1,6 @@
 package segdrift_test
 
 import (
-	"path/filepath"
 	"strings"
 	"testing"
 
@@ -9,60 +8,33 @@ import (
 	"blobseer/internal/analysis/segdrift"
 )
 
-// loadCopies loads the two identical golden skeleton packages.
+// loadCopies loads the fixture packages: copya carries a //blobseer:seglog
+// annotation in its checked source, copyb only in an in-package test file.
 func loadCopies(t *testing.T) []*analysis.Package {
 	t.Helper()
 	pkgs, err := analysis.Load("testdata/src", "./copya", "./copyb")
 	if err != nil {
-		t.Fatalf("load golden packages: %v", err)
+		t.Fatalf("load fixture packages: %v", err)
 	}
 	if len(pkgs) != 2 {
 		t.Fatalf("want 2 packages, got %d", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		for _, err := range pkg.Errors {
-			t.Fatalf("%s: golden package does not type-check: %v", pkg.PkgPath, err)
+			t.Fatalf("%s: fixture package does not type-check: %v", pkg.PkgPath, err)
 		}
 	}
 	return pkgs
 }
 
-// runWith points the analyzer at the given registry file and runs it.
-func runWith(t *testing.T, goldenPath string, pkgs []*analysis.Package) *analysis.Result {
+// runWith runs the analyzer with home overridden to homePkg ("" keeps the
+// default <module>/internal/seglog).
+func runWith(t *testing.T, homePkg string, pkgs []*analysis.Package) *analysis.Result {
 	t.Helper()
-	old := segdrift.GoldenPath
-	segdrift.GoldenPath = goldenPath
-	defer func() { segdrift.GoldenPath = old }()
+	old := segdrift.HomePkg
+	segdrift.HomePkg = homePkg
+	defer func() { segdrift.HomePkg = old }()
 	return analysis.Run([]*analysis.Analyzer{segdrift.Analyzer}, pkgs)
-}
-
-// accurateGolden pins both copies at their current fingerprints, as
-// -update-seglog would.
-func accurateGolden(t *testing.T, pkgs []*analysis.Package) *segdrift.Golden {
-	t.Helper()
-	g := &segdrift.Golden{Roles: make(map[string]map[string]segdrift.Member)}
-	for _, pkg := range pkgs {
-		members, err := segdrift.HashDir(pkg.Dir)
-		if err != nil {
-			t.Fatalf("hash %s: %v", pkg.Dir, err)
-		}
-		for role, m := range members {
-			if g.Roles[role] == nil {
-				g.Roles[role] = make(map[string]segdrift.Member)
-			}
-			g.Roles[role][pkg.PkgPath] = m
-		}
-	}
-	return g
-}
-
-func writeGolden(t *testing.T, g *segdrift.Golden) string {
-	t.Helper()
-	path := filepath.Join(t.TempDir(), "golden.json")
-	if err := segdrift.WriteGolden(path, g); err != nil {
-		t.Fatalf("write golden: %v", err)
-	}
-	return path
 }
 
 func messages(res *analysis.Result) []string {
@@ -73,103 +45,82 @@ func messages(res *analysis.Result) []string {
 	return out
 }
 
-func wantOneContaining(t *testing.T, res *analysis.Result, substrs ...string) {
-	t.Helper()
+// TestAnnotationsOutsideHomeFlagged is the rule itself: any
+// //blobseer:seglog annotation outside internal/seglog is a finding,
+// including ones hiding in test files.
+func TestAnnotationsOutsideHomeFlagged(t *testing.T) {
+	pkgs := loadCopies(t)
+	res := runWith(t, "", pkgs)
 	msgs := messages(res)
-	if len(msgs) != len(substrs) {
-		t.Fatalf("want %d finding(s), got %d: %v", len(substrs), len(msgs), msgs)
+	if len(msgs) != 2 {
+		t.Fatalf("want 2 findings (copya source + copyb test file), got %d: %v", len(msgs), msgs)
 	}
-	for i, sub := range substrs {
-		if !strings.Contains(msgs[i], sub) {
-			t.Errorf("finding %d = %q, want substring %q", i, msgs[i], sub)
+	if !strings.Contains(msgs[0], `//blobseer:seglog roll outside`) ||
+		!strings.Contains(msgs[0], "copya.go: ") {
+		t.Errorf("finding 0 = %q, want the copya.go annotation", msgs[0])
+	}
+	if !strings.Contains(msgs[1], `//blobseer:seglog roll-test outside`) ||
+		!strings.Contains(msgs[1], "copyb_test.go") {
+		t.Errorf("finding 1 = %q, want the copyb_test.go annotation", msgs[1])
+	}
+	for _, m := range msgs {
+		if !strings.Contains(m, "extend internal/seglog") {
+			t.Errorf("finding %q does not point at the shared core", m)
 		}
 	}
 }
 
-func TestCleanRegistry(t *testing.T) {
+// TestHomePackageExempt pins the one allowed location: the package named
+// by home may carry any number of seglog annotations without findings.
+func TestHomePackageExempt(t *testing.T) {
 	pkgs := loadCopies(t)
-	res := runWith(t, writeGolden(t, accurateGolden(t, pkgs)), pkgs)
-	if msgs := messages(res); len(msgs) != 0 {
-		t.Fatalf("accurate registry must be clean, got %v", msgs)
-	}
-}
-
-func TestOneCopyDrifted(t *testing.T) {
-	pkgs := loadCopies(t)
-	g := accurateGolden(t, pkgs)
-	// Stale-ify copya's pinned hash: from the analyzer's point of view,
-	// copya changed since the pin while copyb still matches.
-	copya := pkgs[0].PkgPath
-	m := g.Roles["roll"][copya]
-	m.Hash = strings.Repeat("0", 64)
-	g.Roles["roll"][copya] = m
-	res := runWith(t, writeGolden(t, g), pkgs)
-	wantOneContaining(t, res,
-		`roll (seglog role "roll") changed but sibling copy `+pkgs[1].PkgPath+` did not`)
-	if f := res.Findings[0]; !strings.HasSuffix(f.Pos.Filename, "copya.go") {
-		t.Errorf("finding placed in %s, want the drifted copy copya.go", f.Pos.Filename)
-	}
-}
-
-func TestAllCopiesChanged(t *testing.T) {
-	pkgs := loadCopies(t)
-	g := accurateGolden(t, pkgs)
 	for _, pkg := range pkgs {
-		m := g.Roles["roll"][pkg.PkgPath]
-		m.Hash = strings.Repeat("0", 64)
-		g.Roles["roll"][pkg.PkgPath] = m
+		res := runWith(t, pkg.PkgPath, pkgs)
+		for _, m := range messages(res) {
+			// The flagged package is named at the end of the message.
+			if strings.HasSuffix(m, "into "+pkg.PkgPath) {
+				t.Errorf("home package %s still flagged: %q", pkg.PkgPath, m)
+			}
+		}
+		// Exactly the other package's findings must remain.
+		if want, got := 1, len(messages(res)); want != got {
+			t.Errorf("home=%s: want %d finding from the sibling, got %d: %v",
+				pkg.PkgPath, want, got, messages(res))
+		}
 	}
-	res := runWith(t, writeGolden(t, g), pkgs)
-	wantOneContaining(t, res,
-		`changed in every copy; re-pin the registry`,
-		`changed in every copy; re-pin the registry`)
 }
 
-func TestRoleMoved(t *testing.T) {
+// TestCleanPackage: a package with no seglog annotations in checked
+// source is clean when its test files are clean too.
+func TestCleanPackage(t *testing.T) {
 	pkgs := loadCopies(t)
-	g := accurateGolden(t, pkgs)
-	copya := pkgs[0].PkgPath
-	m := g.Roles["roll"][copya]
-	m.Func = "elsewhere"
-	g.Roles["roll"][copya] = m
-	res := runWith(t, writeGolden(t, g), pkgs)
-	wantOneContaining(t, res, `seglog role "roll" moved from elsewhere to roll`)
-}
-
-func TestAnnotationDropped(t *testing.T) {
-	pkgs := loadCopies(t)
-	g := accurateGolden(t, pkgs)
-	copya := pkgs[0].PkgPath
-	g.Roles["gone"] = map[string]segdrift.Member{
-		copya: {Func: "vanished", Hash: strings.Repeat("0", 64)},
+	var copya *analysis.Package
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.PkgPath, "copya") {
+			copya = pkg
+		}
 	}
-	res := runWith(t, writeGolden(t, g), pkgs)
-	wantOneContaining(t, res,
-		`registry lists vanished as seglog role "gone" of `+copya)
+	if copya == nil {
+		t.Fatal("copya fixture missing")
+	}
+	// copya has no test files; with home pointed at it, nothing remains
+	// to flag in a run over just copya.
+	res := runWith(t, copya.PkgPath, []*analysis.Package{copya})
+	if msgs := messages(res); len(msgs) != 0 {
+		t.Fatalf("want no findings, got %v", msgs)
+	}
 }
 
-func TestMissingRegistry(t *testing.T) {
-	pkgs := loadCopies(t)
-	res := runWith(t, filepath.Join(t.TempDir(), "absent.json"), pkgs)
-	wantOneContaining(t, res,
-		"//blobseer:seglog annotations present but no registry",
-		"//blobseer:seglog annotations present but no registry")
-}
-
-// TestFingerprintIgnoresComments pins the normalization contract:
-// comment-only edits must not change a fingerprint.
-func TestFingerprintIgnoresComments(t *testing.T) {
-	pkgs := loadCopies(t)
-	a, err := segdrift.HashDir(pkgs[0].Dir)
+// TestRealSeglogIsHome: with no override, the analyzer exempts exactly
+// <module>/internal/seglog — the annotations that document the shared
+// core's fault points must never self-flag.
+func TestRealSeglogIsHome(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./internal/seglog")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("load internal/seglog: %v", err)
 	}
-	b, err := segdrift.HashDir(pkgs[1].Dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a["roll"].Hash != b["roll"].Hash {
-		t.Fatalf("identical functions with different doc packages must hash equal: %s vs %s",
-			a["roll"].Hash, b["roll"].Hash)
+	res := runWith(t, "", pkgs)
+	if msgs := messages(res); len(msgs) != 0 {
+		t.Fatalf("internal/seglog must be exempt, got %v", msgs)
 	}
 }

@@ -1,8 +1,8 @@
-// Package copya is one copy of a shared skeleton for the segdrift
-// analysistest; copyb carries the identical function.
+// Package copya re-ports a skeleton function that belongs in the shared
+// segmented-log core; the segdrift analysistest expects a finding here.
 package copya
 
-// roll is the shared skeleton function.
+// roll is a re-ported copy of shared skeleton logic.
 //
 //blobseer:seglog roll
 func roll(n int) int {

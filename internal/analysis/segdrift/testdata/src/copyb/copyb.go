@@ -1,10 +1,8 @@
-// Package copyb is the sibling copy of copya's skeleton for the
-// segdrift analysistest.
+// Package copyb has no //blobseer:seglog annotations in its non-test
+// source; the segdrift analysistest expects its only finding to come
+// from the in-package test file.
 package copyb
 
-// roll is the shared skeleton function.
-//
-//blobseer:seglog roll
 func roll(n int) int {
 	total := 0
 	for i := 0; i < n; i++ {

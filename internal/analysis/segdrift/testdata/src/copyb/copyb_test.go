@@ -1,0 +1,15 @@
+package copyb
+
+import "testing"
+
+// rollForTest sneaks a seglog annotation into a test file; segdrift must
+// flag annotations in TestFiles too, not just the checked sources.
+//
+//blobseer:seglog roll-test
+func rollForTest(n int) int { return roll(n) }
+
+func TestRoll(t *testing.T) {
+	if rollForTest(3) != 3 {
+		t.Fatal("roll(3)")
+	}
+}

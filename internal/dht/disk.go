@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"blobseer/internal/rpc"
+	"blobseer/internal/seglog"
 	"blobseer/internal/transport"
 	"blobseer/internal/vclock"
 )
@@ -59,8 +60,7 @@ type metaLog struct {
 
 	// Maintenance (snapshot + compaction) machinery, see maintain.go.
 	maintMu     sync.Mutex
-	maintC      chan struct{}
-	quitC       chan struct{}
+	maint       *seglog.Maintainer
 	snapRuns    uint64
 	compactRuns uint64
 
@@ -143,9 +143,8 @@ func openMetaLog(path string, opts LogOptions) (*metaLog, [][2][]byte, error) {
 	// records would grow its tail without bound.
 	l.events = l.recStats.recordsReplayed
 	if opts.SnapshotEvery > 0 || opts.CompactRatio > 0 {
-		l.maintC = make(chan struct{}, 1)
-		l.quitC = make(chan struct{})
-		go l.maintainLoop()
+		l.maint = seglog.NewMaintainer(l.maintainPass)
+		l.maint.Start()
 		if opts.SnapshotEvery > 0 && l.events >= opts.SnapshotEvery {
 			l.nudgeMaintain()
 		}
@@ -155,19 +154,7 @@ func openMetaLog(path string, opts LogOptions) (*metaLog, [][2][]byte, error) {
 
 // syncDir fsyncs a directory so renames, creations and truncations in
 // it are durable.
-//
-//blobseer:seglog sync-dir
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func syncDir(dir string) error { return seglog.SyncDir(dir) }
 
 // recover rebuilds the index and the pair set from disk. See the
 // package comments in segment.go and snapshot.go for the
@@ -176,9 +163,7 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 	base := l.base
 	// Leftover tmp files from interrupted maintenance are garbage: only
 	// the atomic renames ever activate them.
-	os.Remove(dhtSnapshotTmpPath(base))
-	os.Remove(dhtCompactTmpPath(base))
-	os.Remove(base + ".migrate.tmp")
+	seglog.RemoveTmp(base)
 
 	segIdxs, err := listDHTSegments(base)
 	if err != nil {
@@ -225,8 +210,8 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 	}
 
 	if len(segIdxs) == 0 {
-		if snap != nil && len(snap.gens) > 0 {
-			return nil, fmt.Errorf("dht: snapshot covers %d segments but none exist on disk", len(snap.gens))
+		if snap != nil && len(snap.meta.Segs) > 0 {
+			return nil, fmt.Errorf("dht: snapshot covers %d segments but none exist on disk", len(snap.meta.Segs))
 		}
 		seg, err := l.createSegment(1, 1)
 		if err != nil {
@@ -243,9 +228,9 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 			return nil, fmt.Errorf("dht: segment %06d missing (found %06d): pairs may be lost", i+1, idx)
 		}
 	}
-	if snap != nil && len(snap.gens) > len(segIdxs) {
+	if snap != nil && len(snap.meta.Segs) > len(segIdxs) {
 		return nil, fmt.Errorf("dht: snapshot covers %d segments, only %d exist: pairs may be lost",
-			len(snap.gens), len(segIdxs))
+			len(snap.meta.Segs), len(segIdxs))
 	}
 
 	// Open every segment and validate its header.
@@ -256,7 +241,7 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dht: open segment: %w", err)
 		}
-		gen, err := readDHTSegmentHeader(f, p)
+		gen, err := dhtFmt.ReadHeader(f, p)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -282,9 +267,9 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 	var rescan []uint32
 	if snap != nil {
 		l.recStats.snapshotLoaded = true
-		for i, g := range snap.gens {
+		for i, sm := range snap.meta.Segs {
 			idx := uint32(i + 1)
-			if l.segs[idx].gen != g {
+			if l.segs[idx].gen != sm.Gen {
 				stale[idx] = true
 				rescan = append(rescan, idx)
 			}
@@ -308,7 +293,24 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 			pairs[string(e.key)] = val
 			l.recStats.snapshotPairs++
 		}
-		for idx := uint32(len(snap.gens) + 1); idx <= uint32(len(segIdxs)); idx++ {
+		// A v2 snapshot carries each covered segment's tombstone bytes;
+		// restore them so the compactor's reclaim estimate matches the
+		// pre-crash accounting exactly. (liveBytes were just seeded from
+		// the entries.) A v1 snapshot has no counters and the covered
+		// segments reopen with tombBytes zero — the old, undercounting
+		// behaviour, corrected by their next rescan or rewrite. The
+		// highest segment is skipped: its rescan below re-adds tombstone
+		// bytes, and seeding it here would double-count.
+		if snap.meta.HasMeta {
+			for i, sm := range snap.meta.Segs {
+				idx := uint32(i + 1)
+				if stale[idx] || idx == highest {
+					continue
+				}
+				l.segs[idx].tombBytes = sm.Tomb
+			}
+		}
+		for idx := uint32(len(snap.meta.Segs) + 1); idx <= uint32(len(segIdxs)); idx++ {
 			rescan = append(rescan, idx)
 		}
 		// The highest segment is rescanned even when the snapshot
@@ -398,7 +400,7 @@ func (l *metaLog) createSegment(idx uint32, gen uint64) (*metaSegment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dht: create segment: %w", err)
 	}
-	if err := writeDHTSegmentHeader(f, gen); err != nil {
+	if err := dhtFmt.WriteHeader(f, gen); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -428,8 +430,6 @@ func (l *metaLog) createSegment(idx uint32, gen uint64) (*metaSegment, error) {
 // refuses to start". The sealed segment's file stays open — compaction
 // rewrites still read it, and snapshot-covered values are read from it
 // at the next open.
-//
-//blobseer:seglog roll
 func (l *metaLog) rollLocked() error {
 	if err := l.active.f.Sync(); err != nil {
 		return fmt.Errorf("dht: seal segment: %w", err)
@@ -577,10 +577,8 @@ func (l *metaLog) close() error {
 		return nil
 	}
 	l.closed = true
-	if l.quitC != nil {
-		close(l.quitC)
-	}
 	l.logMu.Unlock()
+	l.maint.Stop()
 	// Barrier: an in-flight snapshot or compaction finishes (its output
 	// is valid and worth keeping) before the files are flushed and
 	// closed under it.

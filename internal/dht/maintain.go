@@ -1,9 +1,11 @@
 package dht
 
 import (
-	"fmt"
+	"encoding/binary"
+	"errors"
 	"os"
-	"path/filepath"
+
+	"blobseer/internal/seglog"
 )
 
 // Maintenance turns the segmented metadata log from "rescan everything
@@ -27,9 +29,11 @@ import (
 //     crash after the rename but before the follow-up snapshot is
 //     detected on reopen (generation mismatch) and that segment alone
 //     is rescanned instead of trusting stale offsets.
-//  4. Delete records are preserved by rewrites, so even the
-//     no-snapshot fallback (full rescan) can never resurrect a deleted
-//     pair whose put sits in an earlier, unrewritten segment.
+//  4. Delete records are preserved by rewrites while some earlier
+//     segment still holds a put for their key, so even the no-snapshot
+//     fallback (full rescan) can never resurrect a deleted pair. Once
+//     the last such put is gone the delete record is dead weight and
+//     the rewrite drops it (see internal/seglog/hygiene.go).
 //
 // The crash-injection tests drive a hook through every fault point
 // below and assert the recovered pairs are byte-identical to an
@@ -72,40 +76,23 @@ func (l *metaLog) crash(point string) error {
 }
 
 // nudgeMaintain wakes the background maintainer (no-op when none runs).
-func (l *metaLog) nudgeMaintain() {
-	if l.maintC == nil {
-		return
-	}
-	select {
-	case l.maintC <- struct{}{}:
-	default: // a nudge is already pending
-	}
-}
+func (l *metaLog) nudgeMaintain() { l.maint.Nudge() }
 
-// maintainLoop runs automatic snapshots and compaction. Errors are not
-// fatal — the log simply keeps growing until the next trigger succeeds.
-//
-//blobseer:seglog maintain-loop
-func (l *metaLog) maintainLoop() {
-	for {
-		select {
-		case <-l.quitC:
-			return
-		case <-l.maintC:
-			l.logMu.Lock()
-			closed, events := l.closed, l.events
-			l.logMu.Unlock()
-			if closed {
-				return
-			}
-			if n := l.opts.SnapshotEvery; n > 0 && events >= n {
-				l.snapshot()
-			}
-			if l.opts.CompactRatio > 0 {
-				l.compact()
-			}
-		}
+// maintainPass is one wake-up of the background maintainer.
+func (l *metaLog) maintainPass() bool {
+	l.logMu.Lock()
+	closed, events := l.closed, l.events
+	l.logMu.Unlock()
+	if closed {
+		return false
 	}
+	if n := l.opts.SnapshotEvery; n > 0 && events >= n {
+		l.snapshot()
+	}
+	if l.opts.CompactRatio > 0 {
+		l.compact()
+	}
+	return true
 }
 
 // snapshot serializes the pair index into an atomically renamed
@@ -119,7 +106,6 @@ func (l *metaLog) snapshot() error {
 	return l.snapshotLocked()
 }
 
-//blobseer:seglog snapshot-write
 func (l *metaLog) snapshotLocked() error {
 	if err := l.crash(dhtCrashSnapBegin); err != nil {
 		return err
@@ -131,21 +117,10 @@ func (l *metaLog) snapshotLocked() error {
 	if err := l.crash(dhtCrashSnapCaptured); err != nil {
 		return err
 	}
-	if err := writeDHTSnapshotFile(l.base, encodeDHTIndexSnapshot(snap), l.opts.Sync); err != nil {
-		return err
-	}
-	if err := l.crash(dhtCrashSnapTmpWritten); err != nil {
-		return err
-	}
-	if err := os.Rename(dhtSnapshotTmpPath(l.base), dhtSnapshotPath(l.base)); err != nil {
-		return fmt.Errorf("dht: activate snapshot: %w", err)
-	}
-	if l.opts.Sync {
-		if err := syncDir(filepath.Dir(l.base)); err != nil {
-			return fmt.Errorf("dht: sync snapshot dir: %w", err)
-		}
-	}
-	if err := l.crash(dhtCrashSnapRenamed); err != nil {
+	if err := dhtFmt.PublishSnapshot(l.base, encodeDHTIndexSnapshot(snap), l.opts.Sync,
+		func() error { return l.crash(dhtCrashSnapTmpWritten) },
+		func() error { return l.crash(dhtCrashSnapRenamed) },
+	); err != nil {
 		return err
 	}
 	l.logMu.Lock()
@@ -157,9 +132,9 @@ func (l *metaLog) snapshotLocked() error {
 // capture rolls the log to a fresh segment and clones the index. It
 // holds logMu, which excludes every mutator — so no append is in flight
 // during the roll and the clone is exactly the state the segments below
-// the cut replay to.
-//
-//blobseer:seglog capture
+// the cut replay to. The per-segment counters read here are exact for
+// the same reason, and compaction (the only other writer of gen and the
+// counters) is excluded by maintMu.
 func (l *metaLog) capture() (*dhtIndexSnapshot, error) {
 	l.logMu.Lock()
 	defer l.logMu.Unlock()
@@ -172,9 +147,17 @@ func (l *metaLog) capture() (*dhtIndexSnapshot, error) {
 		}
 	}
 	covered := l.active.idx - 1
-	snap := &dhtIndexSnapshot{gens: make([]uint64, covered)}
+	snap := &dhtIndexSnapshot{meta: seglog.IndexMeta{
+		HasMeta: true,
+		Segs:    make([]seglog.SegMeta, covered),
+	}}
 	for i := uint32(1); i <= covered; i++ {
-		snap.gens[i-1] = l.segs[i].gen
+		seg := l.segs[i]
+		snap.meta.Segs[i-1] = seglog.SegMeta{
+			Gen:  seg.gen,
+			Live: seg.liveBytes,
+			Tomb: seg.tombBytes,
+		}
 	}
 	snap.entries = make([]dhtSnapEntry, 0, len(l.index))
 	for key, e := range l.index {
@@ -206,14 +189,14 @@ func (l *metaLog) compactions() uint64 {
 // snapshot so the rewrites are covered. Pairs still indexed — every
 // pair not explicitly deleted, i.e. every tree node still reachable
 // from a retained version or branch — are preserved byte-identically;
-// only records of deleted pairs and duplicate puts are dropped.
+// only records of deleted pairs, duplicate puts, and delete records
+// with no earlier put left to suppress are dropped.
 func (l *metaLog) compact() error {
 	l.maintMu.Lock()
 	defer l.maintMu.Unlock()
 	return l.compactLocked()
 }
 
-//blobseer:seglog compact
 func (l *metaLog) compactLocked() error {
 	ratio := l.opts.CompactRatio
 	if ratio <= 0 {
@@ -239,11 +222,11 @@ func (l *metaLog) compactLocked() error {
 }
 
 // pickVictim returns the sealed segment with the most reclaimable bytes
-// among those whose live ratio is below the threshold, or nil. A
-// freshly rewritten segment estimates zero reclaimable bytes, so
-// compaction always terminates.
-//
-//blobseer:seglog pick-victim
+// among those whose live ratio is below the threshold — or, when no
+// bytes are reclaimable anywhere, the lowest hygiene-flagged segment
+// (an earlier rewrite dropped a put, so delete records there may now be
+// droppable). A freshly rewritten segment estimates zero reclaimable
+// bytes and carries no flag, so compaction always terminates.
 func (l *metaLog) pickVictim(ratio float64) *metaSegment {
 	l.logMu.Lock()
 	defer l.logMu.Unlock()
@@ -268,6 +251,21 @@ func (l *metaLog) pickVictim(ratio float64) *metaSegment {
 			best, bestReclaim = seg, reclaim
 		}
 	}
+	if best != nil {
+		return best
+	}
+	for _, seg := range l.segs {
+		if seg.idx >= l.active.idx || !seg.hygiene {
+			continue
+		}
+		if seg.size-dhtSegHeaderSize <= 0 {
+			seg.hygiene = false
+			continue
+		}
+		if best == nil || seg.idx < best.idx {
+			best = seg
+		}
+	}
 	return best
 }
 
@@ -281,17 +279,63 @@ type keptPair struct {
 	newOff int64 // new value offset
 }
 
+// errDHTHygieneDone stops the delete-hygiene sweep early once every
+// delete record in the victim is known to be needed.
+var errDHTHygieneDone = errors.New("dht: hygiene scan complete")
+
+// neededTombs resolves the hygiene rule for one victim: which of its
+// delete records still have a put record in some earlier segment to
+// suppress. Earlier segments are sealed and maintMu excludes any other
+// rewrite (close also takes maintMu before closing files), so the
+// handles cloned under logMu stay valid for the whole sweep. Keys are
+// length-prefixed inside the payload, so the sweep decodes each frame's
+// kind byte and key prefix by hand instead of the full record.
+func (l *metaLog) neededTombs(victim *metaSegment, tombs map[string]bool) (map[string]bool, error) {
+	type sealedSeg struct {
+		f    *os.File
+		path string
+	}
+	l.logMu.Lock()
+	earlier := make([]sealedSeg, 0, victim.idx-1)
+	for idx := uint32(1); idx < victim.idx; idx++ {
+		earlier = append(earlier, sealedSeg{f: l.segs[idx].f, path: dhtSegmentPath(l.base, idx)})
+	}
+	l.logMu.Unlock()
+	return seglog.FilterTombs(tombs, func(observe func(string) bool) error {
+		for _, seg := range earlier {
+			_, err := dhtFmt.Scan(seg.f, seg.path, false, func(payload []byte, _ int64) error {
+				if len(payload) < dhtRecPayloadMin || payload[0] != dhtRecPut {
+					return nil
+				}
+				keyLen := binary.LittleEndian.Uint32(payload[1:5])
+				if int(keyLen) > len(payload)-dhtRecPayloadMin {
+					return nil // corrupt payload; the full decode path reports it
+				}
+				if !observe(string(payload[dhtRecPayloadMin : dhtRecPayloadMin+keyLen])) {
+					return errDHTHygieneDone
+				}
+				return nil
+			})
+			if errors.Is(err, errDHTHygieneDone) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // rewriteSegment compacts one sealed segment in place: the records
-// still live — puts the index points at, and every delete — are written
-// to a tmp file under a fresh generation, fsynced (always, even in
-// non-Sync logs: a rewrite replaces previously durable data, so it must
-// itself be durable before the rename), renamed over the segment, and
-// the index entries are retargeted to the new offsets under logMu. A
+// still live — puts the index points at, and delete records some
+// earlier segment still holds a put for — are written to a tmp file
+// under a fresh generation, fsynced, renamed over the segment (see
+// seglog.SegmentWriter for why the fsync is unconditional), and the
+// index entries are retargeted to the new offsets under logMu. A
 // delete racing the rewrite is re-checked at retarget time: its entry
 // is already gone, and its delete record sits in the active segment,
 // later in replay order than anything this rewrite keeps.
-//
-//blobseer:seglog rewrite-segment
 func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 	// Clone the victim's live set and reserve the new generation under
 	// logMu; the file handle itself is stable (only compaction swaps
@@ -315,12 +359,16 @@ func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 
 	path := dhtSegmentPath(l.base, victim.idx)
 	var kept []keptPair
+	tombs := make(map[string]bool)
+	droppedPut := false
 	if _, err := scanDHTSegment(f, path, false, func(sp scannedPair) error {
 		switch sp.rec.kind {
 		case dhtRecDel:
+			key := string(sp.rec.key)
+			tombs[key] = true
 			kept = append(kept, keptPair{
 				frame: frameDHTRecord(sp.rec.encode()),
-				key:   string(sp.rec.key),
+				key:   key,
 			})
 		case dhtRecPut:
 			// Keep only the record the index points at: duplicates and
@@ -332,6 +380,8 @@ func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 					key:    string(sp.rec.key),
 					oldOff: sp.valOff,
 				})
+			} else {
+				droppedPut = true
 			}
 		}
 		return nil
@@ -339,76 +389,53 @@ func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 		return err
 	}
 
-	tmp := dhtCompactTmpPath(l.base)
-	out, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("dht: create compaction tmp: %w", err)
+	if len(tombs) > 0 {
+		needed, err := l.neededTombs(victim, tombs)
+		if err != nil {
+			return err
+		}
+		if len(needed) < len(tombs) {
+			filtered := kept[:0]
+			for _, k := range kept {
+				if !k.put && !needed[k.key] {
+					continue
+				}
+				filtered = append(filtered, k)
+			}
+			kept = filtered
+		}
 	}
-	if err := writeDHTSegmentHeader(out, newGen); err != nil {
-		out.Close()
+
+	w, err := dhtFmt.NewSegmentWriter(dhtCompactTmpPath(l.base), newGen)
+	if err != nil {
 		return err
 	}
-	var off int64 = dhtSegHeaderSize
-	var flushed int64 = dhtSegHeaderSize
 	var tombBytes int64
-	buf := make([]byte, 0, 1<<16)
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		if _, err := out.WriteAt(buf, flushed); err != nil {
-			return fmt.Errorf("dht: write compaction tmp: %w", err)
-		}
-		flushed += int64(len(buf))
-		buf = buf[:0]
-		return nil
-	}
 	for i := range kept {
 		k := &kept[i]
-		k.newOff = off + dhtRecHeaderSize + dhtRecPayloadMin + int64(len(k.key))
-		buf = append(buf, k.frame...)
-		off += int64(len(k.frame))
+		start, err := w.Append(k.frame)
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		k.newOff = start + dhtRecHeaderSize + dhtRecPayloadMin + int64(len(k.key))
 		if !k.put {
 			tombBytes += int64(len(k.frame))
 		}
-		if len(buf) >= 1<<20 {
-			if err := flush(); err != nil {
-				out.Close()
-				return err
-			}
-		}
 	}
-	if err := flush(); err != nil {
-		out.Close()
-		return err
-	}
-	if err := out.Sync(); err != nil {
-		out.Close()
-		return fmt.Errorf("dht: sync compaction tmp: %w", err)
-	}
-	if err := l.crash(dhtCrashCompactTmpWritten); err != nil {
-		out.Close()
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		out.Close()
-		return fmt.Errorf("dht: activate compacted segment: %w", err)
-	}
-	if err := syncDir(filepath.Dir(l.base)); err != nil {
-		out.Close()
-		return fmt.Errorf("dht: sync dir after compaction: %w", err)
-	}
-	if err := l.crash(dhtCrashCompactRenamed); err != nil {
-		out.Close()
+	if err := w.Commit(path,
+		func() error { return l.crash(dhtCrashCompactTmpWritten) },
+		func() error { return l.crash(dhtCrashCompactRenamed) },
+	); err != nil {
 		return err
 	}
 
 	// Swap the handle and retarget the index as one unit under logMu.
 	l.logMu.Lock()
 	old := victim.f
-	victim.f = out
+	victim.f = w.File()
 	victim.gen = newGen
-	victim.size = off
+	victim.size = w.Size()
 	var liveBytes int64
 	for i := range kept {
 		k := &kept[i]
@@ -423,6 +450,18 @@ func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 	}
 	victim.liveBytes = liveBytes
 	victim.tombBytes = tombBytes
+	victim.hygiene = false
+	if droppedPut {
+		// The dropped puts may have been the last reason delete records
+		// in later segments existed; flag them so this compaction pass
+		// re-evaluates the rule there too. Flags are only ever set when
+		// a record was actually dropped, so the cascade terminates.
+		for _, seg := range l.segs {
+			if seg.idx > victim.idx && seg.tombBytes > 0 {
+				seg.hygiene = true
+			}
+		}
+	}
 	l.compactRuns++
 	l.logMu.Unlock()
 	old.Close()

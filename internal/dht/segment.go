@@ -5,10 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -22,39 +20,43 @@ import (
 // disk is always contiguous from 1 — like the page store, old segments
 // still hold live pair values and are never deleted.
 //
-// Every segment file starts with a fixed header carrying a generation
-// number. Compaction bumps the generation of the segment it rewrites;
-// the index snapshot records the generation it saw for every covered
-// segment, so recovery detects a rewrite that happened after the
-// snapshot (its offsets are stale for that segment) and rescans just
-// that segment instead of trusting the snapshot.
+// The segment mechanics — generation-stamped headers, CRC record
+// frames, torn-tail recovery, the publish sequences — live in
+// internal/seglog, shared with the version WAL and the page store. This
+// file keeps only what is the metadata log's own: the record encoding
+// and the per-segment accounting.
 //
 // Segment header (16 bytes, little-endian):
 //
 //	uint32 dhtSegMagic | uint32 dhtSegFormat | uint64 generation
 //
-// Record frame:
+// Record frame, shared with the other logs:
 //
 //	uint32 dhtRecMagic | uint32 payloadLen | uint32 crc32(payload) | payload
 //
 // and the payload is a metaRecord encoding (see encode below): one kind
-// byte, the length-prefixed key, and — for puts — the value. A torn
-// frame at the tail of the highest segment (crash mid-append) is
-// truncated on recovery; torn or corrupt frames anywhere else fail the
-// open, because sealed segments and compaction outputs are only ever
-// activated complete.
+// byte, the length-prefixed key, and — for puts — the value.
 
 const (
 	dhtSegMagic  = 0xD47A5E60
 	dhtSegFormat = 1
 	dhtRecMagic  = 0xD47A5EE5
 
-	dhtSegHeaderSize = 4 + 4 + 8
-	dhtRecHeaderSize = 4 + 4 + 4
+	dhtSegHeaderSize = seglog.HeaderSize
+	dhtRecHeaderSize = seglog.FrameHeaderSize
 	// dhtRecPayloadMin is the kind byte plus the key length prefix: the
 	// fixed overhead of every record.
 	dhtRecPayloadMin = 1 + 4
 )
+
+// dhtFmt is the metadata log's seglog dialect.
+var dhtFmt = &seglog.Format{
+	Name:      "dht",
+	RecMagic:  dhtRecMagic,
+	SegMagic:  dhtSegMagic,
+	SegFormat: dhtSegFormat,
+	SnapMagic: dhtSnapMagic,
+}
 
 // record kinds.
 const (
@@ -106,14 +108,7 @@ func decodeDHTSegmentRecord(data []byte) (metaRecord, error) {
 }
 
 // frameDHTRecord wraps an encoded payload in the on-disk frame.
-func frameDHTRecord(payload []byte) []byte {
-	rec := make([]byte, dhtRecHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], dhtRecMagic)
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(payload))
-	copy(rec[dhtRecHeaderSize:], payload)
-	return rec
-}
+func frameDHTRecord(payload []byte) []byte { return dhtFmt.Frame(payload) }
 
 // framedPairBytes is the framed size of a pair record, the unit of the
 // live/tombstone byte accounting that drives compaction victim
@@ -132,76 +127,45 @@ type metaSegment struct {
 	size int64
 
 	// liveBytes is the framed bytes of put records the index still
-	// points at; tombBytes is the framed bytes of delete records, which
-	// compaction preserves (a dropped delete could let a full rescan
-	// resurrect a pair whose put sits in an earlier segment).
-	// size - header - liveBytes - tombBytes estimates what a rewrite
-	// would reclaim. tombBytes may read low after a snapshot-seeded
-	// recovery; see the canonical undercount note on the page-store
-	// segment struct in internal/pagestore/segment.go — the same
-	// argument (worst case: one no-op rewrite per reopen) applies here
-	// verbatim.
+	// points at; tombBytes is the framed bytes of delete records the
+	// last rewrite preserved. size - header - liveBytes - tombBytes
+	// estimates what a rewrite would reclaim. Both counters survive
+	// reopen exactly: v2 index snapshots persist them per segment (see
+	// internal/seglog/indexsnap.go), so a snapshot-seeded recovery no
+	// longer undercounts tombstone bytes.
 	liveBytes int64
 	tombBytes int64
+
+	// hygiene flags the segment for a tombstone-hygiene rewrite: an
+	// earlier segment's rewrite dropped a dead put, so delete records
+	// here may have lost their last reason to exist (see
+	// internal/seglog/hygiene.go). pickVictim selects flagged segments
+	// even when their byte-reclaim estimate is zero; the rewrite clears
+	// the flag.
+	hygiene bool
 }
 
 // dhtSegmentPath names segment idx of the log rooted at base.
 func dhtSegmentPath(base string, idx uint32) string {
-	return fmt.Sprintf("%s.%06d", base, idx)
+	return seglog.SegmentPath(base, uint64(idx))
 }
 
 // listDHTSegments returns the segment indices present for base,
 // ascending. Non-numeric siblings (the snapshot, tmp files, the legacy
 // single-file log) are ignored.
 func listDHTSegments(base string) ([]uint32, error) {
-	entries, err := os.ReadDir(filepath.Dir(base))
+	idxs, err := dhtFmt.ListSegments(base)
 	if err != nil {
-		return nil, fmt.Errorf("dht: list segments: %w", err)
+		return nil, err
 	}
-	prefix := filepath.Base(base) + "."
-	var out []uint32
-	for _, ent := range entries {
-		name := ent.Name()
-		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
-			continue
-		}
-		idx, err := strconv.ParseUint(name[len(prefix):], 10, 32)
-		if err != nil || idx == 0 {
-			continue
+	out := make([]uint32, 0, len(idxs))
+	for _, idx := range idxs {
+		if idx > 1<<32-1 {
+			continue // not a segment this log could have written
 		}
 		out = append(out, uint32(idx))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
-}
-
-// writeDHTSegmentHeader writes the 16-byte header to a fresh segment
-// file.
-func writeDHTSegmentHeader(f *os.File, gen uint64) error {
-	var hdr [dhtSegHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], dhtSegMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], dhtSegFormat)
-	binary.LittleEndian.PutUint64(hdr[8:16], gen)
-	if _, err := f.WriteAt(hdr[:], 0); err != nil {
-		return fmt.Errorf("dht: write segment header: %w", err)
-	}
-	return nil
-}
-
-// readDHTSegmentHeader validates a segment file's header and returns
-// its generation.
-func readDHTSegmentHeader(f *os.File, path string) (uint64, error) {
-	var hdr [dhtSegHeaderSize]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return 0, fmt.Errorf("dht: read segment header of %s: %w", path, err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:4]) != dhtSegMagic {
-		return 0, fmt.Errorf("dht: bad segment magic in %s", path)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != dhtSegFormat {
-		return 0, fmt.Errorf("dht: unknown segment format %d in %s", v, path)
-	}
-	return binary.LittleEndian.Uint64(hdr[8:16]), nil
 }
 
 // scannedPair is one record located by scanDHTSegment: the decoded
@@ -217,61 +181,18 @@ type scannedPair struct {
 // away when allowTorn is set (the highest segment — a crash
 // mid-append); anywhere else it fails the open. The file size after any
 // truncation is returned.
-//
-//blobseer:seglog scan-segment
 func scanDHTSegment(f *os.File, path string, allowTorn bool, visit func(scannedPair) error) (int64, error) {
-	info, err := f.Stat()
-	if err != nil {
-		return 0, fmt.Errorf("dht: stat segment: %w", err)
-	}
-	logLen := info.Size()
-	var off int64 = dhtSegHeaderSize
-	var hdr [dhtRecHeaderSize]byte
-	for off < logLen {
-		if logLen-off < dhtRecHeaderSize {
-			break // torn header
-		}
-		if _, err := f.ReadAt(hdr[:], off); err != nil {
-			return 0, fmt.Errorf("dht: read record header at %d: %w", off, err)
-		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtRecMagic {
-			return 0, fmt.Errorf("dht: bad record magic in %s at offset %d: log corrupted", path, off)
-		}
-		payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
-		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
-		payloadOff := off + dhtRecHeaderSize
-		if payloadOff+int64(payloadLen) > logLen {
-			break // torn payload
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := f.ReadAt(payload, payloadOff); err != nil {
-			return 0, fmt.Errorf("dht: read record payload at %d: %w", payloadOff, err)
-		}
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return 0, fmt.Errorf("dht: record crc mismatch in %s at offset %d: log corrupted", path, off)
-		}
+	return dhtFmt.Scan(f, path, allowTorn, func(payload []byte, payloadOff int64) error {
 		rec, err := decodeDHTSegmentRecord(payload)
 		if err != nil {
-			return 0, fmt.Errorf("dht: %s at offset %d: %w", path, off, err)
+			return fmt.Errorf("dht: %s at offset %d: %w", path, payloadOff-dhtRecHeaderSize, err)
 		}
-		if err := visit(scannedPair{
+		return visit(scannedPair{
 			rec:    rec,
 			valOff: payloadOff + dhtRecPayloadMin + int64(len(rec.key)),
 			valLen: uint32(len(rec.value)),
-		}); err != nil {
-			return 0, err
-		}
-		off = payloadOff + int64(payloadLen)
-	}
-	if off < logLen {
-		if !allowTorn {
-			return 0, fmt.Errorf("dht: torn record in sealed segment %s: log corrupted", path)
-		}
-		if err := f.Truncate(off); err != nil {
-			return 0, fmt.Errorf("dht: truncate torn tail: %w", err)
-		}
-	}
-	return off, nil
+		})
+	})
 }
 
 // Legacy single-file log (pre-segmentation) support. The old format
@@ -290,8 +211,6 @@ const (
 
 // migrateLegacyNodeLog converts the single-file log at base into
 // segment 1. Returns whether a migration happened.
-//
-//blobseer:seglog migrate-legacy
 func migrateLegacyNodeLog(base string) (bool, error) {
 	info, err := os.Stat(base)
 	if err != nil || !info.Mode().IsRegular() {
@@ -303,33 +222,23 @@ func migrateLegacyNodeLog(base string) (bool, error) {
 	}
 	defer src.Close()
 
-	tmp := base + ".migrate.tmp"
-	dst, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	dst, err := dhtFmt.NewSegmentWriter(seglog.MigrateTmpPath(base), 1)
 	if err != nil {
-		return false, fmt.Errorf("dht: create migration tmp: %w", err)
-	}
-	// Closed here on every error path; set to nil after the explicit
-	// close once the tmp is fully written.
-	defer func() {
-		if dst != nil {
-			dst.Close()
-		}
-	}()
-	if err := writeDHTSegmentHeader(dst, 1); err != nil {
 		return false, err
 	}
 	logLen := info.Size()
 	var off int64
-	var wOff int64 = dhtSegHeaderSize
 	var hdr [dhtLogHeaderLen]byte
 	for off < logLen {
 		if logLen-off < dhtLogHeaderLen {
 			break // torn header: the legacy format truncated these too
 		}
 		if _, err := src.ReadAt(hdr[:], off); err != nil {
+			dst.Abort()
 			return false, fmt.Errorf("dht: read legacy header at %d: %w", off, err)
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != dhtLogMagic {
+			dst.Abort()
 			return false, fmt.Errorf("dht: bad magic at offset %d: legacy log corrupted", off)
 		}
 		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
@@ -342,33 +251,24 @@ func migrateLegacyNodeLog(base string) (bool, error) {
 		}
 		data := make([]byte, total)
 		if _, err := src.ReadAt(data, dataOff); err != nil {
+			dst.Abort()
 			return false, fmt.Errorf("dht: read legacy payload at %d: %w", dataOff, err)
 		}
 		if crc32.ChecksumIEEE(data) != wantCRC {
+			dst.Abort()
 			return false, fmt.Errorf("dht: crc mismatch at offset %d: legacy log corrupted", off)
 		}
 		rec := metaRecord{kind: dhtRecPut, key: data[:keyLen:keyLen], value: data[keyLen:]}
-		frame := frameDHTRecord(rec.encode())
-		if _, err := dst.WriteAt(frame, wOff); err != nil {
-			return false, fmt.Errorf("dht: write migrated record: %w", err)
+		if _, err := dst.Append(dhtFmt.Frame(rec.encode())); err != nil {
+			dst.Abort()
+			return false, err
 		}
-		wOff += int64(len(frame))
 		off = dataOff + total
 	}
-	if err := dst.Sync(); err != nil {
-		return false, fmt.Errorf("dht: sync migration tmp: %w", err)
+	if err := dst.Commit(dhtSegmentPath(base, 1), nil, nil); err != nil {
+		return false, err
 	}
-	err = dst.Close()
-	dst = nil
-	if err != nil {
-		return false, fmt.Errorf("dht: close migration tmp: %w", err)
-	}
-	if err := os.Rename(tmp, dhtSegmentPath(base, 1)); err != nil {
-		return false, fmt.Errorf("dht: activate migrated segment: %w", err)
-	}
-	if err := syncDir(filepath.Dir(base)); err != nil {
-		return false, fmt.Errorf("dht: sync dir after migration: %w", err)
-	}
+	dst.File().Close() // recovery reopens the migrated segment
 	if err := os.Remove(base); err != nil {
 		return false, fmt.Errorf("dht: remove legacy log: %w", err)
 	}

@@ -2,14 +2,11 @@ package dht
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io/fs"
-	"os"
 	"sort"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -24,15 +21,15 @@ import (
 // snapshot degrades to a full rescan, which is always possible because
 // segments are never deleted.
 //
-// File layout mirrors a record frame, with its own magic:
+// The file framing, the tmp-write-rename publish sequence, and the
+// covered-segment metadata encoding are shared with the other logs via
+// internal/seglog. Format v2 additionally persists each covered
+// segment's live/tombstone byte counters so a snapshot-seeded reopen
+// restores the compaction accounting exactly; a v1 snapshot still loads
+// and merely seeds the counters conservatively.
 //
-//	uint32 dhtSnapMagic | uint32 dataLen | uint32 crc32(data) | data
-//
-// written to <base>.snapshot.tmp, fsynced (when the log syncs), then
-// atomically renamed to <base>.snapshot.
-//
-// The payload encoding is canonical: covered-segment generations in
-// index order, entries strictly ascending by key, counts bounded by the
+// The payload encoding is canonical: covered-segment metadata in index
+// order, entries strictly ascending by key, counts bounded by the
 // remaining input, no trailing bytes. That makes encode∘decode the
 // identity on valid inputs — the property FuzzDecodeDHTIndexSnapshot
 // pins.
@@ -40,19 +37,22 @@ import (
 const (
 	dhtSnapMagic = 0xD47A55A9
 	dhtSnapFmt   = 1
+	// dhtSnapFmtV2 adds per-segment live/tombstone byte counters to the
+	// covered-segment list.
+	dhtSnapFmtV2 = 2
 )
 
 // dhtSnapshotPath names the live index snapshot of the log rooted at
 // base.
-func dhtSnapshotPath(base string) string { return base + ".snapshot" }
+func dhtSnapshotPath(base string) string { return seglog.SnapshotPath(base) }
 
 // dhtSnapshotTmpPath names the in-progress snapshot; never read by
 // recovery.
-func dhtSnapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+func dhtSnapshotTmpPath(base string) string { return seglog.SnapshotTmpPath(base) }
 
 // dhtCompactTmpPath names a compaction rewrite in progress; never read
 // by recovery.
-func dhtCompactTmpPath(base string) string { return base + ".compact.tmp" }
+func dhtCompactTmpPath(base string) string { return seglog.CompactTmpPath(base) }
 
 // metaEntry locates one live pair value: value byte range
 // [off, off+vlen) inside segment seg.
@@ -70,11 +70,11 @@ type dhtSnapEntry struct {
 }
 
 // dhtIndexSnapshot is a consistent cut of the pair index. Segments
-// 1..len(gens) are covered: every record in them is reflected in the
-// entries, and gens[i] is segment i+1's generation at the cut. Segments
-// above len(gens) are the tail recovery replays.
+// 1..len(meta.Segs) are covered: every record in them is reflected in
+// the entries, and meta.Segs[i] describes segment i+1 at the cut.
+// Segments above the covered range are the tail recovery replays.
 type dhtIndexSnapshot struct {
-	gens    []uint64
+	meta    seglog.IndexMeta
 	entries []dhtSnapEntry
 }
 
@@ -84,16 +84,12 @@ func encodeDHTIndexSnapshot(s *dhtIndexSnapshot) []byte {
 	sort.Slice(s.entries, func(i, j int) bool {
 		return bytes.Compare(s.entries[i].key, s.entries[j].key) < 0
 	})
-	n := 16 + len(s.gens)*8
+	n := 16 + len(s.meta.Segs)*24
 	for _, e := range s.entries {
 		n += 20 + len(e.key)
 	}
 	w := wire.NewWriter(n)
-	w.Uint32(dhtSnapFmt)
-	w.Uint32(uint32(len(s.gens)))
-	for _, g := range s.gens {
-		w.Uint64(g)
-	}
+	seglog.EncodeIndexMeta(w, dhtSnapFmt, dhtSnapFmtV2, &s.meta)
 	w.Uint32(uint32(len(s.entries)))
 	for _, e := range s.entries {
 		w.Bytes32(e.key)
@@ -107,20 +103,6 @@ func encodeDHTIndexSnapshot(s *dhtIndexSnapshot) []byte {
 // errDHTSnapshotEncoding tags structurally invalid snapshot payloads.
 var errDHTSnapshotEncoding = errors.New("dht: invalid snapshot encoding")
 
-// dhtSnapCount reads a length prefix and bounds it by the bytes that
-// many entries of at least elemBytes each would need, so a hostile
-// prefix cannot drive a huge allocation.
-func dhtSnapCount(r *wire.Reader, elemBytes int) (int, error) {
-	n := r.Uint32()
-	if r.Err() != nil {
-		return 0, r.Err()
-	}
-	if int64(n)*int64(elemBytes) > int64(r.Remaining()) {
-		return 0, fmt.Errorf("%w: count %d exceeds remaining input", errDHTSnapshotEncoding, n)
-	}
-	return int(n), nil
-}
-
 // decodeDHTIndexSnapshot parses a snapshot payload. It never panics on
 // arbitrary bytes and rejects non-canonical input — unsorted or
 // duplicate keys, entries pointing outside the covered segments or
@@ -128,19 +110,14 @@ func dhtSnapCount(r *wire.Reader, elemBytes int) (int, error) {
 // re-encodes to exactly the input.
 func decodeDHTIndexSnapshot(data []byte) (*dhtIndexSnapshot, error) {
 	r := wire.NewReader(data)
-	if f := r.Uint32(); r.Err() == nil && f != dhtSnapFmt {
-		return nil, fmt.Errorf("%w: unknown format %d", errDHTSnapshotEncoding, f)
-	}
 	s := &dhtIndexSnapshot{}
-	nsegs, err := dhtSnapCount(r, 8)
+	meta, err := seglog.DecodeIndexMeta(r, dhtSnapFmt, dhtSnapFmtV2, errDHTSnapshotEncoding)
 	if err != nil {
 		return nil, err
 	}
-	s.gens = make([]uint64, 0, nsegs)
-	for i := 0; i < nsegs; i++ {
-		s.gens = append(s.gens, r.Uint64())
-	}
-	nent, err := dhtSnapCount(r, 20)
+	s.meta = *meta
+	nsegs := len(s.meta.Segs)
+	nent, err := seglog.Count(r, 20, errDHTSnapshotEncoding)
 	if err != nil {
 		return nil, err
 	}
@@ -174,62 +151,10 @@ func decodeDHTIndexSnapshot(data []byte) (*dhtIndexSnapshot, error) {
 // loadDHTSnapshot reads and validates the snapshot file. A missing file
 // is (nil, nil); a torn or corrupt one is an error the caller
 // downgrades to a full rescan.
-//
-//blobseer:seglog load-snapshot
 func loadDHTSnapshot(path string) (*dhtIndexSnapshot, error) {
-	raw, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("dht: read snapshot: %w", err)
-	}
-	if len(raw) < dhtRecHeaderSize {
-		return nil, fmt.Errorf("dht: snapshot torn: %d bytes", len(raw))
-	}
-	if binary.LittleEndian.Uint32(raw[0:4]) != dhtSnapMagic {
-		return nil, errors.New("dht: bad snapshot magic")
-	}
-	dataLen := binary.LittleEndian.Uint32(raw[4:8])
-	wantCRC := binary.LittleEndian.Uint32(raw[8:12])
-	if int64(dhtRecHeaderSize)+int64(dataLen) != int64(len(raw)) {
-		return nil, fmt.Errorf("dht: snapshot torn: declares %d payload bytes, has %d",
-			dataLen, len(raw)-dhtRecHeaderSize)
-	}
-	data := raw[dhtRecHeaderSize:]
-	if crc32.ChecksumIEEE(data) != wantCRC {
-		return nil, errors.New("dht: snapshot crc mismatch")
+	data, err := dhtFmt.LoadSnapshotFile(path)
+	if err != nil || data == nil {
+		return nil, err
 	}
 	return decodeDHTIndexSnapshot(data)
-}
-
-// writeDHTSnapshotFile writes the framed payload to the tmp path and,
-// when syncing, fsyncs it — everything short of the activating rename.
-//
-//blobseer:seglog snapshot-file
-func writeDHTSnapshotFile(base string, payload []byte, fsync bool) error {
-	frame := make([]byte, dhtRecHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], dhtSnapMagic)
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
-	copy(frame[dhtRecHeaderSize:], payload)
-	tmp := dhtSnapshotTmpPath(base)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("dht: create snapshot tmp: %w", err)
-	}
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		return fmt.Errorf("dht: write snapshot: %w", err)
-	}
-	if fsync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("dht: sync snapshot: %w", err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("dht: close snapshot tmp: %w", err)
-	}
-	return nil
 }

@@ -6,10 +6,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -55,11 +55,11 @@ type Disk struct {
 
 	// wmu guards the writer state: the active-segment pointer, the
 	// group-commit queue and shutdown. The write+fsync itself runs
-	// outside wmu by the unique leader, exactly like the version WAL.
-	wmu     sync.Mutex
-	active  *segment
-	queue   []*diskAppend
-	leading bool
+	// outside wmu by the unique leader — the leader/batch protocol lives
+	// in seglog.Committer, which borrows wmu.
+	wmu    sync.Mutex
+	active *segment
+	comm   seglog.Committer[*diskAppend]
 
 	closed  atomic.Bool
 	nextGen atomic.Uint64 // last generation handed out
@@ -74,8 +74,7 @@ type Disk struct {
 	maintEvents atomic.Uint64
 	snapRuns    atomic.Uint64
 	compactRuns atomic.Uint64
-	maintC      chan struct{}
-	quitC       chan struct{}
+	maint       *seglog.Maintainer
 	recStats    RecoveryStats
 
 	// crashHook is the test-only maintenance fault injector.
@@ -139,15 +138,10 @@ type diskAppend struct {
 	seg     uint32
 	dataOff int64
 
-	done chan struct{}
-	err  error
-	// delivered guards done against double close; promoted tells the
-	// woken waiter its record is NOT yet durable and it must lead the
-	// next batch itself. Both are written under wmu before done is
-	// closed and read only after done fires.
-	delivered bool
-	promoted  bool
+	cell seglog.Cell
 }
+
+func (a *diskAppend) Cell() *seglog.Cell { return &a.cell }
 
 // RecoveryStats describes what one OpenDisk did: how much of the index
 // came from the snapshot and how much had to be replayed by scanning
@@ -181,6 +175,22 @@ func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
 	for i := range d.stripes {
 		d.stripes[i].pages = make(map[wire.PageID]indexEntry)
 	}
+	d.comm = seglog.Committer[*diskAppend]{
+		Mu:        &d.wmu,
+		Serial:    !opts.GroupCommit,
+		Closed:    d.closed.Load,
+		ErrClosed: errStoreClosed,
+		Commit:    d.commit,
+		Apply:     d.applyBatch,
+		// Re-check closed before rolling: Close may have finished while
+		// the commit ran outside wmu, and a roll now would create a
+		// stray segment after closeFiles already swept the table.
+		MaybeRoll: func() {
+			if !d.closed.Load() && d.active.size.Load() >= d.opts.SegmentBytes {
+				d.rollLocked() // best effort: a failed roll leaves the oversized segment active
+			}
+		},
+	}
 	if err := d.recover(); err != nil {
 		d.closeFiles()
 		return nil, err
@@ -190,9 +200,8 @@ func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
 	// records would grow its tail without bound.
 	d.maintEvents.Store(uint64(d.recStats.RecordsReplayed))
 	if opts.SnapshotEvery > 0 || opts.CompactRatio > 0 {
-		d.maintC = make(chan struct{}, 1)
-		d.quitC = make(chan struct{})
-		go d.maintainLoop()
+		d.maint = seglog.NewMaintainer(d.maintainPass)
+		d.maint.Start()
 		if opts.SnapshotEvery > 0 && d.recStats.RecordsReplayed >= opts.SnapshotEvery {
 			d.nudgeMaintain()
 		}
@@ -212,9 +221,7 @@ func (d *Disk) recover() error {
 	base := d.base
 	// Leftover tmp files from interrupted maintenance are garbage: only
 	// the atomic renames ever activate them.
-	os.Remove(snapshotTmpPath(base))
-	os.Remove(compactTmpPath(base))
-	os.Remove(base + ".migrate.tmp")
+	seglog.RemoveTmp(base)
 
 	segIdxs, err := listSegments(base)
 	if err != nil {
@@ -261,8 +268,8 @@ func (d *Disk) recover() error {
 	}
 
 	if len(segIdxs) == 0 {
-		if snap != nil && len(snap.gens) > 0 {
-			return fmt.Errorf("pagestore: snapshot covers %d segments but none exist on disk", len(snap.gens))
+		if snap != nil && len(snap.meta.Segs) > 0 {
+			return fmt.Errorf("pagestore: snapshot covers %d segments but none exist on disk", len(snap.meta.Segs))
 		}
 		seg, err := d.createSegment(1, 1)
 		if err != nil {
@@ -279,9 +286,9 @@ func (d *Disk) recover() error {
 			return fmt.Errorf("pagestore: segment %06d missing (found %06d): pages may be lost", i+1, idx)
 		}
 	}
-	if snap != nil && len(snap.gens) > len(segIdxs) {
+	if snap != nil && len(snap.meta.Segs) > len(segIdxs) {
 		return fmt.Errorf("pagestore: snapshot covers %d segments, only %d exist: pages may be lost",
-			len(snap.gens), len(segIdxs))
+			len(snap.meta.Segs), len(segIdxs))
 	}
 
 	// Open every segment and validate its header.
@@ -292,7 +299,7 @@ func (d *Disk) recover() error {
 		if err != nil {
 			return fmt.Errorf("pagestore: open segment: %w", err)
 		}
-		gen, err := readSegmentHeader(f, p)
+		gen, err := segFmt.ReadHeader(f, p)
 		if err != nil {
 			f.Close()
 			return err
@@ -319,9 +326,9 @@ func (d *Disk) recover() error {
 	var rescan []uint32
 	if snap != nil {
 		d.recStats.SnapshotLoaded = true
-		for i, g := range snap.gens {
+		for i, sm := range snap.meta.Segs {
 			idx := uint32(i + 1)
-			if d.segs[idx].gen != g {
+			if d.segs[idx].gen != sm.Gen {
 				stale[idx] = true
 				rescan = append(rescan, idx)
 			}
@@ -340,7 +347,23 @@ func (d *Disk) recover() error {
 			d.dataBytes.Add(uint64(e.len))
 			d.recStats.SnapshotPages++
 		}
-		for idx := uint32(len(snap.gens) + 1); idx <= uint32(len(segIdxs)); idx++ {
+		if snap.meta.HasMeta {
+			// v2 snapshots persist each covered segment's tombstone bytes,
+			// so seeding is exact: a v1 snapshot had no way to recount them
+			// (the entries are only the live index) and left tombBytes at
+			// zero, inflating the reclaim estimate into one spurious no-op
+			// rewrite of a tombstone-heavy segment per reopen. Stale
+			// segments recompute during their rescan, and the highest is
+			// skipped because its rescan below re-adds every tombstone.
+			for i, sm := range snap.meta.Segs {
+				idx := uint32(i + 1)
+				if stale[idx] || idx == highest {
+					continue
+				}
+				d.segs[idx].tombBytes.Store(sm.Tomb)
+			}
+		}
+		for idx := uint32(len(snap.meta.Segs) + 1); idx <= uint32(len(segIdxs)); idx++ {
 			rescan = append(rescan, idx)
 		}
 		// The highest segment is rescanned even when the snapshot covers
@@ -429,7 +452,7 @@ func (d *Disk) createSegment(idx uint32, gen uint64) (*segment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: create segment: %w", err)
 	}
-	if err := writeSegmentHeader(f, gen); err != nil {
+	if err := segFmt.WriteHeader(f, gen); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -441,7 +464,7 @@ func (d *Disk) createSegment(idx uint32, gen uint64) (*segment, error) {
 		// The directory entry must be durable before any record commits
 		// into the new segment, or a crash could lose a whole synced
 		// segment while keeping its successor.
-		if err := syncDir(filepath.Dir(d.base)); err != nil {
+		if err := seglog.SyncDir(filepath.Dir(d.base)); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("pagestore: sync dir: %w", err)
 		}
@@ -456,8 +479,6 @@ func (d *Disk) createSegment(idx uint32, gen uint64) (*segment, error) {
 // itself after its batch, or by the snapshotter while every mutator is
 // excluded via stateMu. The sealed segment's file stays open — unlike a
 // WAL segment it still serves page reads.
-//
-//blobseer:seglog roll
 func (d *Disk) rollLocked() error {
 	seg, err := d.createSegment(d.active.idx+1, d.nextGen.Add(1))
 	if err != nil {
@@ -486,12 +507,12 @@ func (d *Disk) Put(id wire.PageID, data []byte) error {
 	}
 	d.stateMu.RLock()
 	defer d.stateMu.RUnlock()
-	return d.append(&diskAppend{
-		frame:   frameRecord((&segRecord{kind: recPut, id: id, data: data}).encode()),
+	return d.comm.Append(&diskAppend{
+		frame:   segFmt.Frame((&segRecord{kind: recPut, id: id, data: data}).encode()),
 		kind:    recPut,
 		id:      id,
 		dataLen: uint32(len(data)),
-		done:    make(chan struct{}),
+		cell:    seglog.NewCell(),
 	})
 }
 
@@ -511,118 +532,12 @@ func (d *Disk) Delete(id wire.PageID) error {
 	}
 	d.stateMu.RLock()
 	defer d.stateMu.RUnlock()
-	return d.append(&diskAppend{
-		frame: frameRecord((&segRecord{kind: recTomb, id: id}).encode()),
+	return d.comm.Append(&diskAppend{
+		frame: segFmt.Frame((&segRecord{kind: recTomb, id: id}).encode()),
 		kind:  recTomb,
 		id:    id,
-		done:  make(chan struct{}),
+		cell:  seglog.NewCell(),
 	})
-}
-
-// append writes one record durably and applies its index effect.
-// Callers hold stateMu shared (see Put/Delete), so a snapshot capture
-// never splits a durable record from its index change. Concurrent
-// appends coalesce into group commits unless GroupCommit is off.
-func (d *Disk) append(a *diskAppend) error {
-	d.wmu.Lock()
-	if d.closed.Load() {
-		d.wmu.Unlock()
-		return errStoreClosed
-	}
-	d.appends.Add(1)
-	if !d.opts.GroupCommit {
-		// One write (+fsync) per record with the lock held throughout,
-		// so concurrent appenders serialize on the disk — the ablation
-		// baseline and the pre-segmentation behaviour.
-		err := d.commit([]*diskAppend{a})
-		if err == nil {
-			d.applyBatch([]*diskAppend{a})
-			if d.active.size.Load() >= d.opts.SegmentBytes {
-				d.rollLocked() // best effort: a failed roll leaves the oversized segment active
-			}
-		}
-		d.wmu.Unlock()
-		return err
-	}
-	d.queue = append(d.queue, a)
-	if !d.leading {
-		d.leading = true
-		return d.lead(a) // releases wmu
-	}
-	d.wmu.Unlock()
-	<-a.done
-	if a.promoted {
-		d.wmu.Lock()
-		//blobseer:ignore lockorder lead is a lock handoff: it runs with wmu held and its first action is to release it before re-locking
-		return d.lead(a) // releases wmu
-	}
-	return a.err
-}
-
-// lead commits one batch — the current queue, which includes self's own
-// record — with a single write and at most one fsync, applies the index
-// changes, delivers the outcome, and hands leadership to the first
-// appender queued behind the batch. Called with wmu held; returns
-// self's outcome with wmu released. The structure mirrors the version
-// WAL's leader.
-func (d *Disk) lead(self *diskAppend) error {
-	// Yield once so appenders that are runnable right now join this
-	// batch instead of each eating an fsync (see version/wal.go).
-	d.wmu.Unlock()
-	runtime.Gosched()
-	d.wmu.Lock()
-	batch := d.queue
-	d.queue = nil
-	closed := d.closed.Load()
-	d.wmu.Unlock()
-	var err error
-	if closed {
-		err = errStoreClosed
-	} else if len(batch) > 0 {
-		err = d.commit(batch)
-	}
-	d.wmu.Lock()
-	if err == nil && len(batch) > 0 {
-		d.applyBatch(batch)
-		// Re-check closed before rolling: Close may have finished while
-		// the commit ran outside wmu, and a roll now would create a
-		// stray segment after closeFiles already swept the table.
-		if !d.closed.Load() && d.active.size.Load() >= d.opts.SegmentBytes {
-			d.rollLocked() // best effort
-		}
-	}
-	for _, a := range batch {
-		if a == self {
-			// Self returns synchronously; its done channel may already
-			// be closed when it led a batch it was promoted into.
-			a.delivered = true
-			a.err = err
-		} else {
-			d.deliverLocked(a, err)
-		}
-	}
-	if len(d.queue) > 0 && !d.closed.Load() {
-		// One-batch tenure: whoever queued first behind this batch
-		// leads the next one.
-		next := d.queue[0]
-		next.promoted = true
-		d.deliverLocked(next, nil)
-	} else {
-		d.leading = false
-	}
-	d.wmu.Unlock()
-	return err
-}
-
-// deliverLocked wakes a parked appender exactly once. Called with wmu
-// held.
-func (d *Disk) deliverLocked(a *diskAppend, err error) {
-	if a.delivered {
-		return
-	}
-	a.delivered = true
-	a.err = err
-	close(a.done)
 }
 
 // commit appends the batch contiguously to the active segment with a
@@ -630,8 +545,11 @@ func (d *Disk) deliverLocked(a *diskAppend, err error) {
 // its body landed. Only one committer runs at a time (the leader, or a
 // serial appender under wmu), so the active-segment fields need no
 // extra synchronization: the segment cannot roll while a commit is in
-// flight. On error nothing is applied.
+// flight. On error nothing is applied. Appenders hold stateMu shared
+// around their whole comm.Append (see Put/Delete), so a snapshot
+// capture never splits a durable record from its index change.
 func (d *Disk) commit(batch []*diskAppend) error {
+	d.appends.Add(uint64(len(batch)))
 	seg := d.active
 	base := seg.size.Load()
 	var n int
@@ -812,16 +730,9 @@ func (d *Disk) Close() error {
 		return nil
 	}
 	d.wmu.Lock()
-	for _, a := range d.queue {
-		// A promoted waiter was already woken and will observe closed
-		// when it leads; deliverLocked skips it.
-		d.deliverLocked(a, errStoreClosed)
-	}
-	d.queue = nil
+	d.comm.FailQueuedLocked(errStoreClosed)
 	d.wmu.Unlock()
-	if d.quitC != nil {
-		close(d.quitC)
-	}
+	d.maint.Stop()
 	// Barrier: an in-flight snapshot or compaction finishes (its output
 	// is valid and worth keeping) before the files close under it.
 	d.maintMu.Lock()

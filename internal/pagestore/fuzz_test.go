@@ -3,6 +3,8 @@ package pagestore
 import (
 	"bytes"
 	"testing"
+
+	"blobseer/internal/seglog"
 )
 
 // The decoders face bytes from disk, where a crash or disk fault can
@@ -39,9 +41,11 @@ func FuzzDecodeSegmentRecord(f *testing.F) {
 
 func FuzzDecodeIndexSnapshot(f *testing.F) {
 	f.Add(encodeIndexSnapshot(&indexSnapshot{}))
-	f.Add(encodeIndexSnapshot(&indexSnapshot{gens: []uint64{1, 7, 3}}))
+	f.Add(encodeIndexSnapshot(&indexSnapshot{meta: seglog.IndexMeta{
+		Segs: []seglog.SegMeta{{Gen: 1}, {Gen: 7}, {Gen: 3}},
+	}}))
 	rich := &indexSnapshot{
-		gens: []uint64{1, 2, 9},
+		meta: seglog.IndexMeta{Segs: []seglog.SegMeta{{Gen: 1}, {Gen: 2}, {Gen: 9}}},
 		entries: []snapEntry{
 			{id: pidN(1), indexEntry: indexEntry{seg: 1, off: 45, len: 100}},
 			{id: pidN(2), indexEntry: indexEntry{seg: 3, off: 1 << 20, len: 0}},
@@ -49,8 +53,20 @@ func FuzzDecodeIndexSnapshot(f *testing.F) {
 		},
 	}
 	f.Add(encodeIndexSnapshot(rich))
+	// v2: the same snapshot with per-segment counters persisted. Both
+	// formats must round-trip — decode preserves which one it read.
+	richV2 := &indexSnapshot{
+		meta: seglog.IndexMeta{HasMeta: true, Segs: []seglog.SegMeta{
+			{Gen: 1, Live: 129, Tomb: 29},
+			{Gen: 2},
+			{Gen: 9, Live: 0, Tomb: 58},
+		}},
+		entries: rich.entries,
+	}
+	f.Add(encodeIndexSnapshot(richV2))
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{2, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := decodeIndexSnapshot(data)
 		if err != nil {
@@ -62,8 +78,8 @@ func FuzzDecodeIndexSnapshot(f *testing.F) {
 		// Every decoded entry must be inside the covered segment range —
 		// the invariant recovery relies on before touching files.
 		for _, e := range s.entries {
-			if e.seg == 0 || int(e.seg) > len(s.gens) {
-				t.Fatalf("decoded entry in uncovered segment %d of %d", e.seg, len(s.gens))
+			if e.seg == 0 || int(e.seg) > len(s.meta.Segs) {
+				t.Fatalf("decoded entry in uncovered segment %d of %d", e.seg, len(s.meta.Segs))
 			}
 		}
 	})

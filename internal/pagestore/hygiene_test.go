@@ -1,0 +1,220 @@
+package pagestore
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"blobseer/internal/wire"
+)
+
+// countRecordKinds scans every segment file on disk and tallies put and
+// tombstone records — the ground truth the hygiene assertions run on.
+func countRecordKinds(t *testing.T, base string) (puts, tombs int) {
+	t.Helper()
+	idxs, err := listSegments(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range idxs {
+		path := segmentPath(base, idx)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := segFmt.ReadHeader(f, path); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if _, err := scanSegment(f, path, false, func(sr scannedRecord) error {
+			switch sr.rec.kind {
+			case recPut:
+				puts++
+			case recTomb:
+				tombs++
+			}
+			return nil
+		}); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return puts, tombs
+}
+
+// roll seals the active segment so the records just written are eligible
+// for compaction (the active segment never is).
+func (d *Disk) rollForTest(t *testing.T) {
+	t.Helper()
+	d.wmu.Lock()
+	err := d.rollLocked()
+	d.wmu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactionConvergesChurnedLogToLiveSet pins the generational
+// tombstone-hygiene cascade: after heavy churn, one full compaction pass
+// converges the log to exactly its live set — every dead put gone, and
+// every tombstone too, because once the puts it suppressed are dropped
+// from earlier segments nothing is left to resurrect its key. Without
+// the cascade, tombstones of long-dead pages ride along forever.
+func TestCompactionConvergesChurnedLogToLiveSet(t *testing.T) {
+	path := t.TempDir() + "/pages.log"
+	d := mustOpen(t, path, DiskOptions{SegmentBytes: 512})
+	const n = 120
+	live := make(map[int][]byte)
+	for i := 0; i < n; i++ {
+		data := pageData(i)
+		if err := d.Put(pidN(i), data); err != nil {
+			t.Fatal(err)
+		}
+		live[i] = data
+	}
+	for i := 0; i < n; i++ {
+		if i%6 != 0 {
+			if err := d.Delete(pidN(i)); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, i)
+		}
+	}
+	d.rollForTest(t) // seal the tombstone tail; the active segment is never compacted
+
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Compactions() == 0 {
+		t.Fatal("churned log compacted nothing")
+	}
+	puts, tombs := countRecordKinds(t, path)
+	if tombs != 0 {
+		t.Fatalf("%d tombstones survive a full compaction of a churned log; hygiene did not converge", tombs)
+	}
+	if puts != len(live) {
+		t.Fatalf("%d put records on disk, want exactly the %d live pages", puts, len(live))
+	}
+
+	// Converged does not mean lossy: live pages byte-identical, deleted
+	// pages dead, across the rewrite and a restart.
+	check := func(s *Disk) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if data, ok := live[i]; ok {
+				got, err := s.Get(pidN(i), 0, wire.WholePage)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Fatalf("live page %d: %v", i, err)
+				}
+			} else if s.Has(pidN(i)) {
+				t.Fatalf("deleted page %d resurrected", i)
+			}
+		}
+	}
+	check(d)
+	d.Close()
+	d2 := mustOpen(t, path, DiskOptions{SegmentBytes: 512})
+	defer d2.Close()
+	check(d2)
+}
+
+// TestSnapshotSeededReopenNoSpuriousRewrite pins the headline fix: v2
+// index snapshots persist per-segment tombstone bytes, so a
+// snapshot-seeded recovery sees the same reclaim estimates the store had
+// before the restart. The fixture builds the exact shape the old v1
+// undercount mis-judged — a sealed tombstone-heavy segment (live ratio
+// under CompactRatio) with nothing actually reclaimable — and asserts a
+// post-reopen compaction stays a no-op instead of pointlessly rewriting
+// the segment to byte-identical contents.
+func TestSnapshotSeededReopenNoSpuriousRewrite(t *testing.T) {
+	path := t.TempDir() + "/pages.log"
+	opts := DiskOptions{SegmentBytes: 1 << 20, CompactRatio: 0.25}
+	d := mustOpen(t, path, opts)
+
+	// Segment 1: one big live page plus ten small soon-dead ones. The big
+	// page keeps the live ratio above CompactRatio, so the dead puts stay
+	// (the ratio gate protects mostly-live segments from rewrite churn) —
+	// which in turn keeps the tombstones in segment 2 load-bearing.
+	big := bytes.Repeat([]byte{0xAB}, 400)
+	if err := d.Put(pidN(1000), big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Put(pidN(i), bytes.Repeat([]byte{byte(i)}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.rollForTest(t)
+	// Segment 2: the ten tombstones plus one small live put — tombstone
+	// bytes dominate, live ratio far below CompactRatio.
+	for i := 0; i < 10; i++ {
+		if err := d.Delete(pidN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small := bytes.Repeat([]byte{0xCD}, 20)
+	if err := d.Put(pidN(1001), small); err != nil {
+		t.Fatal(err)
+	}
+	d.rollForTest(t)
+
+	// Steady state: nothing is reclaimable at this ratio.
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Compactions(); c != 0 {
+		t.Fatalf("fixture not steady before snapshot: %d rewrites", c)
+	}
+	// The fixture really has the shape the bug needs: a sealed segment
+	// whose tombstone bytes put its reclaim at zero while its live ratio
+	// is below the threshold.
+	d.segMu.RLock()
+	shaped := false
+	for _, seg := range d.segs {
+		payload := seg.size.Load() - segHeaderSize
+		tomb := seg.tombBytes.Load()
+		liveB := seg.liveBytes.Load()
+		if tomb > 0 && payload > 0 && payload-liveB-tomb <= 0 &&
+			float64(liveB)/float64(payload) < opts.CompactRatio {
+			shaped = true
+		}
+	}
+	d.segMu.RUnlock()
+	if !shaped {
+		t.Fatal("fixture built no tombstone-heavy zero-reclaim segment; the test would pass vacuously")
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	_, tombsBefore := countRecordKinds(t, path)
+	if tombsBefore == 0 {
+		t.Fatal("no tombstones on disk at close; the test would pass vacuously")
+	}
+	d.Close()
+
+	d2 := mustOpen(t, path, opts)
+	defer d2.Close()
+	if !d2.RecoveryStats().SnapshotLoaded {
+		t.Fatalf("snapshot not loaded: %+v", d2.RecoveryStats())
+	}
+	if err := d2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if c := d2.Compactions(); c != 0 {
+		t.Fatalf("snapshot-seeded reopen triggered %d spurious rewrites of the tombstone-heavy segment", c)
+	}
+	if _, tombsAfter := countRecordKinds(t, path); tombsAfter != tombsBefore {
+		t.Fatalf("tombstones on disk changed %d -> %d across a no-op compaction", tombsBefore, tombsAfter)
+	}
+	// The tombstones are still doing their job.
+	for i := 0; i < 10; i++ {
+		if d2.Has(pidN(i)) {
+			t.Fatalf("deleted page %d resurrected after seeded reopen", i)
+		}
+	}
+	got, err := d2.Get(pidN(1000), 0, wire.WholePage)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("big live page after reopen: %v", err)
+	}
+}

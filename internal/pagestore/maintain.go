@@ -1,10 +1,9 @@
 package pagestore
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
+	"errors"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -28,9 +27,11 @@ import (
 //     crash after the rename but before the follow-up snapshot is
 //     detected on reopen (generation mismatch) and that segment alone
 //     is rescanned instead of trusting stale offsets.
-//  4. Tombstone records are preserved by rewrites, so even the
-//     no-snapshot fallback (full rescan) can never resurrect a Deleted
-//     page.
+//  4. Tombstone records are preserved by rewrites while some earlier
+//     segment still holds a put for their key, so even the no-snapshot
+//     fallback (full rescan) can never resurrect a Deleted page. Once
+//     the last such put is gone the tombstone is dead weight and the
+//     rewrite drops it (see internal/seglog/hygiene.go).
 //
 // The crash-injection tests drive a hook through every fault point
 // below and assert the recovered pages are byte-identical to an
@@ -66,39 +67,20 @@ func (d *Disk) crash(point string) error {
 }
 
 // nudgeMaintain wakes the background maintainer (no-op when none runs).
-func (d *Disk) nudgeMaintain() {
-	if d.maintC == nil {
-		return
-	}
-	select {
-	case d.maintC <- struct{}{}:
-	default: // a nudge is already pending
-	}
-}
+func (d *Disk) nudgeMaintain() { d.maint.Nudge() }
 
-// maintainLoop runs automatic snapshots and compaction. It is a plain
-// goroutine: maintenance is disk work with no simulated-time component.
-// Errors are not fatal — the log simply keeps growing until the next
-// trigger succeeds.
-//
-//blobseer:seglog maintain-loop
-func (d *Disk) maintainLoop() {
-	for {
-		select {
-		case <-d.quitC:
-			return
-		case <-d.maintC:
-			if d.closed.Load() {
-				return
-			}
-			if n := d.opts.SnapshotEvery; n > 0 && d.maintEvents.Load() >= uint64(n) {
-				d.Snapshot()
-			}
-			if d.opts.CompactRatio > 0 {
-				d.Compact()
-			}
-		}
+// maintainPass is one wake-up of the background maintainer.
+func (d *Disk) maintainPass() bool {
+	if d.closed.Load() {
+		return false
 	}
+	if n := d.opts.SnapshotEvery; n > 0 && d.maintEvents.Load() >= uint64(n) {
+		d.Snapshot()
+	}
+	if d.opts.CompactRatio > 0 {
+		d.Compact()
+	}
+	return true
 }
 
 // Snapshot serializes the page index into an atomically renamed
@@ -112,7 +94,6 @@ func (d *Disk) Snapshot() error {
 	return d.snapshotLocked()
 }
 
-//blobseer:seglog snapshot-write
 func (d *Disk) snapshotLocked() error {
 	if d.closed.Load() {
 		return errStoreClosed
@@ -127,21 +108,10 @@ func (d *Disk) snapshotLocked() error {
 	if err := d.crash(crashSnapCaptured); err != nil {
 		return err
 	}
-	if err := writeSnapshotFile(d.base, encodeIndexSnapshot(snap), d.opts.Sync); err != nil {
-		return err
-	}
-	if err := d.crash(crashSnapTmpWritten); err != nil {
-		return err
-	}
-	if err := os.Rename(snapshotTmpPath(d.base), snapshotPath(d.base)); err != nil {
-		return fmt.Errorf("pagestore: activate snapshot: %w", err)
-	}
-	if d.opts.Sync {
-		if err := syncDir(filepath.Dir(d.base)); err != nil {
-			return fmt.Errorf("pagestore: sync snapshot dir: %w", err)
-		}
-	}
-	if err := d.crash(crashSnapRenamed); err != nil {
+	if err := segFmt.PublishSnapshot(d.base, encodeIndexSnapshot(snap), d.opts.Sync,
+		func() error { return d.crash(crashSnapTmpWritten) },
+		func() error { return d.crash(crashSnapRenamed) },
+	); err != nil {
 		return err
 	}
 	d.snapRuns.Add(1)
@@ -152,9 +122,9 @@ func (d *Disk) snapshotLocked() error {
 // holds stateMu exclusively, which excludes every mutator (they hold
 // stateMu shared across record-append and index apply) — so no commit
 // is in flight during the roll and the clone is exactly the state the
-// segments below the cut replay to.
-//
-//blobseer:seglog capture
+// segments below the cut replay to. The per-segment counters read here
+// are exact for the same reason, and compaction (the only other writer
+// of gen and the counters) is excluded by maintMu.
 func (d *Disk) capture() (*indexSnapshot, error) {
 	d.stateMu.Lock()
 	defer d.stateMu.Unlock()
@@ -172,10 +142,18 @@ func (d *Disk) capture() (*indexSnapshot, error) {
 	covered := d.active.idx - 1
 	d.wmu.Unlock()
 
-	snap := &indexSnapshot{gens: make([]uint64, covered)}
+	snap := &indexSnapshot{meta: seglog.IndexMeta{
+		HasMeta: true,
+		Segs:    make([]seglog.SegMeta, covered),
+	}}
 	d.segMu.RLock()
 	for i := uint32(1); i <= covered; i++ {
-		snap.gens[i-1] = d.segs[i].gen
+		seg := d.segs[i]
+		snap.meta.Segs[i-1] = seglog.SegMeta{
+			Gen:  seg.gen,
+			Live: seg.liveBytes.Load(),
+			Tomb: seg.tombBytes.Load(),
+		}
 	}
 	d.segMu.RUnlock()
 	for i := range d.stripes {
@@ -207,14 +185,14 @@ func (d *Disk) Compactions() uint64 { return d.compactRuns.Load() }
 // snapshot so the rewrites are covered. Pages still indexed — every
 // page not explicitly Deleted, i.e. every page still reachable from a
 // retained version — are preserved byte-identically; only records of
-// Deleted pages and duplicate puts are dropped.
+// Deleted pages, duplicate puts, and tombstones with no earlier put
+// left to suppress are dropped.
 func (d *Disk) Compact() error {
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
 	return d.compactLocked()
 }
 
-//blobseer:seglog compact
 func (d *Disk) compactLocked() error {
 	if d.closed.Load() {
 		return errStoreClosed
@@ -243,11 +221,11 @@ func (d *Disk) compactLocked() error {
 }
 
 // pickVictim returns the sealed segment with the most reclaimable bytes
-// among those whose live ratio is below the threshold, or nil. A
-// freshly rewritten segment estimates zero reclaimable bytes, so
-// compaction always terminates.
-//
-//blobseer:seglog pick-victim
+// among those whose live ratio is below the threshold — or, when no
+// bytes are reclaimable anywhere, the lowest hygiene-flagged segment
+// (an earlier rewrite dropped a put, so tombstones there may now be
+// droppable). A freshly rewritten segment estimates zero reclaimable
+// bytes and carries no flag, so compaction always terminates.
 func (d *Disk) pickVictim(ratio float64) *segment {
 	d.wmu.Lock()
 	activeIdx := d.active.idx
@@ -273,6 +251,21 @@ func (d *Disk) pickVictim(ratio float64) *segment {
 			best, bestReclaim = seg, reclaim
 		}
 	}
+	if best != nil {
+		return best
+	}
+	for _, seg := range d.segs {
+		if seg.idx >= activeIdx || !seg.hygiene.Load() {
+			continue
+		}
+		if seg.size.Load()-segHeaderSize <= 0 {
+			seg.hygiene.Store(false)
+			continue
+		}
+		if best == nil || seg.idx < best.idx {
+			best = seg
+		}
+	}
 	return best
 }
 
@@ -287,24 +280,63 @@ type keptRecord struct {
 	length uint32
 }
 
+// errHygieneDone stops the tombstone-hygiene sweep early once every
+// tombstone in the victim is known to be needed.
+var errHygieneDone = errors.New("pagestore: hygiene scan complete")
+
+// neededTombs resolves the hygiene rule for one victim: which of its
+// tombstones still have a put record in some earlier segment to
+// suppress. Earlier segments are sealed and maintMu excludes any other
+// rewrite, so their files are stable; the sweep reads only each
+// record's kind+id prefix, never the page bodies.
+func (d *Disk) neededTombs(victim *segment, tombs map[wire.PageID]bool) (map[wire.PageID]bool, error) {
+	return seglog.FilterTombs(tombs, func(observe func(wire.PageID) bool) error {
+		for idx := uint32(1); idx < victim.idx; idx++ {
+			seg := d.segLive(idx)
+			seg.mu.RLock()
+			err := segFmt.ScanPrefix(seg.f, segmentPath(d.base, idx), recPayloadMin,
+				func(prefix []byte, _ uint32) error {
+					if len(prefix) < recPayloadMin || prefix[0] != recPut {
+						return nil
+					}
+					var id wire.PageID
+					copy(id[:], prefix[1:])
+					if !observe(id) {
+						return errHygieneDone
+					}
+					return nil
+				})
+			seg.mu.RUnlock()
+			if errors.Is(err, errHygieneDone) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // rewriteSegment compacts one sealed segment in place: the records
-// still live — puts the index points at, and every tombstone — are
-// written to a tmp file under a fresh generation, fsynced (always, even
-// in non-Sync stores: a rewrite replaces previously durable data, so it
-// must itself be durable before the rename), renamed over the segment,
-// and the index entries are retargeted to the new offsets under the
-// segment lock. Readers mid-pread keep the old file handle and stay
-// correct; the old inode lives until their locks release.
-//
-//blobseer:seglog rewrite-segment
+// still live — puts the index points at, and tombstones some earlier
+// segment still holds a put for — are written to a tmp file under a
+// fresh generation, fsynced, renamed over the segment (see
+// seglog.SegmentWriter for why the fsync is unconditional), and the
+// index entries are retargeted to the new offsets under the segment
+// lock. Readers mid-pread keep the old file handle and stay correct;
+// the old inode lives until their locks release.
 func (d *Disk) rewriteSegment(victim *segment) error {
 	path := segmentPath(d.base, victim.idx)
 	var kept []keptRecord
+	tombs := make(map[wire.PageID]bool)
+	droppedPut := false
 	if _, err := scanSegment(victim.f, path, false, func(sr scannedRecord) error {
 		switch sr.rec.kind {
 		case recTomb:
+			tombs[sr.rec.id] = true
 			kept = append(kept, keptRecord{
-				frame: frameRecord(sr.rec.encode()),
+				frame: segFmt.Frame(sr.rec.encode()),
 				id:    sr.rec.id,
 			})
 		case recPut:
@@ -317,12 +349,14 @@ func (d *Disk) rewriteSegment(victim *segment) error {
 			// this check and the apply below is re-checked there.
 			if ok && e.seg == victim.idx && e.off == sr.dataOff {
 				kept = append(kept, keptRecord{
-					frame:  frameRecord(sr.rec.encode()),
+					frame:  segFmt.Frame(sr.rec.encode()),
 					put:    true,
 					id:     sr.rec.id,
 					oldOff: sr.dataOff,
 					length: sr.dataLen,
 				})
+			} else {
+				droppedPut = true
 			}
 		}
 		return nil
@@ -330,68 +364,45 @@ func (d *Disk) rewriteSegment(victim *segment) error {
 		return err
 	}
 
-	newGen := d.nextGen.Add(1)
-	tmp := compactTmpPath(d.base)
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("pagestore: create compaction tmp: %w", err)
+	if len(tombs) > 0 {
+		needed, err := d.neededTombs(victim, tombs)
+		if err != nil {
+			return err
+		}
+		if len(needed) < len(tombs) {
+			filtered := kept[:0]
+			for _, k := range kept {
+				if !k.put && !needed[k.id] {
+					continue
+				}
+				filtered = append(filtered, k)
+			}
+			kept = filtered
+		}
 	}
-	if err := writeSegmentHeader(f, newGen); err != nil {
-		f.Close()
+
+	newGen := d.nextGen.Add(1)
+	w, err := segFmt.NewSegmentWriter(compactTmpPath(d.base), newGen)
+	if err != nil {
 		return err
 	}
-	var off int64 = segHeaderSize
-	var flushed int64 = segHeaderSize
 	var tombBytes int64
-	buf := make([]byte, 0, 1<<16)
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		if _, err := f.WriteAt(buf, flushed); err != nil {
-			return fmt.Errorf("pagestore: write compaction tmp: %w", err)
-		}
-		flushed += int64(len(buf))
-		buf = buf[:0]
-		return nil
-	}
 	for i := range kept {
 		k := &kept[i]
-		k.newOff = off + recHeaderSize + recPayloadMin
-		buf = append(buf, k.frame...)
-		off += int64(len(k.frame))
+		start, err := w.Append(k.frame)
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		k.newOff = start + recHeaderSize + recPayloadMin
 		if !k.put {
 			tombBytes += framedRecBytes
 		}
-		if len(buf) >= 1<<20 {
-			if err := flush(); err != nil {
-				f.Close()
-				return err
-			}
-		}
 	}
-	if err := flush(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("pagestore: sync compaction tmp: %w", err)
-	}
-	if err := d.crash(crashCompactTmpWritten); err != nil {
-		f.Close()
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		f.Close()
-		return fmt.Errorf("pagestore: activate compacted segment: %w", err)
-	}
-	if err := syncDir(filepath.Dir(d.base)); err != nil {
-		f.Close()
-		return fmt.Errorf("pagestore: sync dir after compaction: %w", err)
-	}
-	if err := d.crash(crashCompactRenamed); err != nil {
-		f.Close()
+	if err := w.Commit(path,
+		func() error { return d.crash(crashCompactTmpWritten) },
+		func() error { return d.crash(crashCompactRenamed) },
+	); err != nil {
 		return err
 	}
 
@@ -399,9 +410,9 @@ func (d *Disk) rewriteSegment(victim *segment) error {
 	// segment lock; Get re-fetches entries under it (see disk.go).
 	victim.mu.Lock()
 	old := victim.f
-	victim.f = f
+	victim.f = w.File()
 	victim.gen = newGen
-	victim.size.Store(off)
+	victim.size.Store(w.Size())
 	var live int64
 	for i := range kept {
 		k := &kept[i]
@@ -419,8 +430,22 @@ func (d *Disk) rewriteSegment(victim *segment) error {
 	}
 	victim.liveBytes.Store(live)
 	victim.tombBytes.Store(tombBytes)
+	victim.hygiene.Store(false)
 	victim.mu.Unlock()
 	old.Close()
+	if droppedPut {
+		// The dropped puts may have been the last reason tombstones in
+		// later segments existed; flag them so this compaction pass
+		// re-evaluates the rule there too. Flags are only ever set when a
+		// record was actually dropped, so the cascade terminates.
+		d.segMu.RLock()
+		for _, seg := range d.segs {
+			if seg.idx > victim.idx && seg.tombBytes.Load() > 0 {
+				seg.hygiene.Store(true)
+			}
+		}
+		d.segMu.RUnlock()
+	}
 	d.compactRuns.Add(1)
 	return d.crash(crashCompactApplied)
 }

@@ -6,12 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -24,39 +22,43 @@ import (
 // contiguous from 1 — unlike the version manager's WAL, old segments
 // still hold live page bodies and are never deleted.
 //
-// Every segment file starts with a fixed header carrying a generation
-// number. Compaction bumps the generation of the segment it rewrites;
-// the index snapshot records the generation it saw for every covered
-// segment, so recovery detects a rewrite that happened after the
-// snapshot (its offsets are stale for that segment) and rescans just
-// that segment instead of trusting the snapshot.
+// The segment mechanics — generation-stamped headers, CRC record
+// frames, torn-tail recovery, the publish sequences — live in
+// internal/seglog, shared with the version WAL and the DHT metadata
+// log. This file keeps only what is the page store's own: the record
+// encoding and the per-segment accounting.
 //
 // Segment header (16 bytes, little-endian):
 //
 //	uint32 segMagic | uint32 segFormat | uint64 generation
 //
-// Record frame, following the version WAL's layout:
+// Record frame, shared with the other logs:
 //
 //	uint32 recMagic | uint32 payloadLen | uint32 crc32(payload) | payload
 //
 // and the payload is a segRecord encoding (see encode below): one kind
-// byte, the 16-byte page id, and — for puts — the page body. A torn
-// frame at the tail of the highest segment (crash mid-append) is
-// truncated on recovery; torn or corrupt frames anywhere else fail the
-// open, because sealed segments and compaction outputs are only ever
-// activated complete.
+// byte, the 16-byte page id, and — for puts — the page body.
 
 const (
 	segMagic  = 0xB10B5E60
 	segFormat = 1
 	recMagic  = 0xB10B5EE5 // shared with the pre-segmentation log format
 
-	segHeaderSize = 4 + 4 + 8
-	recHeaderSize = 4 + 4 + 4
+	segHeaderSize = seglog.HeaderSize
+	recHeaderSize = seglog.FrameHeaderSize
 	// recPayloadMin is kind + page id, the payload of a tombstone and the
 	// prefix of every put.
 	recPayloadMin = 1 + 16
 )
+
+// segFmt is the page store's seglog dialect.
+var segFmt = &seglog.Format{
+	Name:      "pagestore",
+	RecMagic:  recMagic,
+	SegMagic:  segMagic,
+	SegFormat: segFormat,
+	SnapMagic: psnapMagic,
+}
 
 // record kinds.
 const (
@@ -106,16 +108,6 @@ func decodeSegmentRecord(data []byte) (segRecord, error) {
 	return rec, nil
 }
 
-// frameRecord wraps an encoded payload in the on-disk frame.
-func frameRecord(payload []byte) []byte {
-	rec := make([]byte, recHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], recMagic)
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(payload))
-	copy(rec[recHeaderSize:], payload)
-	return rec
-}
-
 // framedRecBytes is the framed size of a record with an empty body —
 // exactly one tombstone, and the fixed overhead of every put. The
 // live/tombstone byte accounting that drives compaction victim
@@ -139,95 +131,43 @@ type segment struct {
 	size atomic.Int64
 
 	// liveBytes is the payload bytes of records the index still points
-	// at; tombBytes is the framed bytes of tombstone records, which
-	// compaction preserves. size - segHeaderSize - liveBytes - tombBytes
-	// estimates what a rewrite would reclaim.
-	//
-	// Canonical tombBytes-undercount note (the DHT metaSegment copy in
-	// internal/dht/segment.go defers here): tombBytes may read LOW after
-	// a snapshot-seeded recovery, because snapshots record only the live
-	// index, not per-segment tombstone accounting — tombstones in
-	// snapshot-covered segments are never re-counted. An undercount only
-	// inflates the reclaim estimate, so the worst case is one no-op
-	// rewrite of a tombstone-heavy segment per reopen, after which the
-	// rewrite recomputes the true value. It can never mask reclaimable
-	// space or drop a tombstone.
+	// at; tombBytes is the framed bytes of tombstone records the last
+	// rewrite preserved. size - segHeaderSize - liveBytes - tombBytes
+	// estimates what a rewrite would reclaim. Both counters survive
+	// reopen exactly: v2 index snapshots persist them per segment (see
+	// internal/seglog/indexsnap.go), so a snapshot-seeded recovery no
+	// longer undercounts tombstone bytes.
 	liveBytes atomic.Int64
 	tombBytes atomic.Int64
+
+	// hygiene flags the segment for a tombstone-hygiene rewrite: an
+	// earlier segment's rewrite dropped a dead put, so tombstones here
+	// may have lost their last reason to exist (see
+	// internal/seglog/hygiene.go). pickVictim selects flagged segments
+	// even when their byte-reclaim estimate is zero; the rewrite clears
+	// the flag.
+	hygiene atomic.Bool
 }
 
 // segmentPath names segment idx of the store rooted at base.
 func segmentPath(base string, idx uint32) string {
-	return fmt.Sprintf("%s.%06d", base, idx)
+	return seglog.SegmentPath(base, uint64(idx))
 }
 
 // listSegments returns the segment indices present for base, ascending.
-// Non-numeric siblings (the snapshot, tmp files, the legacy log) are
-// ignored.
 func listSegments(base string) ([]uint32, error) {
-	entries, err := os.ReadDir(filepath.Dir(base))
+	idxs, err := segFmt.ListSegments(base)
 	if err != nil {
-		return nil, fmt.Errorf("pagestore: list segments: %w", err)
+		return nil, err
 	}
-	prefix := filepath.Base(base) + "."
-	var out []uint32
-	for _, ent := range entries {
-		name := ent.Name()
-		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
-			continue
-		}
-		idx, err := strconv.ParseUint(name[len(prefix):], 10, 32)
-		if err != nil || idx == 0 {
-			continue
+	out := make([]uint32, 0, len(idxs))
+	for _, idx := range idxs {
+		if idx > 1<<32-1 {
+			continue // not a segment this store could have written
 		}
 		out = append(out, uint32(idx))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
-}
-
-// syncDir fsyncs a directory so renames, creations and deletions in it
-// are durable.
-//
-//blobseer:seglog sync-dir
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// writeSegmentHeader writes the 16-byte header to a fresh segment file.
-func writeSegmentHeader(f *os.File, gen uint64) error {
-	var hdr [segHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], segFormat)
-	binary.LittleEndian.PutUint64(hdr[8:16], gen)
-	if _, err := f.WriteAt(hdr[:], 0); err != nil {
-		return fmt.Errorf("pagestore: write segment header: %w", err)
-	}
-	return nil
-}
-
-// readSegmentHeader validates a segment file's header and returns its
-// generation.
-func readSegmentHeader(f *os.File, path string) (uint64, error) {
-	var hdr [segHeaderSize]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return 0, fmt.Errorf("pagestore: read segment header of %s: %w", path, err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:4]) != segMagic {
-		return 0, fmt.Errorf("pagestore: bad segment magic in %s", path)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != segFormat {
-		return 0, fmt.Errorf("pagestore: unknown segment format %d in %s", v, path)
-	}
-	return binary.LittleEndian.Uint64(hdr[8:16]), nil
 }
 
 // scannedRecord is one record located by scanSegment: the decoded
@@ -243,61 +183,18 @@ type scannedRecord struct {
 // away when allowTorn is set (the highest segment — a crash
 // mid-append); anywhere else it fails the open. The file size after any
 // truncation is returned.
-//
-//blobseer:seglog scan-segment
 func scanSegment(f *os.File, path string, allowTorn bool, visit func(scannedRecord) error) (int64, error) {
-	info, err := f.Stat()
-	if err != nil {
-		return 0, fmt.Errorf("pagestore: stat segment: %w", err)
-	}
-	logLen := info.Size()
-	var off int64 = segHeaderSize
-	var hdr [recHeaderSize]byte
-	for off < logLen {
-		if logLen-off < recHeaderSize {
-			break // torn header
-		}
-		if _, err := f.ReadAt(hdr[:], off); err != nil {
-			return 0, fmt.Errorf("pagestore: read record header at %d: %w", off, err)
-		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != recMagic {
-			return 0, fmt.Errorf("pagestore: bad record magic in %s at offset %d: log corrupted", path, off)
-		}
-		payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
-		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
-		payloadOff := off + recHeaderSize
-		if payloadOff+int64(payloadLen) > logLen {
-			break // torn payload
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := f.ReadAt(payload, payloadOff); err != nil {
-			return 0, fmt.Errorf("pagestore: read record payload at %d: %w", payloadOff, err)
-		}
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return 0, fmt.Errorf("pagestore: record crc mismatch in %s at offset %d: log corrupted", path, off)
-		}
+	return segFmt.Scan(f, path, allowTorn, func(payload []byte, payloadOff int64) error {
 		rec, err := decodeSegmentRecord(payload)
 		if err != nil {
-			return 0, fmt.Errorf("pagestore: %s at offset %d: %w", path, off, err)
+			return fmt.Errorf("pagestore: %s at offset %d: %w", path, payloadOff-recHeaderSize, err)
 		}
-		if err := visit(scannedRecord{
+		return visit(scannedRecord{
 			rec:     rec,
 			dataOff: payloadOff + recPayloadMin,
-			dataLen: payloadLen - recPayloadMin,
-		}); err != nil {
-			return 0, err
-		}
-		off = payloadOff + int64(payloadLen)
-	}
-	if off < logLen {
-		if !allowTorn {
-			return 0, fmt.Errorf("pagestore: torn record in sealed segment %s: log corrupted", path)
-		}
-		if err := f.Truncate(off); err != nil {
-			return 0, fmt.Errorf("pagestore: truncate torn tail: %w", err)
-		}
-	}
-	return off, nil
+			dataLen: uint32(len(payload)) - recPayloadMin,
+		})
+	})
 }
 
 // errStoreClosed is returned by operations racing Close.
@@ -316,8 +213,6 @@ const legacyHeaderSize = 4 + 4 + 16 + 4
 
 // migrateLegacy converts the single-file log at base into segment 1.
 // Returns whether a migration happened.
-//
-//blobseer:seglog migrate-legacy
 func migrateLegacy(base string) (bool, error) {
 	info, err := os.Stat(base)
 	if err != nil || !info.Mode().IsRegular() {
@@ -329,27 +224,23 @@ func migrateLegacy(base string) (bool, error) {
 	}
 	defer src.Close()
 
-	tmp := base + ".migrate.tmp"
-	dst, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	dst, err := segFmt.NewSegmentWriter(seglog.MigrateTmpPath(base), 1)
 	if err != nil {
-		return false, fmt.Errorf("pagestore: create migration tmp: %w", err)
-	}
-	if err := writeSegmentHeader(dst, 1); err != nil {
-		dst.Close()
 		return false, err
 	}
 	logLen := info.Size()
 	var off int64
-	var wOff int64 = segHeaderSize
 	var hdr [legacyHeaderSize]byte
 	for off < logLen {
 		if logLen-off < legacyHeaderSize {
 			break // torn header: the legacy format truncated these too
 		}
 		if _, err := src.ReadAt(hdr[:], off); err != nil {
+			dst.Abort()
 			return false, fmt.Errorf("pagestore: read legacy header at %d: %w", off, err)
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != recMagic {
+			dst.Abort()
 			return false, fmt.Errorf("pagestore: bad magic at offset %d: legacy log corrupted", off)
 		}
 		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
@@ -362,32 +253,23 @@ func migrateLegacy(base string) (bool, error) {
 		}
 		data := make([]byte, dataLen)
 		if _, err := src.ReadAt(data, dataOff); err != nil {
+			dst.Abort()
 			return false, fmt.Errorf("pagestore: read legacy payload at %d: %w", dataOff, err)
 		}
 		if crc32.ChecksumIEEE(data) != wantCRC {
+			dst.Abort()
 			return false, fmt.Errorf("pagestore: crc mismatch for page %v at offset %d: legacy log corrupted", id, off)
 		}
-		frame := frameRecord((&segRecord{kind: recPut, id: id, data: data}).encode())
-		if _, err := dst.WriteAt(frame, wOff); err != nil {
-			dst.Close()
-			return false, fmt.Errorf("pagestore: write migrated record: %w", err)
+		if _, err := dst.Append(segFmt.Frame((&segRecord{kind: recPut, id: id, data: data}).encode())); err != nil {
+			dst.Abort()
+			return false, err
 		}
-		wOff += int64(len(frame))
 		off = dataOff + int64(dataLen)
 	}
-	if err := dst.Sync(); err != nil {
-		dst.Close()
-		return false, fmt.Errorf("pagestore: sync migration tmp: %w", err)
+	if err := dst.Commit(segmentPath(base, 1), nil, nil); err != nil {
+		return false, err
 	}
-	if err := dst.Close(); err != nil {
-		return false, fmt.Errorf("pagestore: close migration tmp: %w", err)
-	}
-	if err := os.Rename(tmp, segmentPath(base, 1)); err != nil {
-		return false, fmt.Errorf("pagestore: activate migrated segment: %w", err)
-	}
-	if err := syncDir(filepath.Dir(base)); err != nil {
-		return false, fmt.Errorf("pagestore: sync dir after migration: %w", err)
-	}
+	dst.File().Close() // recovery reopens the migrated segment
 	if err := os.Remove(base); err != nil {
 		return false, fmt.Errorf("pagestore: remove legacy log: %w", err)
 	}

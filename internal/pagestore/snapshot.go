@@ -2,14 +2,11 @@ package pagestore
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io/fs"
-	"os"
 	"sort"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -24,32 +21,33 @@ import (
 // A torn or corrupt snapshot degrades to a full rescan, which is always
 // possible because data segments are never deleted.
 //
-// File layout mirrors a segment record frame, with its own magic:
+// The file envelope and the shared prefix — format number, covered
+// segments' generations and (since v2) their live/tombstone byte
+// counters — are seglog's (see internal/seglog/indexsnap.go for the v2
+// story); the entry section is this store's own:
 //
-//	uint32 psnapMagic | uint32 dataLen | uint32 crc32(data) | data
+//	per entry: 16-byte id | uint32 seg | uint64 off | uint32 len
 //
-// written to <base>.snapshot.tmp, fsynced (when the store syncs), then
-// atomically renamed to <base>.snapshot.
-//
-// The payload encoding is canonical: covered-segment generations in
-// index order, entries strictly ascending by page id, counts bounded by
-// the remaining input, no trailing bytes. That makes encode∘decode the
-// identity on valid inputs — the property FuzzDecodeIndexSnapshot pins.
+// The payload encoding is canonical: entries strictly ascending by page
+// id, counts bounded by the remaining input, no trailing bytes. That
+// makes encode∘decode the identity on valid inputs — the property
+// FuzzDecodeIndexSnapshot pins.
 
 const (
 	psnapMagic = 0xB10B55A9
 	psnapFmt   = 1
+	psnapFmtV2 = 2 // adds per-segment live/tombstone byte counters
 )
 
 // snapshotPath names the live index snapshot of the store rooted at base.
-func snapshotPath(base string) string { return base + ".snapshot" }
+func snapshotPath(base string) string { return seglog.SnapshotPath(base) }
 
 // snapshotTmpPath names the in-progress snapshot; never read by recovery.
-func snapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+func snapshotTmpPath(base string) string { return seglog.SnapshotTmpPath(base) }
 
 // compactTmpPath names a compaction rewrite in progress; never read by
 // recovery.
-func compactTmpPath(base string) string { return base + ".compact.tmp" }
+func compactTmpPath(base string) string { return seglog.CompactTmpPath(base) }
 
 // indexEntry locates one live page body: data byte range [off, off+len)
 // inside segment seg.
@@ -67,11 +65,11 @@ type snapEntry struct {
 }
 
 // indexSnapshot is a consistent cut of the page index. Segments
-// 1..len(gens) are covered: every record in them is reflected in the
-// entries, and gens[i] is segment i+1's generation at the cut. Segments
-// above len(gens) are the tail recovery replays.
+// 1..len(meta.Segs) are covered: every record in them is reflected in
+// the entries, and meta.Segs[i] describes segment i+1 at the cut.
+// Segments above the covered range are the tail recovery replays.
 type indexSnapshot struct {
-	gens    []uint64
+	meta    seglog.IndexMeta
 	entries []snapEntry
 }
 
@@ -80,12 +78,8 @@ func encodeIndexSnapshot(s *indexSnapshot) []byte {
 	sort.Slice(s.entries, func(i, j int) bool {
 		return bytes.Compare(s.entries[i].id[:], s.entries[j].id[:]) < 0
 	})
-	w := wire.NewWriter(16 + len(s.gens)*8 + len(s.entries)*32)
-	w.Uint32(psnapFmt)
-	w.Uint32(uint32(len(s.gens)))
-	for _, g := range s.gens {
-		w.Uint64(g)
-	}
+	w := wire.NewWriter(16 + len(s.meta.Segs)*24 + len(s.entries)*32)
+	seglog.EncodeIndexMeta(w, psnapFmt, psnapFmtV2, &s.meta)
 	w.Uint32(uint32(len(s.entries)))
 	for _, e := range s.entries {
 		w.Raw(e.id[:])
@@ -99,40 +93,21 @@ func encodeIndexSnapshot(s *indexSnapshot) []byte {
 // errSnapshotEncoding tags structurally invalid snapshot payloads.
 var errSnapshotEncoding = errors.New("pagestore: invalid snapshot encoding")
 
-// snapCount reads a length prefix and bounds it by the bytes that many
-// entries of at least elemBytes each would need, so a hostile prefix
-// cannot drive a huge allocation.
-func snapCount(r *wire.Reader, elemBytes int) (int, error) {
-	n := r.Uint32()
-	if r.Err() != nil {
-		return 0, r.Err()
-	}
-	if int64(n)*int64(elemBytes) > int64(r.Remaining()) {
-		return 0, fmt.Errorf("%w: count %d exceeds remaining input", errSnapshotEncoding, n)
-	}
-	return int(n), nil
-}
-
 // decodeIndexSnapshot parses a snapshot payload. It never panics on
 // arbitrary bytes and rejects non-canonical input — unsorted or
 // duplicate ids, entries pointing outside the covered segments or
 // before the segment header, trailing bytes — so a successful decode
-// re-encodes to exactly the input.
+// re-encodes to exactly the input (the decoded meta remembers whether
+// the input was v1 or v2).
 func decodeIndexSnapshot(data []byte) (*indexSnapshot, error) {
 	r := wire.NewReader(data)
-	if f := r.Uint32(); r.Err() == nil && f != psnapFmt {
-		return nil, fmt.Errorf("%w: unknown format %d", errSnapshotEncoding, f)
-	}
-	s := &indexSnapshot{}
-	nsegs, err := snapCount(r, 8)
+	meta, err := seglog.DecodeIndexMeta(r, psnapFmt, psnapFmtV2, errSnapshotEncoding)
 	if err != nil {
 		return nil, err
 	}
-	s.gens = make([]uint64, 0, nsegs)
-	for i := 0; i < nsegs; i++ {
-		s.gens = append(s.gens, r.Uint64())
-	}
-	nent, err := snapCount(r, 32)
+	s := &indexSnapshot{meta: *meta}
+	nsegs := len(s.meta.Segs)
+	nent, err := seglog.Count(r, 32, errSnapshotEncoding)
 	if err != nil {
 		return nil, err
 	}
@@ -166,62 +141,10 @@ func decodeIndexSnapshot(data []byte) (*indexSnapshot, error) {
 // loadSnapshot reads and validates the snapshot file. A missing file is
 // (nil, nil); a torn or corrupt one is an error the caller downgrades
 // to a full rescan.
-//
-//blobseer:seglog load-snapshot
 func loadSnapshot(path string) (*indexSnapshot, error) {
-	raw, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("pagestore: read snapshot: %w", err)
-	}
-	if len(raw) < recHeaderSize {
-		return nil, fmt.Errorf("pagestore: snapshot torn: %d bytes", len(raw))
-	}
-	if binary.LittleEndian.Uint32(raw[0:4]) != psnapMagic {
-		return nil, errors.New("pagestore: bad snapshot magic")
-	}
-	dataLen := binary.LittleEndian.Uint32(raw[4:8])
-	wantCRC := binary.LittleEndian.Uint32(raw[8:12])
-	if int64(recHeaderSize)+int64(dataLen) != int64(len(raw)) {
-		return nil, fmt.Errorf("pagestore: snapshot torn: declares %d payload bytes, has %d",
-			dataLen, len(raw)-recHeaderSize)
-	}
-	data := raw[recHeaderSize:]
-	if crc32.ChecksumIEEE(data) != wantCRC {
-		return nil, errors.New("pagestore: snapshot crc mismatch")
+	data, err := segFmt.LoadSnapshotFile(path)
+	if err != nil || data == nil {
+		return nil, err
 	}
 	return decodeIndexSnapshot(data)
-}
-
-// writeSnapshotFile writes the framed payload to the tmp path and, when
-// syncing, fsyncs it — everything short of the activating rename.
-//
-//blobseer:seglog snapshot-file
-func writeSnapshotFile(base string, payload []byte, fsync bool) error {
-	frame := make([]byte, recHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], psnapMagic)
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
-	copy(frame[recHeaderSize:], payload)
-	tmp := snapshotTmpPath(base)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("pagestore: create snapshot tmp: %w", err)
-	}
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		return fmt.Errorf("pagestore: write snapshot: %w", err)
-	}
-	if fsync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("pagestore: sync snapshot: %w", err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("pagestore: close snapshot tmp: %w", err)
-	}
-	return nil
 }

@@ -1,0 +1,209 @@
+package seglog
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Group commit, extracted verbatim from the version WAL and the page
+// store (which had hand-copied it from each other): concurrent appends
+// coalesce into batches, the first appender to find no active leader
+// becomes one, takes everything queued with it, writes the whole batch
+// with a single write and at most one fsync, and wakes the batch.
+// Leadership lasts exactly one batch — anything queued behind the batch
+// is handed to the first of those waiters — because appenders lead
+// while holding store locks (a blob's shard, the page index cut), and
+// an open-ended tenure would stall that lock behind other traffic.
+// Appenders park until their batch is durable, so the write-ahead
+// contract (state applies only after the record is on disk) holds while
+// concurrent handlers share fsyncs.
+//
+// The Committer borrows the store's writer mutex rather than owning
+// one, so the store keeps its declared lock order (and its direct uses
+// of the mutex for rolls, captures and shutdown) unchanged.
+
+// Cell is one queued appender's parking spot, embedded in the store's
+// append-request type.
+type Cell struct {
+	done chan struct{}
+	err  error
+	// delivered guards done against double close; promoted tells the
+	// woken waiter its record is NOT yet durable and it must lead the
+	// next batch itself. Both are written under the writer mutex before
+	// done is closed and read only after done fires.
+	delivered bool
+	promoted  bool
+}
+
+// NewCell returns a Cell ready to park on.
+func NewCell() Cell { return Cell{done: make(chan struct{})} }
+
+// Parked is implemented by the store's append-request type.
+type Parked interface{ Cell() *Cell }
+
+// Committer runs the leader/batch protocol over the store's request
+// type T. All callback fields must be set before the first Append
+// (MaybeRoll and Apply may be nil).
+type Committer[T Parked] struct {
+	// Mu is the store's writer mutex; it guards the queue and leader
+	// flag here plus whatever writer state the store keeps (active
+	// segment, sizes). The store declares its lock order.
+	Mu *sync.Mutex
+	// Serial disables group commit: one write (+fsync when the store
+	// syncs) per record with Mu held throughout, so concurrent
+	// appenders serialize on the disk — the ablation baseline.
+	Serial bool
+	// Closed reports shutdown; called with Mu held.
+	Closed func() bool
+	// ErrClosed is returned to appenders racing shutdown.
+	ErrClosed error
+	// Commit writes one batch contiguously to the active segment with a
+	// single write and at most one fsync. Called by the exclusive
+	// committer — the leader outside Mu, or a serial appender under it —
+	// so the store's active-segment fields need no extra
+	// synchronization: the segment cannot roll while a commit is in
+	// flight. On error nothing may be applied.
+	Commit func(batch []T) error
+	// Apply, when set, applies a durable batch's state effects; called
+	// with Mu held.
+	Apply func(batch []T)
+	// MaybeRoll, when set, is called with Mu held after a successful
+	// commit+apply; the store rolls its active segment if oversized
+	// (best effort — a failed roll leaves the oversized segment active).
+	MaybeRoll func()
+
+	queue   []T
+	leading bool
+}
+
+// Append writes one record durably and applies its effects. Concurrent
+// appends coalesce into group commits unless the committer is serial.
+func (c *Committer[T]) Append(a T) error {
+	c.Mu.Lock()
+	if c.Closed() {
+		c.Mu.Unlock()
+		return c.ErrClosed
+	}
+	if c.Serial {
+		err := c.Commit([]T{a})
+		if err == nil {
+			if c.Apply != nil {
+				c.Apply([]T{a})
+			}
+			if c.MaybeRoll != nil {
+				c.MaybeRoll()
+			}
+		}
+		c.Mu.Unlock()
+		return err
+	}
+	c.queue = append(c.queue, a)
+	if !c.leading {
+		c.leading = true
+		return c.lead(a.Cell()) // releases Mu
+	}
+	c.Mu.Unlock()
+	cell := a.Cell()
+	<-cell.done
+	if cell.promoted {
+		c.Mu.Lock()
+		return c.lead(cell) // releases Mu
+	}
+	return cell.err
+}
+
+// lead commits one batch — the current queue, which includes self's own
+// record — delivers the outcome, and hands leadership to the first
+// appender queued behind the batch. self is nil for a caretaker pass
+// with no record of its own (tests). Called with Mu held; returns
+// self's outcome with Mu released.
+func (c *Committer[T]) lead(self *Cell) error {
+	// Collect: yield once so appenders that are runnable right now —
+	// typically the batch just delivered, already back with their next
+	// record — join this batch instead of each eating an fsync. This is
+	// what makes group commit form on a single core, where a leader
+	// blocked in a short fsync syscall does not reliably give up its P
+	// to the waiting appenders.
+	c.Mu.Unlock()
+	runtime.Gosched()
+	c.Mu.Lock()
+	batch := c.queue
+	c.queue = nil
+	closed := c.Closed()
+	c.Mu.Unlock()
+	var err error
+	if closed {
+		// Shutdown may already have drained the queue (batch can even be
+		// empty, self's record included in the drain); every outcome
+		// here is the same error, so the two drains cannot disagree.
+		err = c.ErrClosed
+	} else if len(batch) > 0 {
+		err = c.Commit(batch)
+	}
+	c.Mu.Lock()
+	if err == nil && len(batch) > 0 {
+		if c.Apply != nil {
+			c.Apply(batch)
+		}
+		if c.MaybeRoll != nil {
+			c.MaybeRoll()
+		}
+	}
+	for _, a := range batch {
+		cell := a.Cell()
+		if cell == self {
+			// Self returns synchronously; its done channel may already
+			// be closed when it led a batch it was promoted into.
+			cell.delivered = true
+			cell.err = err
+		} else {
+			deliverLocked(cell, err)
+		}
+	}
+	if len(c.queue) > 0 && !c.Closed() {
+		// One-batch tenure: whoever queued first behind this batch leads
+		// the next one; its record stays queued and commits in that
+		// batch.
+		next := c.queue[0].Cell()
+		next.promoted = true
+		deliverLocked(next, nil)
+	} else {
+		c.leading = false
+	}
+	c.Mu.Unlock()
+	return err
+}
+
+// deliverLocked wakes a parked appender exactly once. Called with the
+// writer mutex held.
+func deliverLocked(cell *Cell, err error) {
+	if cell.delivered {
+		return
+	}
+	cell.delivered = true
+	cell.err = err
+	close(cell.done)
+}
+
+// FailQueuedLocked delivers err to every queued appender and empties
+// the queue; the store's shutdown calls it with Mu held. A promoted
+// waiter was already woken and will observe closed when it leads;
+// delivery skips it.
+func (c *Committer[T]) FailQueuedLocked(err error) {
+	for _, a := range c.queue {
+		deliverLocked(a.Cell(), err)
+	}
+	c.queue = nil
+}
+
+// CaretakeLocked runs one leader pass with no record of its own — a
+// test hook standing in for a returning leader. Called with Mu held;
+// returns with Mu released.
+func (c *Committer[T]) CaretakeLocked() error { return c.lead(nil) }
+
+// SetLeadingLocked forces the leader flag — a test hook for pinning the
+// queueing behaviour behind a leader mid-commit. Called with Mu held.
+func (c *Committer[T]) SetLeadingLocked(v bool) { c.leading = v }
+
+// QueueLenLocked reports the queued appender count. Called with Mu held.
+func (c *Committer[T]) QueueLenLocked() int { return len(c.queue) }

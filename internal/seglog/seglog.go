@@ -1,0 +1,169 @@
+// Package seglog is the one segmented-log core behind the three durable
+// stores: the version manager's WAL (internal/version), the page store's
+// data log (internal/pagestore) and the DHT's metadata log
+// (internal/dht). Each store keeps its own record encoding, index shape
+// and locking, and parameterizes this package over the rest — the
+// mechanics that used to be hand-copied three times:
+//
+//   - generation-stamped segment files (<base>.000001, ...) with a fixed
+//     header, or headerless segments for WAL-style logs whose covered
+//     segments are deleted instead of rewritten
+//   - CRC-framed records with torn-tail truncation on the highest
+//     segment only (a crash mid-append), and hard failure anywhere else
+//     (sealed segments are only ever activated complete)
+//   - snapshot files published by tmp + fsync + atomic rename + dirsync
+//   - index snapshots that record each covered segment's generation —
+//     and, since format v2, its live/tombstone byte counters — so
+//     recovery detects post-snapshot compaction and seeds accurate
+//     reclaim accounting (see indexsnap.go for the v2 story)
+//   - leader/batch group commit with one-batch tenure (commit.go)
+//   - in-place segment rewrite through a tmp file that is always
+//     fsynced before the rename (writer.go)
+//   - generational tombstone hygiene for compactors (hygiene.go)
+//
+// This package declares no lock order of its own: every lock it touches
+// is owned and declared by the calling store (the Committer borrows the
+// store's writer mutex). Functions that publish files via rename keep
+// the whole sync→rename→dirsync sequence in a single function body so
+// the renamesync analyzer (cmd/blobseer-vet) can see it.
+package seglog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Format names one store's on-disk dialect: the magics that brand its
+// files and the prefix its errors carry. A zero SegMagic means the
+// store's segments are headerless (the version WAL): they start with
+// records at offset 0 and carry no generation.
+type Format struct {
+	Name      string // error prefix, e.g. "pagestore"
+	RecMagic  uint32 // record frame magic
+	SegMagic  uint32 // segment header magic; 0 = headerless segments
+	SegFormat uint32 // segment header format number
+	SnapMagic uint32 // snapshot file envelope magic
+}
+
+const (
+	// HeaderSize is the segment file header:
+	//
+	//	uint32 SegMagic | uint32 SegFormat | uint64 generation
+	HeaderSize = 4 + 4 + 8
+
+	// FrameHeaderSize is the record frame header:
+	//
+	//	uint32 RecMagic | uint32 payloadLen | uint32 crc32(payload)
+	FrameHeaderSize = 4 + 4 + 4
+)
+
+// DataStart is the file offset of the first record: past the header for
+// generation-stamped segments, 0 for headerless ones.
+func (ft *Format) DataStart() int64 {
+	if ft.SegMagic == 0 {
+		return 0
+	}
+	return HeaderSize
+}
+
+// SegmentPath names segment idx of the log rooted at base.
+func SegmentPath(base string, idx uint64) string {
+	return fmt.Sprintf("%s.%06d", base, idx)
+}
+
+// SnapshotPath names the live snapshot of the log rooted at base.
+func SnapshotPath(base string) string { return base + ".snapshot" }
+
+// SnapshotTmpPath names the in-progress snapshot; never read by recovery.
+func SnapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+
+// CompactTmpPath names an in-progress segment rewrite; never read by
+// recovery.
+func CompactTmpPath(base string) string { return base + ".compact.tmp" }
+
+// MigrateTmpPath names an in-progress legacy-log migration; never read
+// by recovery.
+func MigrateTmpPath(base string) string { return base + ".migrate.tmp" }
+
+// RemoveTmp deletes leftover tmp files from interrupted maintenance.
+// They are garbage by construction: only the atomic renames ever
+// activate a tmp file.
+func RemoveTmp(base string) {
+	os.Remove(SnapshotTmpPath(base))
+	os.Remove(CompactTmpPath(base))
+	os.Remove(MigrateTmpPath(base))
+}
+
+// ListSegments returns the segment indices present for base, ascending.
+// Non-numeric siblings (the snapshot, tmp files, a legacy log) are
+// ignored.
+func (ft *Format) ListSegments(base string) ([]uint64, error) {
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		return nil, fmt.Errorf("%s: list segments: %w", ft.Name, err)
+	}
+	prefix := filepath.Base(base) + "."
+	var out []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		idx, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+		if err != nil || idx == 0 {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SyncDir fsyncs a directory so renames, creations and deletions in it
+// are durable.
+//
+//blobseer:seglog sync-dir
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteHeader writes the segment header to a fresh segment file.
+// Headerless formats must not call it.
+func (ft *Format) WriteHeader(f *os.File, gen uint64) error {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], ft.SegMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], ft.SegFormat)
+	binary.LittleEndian.PutUint64(hdr[8:16], gen)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("%s: write segment header: %w", ft.Name, err)
+	}
+	return nil
+}
+
+// ReadHeader validates a segment file's header and returns its
+// generation.
+func (ft *Format) ReadHeader(f *os.File, path string) (uint64, error) {
+	var hdr [HeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("%s: read segment header of %s: %w", ft.Name, path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != ft.SegMagic {
+		return 0, fmt.Errorf("%s: bad segment magic in %s", ft.Name, path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != ft.SegFormat {
+		return 0, fmt.Errorf("%s: unknown segment format %d in %s", ft.Name, v, path)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
+}

@@ -1,9 +1,7 @@
 package version
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 
@@ -72,8 +70,6 @@ func (m *Manager) crash(point string) error {
 // stop-the-world portion is only a segment roll plus a state clone), and
 // serialized against other checkpoints. The background checkpointer
 // calls it every CheckpointEvery events; it is also the on-demand hook.
-//
-//blobseer:seglog snapshot-write
 func (m *Manager) Checkpoint() error {
 	if m.log == nil {
 		return nil
@@ -95,21 +91,10 @@ func (m *Manager) Checkpoint() error {
 	if err := m.crash(crashCaptured); err != nil {
 		return err
 	}
-	if err := writeSnapshotFile(m.log.base, encodeSnapshot(snap), m.log.fsync); err != nil {
-		return err
-	}
-	if err := m.crash(crashTmpWritten); err != nil {
-		return err
-	}
-	if err := os.Rename(snapshotTmpPath(m.log.base), snapshotPath(m.log.base)); err != nil {
-		return fmt.Errorf("version: activate snapshot: %w", err)
-	}
-	if m.log.fsync {
-		if err := syncDir(filepath.Dir(m.log.base)); err != nil {
-			return fmt.Errorf("version: sync snapshot dir: %w", err)
-		}
-	}
-	if err := m.crash(crashRenamed); err != nil {
+	err = walFmt.PublishSnapshot(m.log.base, encodeSnapshot(snap), m.log.fsync,
+		func() error { return m.crash(crashTmpWritten) },
+		func() error { return m.crash(crashRenamed) })
+	if err != nil {
 		return err
 	}
 	segs, err := listSegments(m.log.base)
@@ -141,8 +126,6 @@ func (m *Manager) Checkpoint() error {
 // mutating handler (they hold stateMu.RLock across log-append and state
 // apply) — so no commit is in flight during the roll and the clone is
 // exactly the state the segments below the cut replay to.
-//
-//blobseer:seglog capture
 func (m *Manager) captureLocked() (*snapshotState, error) {
 	w := m.log
 	w.mu.Lock()
@@ -170,53 +153,21 @@ func (m *Manager) captureLocked() (*snapshotState, error) {
 
 // writeSnapshotFile writes the framed payload to the tmp path and, when
 // syncing, fsyncs it — everything short of the activating rename.
-//
-//blobseer:seglog snapshot-file
 func writeSnapshotFile(base string, payload []byte, fsync bool) error {
-	frame := make([]byte, walHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], snapMagic)
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
-	copy(frame[walHeaderSize:], payload)
-	tmp := snapshotTmpPath(base)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("version: create snapshot tmp: %w", err)
-	}
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		return fmt.Errorf("version: write snapshot: %w", err)
-	}
-	if fsync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("version: sync snapshot: %w", err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("version: close snapshot tmp: %w", err)
-	}
-	return nil
+	return walFmt.WriteSnapshotFile(base, payload, fsync)
 }
 
-// checkpointLoop runs automatic checkpoints when CheckpointEvery is set.
-// It is a plain goroutine (not scheduler-driven): checkpointing is disk
-// work with no simulated-time component. Errors are not fatal — the log
-// simply keeps growing until the next trigger succeeds.
-//
-//blobseer:seglog maintain-loop
-func (m *Manager) checkpointLoop() {
-	for {
-		select {
-		case <-m.quitC:
-			return
-		case <-m.ckptC:
-			if m.closed.Load() {
-				return
-			}
-			m.Checkpoint()
-		}
+// checkpointPass runs one automatic checkpoint when the maintainer is
+// nudged. Checkpointing is disk work with no simulated-time component,
+// so the maintainer's plain goroutine is the right vehicle. Errors are
+// not fatal — the log simply keeps growing until the next trigger
+// succeeds.
+func (m *Manager) checkpointPass() bool {
+	if m.closed.Load() {
+		return false
 	}
+	m.Checkpoint()
+	return true
 }
 
 // Checkpoints reports how many checkpoints completed since start.

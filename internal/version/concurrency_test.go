@@ -152,7 +152,7 @@ func TestWALGroupCommitBatches(t *testing.T) {
 
 	// Pretend a leader is mid-commit so appenders can only enqueue.
 	w.mu.Lock()
-	w.leading = true
+	w.comm.SetLeadingLocked(true)
 	w.mu.Unlock()
 
 	const n = 5
@@ -164,7 +164,7 @@ func TestWALGroupCommitBatches(t *testing.T) {
 	}
 	for {
 		w.mu.Lock()
-		queued := len(w.queue)
+		queued := w.comm.QueueLenLocked()
 		w.mu.Unlock()
 		if queued == n {
 			break
@@ -173,8 +173,8 @@ func TestWALGroupCommitBatches(t *testing.T) {
 	}
 	// Stand in for the returning leader: drain the whole queue as one batch.
 	w.mu.Lock()
-	if err := w.lead(nil); err != nil {
-		t.Fatalf("lead: %v", err)
+	if err := w.comm.CaretakeLocked(); err != nil {
+		t.Fatalf("caretake: %v", err)
 	}
 	for i := 0; i < n; i++ {
 		if err := <-errs; err != nil {
@@ -209,7 +209,7 @@ func TestWALCloseFailsQueuedAppends(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.mu.Lock()
-	w.leading = true // no real leader will ever drain
+	w.comm.SetLeadingLocked(true) // no real leader will ever drain
 	w.mu.Unlock()
 	errs := make(chan error, 2)
 	for i := 0; i < 2; i++ {
@@ -217,7 +217,7 @@ func TestWALCloseFailsQueuedAppends(t *testing.T) {
 	}
 	for {
 		w.mu.Lock()
-		queued := len(w.queue)
+		queued := w.comm.QueueLenLocked()
 		w.mu.Unlock()
 		if queued == 2 {
 			break

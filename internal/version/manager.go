@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"blobseer/internal/rpc"
+	"blobseer/internal/seglog"
 	"blobseer/internal/transport"
 	"blobseer/internal/vclock"
 	"blobseer/internal/wire"
@@ -103,13 +104,12 @@ type Manager struct {
 
 	// Checkpoint machinery (see checkpoint.go). ckptMu serializes
 	// checkpoint runs and doubles as the shutdown barrier; ckptEvents
-	// counts events since the last cut; ckptC nudges the background
-	// checkpointer; quitC stops it.
+	// counts events since the last cut; ckpt is the background
+	// checkpointer goroutine.
 	ckptMu     sync.Mutex
 	ckptEvents atomic.Uint64
 	ckptRuns   atomic.Uint64
-	ckptC      chan struct{}
-	quitC      chan struct{}
+	ckpt       *seglog.Maintainer
 	recStats   RecoveryStats
 
 	// crashHook is the test-only checkpoint fault injector.
@@ -228,9 +228,8 @@ func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, er
 		cfg.Sched.Go(m.sweepLoop)
 	}
 	if m.log != nil && cfg.CheckpointEvery > 0 {
-		m.ckptC = make(chan struct{}, 1)
-		m.quitC = make(chan struct{})
-		go m.checkpointLoop()
+		m.ckpt = seglog.NewMaintainer(m.checkpointPass)
+		m.ckpt.Start()
 	}
 	return m, nil
 }
@@ -274,9 +273,7 @@ func (m *Manager) Close() {
 			ev.Fire(wire.NewError(wire.CodeUnavailable, "version manager shutting down"))
 		}
 		m.srv.Close()
-		if m.quitC != nil {
-			close(m.quitC)
-		}
+		m.ckpt.Stop()
 		// Closing the log under ckptMu is the shutdown barrier: an
 		// in-flight checkpoint finishes first (its snapshot is valid and
 		// worth keeping), and any later Checkpoint observes the closed
@@ -350,10 +347,7 @@ func (m *Manager) logEvent(e walEvent) error {
 		return wire.NewError(wire.CodeUnavailable, "version log: %v", err)
 	}
 	if n := m.cfg.CheckpointEvery; n > 0 && m.ckptEvents.Add(1) >= uint64(n) {
-		select {
-		case m.ckptC <- struct{}{}:
-		default: // a nudge is already pending
-		}
+		m.ckpt.Nudge()
 	}
 	return nil
 }

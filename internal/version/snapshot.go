@@ -1,14 +1,11 @@
 package version
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io/fs"
-	"os"
 	"sort"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -49,10 +46,10 @@ const (
 )
 
 // snapshotPath names the live snapshot of the log rooted at base.
-func snapshotPath(base string) string { return base + ".snapshot" }
+func snapshotPath(base string) string { return seglog.SnapshotPath(base) }
 
 // snapshotTmpPath names the in-progress snapshot; never read by recovery.
-func snapshotTmpPath(base string) string { return base + ".snapshot.tmp" }
+func snapshotTmpPath(base string) string { return seglog.SnapshotTmpPath(base) }
 
 // snapshotState is a consistent cut of the manager's version state.
 type snapshotState struct {
@@ -157,14 +154,7 @@ var errSnapshotEncoding = errors.New("version: invalid snapshot encoding")
 // entries of at least elemBytes each would need, so a hostile prefix
 // cannot drive a huge allocation.
 func snapCount(r *wire.Reader, elemBytes int) (int, error) {
-	n := r.Uint32()
-	if r.Err() != nil {
-		return 0, r.Err()
-	}
-	if int64(n)*int64(elemBytes) > int64(r.Remaining()) {
-		return 0, fmt.Errorf("%w: count %d exceeds remaining input", errSnapshotEncoding, n)
-	}
-	return int(n), nil
+	return seglog.Count(r, elemBytes, errSnapshotEncoding)
 }
 
 // decodeSnapshot parses a snapshot payload. It never panics on arbitrary
@@ -287,31 +277,10 @@ func decodeBlobState(r *wire.Reader) (*blobState, error) {
 // loadSnapshot reads and validates the snapshot file. A missing file is
 // (nil, nil); a torn or corrupt one is an error the caller downgrades to
 // full replay.
-//
-//blobseer:seglog load-snapshot
 func loadSnapshot(path string) (*snapshotState, error) {
-	raw, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("version: read snapshot: %w", err)
-	}
-	if len(raw) < walHeaderSize {
-		return nil, fmt.Errorf("version: snapshot torn: %d bytes", len(raw))
-	}
-	if binary.LittleEndian.Uint32(raw[0:4]) != snapMagic {
-		return nil, fmt.Errorf("version: bad snapshot magic")
-	}
-	dataLen := binary.LittleEndian.Uint32(raw[4:8])
-	wantCRC := binary.LittleEndian.Uint32(raw[8:12])
-	if int64(walHeaderSize)+int64(dataLen) != int64(len(raw)) {
-		return nil, fmt.Errorf("version: snapshot torn: declares %d payload bytes, has %d",
-			dataLen, len(raw)-walHeaderSize)
-	}
-	data := raw[walHeaderSize:]
-	if crc32.ChecksumIEEE(data) != wantCRC {
-		return nil, fmt.Errorf("version: snapshot crc mismatch")
+	data, err := walFmt.LoadSnapshotFile(path)
+	if err != nil || data == nil {
+		return nil, err
 	}
 	return decodeSnapshot(data)
 }

@@ -1,18 +1,14 @@
 package version
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -42,15 +38,29 @@ import (
 // where data is a wire-encoded event. A torn tail in the final segment
 // (crash mid-append) is truncated on recovery; corruption anywhere else
 // fails the open.
+//
+// The segment mechanics — record framing, torn-tail recovery, group
+// commit, the snapshot publish sequence — live in internal/seglog,
+// shared with the page store and the DHT metadata log. The WAL is the
+// headerless dialect: its covered segments are deleted by checkpoints
+// rather than rewritten in place, so segments carry no generation stamp
+// and records start at offset 0.
 
 const (
 	walMagic      = 0x5EE5B10C
-	walHeaderSize = 4 + 4 + 4
+	walHeaderSize = seglog.FrameHeaderSize
 
 	// defaultSegmentBytes is the roll threshold when the config leaves
 	// WALSegmentBytes zero.
 	defaultSegmentBytes = 64 << 20
 )
+
+// walFmt is the version WAL's seglog dialect (headerless segments).
+var walFmt = &seglog.Format{
+	Name:      "version",
+	RecMagic:  walMagic,
+	SnapMagic: snapMagic,
+}
 
 // event kinds.
 const (
@@ -137,48 +147,18 @@ var errWALClosed = errors.New("version: wal closed")
 
 // segmentPath names segment idx of the log rooted at base.
 func segmentPath(base string, idx uint64) string {
-	return fmt.Sprintf("%s.%06d", base, idx)
+	return seglog.SegmentPath(base, idx)
 }
 
 // listSegments returns the segment indices present for base, ascending.
 // Non-numeric siblings (the snapshot, stray files) are ignored.
 func listSegments(base string) ([]uint64, error) {
-	entries, err := os.ReadDir(filepath.Dir(base))
-	if err != nil {
-		return nil, fmt.Errorf("version: list wal segments: %w", err)
-	}
-	prefix := filepath.Base(base) + "."
-	var out []uint64
-	for _, ent := range entries {
-		name := ent.Name()
-		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
-			continue
-		}
-		idx, err := strconv.ParseUint(name[len(prefix):], 10, 64)
-		if err != nil || idx == 0 {
-			continue
-		}
-		out = append(out, idx)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return walFmt.ListSegments(base)
 }
 
 // syncDir fsyncs a directory so renames, creations and deletions in it
 // are durable.
-//
-//blobseer:seglog sync-dir
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func syncDir(dir string) error { return seglog.SyncDir(dir) }
 
 // RecoveryStats describes what one open of the write-ahead log did: how
 // much of the state came from the snapshot and how much had to be
@@ -211,17 +191,13 @@ type walRecovery struct {
 }
 
 // wal is the open segmented log. Appends are safe for concurrent use
-// and, by default, group-committed: the first appender to find no active
-// leader becomes one, takes everything queued with it, writes the whole
-// batch with a single WriteAt and at most one fsync, and wakes the
-// batch. Leadership lasts exactly one batch — anything queued behind the
-// batch is handed to the first of those waiters — because appenders lead
-// while holding their blob's shard lock, and an open-ended tenure would
-// stall that blob behind other blobs' traffic. Appenders park until
-// their batch is durable, so the write-ahead contract (state applies
-// only after the event is on disk) holds while concurrent handlers share
-// fsyncs. The serial flag reverts to one write+fsync per event under the
-// lock — the pre-sharding behavior, kept as an ablation baseline.
+// and, by default, group-committed through seglog.Committer: the first
+// appender to find no active leader becomes one, takes everything
+// queued with it, writes the whole batch with a single WriteAt and at
+// most one fsync, and wakes the batch (see internal/seglog/commit.go
+// for the one-batch-tenure protocol). The serial flag reverts to one
+// write+fsync per event under the lock — the pre-sharding behavior,
+// kept as an ablation baseline.
 //
 // The active-segment fields (f, segIdx, size) are owned by whichever
 // goroutine is the exclusive committer; they change under mu (roll,
@@ -230,16 +206,17 @@ type walRecovery struct {
 type wal struct {
 	base     string // path prefix; segments live at base.NNNNNN
 	fsync    bool   // fsync each commit
-	serial   bool   // disable group commit (ablation baseline)
 	segBytes int64  // roll threshold
 
-	mu      sync.Mutex
-	f       *os.File // active segment
-	segIdx  uint64   // index of the active segment
-	size    int64    // committed bytes in the active segment
-	queue   []*walAppend
-	leading bool
-	closed  bool
+	mu     sync.Mutex
+	f      *os.File // active segment
+	segIdx uint64   // index of the active segment
+	size   int64    // committed bytes in the active segment
+	closed bool
+
+	// comm is the group-commit machinery; it borrows mu, so the WAL's
+	// declared lock order is unchanged.
+	comm seglog.Committer[*walAppend]
 
 	appends atomic.Uint64 // records accepted
 	syncs   atomic.Uint64 // fsyncs issued
@@ -248,15 +225,10 @@ type wal struct {
 // walAppend is one queued record and its appender's parking spot.
 type walAppend struct {
 	rec  []byte
-	done chan struct{}
-	err  error
-	// delivered guards done against double close; promoted tells the
-	// woken waiter its record is NOT yet durable and it must lead the
-	// next batch itself. Both are written under wal.mu before done is
-	// closed and read only after done fires.
-	delivered bool
-	promoted  bool
+	cell seglog.Cell
 }
+
+func (a *walAppend) Cell() *seglog.Cell { return &a.cell }
 
 // openWAL opens (creating if needed) the segmented log rooted at path:
 // it loads the newest valid snapshot, deletes segments the snapshot
@@ -374,11 +346,22 @@ func openWAL(path string, opts walOptions) (*wal, *walRecovery, error) {
 	w := &wal{
 		base:     path,
 		fsync:    opts.fsync,
-		serial:   opts.serial,
 		segBytes: opts.segBytes,
 		f:        f,
 		segIdx:   active,
 		size:     info.Size(),
+	}
+	w.comm = seglog.Committer[*walAppend]{
+		Mu:        &w.mu,
+		Serial:    opts.serial,
+		Closed:    func() bool { return w.closed },
+		ErrClosed: errWALClosed,
+		Commit:    w.commit,
+		MaybeRoll: func() {
+			if w.size >= w.segBytes {
+				w.rollLocked() // best effort: a failed roll leaves the oversized segment active
+			}
+		},
 	}
 	if opts.fsync {
 		if err := syncDir(filepath.Dir(path)); err != nil {
@@ -397,195 +380,51 @@ func openWAL(path string, opts walOptions) (*wal, *walRecovery, error) {
 // scanSegment reads every record in one segment file. A torn tail is
 // truncated away when allowTorn is set (the final segment — a crash
 // mid-append); anywhere else a short or corrupt record fails the open.
-//
-//blobseer:seglog scan-segment
 func scanSegment(path string, allowTorn bool) ([]walEvent, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("version: open wal segment: %w", err)
 	}
 	defer f.Close()
-	info, err := f.Stat()
-	if err != nil {
-		return nil, fmt.Errorf("version: stat wal segment: %w", err)
-	}
-	logLen := info.Size()
 	var events []walEvent
-	var off int64
-	var hdr [walHeaderSize]byte
-	for off < logLen {
-		if logLen-off < walHeaderSize {
-			break // torn header
-		}
-		if _, err := f.ReadAt(hdr[:], off); err != nil {
-			return nil, fmt.Errorf("version: read wal header at %d: %w", off, err)
-		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != walMagic {
-			return nil, fmt.Errorf("version: bad wal magic in %s at offset %d: log corrupted", path, off)
-		}
-		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
-		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
-		dataOff := off + walHeaderSize
-		if dataOff+int64(dataLen) > logLen {
-			break // torn payload
-		}
-		data := make([]byte, dataLen)
-		if _, err := f.ReadAt(data, dataOff); err != nil {
-			return nil, fmt.Errorf("version: read wal payload at %d: %w", dataOff, err)
-		}
-		if crc32.ChecksumIEEE(data) != wantCRC {
-			return nil, fmt.Errorf("version: wal crc mismatch in %s at offset %d: log corrupted", path, off)
-		}
-		e, err := decodeWALEvent(data)
+	if _, err := walFmt.Scan(f, path, allowTorn, func(payload []byte, _ int64) error {
+		e, err := decodeWALEvent(payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		events = append(events, e)
-		off = dataOff + int64(dataLen)
-	}
-	if off < logLen {
-		if !allowTorn {
-			return nil, fmt.Errorf("version: torn record in non-final wal segment %s: log corrupted", path)
-		}
-		if err := f.Truncate(off); err != nil {
-			return nil, fmt.Errorf("version: truncate torn wal tail: %w", err)
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return events, nil
 }
 
 // record frames one event for the log.
-func record(e walEvent) []byte {
-	data := e.encode()
-	rec := make([]byte, walHeaderSize+len(data))
-	binary.LittleEndian.PutUint32(rec[0:4], walMagic)
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(data)))
-	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(data))
-	copy(rec[walHeaderSize:], data)
-	return rec
-}
+func record(e walEvent) []byte { return walFmt.Frame(e.encode()) }
 
 // append writes one event durably (write-ahead: callers apply the state
 // change only after append returns nil). Concurrent appends coalesce into
 // group commits unless the wal is serial.
 func (w *wal) append(e walEvent) error {
-	rec := record(e)
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
-		return errWALClosed
-	}
-	w.appends.Add(1)
-	if w.serial {
-		// One write + fsync per event with the lock held throughout, so
-		// concurrent appenders serialize on the disk.
-		err := w.commit([][]byte{rec})
-		if err == nil && w.size >= w.segBytes {
-			w.rollLocked() // best effort: a failed roll leaves the oversized segment active
-		}
-		w.mu.Unlock()
-		return err
-	}
-	a := &walAppend{rec: rec, done: make(chan struct{})}
-	w.queue = append(w.queue, a)
-	if !w.leading {
-		w.leading = true
-		return w.lead(a) // releases w.mu
-	}
-	w.mu.Unlock()
-	<-a.done
-	if a.promoted {
-		w.mu.Lock()
-		//blobseer:ignore lockorder lead is a lock handoff: it runs with w.mu held and its first action is to release it before re-locking
-		return w.lead(a) // releases w.mu
-	}
-	return a.err
+	a := &walAppend{rec: record(e), cell: seglog.NewCell()}
+	return w.comm.Append(a)
 }
 
-// deliverLocked wakes a parked appender exactly once. Called with w.mu
-// held.
-func (w *wal) deliverLocked(a *walAppend, err error) {
-	if a.delivered {
-		return
-	}
-	a.delivered = true
-	a.err = err
-	close(a.done)
-}
-
-// lead commits one batch — the current queue, which includes self's own
-// record — with a single write and at most one fsync, delivers the
-// outcome, and hands leadership to the first appender queued behind the
-// batch. self is nil for a caretaker pass with no record of its own
-// (tests). Called with w.mu held; returns self's outcome with w.mu
-// released.
-func (w *wal) lead(self *walAppend) error {
-	// Collect: yield once so appenders that are runnable right now —
-	// typically the batch just delivered, already back with their next
-	// event — join this batch instead of each eating an fsync. This is
-	// what makes group commit form on a single core, where a leader
-	// blocked in a short fsync syscall does not reliably give up its P
-	// to the waiting appenders.
-	w.mu.Unlock()
-	runtime.Gosched()
-	w.mu.Lock()
-	batch := w.queue
-	w.queue = nil
-	closed := w.closed
-	w.mu.Unlock()
-	var err error
-	if closed {
-		// close() may already have drained the queue (batch can even be
-		// empty, self's record included in the drain); every outcome here
-		// is the same error, so the two drains cannot disagree.
-		err = errWALClosed
-	} else if len(batch) > 0 {
-		bufs := make([][]byte, len(batch))
-		for i, a := range batch {
-			bufs[i] = a.rec
-		}
-		err = w.commit(bufs)
-	}
-	w.mu.Lock()
-	if err == nil && len(batch) > 0 && w.size >= w.segBytes {
-		w.rollLocked() // best effort: a failed roll leaves the oversized segment active
-	}
-	for _, a := range batch {
-		if a == self {
-			// Self returns synchronously; its done channel may already be
-			// closed when it led a batch it was promoted into.
-			a.delivered = true
-			a.err = err
-		} else {
-			w.deliverLocked(a, err)
-		}
-	}
-	if len(w.queue) > 0 && !w.closed {
-		// One-batch tenure: whoever queued first behind this batch leads
-		// the next one; its record stays queued and commits in that batch.
-		next := w.queue[0]
-		next.promoted = true
-		w.deliverLocked(next, nil)
-	} else {
-		w.leading = false
-	}
-	w.mu.Unlock()
-	return err
-}
-
-// commit appends bufs contiguously to the active segment with a single
-// write and at most one fsync. Only one committer runs at a time (the
-// leader, or a serial appender under the lock), so the active-segment
-// fields need no extra synchronization. On error w.size is not advanced
-// and no state based on the batch may be applied.
-func (w *wal) commit(bufs [][]byte) error {
+// commit appends one batch contiguously to the active segment with a
+// single write and at most one fsync. Only one committer runs at a time
+// (the leader, or a serial appender under the lock), so the
+// active-segment fields need no extra synchronization. On error w.size
+// is not advanced and no state based on the batch may be applied.
+func (w *wal) commit(batch []*walAppend) error {
+	w.appends.Add(uint64(len(batch)))
 	var n int
-	for _, b := range bufs {
-		n += len(b)
+	for _, a := range batch {
+		n += len(a.rec)
 	}
 	out := make([]byte, 0, n)
-	for _, b := range bufs {
-		out = append(out, b...)
+	for _, a := range batch {
+		out = append(out, a.rec...)
 	}
 	if _, err := w.f.WriteAt(out, w.size); err != nil {
 		return fmt.Errorf("version: wal append: %w", err)
@@ -605,8 +444,6 @@ func (w *wal) commit(bufs [][]byte) error {
 // itself after its batch, or by the checkpointer while every mutating
 // handler is excluded. Events never span segments, so each segment
 // replays independently.
-//
-//blobseer:seglog roll
 func (w *wal) rollLocked() error {
 	if w.closed {
 		return errWALClosed
@@ -655,12 +492,7 @@ func (w *wal) close() error {
 		return nil
 	}
 	w.closed = true
-	for _, a := range w.queue {
-		// A promoted waiter was already woken and will observe closed when
-		// it leads; deliverLocked skips it.
-		w.deliverLocked(a, errWALClosed)
-	}
-	w.queue = nil
+	w.comm.FailQueuedLocked(errWALClosed)
 	f := w.f
 	w.mu.Unlock()
 	return f.Close()
