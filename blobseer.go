@@ -24,6 +24,18 @@
 //	buf := make([]byte, len(data))
 //	blob.Read(ctx, v, buf, 0)     // read snapshot v
 //
+// Snapshots are immutable, so a version is a stable random-access file:
+// At pins one and hands back an io.ReaderAt-shaped view, safe for any
+// number of concurrent readers.
+//
+//	view, _ := blob.At(ctx, v)    // SnapshotView: io.ReaderAt + Size
+//	view.ReadAt(buf, 128)
+//	r := view.Reader()            // io.ReadSeeker over the same snapshot
+//
+// Reads go through a client-side page cache with single-flight dedup,
+// hedged replica requests and range coalescing; ClientOptions.ReadTuning
+// holds the knobs.
+//
 // Use Dial to connect to a cluster served by cmd/blobseerd over TCP.
 package blobseer
 
@@ -88,7 +100,22 @@ type ClientOptions struct {
 	// bytes of its keys and node payloads, so a few wide replicated
 	// leaves cannot dominate memory (0 = no byte bound).
 	MetadataCacheBytes int64
+	// ReadTuning tunes the read path: page cache size, hedged replica
+	// requests, range coalescing and transfer fanout. The zero value
+	// means all defaults; each knob disables its mechanism when
+	// negative. The struct is passed through to the client unchanged.
+	ReadTuning ReadTuning
 }
+
+// ReadTuning collects the read-path knobs; see the field docs on
+// client.ReadTuning. It is an alias so the same value flows from the
+// public API through the client config without copying field by field.
+type ReadTuning = client.ReadTuning
+
+// PageCacheStats reports the read-path counters: page cache hits and
+// misses, single-flight shares, hedges fired and won, and coalesced
+// request counts.
+type PageCacheStats = client.PageCacheStats
 
 // Client is a handle to a BlobSeer cluster, safe for concurrent use by
 // any number of goroutines.
@@ -118,6 +145,7 @@ func newClient(net transport.Network, sched vclock.Scheduler, opts ClientOptions
 		ConnsPerHost:    opts.ConnsPerHost,
 		MetaCacheNodes:  opts.MetadataCacheNodes,
 		MetaCacheBytes:  opts.MetadataCacheBytes,
+		Read:            opts.ReadTuning,
 		PageReplication: opts.PageReplication,
 	})
 	if err != nil {
@@ -179,9 +207,14 @@ func (b *Blob) Append(ctx context.Context, buf []byte) (Version, error) {
 
 // Read fills buf with len(buf) bytes of snapshot v starting at offset.
 // It fails if v is not published or the range exceeds the snapshot size.
+// It is a thin wrapper over the snapshot view returned by At.
 func (b *Blob) Read(ctx context.Context, v Version, buf []byte, offset uint64) error {
 	return b.c.inner.Read(ctx, b.id, v, buf, offset)
 }
+
+// PageCacheStats reports the client's cumulative read-path counters
+// (shared across all blobs read through this client).
+func (c *Client) PageCacheStats() PageCacheStats { return c.inner.PageCacheStats() }
 
 // Recent returns a recently published version and its size; the version
 // is at least as new as any publication that completed before the call.

@@ -15,6 +15,7 @@
 //	blobseer-bench -exp pagestore  # A8: provider page store — group commit, bounded reopen, compaction
 //	blobseer-bench -exp gc         # A9: retention + distributed page GC, footprint shrink vs read-back
 //	blobseer-bench -exp dhtgc      # A10: metadata reclamation — DHT node deletion + log compaction
+//	blobseer-bench -exp read       # A11: production read path — page cache, hedged replicas, coalescing
 //	blobseer-bench -exp all        # everything above
 //
 // -exp also accepts a comma-separated list (`-exp vm,recovery,pagestore`),
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, gc, dhtgc, all")
+	exp := flag.String("exp", "all", "experiment, or comma-separated list: fig2a, fig2b, calibrate, writers, space, replication, vm, recovery, pagestore, gc, dhtgc, read, all")
 	quick := flag.Bool("quick", false, "shrink experiments for a fast smoke run")
 	scale := flag.Uint64("scale", 64, "data/bandwidth scale divisor (1 = full paper scale)")
 	jsonDir := flag.String("json", "", "write each experiment's raw result as BENCH_<exp>.json into this directory")
@@ -50,7 +51,7 @@ func main() {
 	known := map[string]bool{
 		"all": true, "calibrate": true, "fig2a": true, "fig2b": true, "writers": true,
 		"space": true, "vm": true, "recovery": true, "pagestore": true, "gc": true,
-		"dhtgc": true, "replication": true,
+		"dhtgc": true, "replication": true, "read": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
@@ -285,6 +286,23 @@ func main() {
 			return nil, err
 		}
 		fmt.Println("Ablation A10: metadata reclamation — DHT delete + segmented-log compaction")
+		res.Table().Fprint(os.Stdout)
+		return res, nil
+	})
+
+	run("read", func() (any, error) {
+		cfg := bench.ReadPathConfig{Sim: bench.SimParams{Scale: *scale}}
+		if *quick {
+			cfg.Providers = 8
+			cfg.BlobPages = 64
+			cfg.ChunkPages = 16
+			cfg.ReaderCounts = []int{16}
+		}
+		res, err := bench.RunReadPath(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("Ablation A11: production read path — cache + single-flight, hedged replicas, coalescing")
 		res.Table().Fprint(os.Stdout)
 		return res, nil
 	})

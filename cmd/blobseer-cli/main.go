@@ -30,6 +30,11 @@ func main() {
 	vm := flag.String("vm", os.Getenv("BLOBSEER_VM"), "version manager address")
 	pm := flag.String("pm", os.Getenv("BLOBSEER_PM"), "provider manager address")
 	meta := flag.String("meta", os.Getenv("BLOBSEER_META"), "comma-separated metadata provider addresses")
+	cacheBytes := flag.Int64("page-cache-bytes", 0, "client page cache budget (0 = default, negative = off)")
+	hedge := flag.Duration("hedge-delay", 0, "hedged-read delay (0 = adaptive p99-based, negative = off)")
+	coalesce := flag.Int("coalesce-pages", 0, "max pages per coalesced read RPC (0 = default, <=1 = off)")
+	fanout := flag.Int("max-fanout", 0, "max concurrent transfers per call (0 = default)")
+	readStats := flag.Bool("read-stats", false, "print read-path cache/hedge/coalesce counters to stderr on exit")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -41,6 +46,12 @@ func main() {
 		VersionManager:    *vm,
 		ProviderManager:   *pm,
 		MetadataProviders: strings.Split(*meta, ","),
+		ReadTuning: blobseer.ReadTuning{
+			PageCacheBytes: *cacheBytes,
+			HedgeDelay:     *hedge,
+			CoalescePages:  *coalesce,
+			MaxFanout:      *fanout,
+		},
 	})
 	if err != nil {
 		log.Fatalf("connect: %v", err)
@@ -175,6 +186,14 @@ func main() {
 	default:
 		usage()
 	}
+
+	if *readStats {
+		s := c.PageCacheStats()
+		fmt.Fprintf(os.Stderr,
+			"read path: %d hits, %d misses, %d shared flights; hedges %d fired / %d won; %d coalesced rpcs (%d pages); %d fetch rpcs, %d pages fetched\n",
+			s.Hits, s.Misses, s.Shares, s.HedgesFired, s.HedgesWon,
+			s.CoalescedRPCs, s.CoalescedPages, s.FetchRPCs, s.PagesFetched)
+	}
 }
 
 func openBlob(ctx context.Context, c *blobseer.Client, args []string) *blobseer.Blob {
@@ -209,6 +228,9 @@ commands:
   stat <blob>                 list versions and sizes
   branch <blob> -version V    branch at a published version
   expire <blob> -up-to V      expire snapshots <= V (retention floor)
-  gc <blob>                   reclaim pages of expired snapshots`)
+  gc <blob>                   reclaim pages of expired snapshots
+read tuning (before the command):
+  -page-cache-bytes N  -hedge-delay D  -coalesce-pages N  -max-fanout N
+  -read-stats                 print cache/hedge/coalesce counters to stderr`)
 	os.Exit(2)
 }

@@ -167,10 +167,18 @@ func (e *env) measureReaders(blob wire.BlobID, v wire.Version, readers int,
 }
 
 // clusterDefaults returns the cluster configuration shared by the
-// figure experiments.
+// figure experiments: clients run cold and on the paper's read path —
+// no page cache, no hedging, no coalescing — so the figures keep
+// measuring what the paper measured. The read ablation (A11) turns the
+// modern read path on mechanism by mechanism.
 func clusterDefaults() cluster.Config {
 	return cluster.Config{
 		Replication:      1,
 		ClientCacheNodes: -1, // clients in the experiments run cold, like fresh paper runs
+		ClientRead: client.ReadTuning{
+			PageCacheBytes: -1,
+			HedgeDelay:     -1,
+			CoalescePages:  -1,
+		},
 	}
 }

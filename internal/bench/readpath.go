@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"blobseer/internal/client"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+	"blobseer/internal/workload"
+)
+
+// ReadPathConfig parameterizes the A11 ablation: the production read
+// path — client page cache with single-flight dedup, hedged replica
+// requests and range coalescing — measured mechanism by mechanism under
+// high reader concurrency over a replicated blob.
+//
+// Readers share one client per scenario (the cache and its single-flight
+// table live in the client), scan the whole blob in chunk-sized reads
+// from rotated start offsets, and re-scan it hot. Two degraded scenarios
+// slow one provider's NIC down and compare the latency tail with hedging
+// off and on.
+type ReadPathConfig struct {
+	Sim SimParams
+	// PageSize in paper-unit bytes (default 64 KB).
+	PageSize uint64
+	// Providers (default 16).
+	Providers int
+	// Replication is the page replication factor (default 2 — hedging
+	// needs a second copy to race).
+	Replication int
+	// BlobPages is the blob size in pages (default 256). Must be a
+	// multiple of ChunkPages.
+	BlobPages uint64
+	// ChunkPages is the size of each read request in pages (default 32).
+	ChunkPages uint64
+	// Scans is how many times each reader scans the whole blob (default
+	// 2: the first scan warms the cache, the second measures hot
+	// re-reads).
+	Scans int
+	// ReaderCounts lists the concurrency levels (default 64, 256).
+	ReaderCounts []int
+	// SlowFactor divides one provider's NIC bandwidth in the degraded
+	// scenarios (default 20).
+	SlowFactor float64
+}
+
+func (c *ReadPathConfig) fill() {
+	c.Sim.fill()
+	if c.PageSize == 0 {
+		c.PageSize = 64 << 10
+	}
+	if c.Providers == 0 {
+		c.Providers = 16
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.BlobPages == 0 {
+		c.BlobPages = 256
+	}
+	if c.ChunkPages == 0 {
+		c.ChunkPages = 32
+	}
+	if c.Scans == 0 {
+		c.Scans = 2
+	}
+	if len(c.ReaderCounts) == 0 {
+		c.ReaderCounts = []int{64, 256}
+	}
+	if c.SlowFactor == 0 {
+		c.SlowFactor = 20
+	}
+}
+
+// ReadPathRow is one (concurrency level, scenario) measurement.
+type ReadPathRow struct {
+	Readers  int
+	Scenario string
+	// MBps is the aggregate read throughput in paper-unit MB/s.
+	MBps float64
+	// P50ms and P99ms are per-chunk read latencies in milliseconds.
+	P50ms float64
+	P99ms float64
+	// FetchRPCs and PagesFetched come from the client's read-path
+	// counters: actual page-fetch requests sent and pages they carried.
+	FetchRPCs    uint64
+	PagesFetched uint64
+	// DupRatio is (PagesFetched - BlobPages) / BlobPages: how many
+	// redundant copies of the blob the cluster served. 0 means every
+	// page crossed the network exactly once; readers-1 means every
+	// reader fetched every page.
+	DupRatio float64
+	// HedgesFired and HedgesWon count hedged backup requests and how
+	// many beat the primary.
+	HedgesFired uint64
+	HedgesWon   uint64
+	// CoalescedRPCs counts batched multi-page requests.
+	CoalescedRPCs uint64
+}
+
+// ReadPathResult is the full A11 sweep.
+type ReadPathResult struct {
+	Providers   int
+	Replication int
+	BlobPages   uint64
+	Rows        []ReadPathRow
+}
+
+// Row returns the row for one concurrency level and scenario, or nil.
+func (r *ReadPathResult) Row(readers int, scenario string) *ReadPathRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Readers == readers && row.Scenario == scenario {
+			return row
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep as one table.
+func (r *ReadPathResult) Table() Table {
+	t := Table{
+		Name: fmt.Sprintf("production read path — %d providers, replication %d, %d-page blob",
+			r.Providers, r.Replication, r.BlobPages),
+		Header: []string{"readers", "scenario", "MB/s", "p50 ms", "p99 ms",
+			"fetch RPCs", "pages fetched", "dup ratio", "hedges fired/won", "coalesced RPCs"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.Readers),
+			row.Scenario,
+			fmt.Sprintf("%.1f", row.MBps),
+			fmt.Sprintf("%.2f", row.P50ms),
+			fmt.Sprintf("%.2f", row.P99ms),
+			fmt.Sprint(row.FetchRPCs),
+			fmt.Sprint(row.PagesFetched),
+			fmt.Sprintf("%.2f", row.DupRatio),
+			fmt.Sprintf("%d/%d", row.HedgesFired, row.HedgesWon),
+			fmt.Sprint(row.CoalescedRPCs),
+		})
+	}
+	return t
+}
+
+// readPathScenario is one read-tuning configuration under test.
+type readPathScenario struct {
+	name string
+	tune client.ReadTuning
+	slow bool // slow one provider's NIC down during the phase
+}
+
+func readPathScenarios() []readPathScenario {
+	// off disables every modern mechanism: the paper's read path.
+	off := client.ReadTuning{PageCacheBytes: -1, HedgeDelay: -1, CoalescePages: -1}
+	return []readPathScenario{
+		{name: "baseline", tune: off},
+		{name: "+cache", tune: client.ReadTuning{HedgeDelay: -1, CoalescePages: -1}},
+		{name: "+cache+coalesce", tune: client.ReadTuning{HedgeDelay: -1}},
+		{name: "slow, no hedge", tune: off, slow: true},
+		{name: "slow, hedged", tune: client.ReadTuning{PageCacheBytes: -1, CoalescePages: -1}, slow: true},
+	}
+}
+
+// RunReadPath runs the A11 read-path ablation.
+func RunReadPath(cfg ReadPathConfig) (*ReadPathResult, error) {
+	cfg.fill()
+	scale := cfg.Sim.Scale
+	simPS := cfg.PageSize / scale
+	if simPS == 0 {
+		return nil, fmt.Errorf("readpath: page size %d not scalable by %d", cfg.PageSize, scale)
+	}
+	if cfg.ChunkPages == 0 || cfg.BlobPages%cfg.ChunkPages != 0 {
+		return nil, fmt.Errorf("readpath: blob %d pages not a multiple of chunk %d pages",
+			cfg.BlobPages, cfg.ChunkPages)
+	}
+	if cfg.Replication > cfg.Providers {
+		return nil, fmt.Errorf("readpath: replication %d exceeds %d providers",
+			cfg.Replication, cfg.Providers)
+	}
+
+	res := &ReadPathResult{
+		Providers:   cfg.Providers,
+		Replication: cfg.Replication,
+		BlobPages:   cfg.BlobPages,
+	}
+	ccfg := clusterDefaults()
+	ccfg.PageReplication = cfg.Replication
+	err := runSim(cfg.Sim, cfg.Providers, ccfg, func(e *env) error {
+		ctx := context.Background()
+		w, err := e.clientOn("writer")
+		if err != nil {
+			return err
+		}
+		blob, err := w.Create(ctx, uint32(simPS))
+		if err != nil {
+			return err
+		}
+		chunk := workload.Chunk(7, int(cfg.ChunkPages*simPS))
+		var v wire.Version
+		for p := uint64(0); p < cfg.BlobPages; p += cfg.ChunkPages {
+			if v, err = w.Append(ctx, blob, chunk); err != nil {
+				return err
+			}
+		}
+		if err := w.Sync(ctx, blob, v); err != nil {
+			return err
+		}
+
+		for _, readers := range cfg.ReaderCounts {
+			for _, sc := range readPathScenarios() {
+				row, err := e.runReadPathOne(cfg, blob, v, readers, sc)
+				if err != nil {
+					return fmt.Errorf("%d readers, %s: %w", readers, sc.name, err)
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runReadPathOne measures one (concurrency level, scenario) cell on a
+// fresh client (cold page cache, fresh counters).
+func (e *env) runReadPathOne(cfg ReadPathConfig, blob wire.BlobID, v wire.Version,
+	readers int, sc readPathScenario) (ReadPathRow, error) {
+
+	link := cfg.Sim.netConfig().LinkBps
+	// The shared client aggregates `readers` concurrent readers — a big
+	// application server, not one paper node. Scale its NIC with the
+	// concurrency so the providers, not the measuring client's downlink,
+	// are the bottleneck under test.
+	e.net.SetNodeBandwidth("client0", link*float64(readers), link*float64(readers))
+	if sc.slow {
+		slow := link / cfg.SlowFactor
+		e.net.SetNodeBandwidth("node0", slow, slow)
+		defer e.net.SetNodeBandwidth("node0", link, link)
+	}
+	c, err := e.cl.NewClientCfg("client0", func(cc *client.Config) {
+		cc.Read = sc.tune
+	})
+	if err != nil {
+		return ReadPathRow{}, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	simPS := cfg.PageSize / cfg.Sim.Scale
+	chunkBytes := cfg.ChunkPages * simPS
+	chunksPerScan := int(cfg.BlobPages / cfg.ChunkPages)
+	lats := make([][]time.Duration, readers)
+	start := e.clock.Now()
+	err = vclock.Parallel(e.clock, readers, func(i int) error {
+		// Stagger the starts by distinct virtual microseconds: real
+		// readers never arrive at the same nanosecond, and symmetric
+		// same-instant races are the one thing the virtual clock cannot
+		// order reproducibly.
+		if err := e.clock.Sleep(time.Duration(i) * time.Microsecond); err != nil {
+			return err
+		}
+		buf := make([]byte, chunkBytes)
+		for s := 0; s < cfg.Scans; s++ {
+			for k := 0; k < chunksPerScan; k++ {
+				// Rotate each reader's start chunk so the scans hit the
+				// providers from staggered offsets instead of in lockstep.
+				page := uint64((i+k)%chunksPerScan) * cfg.ChunkPages
+				t0 := e.clock.Now()
+				if err := c.Read(ctx, blob, v, buf, page*simPS); err != nil {
+					return err
+				}
+				lats[i] = append(lats[i], e.clock.Now()-t0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return ReadPathRow{}, err
+	}
+	elapsed := (e.clock.Now() - start).Seconds()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	quant := func(q float64) float64 {
+		idx := int(q * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	stats := c.PageCacheStats()
+	totalBytes := float64(readers) * float64(cfg.Scans) * float64(cfg.BlobPages*simPS)
+	return ReadPathRow{
+		Readers:       readers,
+		Scenario:      sc.name,
+		MBps:          totalBytes * float64(cfg.Sim.Scale) / elapsed / MB,
+		P50ms:         quant(0.50),
+		P99ms:         quant(0.99),
+		FetchRPCs:     stats.FetchRPCs,
+		PagesFetched:  stats.PagesFetched,
+		DupRatio:      (float64(stats.PagesFetched) - float64(cfg.BlobPages)) / float64(cfg.BlobPages),
+		HedgesFired:   stats.HedgesFired,
+		HedgesWon:     stats.HedgesWon,
+		CoalescedRPCs: stats.CoalescedRPCs,
+	}, nil
+}

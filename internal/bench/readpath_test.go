@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPathAblation(t *testing.T) {
+	cfg := ReadPathConfig{
+		Providers:    8,
+		BlobPages:    64,
+		ChunkPages:   16,
+		ReaderCounts: []int{16},
+	}
+	if raceEnabled {
+		// The race detector serializes the simulated stack ~10x; shrink
+		// the sweep. Virtual-clock behaviour is unchanged, only the real
+		// time it takes to compute it.
+		cfg.Providers = 4
+		cfg.BlobPages = 32
+		cfg.ChunkPages = 8
+		cfg.ReaderCounts = []int{8}
+	}
+	res, err := RunReadPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Table().Fprint(&sb)
+	t.Logf("\n%s", sb.String())
+
+	readers := cfg.ReaderCounts[0]
+	get := func(scenario string) ReadPathRow {
+		row := res.Row(readers, scenario)
+		if row == nil {
+			t.Fatalf("missing row %q", scenario)
+		}
+		return *row
+	}
+	baseline := get("baseline")
+	cached := get("+cache")
+	coalesced := get("+cache+coalesce")
+	slow := get("slow, no hedge")
+	hedged := get("slow, hedged")
+
+	// The headline claim: with the shared page cache and single-flight
+	// on, a hot working set crosses the network once — duplicate-fetch
+	// ratio ~0 — while the paper's path refetches every page for every
+	// reader and scan (ratio readers*scans - 1).
+	if cached.DupRatio > 0.1 {
+		t.Errorf("cached dup ratio = %.2f, want ~0", cached.DupRatio)
+	}
+	if want := float64(readers*cfg.scans()) - 1; baseline.DupRatio < want-0.01 {
+		t.Errorf("baseline dup ratio = %.2f, want %.2f (every reader fetches every page)",
+			baseline.DupRatio, want)
+	}
+	if cached.MBps < 2*baseline.MBps {
+		t.Errorf("cache throughput %.1f MB/s not >= 2x baseline %.1f", cached.MBps, baseline.MBps)
+	}
+
+	// Coalescing batches the misses: strictly fewer fetch RPCs than
+	// pages fetched, with multi-page batches reported.
+	if coalesced.CoalescedRPCs == 0 {
+		t.Error("coalescing scenario reports no coalesced RPCs")
+	}
+	if coalesced.FetchRPCs >= coalesced.PagesFetched {
+		t.Errorf("coalesced RPCs %d not below pages fetched %d",
+			coalesced.FetchRPCs, coalesced.PagesFetched)
+	}
+
+	// Hedging under an injected slow replica: the tail drops markedly
+	// (the exact factor depends on sweep size; >=25% holds with a wide
+	// margin across configs), at bounded extra cost (at most one extra
+	// RPC per fetched page), with hedges actually firing.
+	if hedged.HedgesFired == 0 || hedged.HedgesWon == 0 {
+		t.Errorf("hedges fired/won = %d/%d, want both > 0", hedged.HedgesFired, hedged.HedgesWon)
+	}
+	if hedged.P99ms >= 0.75*slow.P99ms {
+		t.Errorf("hedged p99 %.2f ms not at least 25%% below unhedged %.2f ms",
+			hedged.P99ms, slow.P99ms)
+	}
+	if hedged.FetchRPCs > 2*slow.FetchRPCs {
+		t.Errorf("hedged fetch RPCs %d more than double the unhedged %d",
+			hedged.FetchRPCs, slow.FetchRPCs)
+	}
+}
+
+// scans exposes the filled Scans default to the test above.
+func (c ReadPathConfig) scans() int {
+	c.fill()
+	return c.Scans
+}

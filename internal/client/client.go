@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"sync"
 
-	"blobseer/internal/core"
 	"blobseer/internal/dht"
 	"blobseer/internal/meta"
 	"blobseer/internal/rpc"
@@ -46,10 +45,11 @@ type Config struct {
 	// cannot dominate memory while the entry count looks modest (0 = no
 	// byte bound).
 	MetaCacheBytes int64
-	// MaxFanout bounds how many page transfers one operation keeps in
-	// flight (default 64, like the prototype's bounded I/O threads;
-	// negative means unbounded).
-	MaxFanout int
+	// Read tunes the read path — page cache, hedged replica requests,
+	// range coalescing and transfer fanout — as one struct, passed
+	// through unchanged from the public API. The zero value means all
+	// defaults; see ReadTuning.
+	Read ReadTuning
 	// PageReplication stores each page on this many distinct providers
 	// (default 1 — the paper's layout). Reads spread over the replicas and
 	// fail over when a provider is unreachable. Replication is the paper's
@@ -66,12 +66,15 @@ type Config struct {
 // goroutines; the paper's workloads (§5) run hundreds of concurrent
 // readers and writers through handles like this one.
 type Client struct {
-	cfg   Config
-	sched vclock.Scheduler
-	rpc   *rpc.Client
-	dht   *dht.Client
-	cache *meta.Cache
-	gen   *wire.PageIDGen
+	cfg    Config
+	tun    ReadTuning // cfg.Read with defaults resolved
+	sched  vclock.Scheduler
+	rpc    *rpc.Client
+	dht    *dht.Client
+	cache  *meta.Cache
+	pages  *pageCache // nil when the page cache is disabled
+	rstats readStats
+	gen    *wire.PageIDGen
 
 	mu    sync.Mutex
 	blobs map[wire.BlobID]*blobHandle
@@ -106,9 +109,6 @@ func New(cfg Config) (*Client, error) {
 	if cacheNodes == 0 {
 		cacheNodes = 16384
 	}
-	if cfg.MaxFanout == 0 {
-		cfg.MaxFanout = 64
-	}
 	if cfg.PageReplication < 1 {
 		cfg.PageReplication = 1
 	}
@@ -117,15 +117,20 @@ func New(cfg Config) (*Client, error) {
 		cache = meta.NewCacheBytes(cacheNodes, cfg.MetaCacheBytes)
 	}
 	rc := rpc.NewClient(cfg.Net, cfg.Sched, rpc.ClientOptions{ConnsPerHost: cfg.ConnsPerHost})
-	return &Client{
+	c := &Client{
 		cfg:   cfg,
+		tun:   cfg.Read.withDefaults(),
 		sched: cfg.Sched,
 		rpc:   rc,
 		dht:   dht.NewClient(cfg.MetaRing, rc, cfg.Sched),
 		cache: cache,
 		gen:   wire.NewPageIDGen(),
 		blobs: make(map[wire.BlobID]*blobHandle),
-	}, nil
+	}
+	if c.tun.PageCacheBytes > 0 {
+		c.pages = newPageCache(c.sched, c.tun.PageCacheBytes, &c.rstats)
+	}
+	return c, nil
 }
 
 // Close releases the client's connections.
@@ -139,6 +144,11 @@ func (c *Client) MetaCacheStats() (hits, misses uint64) {
 	}
 	return c.cache.Stats()
 }
+
+// PageCacheStats reports the read-path counters: page cache hits and
+// misses, single-flight shares, hedges fired and won, coalesced RPCs
+// and the raw fetch counts (see PageCacheStats field docs).
+func (c *Client) PageCacheStats() PageCacheStats { return c.rstats.snapshot() }
 
 // vm issues a call to the version manager.
 func (c *Client) vm(ctx context.Context, req wire.Msg) (wire.Msg, error) {
@@ -221,88 +231,8 @@ func (c *Client) Branch(ctx context.Context, id wire.BlobID, v wire.Version) (wi
 	return resp.(*wire.BranchResp).NewBlob, nil
 }
 
-// Read implements READ: it fills buf with len(buf) bytes of snapshot v
-// starting at offset. It fails if v is unpublished or the range exceeds
-// the snapshot size.
-func (c *Client) Read(ctx context.Context, id wire.BlobID, v wire.Version, buf []byte, offset uint64) error {
-	if len(buf) == 0 {
-		// Still validate that the version is readable.
-		_, err := c.Size(ctx, id, v)
-		return err
-	}
-	size, err := c.Size(ctx, id, v) // also rejects unpublished versions
-	if err != nil {
-		return err
-	}
-	if offset+uint64(len(buf)) > size {
-		return wire.NewError(wire.CodeOutOfBounds,
-			"read [%d,+%d) beyond snapshot %d of size %d", offset, len(buf), v, size)
-	}
-	h, err := c.handle(ctx, id)
-	if err != nil {
-		return err
-	}
-	ps := h.pageSize
-	firstPage := offset / ps
-	lastPage := (offset + uint64(len(buf)) - 1) / ps
-	want := core.Range{Start: firstPage, Count: lastPage - firstPage + 1}
-
-	root := core.RootID(v, pagesOf(size, ps))
-	plan, err := core.ReadPlan(ctx, h.store, root, want)
-	if err != nil {
-		return err
-	}
-	// Fetch the pages in parallel (Algorithm 1 line 5), trimming the
-	// first and last to the requested byte range.
-	end := offset + uint64(len(buf))
-	return vclock.ParallelLimit(c.sched, len(plan), c.cfg.MaxFanout, func(i int) error {
-		pr := plan[i]
-		pageStart := pr.Index * ps
-		from := pageStart
-		if offset > from {
-			from = offset
-		}
-		to := pageStart + ps
-		if end < to {
-			to = end
-		}
-		return c.fetchPage(ctx, pr, from-pageStart, to-from, buf[from-offset:from-offset+(to-from)])
-	})
-}
-
-// fetchPage reads [off, off+length) of one page into dst, trying the
-// replicas in an order spread by the page id so concurrent readers do not
-// all hammer the first copy, and failing over on provider errors. With a
-// single replica (the paper's layout) this is one RPC.
-func (c *Client) fetchPage(ctx context.Context, pr core.PageRead, off, length uint64, dst []byte) error {
-	reps := pr.Providers
-	if len(reps) == 0 {
-		return fmt.Errorf("page %d has no providers", pr.Index)
-	}
-	spread := int(pr.Page[0]) % len(reps)
-	var lastErr error
-	for attempt := 0; attempt < len(reps); attempt++ {
-		addr := reps[(spread+attempt)%len(reps)]
-		resp, err := c.rpc.Call(ctx, addr, &wire.GetPageReq{
-			Page:   pr.Page,
-			Offset: uint32(off),
-			Length: uint32(length),
-		})
-		if err != nil {
-			lastErr = fmt.Errorf("page %d from %s: %w", pr.Index, addr, err)
-			continue
-		}
-		data := resp.(*wire.GetPageResp).Data
-		if uint64(len(data)) != length {
-			lastErr = fmt.Errorf("page %d from %s: got %d bytes, want %d",
-				pr.Index, addr, len(data), length)
-			continue
-		}
-		copy(dst, data)
-		return nil
-	}
-	return lastErr
-}
+// Read lives in readpath.go together with the rest of the fetch
+// pipeline (page cache, single-flight, hedged replicas, coalescing).
 
 // pagesOf converts a byte size to a page count, rounding up.
 func pagesOf(bytes, pageSize uint64) uint64 {

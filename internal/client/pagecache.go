@@ -1,0 +1,145 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// pageCache is a byte-bounded LRU of whole pages keyed by page id, with
+// single-flight: a lookup that finds another reader already fetching the
+// same page joins that fetch instead of issuing its own RPC. Pages are
+// immutable and their ids globally unique, so entries never go stale —
+// the only reason to evict is memory, and a hit is correct across any
+// set of snapshot versions.
+//
+// pageMu is a leaf lock: it is never held across an RPC, a cache fetch
+// or another acquisition. Waiter events are fired outside it.
+//
+//blobseer:lockorder pageMu
+type pageCache struct {
+	sched    vclock.Scheduler
+	capBytes int64
+	stats    *readStats
+
+	pageMu  sync.Mutex
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[wire.PageID]*list.Element
+	flights map[wire.PageID]*pageFlight
+}
+
+type pageEntry struct {
+	id   wire.PageID
+	data []byte
+}
+
+// pageFlight is one in-progress fetch; waiters joined after it started
+// and get the result (or the leader's error) through their events.
+type pageFlight struct {
+	waiters []vclock.Event
+}
+
+// flightResult is the payload delivered to single-flight waiters.
+type flightResult struct {
+	data []byte
+	err  error
+}
+
+func newPageCache(sched vclock.Scheduler, capBytes int64, stats *readStats) *pageCache {
+	return &pageCache{
+		sched:    sched,
+		capBytes: capBytes,
+		stats:    stats,
+		ll:       list.New(),
+		entries:  make(map[wire.PageID]*list.Element),
+		flights:  make(map[wire.PageID]*pageFlight),
+	}
+}
+
+// acquire resolves one page lookup three ways: a hit returns the cached
+// bytes; a join returns an event that fires with the in-flight fetch's
+// result; a lead (both returns nil) registers a new flight that the
+// caller must resolve with exactly one complete call — even on failure,
+// or joined waiters would block forever.
+func (pc *pageCache) acquire(id wire.PageID) (data []byte, wait vclock.Event, lead bool) {
+	pc.pageMu.Lock()
+	defer pc.pageMu.Unlock()
+	if el, ok := pc.entries[id]; ok {
+		pc.ll.MoveToFront(el)
+		pc.stats.hits.Add(1)
+		return el.Value.(*pageEntry).data, nil, false
+	}
+	if fl, ok := pc.flights[id]; ok {
+		pc.stats.shares.Add(1)
+		ev := pc.sched.NewEvent()
+		fl.waiters = append(fl.waiters, ev)
+		return nil, ev, false
+	}
+	pc.stats.misses.Add(1)
+	pc.flights[id] = &pageFlight{}
+	return nil, nil, true
+}
+
+// complete resolves the flight acquire registered: on success the page
+// is cached and every waiter receives the bytes; on failure waiters
+// receive the error and fetch for themselves (the leader's failure may
+// be private to it — a cancelled context, a connection it alone lost).
+func (pc *pageCache) complete(id wire.PageID, data []byte, err error) {
+	pc.pageMu.Lock()
+	fl := pc.flights[id]
+	delete(pc.flights, id)
+	if err == nil {
+		pc.insertLocked(id, data)
+	}
+	pc.pageMu.Unlock()
+	if fl == nil {
+		return
+	}
+	for _, ev := range fl.waiters {
+		ev.Fire(flightResult{data: data, err: err})
+	}
+}
+
+// insertLocked adds a page and evicts from the LRU tail past the byte
+// budget. A page larger than the whole budget is not retained.
+func (pc *pageCache) insertLocked(id wire.PageID, data []byte) {
+	if _, ok := pc.entries[id]; ok {
+		return // immutable: the stored bytes are already correct
+	}
+	cost := pageBytes(data)
+	if cost > pc.capBytes {
+		return
+	}
+	el := pc.ll.PushFront(&pageEntry{id: id, data: data})
+	pc.entries[id] = el
+	pc.bytes += cost
+	for pc.bytes > pc.capBytes && pc.ll.Len() > 0 {
+		oldest := pc.ll.Back()
+		ent := oldest.Value.(*pageEntry)
+		pc.ll.Remove(oldest)
+		pc.bytes -= pageBytes(ent.data)
+		delete(pc.entries, ent.id)
+	}
+}
+
+// pageBytes is one entry's accounted memory cost: the page bytes plus
+// the id, list element and map slot overhead.
+func pageBytes(data []byte) int64 {
+	return int64(len(data)) + 64
+}
+
+// Len and Bytes report the cache's current footprint (tests).
+func (pc *pageCache) Len() int {
+	pc.pageMu.Lock()
+	defer pc.pageMu.Unlock()
+	return pc.ll.Len()
+}
+
+func (pc *pageCache) Bytes() int64 {
+	pc.pageMu.Lock()
+	defer pc.pageMu.Unlock()
+	return pc.bytes
+}

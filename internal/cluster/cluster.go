@@ -86,6 +86,10 @@ type Config struct {
 	// ClientCacheNodes sets new clients' metadata cache capacity
 	// (0 = default, negative = disabled).
 	ClientCacheNodes int
+	// ClientRead tunes new clients' read path (page cache, hedging,
+	// coalescing, fanout); zero value = defaults. Per-client overrides
+	// go through NewClientCfg.
+	ClientRead client.ReadTuning
 }
 
 func (c *Config) fillDefaults() {
@@ -330,6 +334,7 @@ func (cl *Cluster) NewClientCfg(host string, tweak func(*client.Config)) (*clien
 		ProviderManager: cl.PM.Addr(),
 		MetaRing:        cl.Ring,
 		MetaCacheNodes:  cl.cfg.ClientCacheNodes,
+		Read:            cl.cfg.ClientRead,
 		PageReplication: cl.cfg.PageReplication,
 	}
 	if tweak != nil {

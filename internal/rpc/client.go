@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"blobseer/internal/transport"
 	"blobseer/internal/vclock"
@@ -22,6 +24,8 @@ var ErrConnBroken = errors.New("rpc: connection broken")
 // Client issues requests to any number of peers, multiplexing concurrent
 // calls over a small pool of connections per peer. It is safe for
 // concurrent use.
+//
+//blobseer:lockorder latMu
 type Client struct {
 	net     transport.Network
 	sched   vclock.Scheduler
@@ -30,6 +34,26 @@ type Client struct {
 	mu     sync.Mutex
 	pools  map[string]*pool
 	closed bool
+
+	// latMu guards lat. It is a leaf lock: held only inside observe and
+	// LatencyQuantile, never across a call or another acquisition.
+	latMu sync.Mutex
+	lat   map[string]*hostLatency
+}
+
+// latencySamples is the per-host ring size: enough history for a stable
+// tail estimate, small enough that one slow burst ages out quickly.
+const latencySamples = 64
+
+// minLatencySamples is how many completed calls a host needs before
+// LatencyQuantile reports anything; below it the tail estimate is noise.
+const minLatencySamples = 8
+
+// hostLatency is a ring of recent call durations to one peer.
+type hostLatency struct {
+	samples [latencySamples]time.Duration
+	n       int // filled entries
+	next    int // ring cursor
 }
 
 // ClientOptions tunes a Client.
@@ -62,14 +86,63 @@ func (c *Client) Call(ctx context.Context, addr string, req wire.Msg) (wire.Msg,
 	if err != nil {
 		return nil, err
 	}
+	start := c.sched.Now()
 	resp, err := cc.roundTrip(ctx, req)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: %v to %s: %w", req.Kind(), addr, err)
 	}
+	// Completed round trips — including ones answered with a protocol
+	// error — are latency signal; transport failures are not.
+	c.observe(addr, c.sched.Now()-start)
 	if e, ok := resp.(*wire.ErrorResp); ok {
 		return nil, &wire.Error{Code: e.Code, Msg: e.Msg}
 	}
 	return resp, nil
+}
+
+// observe records one completed round trip to addr.
+func (c *Client) observe(addr string, d time.Duration) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if c.lat == nil {
+		c.lat = make(map[string]*hostLatency)
+	}
+	h := c.lat[addr]
+	if h == nil {
+		h = &hostLatency{}
+		c.lat[addr] = h
+	}
+	h.samples[h.next] = d
+	h.next = (h.next + 1) % latencySamples
+	if h.n < latencySamples {
+		h.n++
+	}
+}
+
+// LatencyQuantile reports the q-quantile (0 ≤ q ≤ 1) over the most
+// recent completed calls to addr. It returns ok=false until enough
+// calls have completed for the estimate to mean anything; hedging
+// policies treat that as "no signal yet" and fall back to a fixed
+// delay. Durations come from the scheduler clock, so the estimate is
+// deterministic under simnet's virtual time.
+func (c *Client) LatencyQuantile(addr string, q float64) (time.Duration, bool) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	h := c.lat[addr]
+	if h == nil || h.n < minLatencySamples {
+		return 0, false
+	}
+	buf := make([]time.Duration, h.n)
+	copy(buf, h.samples[:h.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(len(buf)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	return buf[idx], true
 }
 
 // Close tears down every pooled connection. In-flight calls fail with

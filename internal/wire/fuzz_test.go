@@ -147,6 +147,11 @@ func FuzzDecodeWire(f *testing.F) {
 		},
 		&DHTDeleteReq{Keys: [][]byte{[]byte("node/key")}},
 		&DHTDeleteResp{Deleted: 1},
+		&GetPagesReq{Ranges: []PageRange{
+			{Page: pid, Offset: 0, Length: WholePage},
+			{Page: PageID{1}, Offset: 128, Length: 64},
+		}},
+		&GetPagesResp{Found: []bool{true, false}, Data: [][]byte{{0xbe, 0xef}, {}}},
 	}
 	covered := make(map[Kind]bool)
 	for _, m := range seed {

@@ -66,6 +66,10 @@ const (
 	KindGCInfoResp
 	KindDHTDeleteReq
 	KindDHTDeleteResp
+	// Batched page reads (read-path coalescing): one request carries
+	// ranges from many pages held by the same provider.
+	KindGetPagesReq
+	KindGetPagesResp
 	kindMax
 )
 
@@ -126,6 +130,8 @@ var kindNames = [...]string{
 	KindGCInfoResp:        "GCInfoResp",
 	KindDHTDeleteReq:      "DHTDeleteReq",
 	KindDHTDeleteResp:     "DHTDeleteResp",
+	KindGetPagesReq:       "GetPagesReq",
+	KindGetPagesResp:      "GetPagesResp",
 }
 
 // String returns the symbolic name of the kind.
@@ -272,6 +278,10 @@ func New(k Kind) Msg {
 		return &DHTDeleteReq{}
 	case KindDHTDeleteResp:
 		return &DHTDeleteResp{}
+	case KindGetPagesReq:
+		return &GetPagesReq{}
+	case KindGetPagesResp:
+		return &GetPagesResp{}
 	}
 	return nil
 }
@@ -1341,3 +1351,80 @@ func (*DHTDeleteResp) Kind() Kind { return KindDHTDeleteResp }
 // MarshalTo implements Msg.
 func (m *DHTDeleteResp) MarshalTo(w *Writer) { w.Uint64(m.Deleted) }
 func (m *DHTDeleteResp) unmarshal(r *Reader) { m.Deleted = r.Uint64() }
+
+// PageRange addresses Length bytes starting at Offset within one page;
+// Length == WholePage requests the full page contents, like GetPageReq.
+type PageRange struct {
+	Page   PageID
+	Offset uint32
+	Length uint32
+}
+
+// GetPagesReq reads many page ranges from one provider in a single round
+// trip — the coalesced form of GetPageReq that sequential scans use so a
+// contiguous read costs few large requests instead of one RPC per page.
+type GetPagesReq struct{ Ranges []PageRange }
+
+// Kind implements Msg.
+func (*GetPagesReq) Kind() Kind { return KindGetPagesReq }
+
+// MarshalTo implements Msg.
+func (m *GetPagesReq) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Ranges)))
+	for _, pr := range m.Ranges {
+		w.Raw(pr.Page[:])
+		w.Uint32(pr.Offset)
+		w.Uint32(pr.Length)
+	}
+}
+
+func (m *GetPagesReq) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/24 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Ranges = make([]PageRange, 0, n)
+	for i := 0; i < n; i++ {
+		var pr PageRange
+		copy(pr.Page[:], r.Raw(16))
+		pr.Offset = r.Uint32()
+		pr.Length = r.Uint32()
+		m.Ranges = append(m.Ranges, pr)
+	}
+}
+
+// GetPagesResp answers GetPagesReq entry-for-entry: Found[i] says
+// whether the provider holds Ranges[i].Page, and Data[i] carries its
+// bytes (empty when absent). A missing page is per-entry data, not an
+// error, so one cold replica cannot fail a whole batch.
+type GetPagesResp struct {
+	Found []bool
+	Data  [][]byte
+}
+
+// Kind implements Msg.
+func (*GetPagesResp) Kind() Kind { return KindGetPagesResp }
+
+// MarshalTo implements Msg.
+func (m *GetPagesResp) MarshalTo(w *Writer) {
+	w.Uint32(uint32(len(m.Found)))
+	for i, f := range m.Found {
+		w.Bool(f)
+		w.Bytes32(m.Data[i])
+	}
+}
+
+func (m *GetPagesResp) unmarshal(r *Reader) {
+	n := int(r.Uint32())
+	if n > MaxSliceLen/8 {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Found = make([]bool, 0, n)
+	m.Data = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m.Found = append(m.Found, r.Bool())
+		m.Data = append(m.Data, r.Bytes32Copy())
+	}
+}

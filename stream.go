@@ -6,75 +6,115 @@ import (
 	"io"
 )
 
-// NewReader returns an io.ReadSeeker over snapshot v of the blob,
-// starting at offset 0. Reads see an immutable snapshot: the reader stays
-// valid and consistent forever, no matter how the blob evolves. The
-// reader buffers nothing; each Read issues one ranged blob read, so wrap
-// it in a bufio.Reader for byte-at-a-time consumers.
-func (b *Blob) NewReader(ctx context.Context, v Version) (*SnapshotReader, error) {
+// At pins published snapshot v and returns a read-only view of it.
+// Snapshots are immutable, so the view behaves like a fixed-size file
+// that can never change underneath its readers: it stays valid and
+// consistent forever, no matter how the blob evolves.
+func (b *Blob) At(ctx context.Context, v Version) (*SnapshotView, error) {
 	size, err := b.Size(ctx, v)
 	if err != nil {
 		return nil, err
 	}
-	return &SnapshotReader{ctx: ctx, b: b, v: v, size: size}, nil
+	return &SnapshotView{ctx: ctx, b: b, v: v, size: size}, nil
 }
 
-// SnapshotReader adapts one blob snapshot to io.Reader, io.ReaderAt and
-// io.Seeker. It is safe for concurrent use through ReadAt; Read/Seek
-// share a cursor and need external synchronization.
-type SnapshotReader struct {
+// SnapshotView is a random-access view of one snapshot, implementing
+// io.ReaderAt. It has no cursor and is safe for concurrent use by any
+// number of goroutines; use Reader for a cursor-shaped io.ReadSeeker.
+type SnapshotView struct {
 	ctx  context.Context
 	b    *Blob
 	v    Version
 	size uint64
-	pos  uint64
 }
 
 // Size returns the snapshot's total size in bytes.
-func (r *SnapshotReader) Size() uint64 { return r.size }
+func (s *SnapshotView) Size() uint64 { return s.size }
 
-// Version returns the snapshot the reader is pinned to.
-func (r *SnapshotReader) Version() Version { return r.v }
-
-// Read implements io.Reader.
-func (r *SnapshotReader) Read(p []byte) (int, error) {
-	if r.pos >= r.size {
-		return 0, io.EOF
-	}
-	if rem := r.size - r.pos; uint64(len(p)) > rem {
-		p = p[:rem]
-	}
-	if len(p) == 0 {
-		return 0, nil
-	}
-	if err := r.b.Read(r.ctx, r.v, p, r.pos); err != nil {
-		return 0, err
-	}
-	r.pos += uint64(len(p))
-	return len(p), nil
-}
+// Version returns the snapshot the view is pinned to.
+func (s *SnapshotView) Version() Version { return s.v }
 
 // ReadAt implements io.ReaderAt.
-func (r *SnapshotReader) ReadAt(p []byte, off int64) (int, error) {
+func (s *SnapshotView) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("blobseer: negative offset %d", off)
 	}
-	if uint64(off) >= r.size {
+	if uint64(off) >= s.size {
 		return 0, io.EOF
 	}
 	n := len(p)
 	var eof bool
-	if rem := r.size - uint64(off); uint64(n) > rem {
+	if rem := s.size - uint64(off); uint64(n) > rem {
 		n = int(rem)
 		eof = true
 	}
-	if err := r.b.Read(r.ctx, r.v, p[:n], uint64(off)); err != nil {
+	if err := s.b.Read(s.ctx, s.v, p[:n], uint64(off)); err != nil {
 		return 0, err
 	}
 	if eof {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+// Reader returns an io.ReadSeeker over the view, starting at offset 0.
+// It buffers nothing; each Read issues one ranged blob read, so wrap it
+// in a bufio.Reader for byte-at-a-time consumers.
+func (s *SnapshotView) Reader() *SnapshotReader {
+	return &SnapshotReader{view: s}
+}
+
+// NewReader returns an io.ReadSeeker over snapshot v of the blob,
+// starting at offset 0. It is shorthand for At(ctx, v) followed by
+// Reader.
+func (b *Blob) NewReader(ctx context.Context, v Version) (*SnapshotReader, error) {
+	view, err := b.At(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	return view.Reader(), nil
+}
+
+// SnapshotReader adds a cursor to a SnapshotView: io.Reader, io.ReaderAt
+// and io.Seeker over one snapshot. It is safe for concurrent use through
+// ReadAt; Read/Seek share the cursor and need external synchronization.
+type SnapshotReader struct {
+	view *SnapshotView
+	pos  uint64
+}
+
+// View returns the underlying snapshot view.
+func (r *SnapshotReader) View() *SnapshotView { return r.view }
+
+// Size returns the snapshot's total size in bytes.
+func (r *SnapshotReader) Size() uint64 { return r.view.size }
+
+// Version returns the snapshot the reader is pinned to.
+func (r *SnapshotReader) Version() Version { return r.view.v }
+
+// Read implements io.Reader.
+func (r *SnapshotReader) Read(p []byte) (int, error) {
+	s := r.view
+	if r.pos >= s.size {
+		return 0, io.EOF
+	}
+	if rem := s.size - r.pos; uint64(len(p)) > rem {
+		p = p[:rem]
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := s.b.Read(s.ctx, s.v, p, r.pos); err != nil {
+		return 0, err
+	}
+	r.pos += uint64(len(p))
+	return len(p), nil
+}
+
+// ReadAt implements io.ReaderAt; it delegates to the view and ignores
+// the cursor.
+func (r *SnapshotReader) ReadAt(p []byte, off int64) (int, error) {
+	return r.view.ReadAt(p, off)
 }
 
 // Seek implements io.Seeker.
@@ -86,10 +126,12 @@ func (r *SnapshotReader) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		base = int64(r.pos)
 	case io.SeekEnd:
-		base = int64(r.size)
+		base = int64(r.view.size)
 	default:
 		return 0, fmt.Errorf("blobseer: bad whence %d", whence)
 	}
+	// Both operands are below 1<<63, so a wrapped sum is always
+	// negative; the single check catches overflow and underflow alike.
 	np := base + offset
 	if np < 0 {
 		return 0, fmt.Errorf("blobseer: seek to negative offset %d", np)
@@ -99,6 +141,7 @@ func (r *SnapshotReader) Seek(offset int64, whence int) (int64, error) {
 }
 
 var (
+	_ io.ReaderAt   = (*SnapshotView)(nil)
 	_ io.ReadSeeker = (*SnapshotReader)(nil)
 	_ io.ReaderAt   = (*SnapshotReader)(nil)
 )
