@@ -4,3 +4,15 @@ package client
 // fn runs once per delete batch and a non-nil return drops that batch
 // exactly as a collector crash at that point would.
 func (c *Client) SetGCCrashHook(fn func(chunk int) error) { c.gcCrash = fn }
+
+// PageFlights reports how many single-flight fetches are unresolved.
+// Test-only: every read must leave zero behind, success or failure —
+// a leaked flight blocks all later readers of its page forever.
+func (c *Client) PageFlights() int {
+	if c.pages == nil {
+		return 0
+	}
+	c.pages.pageMu.Lock()
+	defer c.pages.pageMu.Unlock()
+	return len(c.pages.flights)
+}

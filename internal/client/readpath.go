@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -12,6 +13,11 @@ import (
 	"blobseer/internal/vclock"
 	"blobseer/internal/wire"
 )
+
+// errFetchAbandoned resolves the cache flight of a lead whose batch was
+// never dispatched (its read failed first). Waiters treat any flight
+// error as private to the leader and fetch for themselves.
+var errFetchAbandoned = errors.New("page fetch abandoned: leading read failed before dispatch")
 
 // This file is the read fetch pipeline. A read resolves its plan in
 // three stages, each optional under ReadTuning:
@@ -77,6 +83,7 @@ type pageJob struct {
 	dst      []byte // destination, len == to-from
 	wholeLen uint64 // the page's content length in this snapshot
 	lead     bool   // fetch the whole page on behalf of the cache
+	done     bool   // lead only: the flight has been complete()d
 	wait     vclock.Event
 }
 
@@ -86,6 +93,24 @@ func (c *Client) runPlan(ctx context.Context, plan []core.PageRead, ps, size uin
 	end := offset + uint64(len(buf))
 	jobs := make([]*pageJob, 0, len(plan))
 	var joined []*pageJob
+	// Every flight acquire registers below must be resolved exactly once
+	// before this read returns, or later readers of the page would join a
+	// flight nobody completes and block forever. fetchBatch resolves the
+	// flights of batches that run; this cleanup resolves the rest — leads
+	// whose batch was never dispatched because an earlier batch (or a
+	// cache-hit copy) failed first. It reads the done flags only after
+	// every dispatched batch has finished: ParallelLimit waits for its
+	// in-flight workers even when it stops on an error.
+	defer func() {
+		if c.pages == nil {
+			return
+		}
+		for _, j := range jobs {
+			if j.lead && !j.done {
+				c.pages.complete(j.pr.Page, nil, errFetchAbandoned)
+			}
+		}
+	}()
 	for _, pr := range plan {
 		j := &pageJob{pr: pr, start: pr.Index * ps}
 		j.from = j.start
@@ -168,7 +193,9 @@ func copyFromPage(j *pageJob, page []byte) error {
 // batch groups jobs into per-request batches: jobs sharing an identical
 // replica set coalesce into one GetPagesReq of at most CoalescePages
 // pages (every replica can then serve or hedge the whole batch); the
-// rest go one request per page.
+// rest go one request per page. Batches also stay under the protocol's
+// wire.MaxGetPagesBytes response cap, which providers enforce; a lone
+// oversized page is not subject to it (it goes out as a GetPageReq).
 func (c *Client) batch(jobs []*pageJob) [][]*pageJob {
 	limit := c.tun.CoalescePages
 	if limit <= 1 {
@@ -179,15 +206,21 @@ func (c *Client) batch(jobs []*pageJob) [][]*pageJob {
 		return out
 	}
 	var out [][]*pageJob
-	open := make(map[string]int) // replica-set key -> index of open batch
+	type openBatch struct {
+		idx   int
+		bytes uint64
+	}
+	open := make(map[string]openBatch) // replica-set key -> open batch
 	for _, j := range jobs {
 		key := strings.Join(j.pr.Providers, "\x00")
-		if i, ok := open[key]; ok && len(out[i]) < limit {
-			out[i] = append(out[i], j)
+		need := j.wantLen()
+		if ob, ok := open[key]; ok && len(out[ob.idx]) < limit && ob.bytes+need <= wire.MaxGetPagesBytes {
+			out[ob.idx] = append(out[ob.idx], j)
+			open[key] = openBatch{idx: ob.idx, bytes: ob.bytes + need}
 			continue
 		}
 		out = append(out, []*pageJob{j})
-		open[key] = len(out) - 1
+		open[key] = openBatch{idx: len(out) - 1, bytes: need}
 	}
 	return out
 }
@@ -202,16 +235,24 @@ func (c *Client) fetchBatch(ctx context.Context, jobs []*pageJob) error {
 		if c.pages != nil {
 			for _, j := range jobs {
 				if j.lead {
+					j.done = true
 					c.pages.complete(j.pr.Page, nil, err)
 				}
 			}
 		}
 		return err
 	}
+	// Resolve every lead's flight before copying anything out, so a copy
+	// error on one job cannot leave a later job's waiters blocked.
+	for i, j := range jobs {
+		if j.lead {
+			j.done = true
+			c.pages.complete(j.pr.Page, datas[i], nil)
+		}
+	}
 	for i, j := range jobs {
 		c.rstats.pagesFetched.Add(1)
 		if j.lead {
-			c.pages.complete(j.pr.Page, datas[i], nil)
 			if err := copyFromPage(j, datas[i]); err != nil {
 				return err
 			}

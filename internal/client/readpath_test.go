@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -273,6 +274,87 @@ func TestSingleFlightDedup(t *testing.T) {
 	stats := c.PageCacheStats()
 	if stats.Misses != 1 || stats.Shares != readers-1 {
 		t.Fatalf("misses/shares = %d/%d, want 1/%d", stats.Misses, stats.Shares, readers-1)
+	}
+}
+
+// faultStore wraps a pagestore and fails every page Get while armed.
+type faultStore struct {
+	pagestore.Store
+	failing atomic.Bool
+}
+
+func (f *faultStore) Get(id wire.PageID, off, length uint32) ([]byte, error) {
+	if f.failing.Load() {
+		return nil, fmt.Errorf("injected provider fault")
+	}
+	return f.Store.Get(id, off, length)
+}
+
+// TestFailedReadLeavesNoFlights fails a multi-page read on its first
+// batch and checks that every single-flight the read registered was
+// resolved, then that the same pages are still readable once the fault
+// clears. A read used to register a flight for every page up front but
+// resolve only the batches it dispatched; the batches skipped after the
+// first error leaked their flights, and every later reader of those
+// pages joined a flight nobody would ever complete and hung forever.
+func TestFailedReadLeavesNoFlights(t *testing.T) {
+	fs := &faultStore{Store: pagestore.NewMem()}
+	net := transport.NewInproc()
+	cl, err := cluster.StartInproc(net, vclock.NewReal(), cluster.Config{
+		DataProviders: 1,
+		MetaProviders: 1,
+		NewStore:      func(int) pagestore.Store { return fs },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		net.Close()
+	})
+	// MaxFanout 1 with coalescing off dispatches batches strictly in page
+	// order, so the first page's failure leaves every later page's batch
+	// undispatched — the exact shape that used to leak.
+	c, err := cl.NewClientCfg("", func(cc *client.Config) {
+		cc.Read = client.ReadTuning{HedgeDelay: -1, CoalescePages: -1, MaxFanout: 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const ps, pages = 512, 8
+	id, err := c.Create(ctxb(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(4, ps*pages)
+	v, err := c.Append(ctxb(), id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctxb(), id, v); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.failing.Store(true)
+	buf := make([]byte, len(data))
+	if err := c.Read(ctxb(), id, v, buf, 0); err == nil {
+		t.Fatal("read against a failing store unexpectedly succeeded")
+	}
+	if n := c.PageFlights(); n != 0 {
+		t.Fatalf("failed read left %d unresolved flights", n)
+	}
+
+	// The pages the failed read touched must still be readable; the
+	// timeout bounds the hang a leaked flight would cause.
+	fs.failing.Store(false)
+	ctx, cancel := context.WithTimeout(ctxb(), 30*time.Second)
+	defer cancel()
+	if err := c.Read(ctx, id, v, buf, 0); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("bytes mismatch after recovery")
 	}
 }
 

@@ -3,6 +3,8 @@ package client
 import (
 	"sync/atomic"
 	"time"
+
+	"blobseer/internal/wire"
 )
 
 // ReadTuning collects every read-path knob as one struct, so the public
@@ -30,6 +32,8 @@ type ReadTuning struct {
 	// CoalescePages bounds how many pages of one read are batched into
 	// a single provider round trip when their replica sets coincide.
 	// 0 means the default of 16; negative (or 1) disables coalescing.
+	// Values above wire.MaxGetPagesRanges (the protocol's per-request
+	// cap, which providers enforce) are clamped to it.
 	CoalescePages int
 	// MaxFanout bounds how many page transfers one operation keeps in
 	// flight (default 64, like the prototype's bounded I/O threads;
@@ -57,6 +61,9 @@ func (t ReadTuning) withDefaults() ReadTuning {
 	}
 	if t.CoalescePages == 0 {
 		t.CoalescePages = defCoalescePages
+	}
+	if t.CoalescePages > wire.MaxGetPagesRanges {
+		t.CoalescePages = wire.MaxGetPagesRanges
 	}
 	if t.MaxFanout == 0 {
 		t.MaxFanout = defMaxFanout

@@ -3,6 +3,7 @@ package provider
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -121,6 +122,62 @@ func TestGetBadRangeError(t *testing.T) {
 		&wire.GetPageReq{Page: wire.PageID{1}, Offset: 5, Length: 1})
 	if !wire.IsOutOfBounds(err) {
 		t.Fatalf("err = %v, want out-of-bounds", err)
+	}
+}
+
+// isBadRequest reports whether err is a protocol bad-request error.
+func isBadRequest(err error) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Code == wire.CodeBadRequest
+}
+
+// TestGetPagesRequestCaps exercises the server-side bounds on one
+// GetPagesReq: the range-count cap (a batch at the cap is served, one
+// past it is rejected) and the cumulative-response-byte cap (two pages
+// that together exceed it are rejected, each alone is served — the
+// first range is exempt for parity with GetPageReq).
+func TestGetPagesRequestCaps(t *testing.T) {
+	r := newRig(t, 1, ManagerConfig{})
+	addr := r.provs[0].Addr()
+
+	ranges := make([]wire.PageRange, wire.MaxGetPagesRanges)
+	for i := range ranges {
+		ranges[i] = wire.PageRange{
+			Page:   wire.PageID{byte(i), byte(i >> 8), 0xee},
+			Length: wire.WholePage,
+		}
+	}
+	resp := r.call(t, addr, &wire.GetPagesReq{Ranges: ranges})
+	for i, f := range resp.(*wire.GetPagesResp).Found {
+		if f {
+			t.Fatalf("range %d unexpectedly found", i)
+		}
+	}
+
+	over := append(ranges, wire.PageRange{Page: wire.PageID{0xff}, Length: wire.WholePage})
+	_, err := r.client.Call(context.Background(), addr, &wire.GetPagesReq{Ranges: over})
+	if !isBadRequest(err) {
+		t.Fatalf("over-cap range count: err = %v, want bad-request", err)
+	}
+
+	big := bytes.Repeat([]byte{0xab}, wire.MaxGetPagesBytes/2+1)
+	p1, p2 := wire.PageID{1}, wire.PageID{2}
+	r.call(t, addr, &wire.PutPageReq{Page: p1, Data: big})
+	r.call(t, addr, &wire.PutPageReq{Page: p2, Data: big})
+	one := r.call(t, addr, &wire.GetPagesReq{
+		Ranges: []wire.PageRange{{Page: p1, Length: wire.WholePage}},
+	})
+	if got := one.(*wire.GetPagesResp).Data[0]; !bytes.Equal(got, big) {
+		t.Fatalf("single over-half-cap page: got %d bytes, want %d", len(got), len(big))
+	}
+	_, err = r.client.Call(context.Background(), addr, &wire.GetPagesReq{
+		Ranges: []wire.PageRange{
+			{Page: p1, Length: wire.WholePage},
+			{Page: p2, Length: wire.WholePage},
+		},
+	})
+	if !isBadRequest(err) {
+		t.Fatalf("over-cap response bytes: err = %v, want bad-request", err)
 	}
 }
 

@@ -49,11 +49,17 @@ const latencySamples = 64
 // LatencyQuantile reports anything; below it the tail estimate is noise.
 const minLatencySamples = 8
 
-// hostLatency is a ring of recent call durations to one peer.
+// hostLatency is a ring of recent call durations to one peer, kept in
+// two forms: insertion order (so the oldest sample can be retired) and
+// ascending order (so quantile reads are a single index). The sorted
+// view is maintained incrementally in observe — one binary search and
+// memmove per completed call — keeping LatencyQuantile free of
+// allocation and sorting on the read hot path.
 type hostLatency struct {
-	samples [latencySamples]time.Duration
-	n       int // filled entries
-	next    int // ring cursor
+	samples [latencySamples]time.Duration // insertion order
+	sorted  [latencySamples]time.Duration // same n values, ascending
+	n       int                           // filled entries
+	next    int                           // ring cursor
 }
 
 // ClientOptions tunes a Client.
@@ -112,19 +118,28 @@ func (c *Client) observe(addr string, d time.Duration) {
 		h = &hostLatency{}
 		c.lat[addr] = h
 	}
+	if h.n == latencySamples {
+		// Retire the sample the ring is about to overwrite.
+		old := h.samples[h.next]
+		i := sort.Search(h.n, func(i int) bool { return h.sorted[i] >= old })
+		copy(h.sorted[i:], h.sorted[i+1:h.n])
+		h.n--
+	}
+	i := sort.Search(h.n, func(i int) bool { return h.sorted[i] > d })
+	copy(h.sorted[i+1:h.n+1], h.sorted[i:h.n])
+	h.sorted[i] = d
+	h.n++
 	h.samples[h.next] = d
 	h.next = (h.next + 1) % latencySamples
-	if h.n < latencySamples {
-		h.n++
-	}
 }
 
 // LatencyQuantile reports the q-quantile (0 ≤ q ≤ 1) over the most
 // recent completed calls to addr. It returns ok=false until enough
 // calls have completed for the estimate to mean anything; hedging
-// policies treat that as "no signal yet" and fall back to a fixed
-// delay. Durations come from the scheduler clock, so the estimate is
-// deterministic under simnet's virtual time.
+// policies treat that as "no signal yet" and keep adaptive hedging off
+// for that replica set until samples accumulate (hard-error failover
+// still covers the cold window). Durations come from the scheduler
+// clock, so the estimate is deterministic under simnet's virtual time.
 func (c *Client) LatencyQuantile(addr string, q float64) (time.Duration, bool) {
 	c.latMu.Lock()
 	defer c.latMu.Unlock()
@@ -132,17 +147,14 @@ func (c *Client) LatencyQuantile(addr string, q float64) (time.Duration, bool) {
 	if h == nil || h.n < minLatencySamples {
 		return 0, false
 	}
-	buf := make([]time.Duration, h.n)
-	copy(buf, h.samples[:h.n])
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	idx := int(q * float64(len(buf)-1))
+	idx := int(q * float64(h.n-1))
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(buf) {
-		idx = len(buf) - 1
+	if idx >= h.n {
+		idx = h.n - 1
 	}
-	return buf[idx], true
+	return h.sorted[idx], true
 }
 
 // Close tears down every pooled connection. In-flight calls fail with

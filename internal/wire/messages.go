@@ -1360,9 +1360,23 @@ type PageRange struct {
 	Length uint32
 }
 
+// MaxGetPagesRanges and MaxGetPagesBytes bound one GetPagesReq: at most
+// MaxGetPagesRanges entries per request, and at most MaxGetPagesBytes of
+// cumulative page payload in the response. A provider builds the whole
+// batch answer in memory before replying, so without the caps one
+// request could pin an unbounded buffer server-side. Providers reject
+// requests beyond either cap; clients split larger scans into multiple
+// batches. A single range may still exceed the byte cap — one whole
+// page is always fetchable, exactly as with GetPageReq.
+const (
+	MaxGetPagesRanges = 4096
+	MaxGetPagesBytes  = 64 << 20
+)
+
 // GetPagesReq reads many page ranges from one provider in a single round
 // trip — the coalesced form of GetPageReq that sequential scans use so a
 // contiguous read costs few large requests instead of one RPC per page.
+// Requests must respect MaxGetPagesRanges and MaxGetPagesBytes.
 type GetPagesReq struct{ Ranges []PageRange }
 
 // Kind implements Msg.
