@@ -50,6 +50,8 @@ func main() {
 	globalLock := flag.Bool("global-lock", false, "serialize all version-manager handlers behind one mutex (ablation baseline)")
 	deadTimeout := flag.Duration("dead-writer-timeout", 0, "abort updates of silent writers after this duration (version-manager role; 0 disables)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period (data role)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-call deadline on manager-facing RPCs (data role; 0 = heartbeat period)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "deadline on establishing manager connections (data role; 0 = unbounded)")
 	pageSync := flag.Bool("page-sync", false, "fsync page records before PUT_PAGE acknowledges (data role)")
 	pageGroup := flag.Bool("page-group-commit", true, "coalesce concurrent page writes into shared write+fsync batches (data role)")
 	pageSegBytes := flag.Int64("page-segment-bytes", 64<<20, "roll the page log into a new segment past this size (data role)")
@@ -120,10 +122,14 @@ func main() {
 			log.Fatal("data role requires -manager")
 		}
 		cfg := provider.Config{
-			Sched:          sched,
-			ManagerAddr:    *managerAddr,
-			Client:         rpc.NewClient(net, sched, rpc.ClientOptions{}),
+			Sched:       sched,
+			ManagerAddr: *managerAddr,
+			Client: rpc.NewClient(net, sched, rpc.ClientOptions{
+				CallTimeout: *rpcTimeout,
+				DialTimeout: *dialTimeout,
+			}),
 			HeartbeatEvery: *heartbeat,
+			CallTimeout:    *rpcTimeout,
 		}
 		if *diskPath != "" {
 			cfg.PageLog = *diskPath

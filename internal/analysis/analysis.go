@@ -99,6 +99,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	    Marks a fault point of the shared segmented-log core. Allowed
 //	    only inside internal/seglog; the segdrift analyzer flags any
 //	    occurrence elsewhere as a re-ported copy of skeleton logic.
+//
+//	//blobseer:ctx reason...
+//	    Justifies a ctxflow finding on the same line or the line
+//	    directly below: a deliberate lifecycle root
+//	    (context.Background/TODO), a context pinned in a struct field,
+//	    or an exported API that intentionally hides its context. The
+//	    reason is mandatory; a bare //blobseer:ctx suppresses nothing
+//	    and is itself reported.
+//
+//	//blobseer:goroutine detached reason...
+//	    Justifies a goleak finding on the same line or the line
+//	    directly below: the spawned goroutine deliberately outlives its
+//	    spawner with no join. The literal word "detached" and a reason
+//	    are both mandatory; anything else is reported as malformed.
 const directivePrefix = "blobseer:"
 
 // Directive is one parsed //blobseer: comment.

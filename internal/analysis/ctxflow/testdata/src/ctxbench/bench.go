@@ -1,0 +1,9 @@
+// Package ctxbench stands in for internal/bench: experiment drivers are
+// entry points, so with BenchPkg pointed here nothing is a finding.
+package ctxbench
+
+import "context"
+
+func Root() context.Context {
+	return context.Background()
+}

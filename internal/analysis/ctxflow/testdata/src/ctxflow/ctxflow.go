@@ -1,0 +1,103 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer: each
+// deliberate violation carries a want, each escape hatch pins the
+// suppression behaviour.
+package ctxflow
+
+import "context"
+
+// ---- rule 1: Background/TODO call sites ----
+
+func makeRoot() context.Context {
+	return context.Background() // want `context\.Background\(\) in package ctxflow`
+}
+
+func todoRoot() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in package ctxflow`
+}
+
+// A justified lifecycle root is clean: the annotation sits on the line
+// directly above the call.
+func justifiedRoot() (context.Context, context.CancelFunc) {
+	//blobseer:ctx lifecycle root: this fixture owns the accept loop
+	return context.WithCancel(context.Background())
+}
+
+// A reason-less //blobseer:ctx is itself a finding and suppresses
+// nothing: the Background call below it still fires. The ignore wrapper
+// waives only the malformed-directive finding (same line + line below).
+//
+//blobseer:ignore ctxflow pinning that a bare directive is reported and inert
+//blobseer:ctx
+var bare = context.Background() // want `context\.Background\(\) in package ctxflow`
+
+// ---- rule 2: contexts frozen into struct fields ----
+
+type holder struct {
+	ctx context.Context // want `context stored in struct field ctx`
+	n   int
+}
+
+// Reader pins its creator's context by documented design, so the field
+// is annotated; its methods below exercise rule 3.
+type Reader struct {
+	//blobseer:ctx fixture adapter: context fixed at construction by design
+	ctx context.Context
+}
+
+// ---- rule 3: exported APIs that hide a context ----
+
+// Exported method with no ctx parameter passing a stored context: flagged.
+func (r *Reader) ReadAll() { // want `exported method ReadAll passes a context but takes no context\.Context parameter`
+	use(r.ctx)
+}
+
+// The same shape with a justification is clean.
+//
+//blobseer:ctx io adapter method: interface signature cannot carry a context
+func (r *Reader) ReadQuietly() {
+	use(r.ctx)
+}
+
+// Threading the caller's context is the fix, and is clean.
+func (r *Reader) ReadWith(ctx context.Context) {
+	use(ctx)
+}
+
+// Unexported functions are not API surface.
+func (r *Reader) readInternal() {
+	use(r.ctx)
+}
+
+// An untyped nil argument is not a context pass.
+func (r *Reader) ReadNil() {
+	use(nil)
+}
+
+// Context use inside a nested closure is the closure's business, not the
+// exported signature's.
+func (r *Reader) ReadAsync() func() {
+	return func() { use(r.ctx) }
+}
+
+// A direct Background() argument is rule 1's finding, not rule 3's: the
+// decl itself stays clean.
+func Direct() {
+	use(context.Background()) // want `context\.Background\(\) in package ctxflow`
+}
+
+// Methods on unexported types are not API surface either.
+type quiet struct{}
+
+func (quiet) Run(ctx context.Context) { use(ctx) }
+
+func (quiet) RunStored() {
+	var h holder
+	use(h.ctx)
+}
+
+func use(ctx context.Context) { _ = ctx }
+
+var _ = makeRoot
+var _ = todoRoot
+var _ = justifiedRoot
+var _ = bare

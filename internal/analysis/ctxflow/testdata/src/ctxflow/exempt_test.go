@@ -1,0 +1,13 @@
+package ctxflow
+
+import "context"
+
+// Test files are exempt from every ctxflow rule: no want anywhere here.
+
+func testOnlyRoot() context.Context {
+	return context.Background()
+}
+
+type testOnlyHolder struct {
+	ctx context.Context
+}

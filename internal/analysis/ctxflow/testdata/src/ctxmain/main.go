@@ -1,0 +1,16 @@
+// Command ctxmain pins the package-main exemption: process entry points
+// own their lifecycle roots, so nothing here is a finding.
+package main
+
+import "context"
+
+type app struct {
+	ctx context.Context
+}
+
+func main() {
+	a := app{ctx: context.Background()}
+	run(a.ctx)
+}
+
+func run(ctx context.Context) { _ = ctx }

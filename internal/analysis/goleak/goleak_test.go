@@ -1,0 +1,15 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"blobseer/internal/analysis/analysistest"
+	"blobseer/internal/analysis/goleak"
+)
+
+// TestGolden runs the analyzer over the fixtures: goleak holds one case
+// per join pattern plus the leaks and escape hatches, goleakwg pins the
+// sharper vclock.WaitGroup rule, goleakmain the package-main exemption.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "testdata", "goleak", "goleakwg", "goleakmain")
+}

@@ -1,0 +1,7 @@
+// Command goleakmain pins the package-main exemption: a process's
+// goroutines die with the process, so nothing here is a finding.
+package main
+
+func main() {
+	go func() {}()
+}

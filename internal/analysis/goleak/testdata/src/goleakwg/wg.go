@@ -1,0 +1,16 @@
+// Package goleakwg pins the sharper WaitGroup rule: a spawn through
+// (*vclock.WaitGroup).Go in a package with no matching Wait call is a
+// leak — the group's whole point is the join.
+package goleakwg
+
+import "blobseer/internal/vclock"
+
+type svc struct {
+	wg *vclock.WaitGroup
+}
+
+func (s *svc) start() {
+	s.wg.Go(func() {}) // want `vclock\.WaitGroup spawn is never joined: no wg\.Wait`
+}
+
+var _ = (*svc).start

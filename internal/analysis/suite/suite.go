@@ -5,7 +5,9 @@ package suite
 
 import (
 	"blobseer/internal/analysis"
+	"blobseer/internal/analysis/ctxflow"
 	"blobseer/internal/analysis/encdecpair"
+	"blobseer/internal/analysis/goleak"
 	"blobseer/internal/analysis/lockorder"
 	"blobseer/internal/analysis/renamesync"
 	"blobseer/internal/analysis/segdrift"
@@ -19,4 +21,6 @@ var Analyzers = []*analysis.Analyzer{
 	wirekinds.Analyzer,
 	encdecpair.Analyzer,
 	segdrift.Analyzer,
+	ctxflow.Analyzer,
+	goleak.Analyzer,
 }

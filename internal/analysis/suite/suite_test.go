@@ -55,10 +55,10 @@ func moduleRoot(t *testing.T) string {
 	}
 }
 
-// TestSuiteComplete pins the analyzer roster: the ISSUE names five
-// checks, and dropping one from the suite must not pass silently.
+// TestSuiteComplete pins the analyzer roster: dropping a check from the
+// suite must not pass silently.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"lockorder", "renamesync", "wirekinds", "encdecpair", "segdrift"}
+	want := []string{"lockorder", "renamesync", "wirekinds", "encdecpair", "segdrift", "ctxflow", "goleak"}
 	var got []string
 	for _, a := range suite.Analyzers {
 		got = append(got, a.Name)

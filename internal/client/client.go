@@ -15,6 +15,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"blobseer/internal/dht"
 	"blobseer/internal/meta"
@@ -37,6 +39,12 @@ type Config struct {
 	MetaRing *dht.Ring
 	// ConnsPerHost tunes the rpc connection pool (default 1).
 	ConnsPerHost int
+	// CallTimeout bounds each RPC whose context carries no deadline of
+	// its own; DialTimeout bounds connection establishment. Zero means
+	// unbounded; both are inert under a Virtual scheduler (deadlines are
+	// wall-clock, and simulated time must stay causal).
+	CallTimeout time.Duration
+	DialTimeout time.Duration
 	// MetaCacheNodes sets the client metadata cache capacity in nodes
 	// (default 16384; negative disables caching).
 	MetaCacheNodes int
@@ -75,6 +83,10 @@ type Client struct {
 	pages  *pageCache // nil when the page cache is disabled
 	rstats readStats
 	gen    *wire.PageIDGen
+
+	// reclaimFailures counts best-effort page-reclaim deletes that
+	// failed or timed out over the client's lifetime (see reclaimPages).
+	reclaimFailures atomic.Uint64
 
 	mu    sync.Mutex
 	blobs map[wire.BlobID]*blobHandle
@@ -116,7 +128,11 @@ func New(cfg Config) (*Client, error) {
 	if cacheNodes > 0 {
 		cache = meta.NewCacheBytes(cacheNodes, cfg.MetaCacheBytes)
 	}
-	rc := rpc.NewClient(cfg.Net, cfg.Sched, rpc.ClientOptions{ConnsPerHost: cfg.ConnsPerHost})
+	rc := rpc.NewClient(cfg.Net, cfg.Sched, rpc.ClientOptions{
+		ConnsPerHost: cfg.ConnsPerHost,
+		CallTimeout:  cfg.CallTimeout,
+		DialTimeout:  cfg.DialTimeout,
+	})
 	c := &Client{
 		cfg:   cfg,
 		tun:   cfg.Read.withDefaults(),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"blobseer/internal/core"
 	"blobseer/internal/meta"
@@ -44,6 +45,13 @@ import (
 // single round trip.
 const gcDeleteBatch = 4096
 
+// reclaimTimeout bounds each best-effort reclaim delete; reclaimFanout
+// bounds how many providers are reclaimed from concurrently.
+const (
+	reclaimTimeout = 2 * time.Second
+	reclaimFanout  = 4
+)
+
 // GCStats summarizes one CollectGarbage run.
 type GCStats struct {
 	ExpiredVersions int // expired snapshot trees walked
@@ -61,6 +69,12 @@ type GCStats struct {
 	RetainedNodes     int // tree nodes kept: shared with the oldest retained tree (counted at the prune boundary)
 	DeletedNodes      int // tree nodes whose deletion was issued to the metadata replicas
 	NodeDeleteBatches int // DHT_DELETE batches issued (each fans out to the replica nodes)
+
+	// ReclaimFailures counts best-effort writer-side page reclaims (see
+	// reclaimPages) that failed or timed out, cumulative over the
+	// client's lifetime — a rising value means abandoned pages are
+	// accumulating as garbage no tree walk will ever find.
+	ReclaimFailures int
 }
 
 // ExpireVersions marks every snapshot of the blob's own namespace with
@@ -91,6 +105,7 @@ func (c *Client) ExpireVersions(ctx context.Context, id wire.BlobID, upTo wire.V
 // readers: anything they can reference is retained by construction.
 func (c *Client) CollectGarbage(ctx context.Context, id wire.BlobID) (GCStats, error) {
 	var stats GCStats
+	stats.ReclaimFailures = int(c.reclaimFailures.Load())
 	h, err := c.handle(ctx, id)
 	if err != nil {
 		return stats, err
@@ -398,7 +413,21 @@ func (c *Client) reclaimPages(ctx context.Context, pws []core.PageWrite) {
 			byAddr[addr] = append(byAddr[addr], pw.Page)
 		}
 	}
-	for addr, pages := range byAddr {
-		_, _ = c.rpc.Call(ctx, addr, &wire.DeletePagesReq{Pages: pages}) // best effort
+	addrs := make([]string, 0, len(byAddr))
+	for addr := range byAddr {
+		addrs = append(addrs, addr)
 	}
+	sort.Strings(addrs)
+	// Bounded fan-out with a per-call deadline: a hung provider costs one
+	// timed-out call, not the whole reclaim. Failures are counted, never
+	// propagated — the pages were already proven unreachable, so the only
+	// loss is disk a later manual sweep must find.
+	_ = vclock.ParallelLimit(c.sched, len(addrs), reclaimFanout, func(i int) error {
+		cctx, cancel := context.WithTimeout(ctx, reclaimTimeout)
+		defer cancel()
+		if _, err := c.rpc.Call(cctx, addrs[i], &wire.DeletePagesReq{Pages: byAddr[addrs[i]]}); err != nil {
+			c.reclaimFailures.Add(1)
+		}
+		return nil
+	})
 }

@@ -334,6 +334,7 @@ func (c *Client) fetchHedged(ctx context.Context, jobs []*pageJob) ([][]byte, er
 	// burns the slow provider's bandwidth. Demoted replicas stay
 	// reachable through error failover above.
 	if delay, ok := c.hedgeDelay(reps); ok && healthy > 1 {
+		//blobseer:goroutine detached the hedge timer self-terminates: every loop iteration re-checks delivered/launched under mu and exits once the race is settled, and the fetch itself is joined through the done event above
 		c.sched.Go(func() {
 			for {
 				if c.sched.Sleep(delay) != nil {

@@ -83,6 +83,13 @@ type Config struct {
 	MetaLog dht.LogOptions
 	// HeartbeatEvery tunes provider heartbeats (default 5s).
 	HeartbeatEvery time.Duration
+	// CallTimeout bounds every RPC issued by the cluster's own plumbing
+	// (provider registration and heartbeats) and by clients built with
+	// NewClient, unless the call's context already carries a deadline.
+	// DialTimeout bounds connection establishment the same way. Zero
+	// means unbounded; both are inert under a Virtual scheduler.
+	CallTimeout time.Duration
+	DialTimeout time.Duration
 	// ClientCacheNodes sets new clients' metadata cache capacity
 	// (0 = default, negative = disabled).
 	ClientCacheNodes int
@@ -259,13 +266,17 @@ func (cl *Cluster) start(
 		}
 		// Each provider heartbeats from its own node so the simulated
 		// network charges the right links.
-		aux := rpc.NewClient(providerNet(i), cl.sched, rpc.ClientOptions{})
+		aux := rpc.NewClient(providerNet(i), cl.sched, rpc.ClientOptions{
+			CallTimeout: cfg.CallTimeout,
+			DialTimeout: cfg.DialTimeout,
+		})
 		cl.aux = append(cl.aux, aux)
 		pcfg := provider.Config{
 			Sched:          cl.sched,
 			ManagerAddr:    cl.PM.Addr(),
 			Client:         aux,
 			HeartbeatEvery: cfg.HeartbeatEvery,
+			CallTimeout:    cfg.CallTimeout,
 		}
 		if cfg.NewStore != nil {
 			pcfg.Store = cfg.NewStore(i)
@@ -336,6 +347,8 @@ func (cl *Cluster) NewClientCfg(host string, tweak func(*client.Config)) (*clien
 		MetaCacheNodes:  cl.cfg.ClientCacheNodes,
 		Read:            cl.cfg.ClientRead,
 		PageReplication: cl.cfg.PageReplication,
+		CallTimeout:     cl.cfg.CallTimeout,
+		DialTimeout:     cl.cfg.DialTimeout,
 	}
 	if tweak != nil {
 		tweak(&cfg)

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+)
+
+// TestCloseLeavesNoGoroutines fences a full start/traffic/stop cycle
+// with runtime goroutine counts: every loop the cluster spawns —
+// accept loops, connection readers, per-request handlers, heartbeats,
+// the dead-writer sweeper, seglog maintainers — must be joined by
+// Close. Run under -race this doubles as the leak regression test the
+// goleak analyzer's static guarantees are checked against.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	net := transport.NewInproc()
+	cl, err := StartInproc(net, vclock.NewReal(), Config{
+		DataProviders:     2,
+		MetaProviders:     2,
+		HeartbeatEvery:    5 * time.Millisecond, // many beats during the test
+		DeadWriterTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.NewClient("")
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	id, err := c.Create(ctx, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("goroutine fence traffic 0123456789")
+	v, err := c.Append(ctx, id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(ctx, id, v); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Read(ctx, id, v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+
+	c.Close()
+	cl.Close()
+	net.Close()
+
+	// Joined goroutines can take a few scheduler ticks to fully exit
+	// after their WaitGroup.Done, so poll with a deadline instead of
+	// asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines: %d before, %d after close; stacks:\n%s",
+				before, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

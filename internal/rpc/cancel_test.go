@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"blobseer/internal/simnet"
+	"blobseer/internal/transport"
+	"blobseer/internal/vclock"
+	"blobseer/internal/wire"
+)
+
+// TestDisconnectMidReadCancelsHandler drives the full simulated network:
+// a client sends a READ_PAGE and vanishes while the handler is still
+// working. The per-connection context must cancel so the handler can
+// abandon the work its client will never collect.
+func TestDisconnectMidReadCancelsHandler(t *testing.T) {
+	clock := vclock.NewVirtual(0)
+	net := simnet.New(clock, simnet.Config{LinkBps: 10e6, Latency: 100 * time.Microsecond})
+	var handlerErr error
+	err := clock.Run(func() {
+		ln, err := net.Host("server").Listen("blob")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		entered := clock.NewEvent()
+		finished := clock.NewEvent()
+		mux := NewMux()
+		mux.Register(wire.KindGetPageReq, func(ctx context.Context, _ wire.Msg) (wire.Msg, error) {
+			entered.Fire(nil)
+			// Poll in virtual time: a raw <-ctx.Done() would park this
+			// goroutine outside the scheduler and stall the simulation.
+			for ctx.Err() == nil {
+				if err := clock.Sleep(time.Millisecond); err != nil {
+					finished.Fire(err)
+					return nil, err
+				}
+			}
+			finished.Fire(ctx.Err())
+			return nil, ctx.Err()
+		})
+		srv := Serve(ln, clock, mux)
+		defer srv.Close()
+
+		conn, err := net.Host("client").Dial(context.Background(), srv.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		frame, err := appendFrame(nil, 1, &wire.GetPageReq{Page: wire.PageID{1}, Length: 8})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := entered.Wait(nil); err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close() // the client disconnects mid-read
+		v, err := finished.Wait(nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		handlerErr, _ = v.(error)
+	})
+	if err != nil {
+		t.Fatalf("simulation: %v", err)
+	}
+	if !errors.Is(handlerErr, context.Canceled) {
+		t.Fatalf("handler context error = %v, want context.Canceled", handlerErr)
+	}
+}
+
+// TestEncodeFailureCountedAndReported exercises the response-encoding
+// fallback: an oversized response cannot be framed, so the client must
+// get an error frame instead of a hung call, and the server must count
+// the failure.
+func TestEncodeFailureCountedAndReported(t *testing.T) {
+	net := transport.NewInproc()
+	sched := vclock.NewReal()
+	ln, err := net.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewMux()
+	mux.Register(wire.KindGetPageReq, func(context.Context, wire.Msg) (wire.Msg, error) {
+		return &wire.GetPageResp{Data: make([]byte, MaxFrameBody+1)}, nil
+	})
+	srv := Serve(ln, sched, mux)
+	defer srv.Close()
+	cl := NewClient(net, sched, ClientOptions{})
+	defer cl.Close()
+
+	_, err = cl.Call(context.Background(), srv.Addr(), &wire.GetPageReq{Page: wire.PageID{1}, Length: 1})
+	if err == nil {
+		t.Fatal("oversized response produced no client error")
+	}
+	if got := srv.EncodeFailures(); got != 1 {
+		t.Fatalf("EncodeFailures = %d, want 1", got)
+	}
+}

@@ -27,9 +27,12 @@ var ErrConnBroken = errors.New("rpc: connection broken")
 //
 //blobseer:lockorder latMu
 type Client struct {
-	net     transport.Network
-	sched   vclock.Scheduler
-	perHost int
+	net         transport.Network
+	sched       vclock.Scheduler
+	perHost     int
+	callTimeout time.Duration
+	dialTimeout time.Duration
+	wg          *vclock.WaitGroup // joins per-connection read loops on Close
 
 	mu     sync.Mutex
 	pools  map[string]*pool
@@ -68,6 +71,15 @@ type ClientOptions struct {
 	// address. Zero means 1. More connections let large transfers to the
 	// same peer proceed in parallel at the cost of sockets.
 	ConnsPerHost int
+
+	// CallTimeout bounds each Call whose context carries no deadline of
+	// its own. Zero means unbounded. Deadlines are wall-clock, so under a
+	// Virtual scheduler the bound is inert by design: cancellation from
+	// outside the simulation would break causal determinism.
+	CallTimeout time.Duration
+
+	// DialTimeout bounds connection establishment the same way.
+	DialTimeout time.Duration
 }
 
 // NewClient builds a Client over the given transport and scheduler.
@@ -77,17 +89,36 @@ func NewClient(net transport.Network, sched vclock.Scheduler, opts ClientOptions
 		per = 1
 	}
 	return &Client{
-		net:     net,
-		sched:   sched,
-		perHost: per,
-		pools:   make(map[string]*pool),
+		net:         net,
+		sched:       sched,
+		perHost:     per,
+		callTimeout: opts.CallTimeout,
+		dialTimeout: opts.DialTimeout,
+		wg:          vclock.NewWaitGroup(sched),
+		pools:       make(map[string]*pool),
 	}
+}
+
+// withTimeout applies d to ctx unless ctx already carries a deadline.
+// The returned cancel is non-nil only when a timeout was attached.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 || ctx == nil {
+		return ctx, nil
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // Call sends req to addr and waits for the matching response. A response
 // of kind ErrorResp is converted to a *wire.Error. Transport failures
 // surface as ErrConnBroken (wrapped); the caller owns retry policy.
 func (c *Client) Call(ctx context.Context, addr string, req wire.Msg) (wire.Msg, error) {
+	ctx, cancel := withTimeout(ctx, c.callTimeout)
+	if cancel != nil {
+		defer cancel()
+	}
 	cc, err := c.conn(ctx, addr)
 	if err != nil {
 		return nil, err
@@ -157,8 +188,8 @@ func (c *Client) LatencyQuantile(addr string, q float64) (time.Duration, bool) {
 	return h.sorted[idx], true
 }
 
-// Close tears down every pooled connection. In-flight calls fail with
-// ErrConnBroken.
+// Close tears down every pooled connection and joins every read loop.
+// In-flight calls fail with ErrConnBroken.
 func (c *Client) Close() {
 	c.mu.Lock()
 	pools := c.pools
@@ -168,6 +199,7 @@ func (c *Client) Close() {
 	for _, p := range pools {
 		p.close()
 	}
+	_ = c.wg.Wait() // ErrStopped means the scheduler already unwound them
 }
 
 // conn returns a live connection to addr, dialing if the pool is not full.
@@ -213,11 +245,15 @@ func (p *pool) pick(ctx context.Context) (*clientConn, error) {
 	p.conns = live
 	if len(p.conns) < p.client.perHost {
 		p.mu.Unlock()
-		raw, err := p.client.net.Dial(ctx, p.addr)
+		dctx, cancel := withTimeout(ctx, p.client.dialTimeout)
+		if cancel != nil {
+			defer cancel()
+		}
+		raw, err := p.client.net.Dial(dctx, p.addr)
 		if err != nil {
 			return nil, err
 		}
-		cc := newClientConn(raw, p.client.sched)
+		cc := newClientConn(raw, p.client.sched, p.client.wg)
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
@@ -261,14 +297,16 @@ type clientConn struct {
 	broken  error
 }
 
-func newClientConn(raw transport.Conn, sched vclock.Scheduler) *clientConn {
+func newClientConn(raw transport.Conn, sched vclock.Scheduler, wg *vclock.WaitGroup) *clientConn {
 	cc := &clientConn{
 		raw:     raw,
 		sched:   sched,
 		wmu:     vclock.NewMutex(sched),
 		pending: make(map[uint64]vclock.Event),
 	}
-	sched.Go(cc.readLoop)
+	// Joined by the owning Client: pool.close fails the connection, which
+	// makes readFrame return, and Client.Close waits on wg after that.
+	wg.Go(cc.readLoop)
 	return cc
 }
 

@@ -158,9 +158,15 @@ func TestServerCloseFailsInflight(t *testing.T) {
 	ln, _ := net.Listen("server")
 	block := make(chan struct{})
 	mux := NewMux()
-	mux.Register(wire.KindPingReq, func(context.Context, wire.Msg) (wire.Msg, error) {
-		<-block
-		return &wire.PingResp{}, nil
+	// Close joins in-flight handlers, so the handler must honor the
+	// server-shutdown cancellation — that is the contract Close enforces.
+	mux.Register(wire.KindPingReq, func(ctx context.Context, _ wire.Msg) (wire.Msg, error) {
+		select {
+		case <-block:
+			return &wire.PingResp{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	})
 	srv := Serve(ln, sched, mux)
 	cl := NewClient(net, sched, ClientOptions{})

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"blobseer/internal/transport"
 	"blobseer/internal/vclock"
@@ -14,7 +15,9 @@ import (
 // Handler processes one request and returns the response message. An
 // error return is converted to an ErrorResp frame: *wire.Error keeps its
 // code, any other error maps to CodeUnknown. Handlers may block (SYNC
-// does); each request runs on its own goroutine.
+// does); each request runs on its own goroutine. The context is
+// cancelled when the request's connection closes or the server shuts
+// down, so a disconnected client cannot strand a blocked handler.
 type Handler interface {
 	Handle(ctx context.Context, m wire.Msg) (wire.Msg, error)
 }
@@ -50,11 +53,20 @@ func (m *Mux) Handle(ctx context.Context, msg wire.Msg) (wire.Msg, error) {
 }
 
 // Server accepts connections on a listener and dispatches frames to a
-// Handler. Create with Serve; stop with Close.
+// Handler. Create with Serve; stop with Close, which cancels every
+// in-flight handler and joins every goroutine the server spawned.
 type Server struct {
 	ln      transport.Listener
 	sched   vclock.Scheduler
 	handler Handler
+	cancel  context.CancelFunc
+	wg      *vclock.WaitGroup
+
+	// encodeFailures counts responses that could not be encoded into a
+	// frame (e.g. oversized payloads). The wire protocol has no way to
+	// signal "the error response also failed to encode", so the count is
+	// the only trace the second-level failure leaves.
+	encodeFailures atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[transport.Conn]struct{}
@@ -68,16 +80,27 @@ func Serve(ln transport.Listener, sched vclock.Scheduler, h Handler) *Server {
 		ln:      ln,
 		sched:   sched,
 		handler: h,
+		wg:      vclock.NewWaitGroup(sched),
 		conns:   make(map[transport.Conn]struct{}),
 	}
-	sched.Go(s.acceptLoop)
+	// The server is the lifecycle root for everything that happens on its
+	// connections: handlers observe cancellation when their connection
+	// dies or Close runs.
+	//blobseer:ctx lifecycle root: the server owns the per-connection contexts; Close cancels them
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.wg.Go(func() { s.acceptLoop(ctx) })
 	return s
 }
 
 // Addr returns the listener's address.
 func (s *Server) Addr() string { return s.ln.Addr() }
 
-// Close stops accepting and closes all live connections.
+// EncodeFailures reports how many response frames failed to encode.
+func (s *Server) EncodeFailures() uint64 { return s.encodeFailures.Load() }
+
+// Close stops accepting, cancels all in-flight handlers, closes all live
+// connections, and joins every goroutine the server spawned.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -90,13 +113,15 @@ func (s *Server) Close() {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.cancel()
 	s.ln.Close()
 	for _, c := range conns {
 		c.Close()
 	}
+	_ = s.wg.Wait() // ErrStopped means the scheduler already unwound them
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ctx context.Context) {
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
@@ -110,14 +135,19 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		s.sched.Go(func() { s.serveConn(c) })
+		s.wg.Go(func() { s.serveConn(ctx, c) })
 	}
 }
 
 // serveConn reads frames and spawns one goroutine per request so that
-// long-blocking handlers (SYNC) do not stall the connection.
-func (s *Server) serveConn(c transport.Conn) {
+// long-blocking handlers (SYNC) do not stall the connection. Every
+// request runs under a context cancelled when this connection's read
+// loop exits — a client that disconnects mid-request revokes the work it
+// asked for.
+func (s *Server) serveConn(ctx context.Context, c transport.Conn) {
+	cctx, cancel := context.WithCancel(ctx)
 	defer func() {
+		cancel()
 		c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -137,11 +167,21 @@ func (s *Server) serveConn(c transport.Conn) {
 			// Cannot trust the stream after a decode error.
 			return
 		}
-		s.sched.Go(func() {
-			resp := s.dispatch(req)
+		s.wg.Go(func() {
+			resp := s.dispatch(cctx, req)
 			frame, err := appendFrame(nil, id, resp)
 			if err != nil {
-				frame, _ = appendFrame(nil, id, errorResp(err))
+				s.encodeFailures.Add(1)
+				frame, err = appendFrame(nil, id, errorResp(err))
+				if err != nil {
+					// Even the error response failed to encode: the
+					// client's request would dangle forever on a frame we
+					// cannot produce, so drop the connection instead of
+					// shipping a broken stream.
+					s.encodeFailures.Add(1)
+					c.Close()
+					return
+				}
 			}
 			if wmu.Lock() != nil {
 				return // scheduler shut down mid-response
@@ -155,8 +195,8 @@ func (s *Server) serveConn(c transport.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req wire.Msg) wire.Msg {
-	resp, err := s.handler.Handle(context.Background(), req)
+func (s *Server) dispatch(ctx context.Context, req wire.Msg) wire.Msg {
+	resp, err := s.handler.Handle(ctx, req)
 	if err != nil {
 		return errorResp(err)
 	}

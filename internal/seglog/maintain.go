@@ -1,5 +1,7 @@
 package seglog
 
+import "sync"
+
 // Maintainer runs a store's background maintenance (snapshots,
 // compaction, checkpoints) as a plain goroutine — maintenance is disk
 // work with no simulated-time component. Nudges coalesce: at most one
@@ -8,7 +10,8 @@ package seglog
 type Maintainer struct {
 	c    chan struct{}
 	quit chan struct{}
-	pass func() bool // one maintenance pass; false stops the loop
+	wg   sync.WaitGroup // plain sync: the loop never blocks in virtual time
+	pass func() bool    // one maintenance pass; false stops the loop
 }
 
 // NewMaintainer returns a stopped maintainer; Start launches the loop.
@@ -22,11 +25,13 @@ func NewMaintainer(pass func() bool) *Maintainer {
 	}
 }
 
-// Start launches the maintenance goroutine.
+// Start launches the maintenance goroutine, which Stop joins.
 //
 //blobseer:seglog maintain-loop
 func (m *Maintainer) Start() {
+	m.wg.Add(1)
 	go func() {
+		defer m.wg.Done()
 		for {
 			select {
 			case <-m.quit:
@@ -52,11 +57,15 @@ func (m *Maintainer) Nudge() {
 	}
 }
 
-// Stop ends the loop. Nil-safe and idempotent is the caller's problem:
-// stores call it exactly once from Close, guarded by their closed flag.
+// Stop ends the loop and waits for any in-flight pass to finish, so
+// after Stop returns no maintenance touches the store. Nil-safe;
+// idempotent is the caller's problem: stores call it exactly once from
+// Close, guarded by their closed flag. Callers must not hold a lock the
+// pass acquires, or the join deadlocks.
 func (m *Maintainer) Stop() {
 	if m == nil {
 		return
 	}
 	close(m.quit)
+	m.wg.Wait()
 }

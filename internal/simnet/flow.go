@@ -350,6 +350,7 @@ func (n *Net) rearmLocked(now time.Duration) {
 	}
 	ev := n.clock.NewNamedEvent("simnet-pump")
 	n.clock.FireAt(ev, delay)
+	//blobseer:goroutine detached the pump parks only on its own FireAt timer, which the virtual clock always delivers (or force-fails at Stop), so it cannot outlive the simulation it belongs to
 	n.clock.Go(func() {
 		if _, err := ev.Wait(nil); err != nil {
 			return // simulation stopped
@@ -377,6 +378,7 @@ func (n *Net) scheduleDeliveryLocked(d *connDir, data []byte) {
 	}
 	ev := n.clock.NewNamedEvent("simnet-deliver")
 	n.clock.FireAt(ev, lat)
+	//blobseer:goroutine detached the delivery parks only on its own FireAt timer, which the virtual clock always delivers (or force-fails at Stop), so it cannot outlive the simulation it belongs to
 	n.clock.Go(func() {
 		if _, err := ev.Wait(nil); err != nil {
 			return

@@ -45,6 +45,7 @@ func MeasureLink(clock *vclock.Virtual, n *Net, size int) (bw, rtt float64, err 
 		done.Fire(m)
 	})
 
+	//blobseer:ctx calibration probe inside the simulation: there is no caller context to thread, and virtual time ignores deadlines anyway
 	c, err := src.Dial(context.Background(), dst.Name()+":sink")
 	if err != nil {
 		return 0, 0, err

@@ -74,7 +74,10 @@ type Real struct{ start time.Time }
 func NewReal() *Real { return &Real{start: time.Now()} }
 
 // Go implements Scheduler.
-func (*Real) Go(fn func()) { go fn() }
+func (*Real) Go(fn func()) {
+	//blobseer:goroutine detached Go is the spawn primitive itself: the caller owns the join, and vclock.WaitGroup.Go is the checked way to get one
+	go fn()
+}
 
 // Sleep implements Scheduler.
 func (*Real) Sleep(d time.Duration) error {
@@ -185,6 +188,7 @@ func (v *Virtual) Go(fn func()) {
 	v.mu.Lock()
 	v.runnable++
 	v.mu.Unlock()
+	//blobseer:goroutine detached Go is the spawn primitive itself: participants deregister through runnable accounting and Run joins the whole world
 	go func() {
 		defer func() {
 			v.mu.Lock()

@@ -1,0 +1,101 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WaitGroup is a scheduler-aware join counter: the replacement for
+// sync.WaitGroup wherever the waiter may run under a Virtual scheduler.
+// A plain sync.WaitGroup.Wait blocks invisibly — the simulation counts
+// the waiter as runnable, virtual time never advances, and the world
+// wedges — so long-lived components join their goroutines through this
+// type instead. Waiting parks through a scheduler Event, which both
+// schedulers understand.
+//
+// The goleak analyzer treats a spawn through Go as joined when the
+// package also calls Wait on the same WaitGroup token, so using this
+// type is the checked way to spawn background goroutines.
+type WaitGroup struct {
+	sched Scheduler
+
+	mu      sync.Mutex
+	n       int
+	waiters []Event
+}
+
+// NewWaitGroup returns a WaitGroup that parks waiters through sched.
+func NewWaitGroup(sched Scheduler) *WaitGroup {
+	return &WaitGroup{sched: sched}
+}
+
+// Add adjusts the counter, firing all parked waiters when it reaches
+// zero. Like sync.WaitGroup, a negative counter panics.
+func (w *WaitGroup) Add(delta int) {
+	w.mu.Lock()
+	w.n += delta
+	if w.n < 0 {
+		w.mu.Unlock()
+		panic("vclock: negative WaitGroup counter")
+	}
+	var fire []Event
+	if w.n == 0 {
+		fire = w.waiters
+		w.waiters = nil
+	}
+	w.mu.Unlock()
+	for _, ev := range fire {
+		ev.Fire(nil)
+	}
+}
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Go runs fn on the scheduler with the counter held for its lifetime:
+// Add before spawn, Done when fn returns. Every spawn made this way is
+// joined by a later Wait.
+func (w *WaitGroup) Go(fn func()) {
+	w.Add(1)
+	//blobseer:goroutine detached the join is this WaitGroup's own contract: Wait returns only after the deferred Done, which the analyzer cannot tie to a Wait call absent from this package
+	w.sched.Go(func() {
+		defer w.Done()
+		fn()
+	})
+}
+
+// Wait blocks until the counter reaches zero. A non-nil error means the
+// scheduler shut down first (Virtual only); the goroutines being joined
+// were unwound by the same shutdown, so callers may treat it as joined.
+func (w *WaitGroup) Wait() error {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	ev := w.sched.NewEvent()
+	w.waiters = append(w.waiters, ev)
+	w.mu.Unlock()
+	_, err := ev.Wait(nil)
+	return err
+}
+
+// SleepCtx sleeps for d or until ctx is cancelled, whichever comes
+// first, returning nil after a full sleep and the cancellation or
+// shutdown error otherwise. Under a Virtual scheduler ctx is ignored —
+// exactly like Event.Wait — because cancellation from outside the
+// simulation would break causal determinism; virtual sleeps are free,
+// so loops simply check ctx.Err after waking. Under Real it makes
+// periodic loops (heartbeats, sweeps) promptly interruptible, so Close
+// never stalls for a full period.
+func SleepCtx(ctx context.Context, s Scheduler, d time.Duration) error {
+	if _, ok := s.(*Virtual); ok || ctx == nil {
+		return s.Sleep(d)
+	}
+	ev := s.NewEvent()
+	t := time.AfterFunc(d, func() { ev.Fire(nil) })
+	defer t.Stop()
+	_, err := ev.Wait(ctx)
+	return err
+}

@@ -115,6 +115,9 @@ type Manager struct {
 	// crashHook is the test-only checkpoint fault injector.
 	crashHook func(point string) error
 
+	cancel context.CancelFunc // stops the sweeper; nil without one
+	wg     *vclock.WaitGroup  // joins the sweeper on Close
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 }
@@ -224,8 +227,14 @@ func ServeManagerDurable(ln transport.Listener, cfg ManagerConfig) (*Manager, er
 	}
 	m.mux = m.newMux()
 	m.srv = rpc.Serve(ln, cfg.Sched, m.mux)
+	m.wg = vclock.NewWaitGroup(cfg.Sched)
 	if cfg.DeadWriterTimeout > 0 {
-		cfg.Sched.Go(m.sweepLoop)
+		// The manager is the sweeper's lifecycle root: Close cancels the
+		// context, which interrupts the sweep sleep, then joins.
+		//blobseer:ctx lifecycle root: Close cancels and joins the sweeper
+		ctx, cancel := context.WithCancel(context.Background())
+		m.cancel = cancel
+		m.wg.Go(func() { m.sweepLoop(ctx) })
 	}
 	if m.log != nil && cfg.CheckpointEvery > 0 {
 		m.ckpt = seglog.NewMaintainer(m.checkpointPass)
@@ -273,6 +282,10 @@ func (m *Manager) Close() {
 			ev.Fire(wire.NewError(wire.CodeUnavailable, "version manager shutting down"))
 		}
 		m.srv.Close()
+		if m.cancel != nil {
+			m.cancel()
+		}
+		_ = m.wg.Wait() // ErrStopped means the scheduler already unwound it
 		m.ckpt.Stop()
 		// Closing the log under ckptMu is the shutdown barrier: an
 		// in-flight checkpoint finishes first (its snapshot is valid and
@@ -416,12 +429,12 @@ func (sh *blobShard) abortWatchersLocked(versions []wire.Version) func() {
 }
 
 // sweepLoop aborts updates from writers that went silent.
-func (m *Manager) sweepLoop() {
+func (m *Manager) sweepLoop(ctx context.Context) {
 	for {
-		if err := m.sched.Sleep(m.cfg.SweepEvery); err != nil {
+		if err := vclock.SleepCtx(ctx, m.sched, m.cfg.SweepEvery); err != nil {
 			return
 		}
-		if m.closed.Load() {
+		if m.closed.Load() || ctx.Err() != nil {
 			return
 		}
 		unlock := m.enter()

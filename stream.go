@@ -22,6 +22,10 @@ func (b *Blob) At(ctx context.Context, v Version) (*SnapshotView, error) {
 // io.ReaderAt. It has no cursor and is safe for concurrent use by any
 // number of goroutines; use Reader for a cursor-shaped io.ReadSeeker.
 type SnapshotView struct {
+	// The io.ReaderAt signature cannot carry a context, so the view pins
+	// the one its creator passed to At: cancelling it invalidates the
+	// view, exactly like closing a file invalidates its readers.
+	//blobseer:ctx io.ReaderAt adapter pins its creator's context by documented design
 	ctx  context.Context
 	b    *Blob
 	v    Version
@@ -34,7 +38,10 @@ func (s *SnapshotView) Size() uint64 { return s.size }
 // Version returns the snapshot the view is pinned to.
 func (s *SnapshotView) Version() Version { return s.v }
 
-// ReadAt implements io.ReaderAt.
+// ReadAt implements io.ReaderAt. It runs under the context its view was
+// created with (see SnapshotView.ctx).
+//
+//blobseer:ctx io.ReaderAt signature; the view's pinned creator context applies
 func (s *SnapshotView) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("blobseer: negative offset %d", off)
@@ -92,7 +99,10 @@ func (r *SnapshotReader) Size() uint64 { return r.view.size }
 // Version returns the snapshot the reader is pinned to.
 func (r *SnapshotReader) Version() Version { return r.view.v }
 
-// Read implements io.Reader.
+// Read implements io.Reader. It runs under the context its view was
+// created with (see SnapshotView.ctx).
+//
+//blobseer:ctx io.Reader signature; the view's pinned creator context applies
 func (r *SnapshotReader) Read(p []byte) (int, error) {
 	s := r.view
 	if r.pos >= s.size {
@@ -163,6 +173,10 @@ func (b *Blob) NewWriter(ctx context.Context, chunkBytes int) *AppendWriter {
 // one writer per producer goroutine (appends from different writers
 // serialize at the version manager, like any APPEND).
 type AppendWriter struct {
+	// The io.Writer/io.Closer signatures cannot carry a context, so the
+	// writer pins the one its creator passed to NewWriter: cancelling it
+	// fails subsequent writes and the final flush.
+	//blobseer:ctx io.WriteCloser adapter pins its creator's context by documented design
 	ctx    context.Context
 	b      *Blob
 	chunk  int
@@ -222,7 +236,10 @@ func (w *AppendWriter) Flush() error {
 func (w *AppendWriter) LastVersion() (Version, bool) { return w.last, w.wrote }
 
 // Close implements io.Closer: it flushes and then blocks until the last
-// appended snapshot is published (read-your-writes for the whole stream).
+// appended snapshot is published (read-your-writes for the whole stream),
+// all under the context its writer was created with (see AppendWriter.ctx).
+//
+//blobseer:ctx io.Closer signature; the writer's pinned creator context applies
 func (w *AppendWriter) Close() error {
 	if w.closed {
 		return nil
