@@ -208,6 +208,7 @@ func main() {
 		if *quick {
 			cfg.Updates = 1000
 			cfg.CheckpointEvery = 200
+			cfg.PauseBlobs = []int{256, 1024}
 		}
 		res, err := bench.RunRecovery(cfg)
 		if err != nil {
@@ -215,6 +216,7 @@ func main() {
 		}
 		fmt.Println("Ablation A7: bounded recovery — segmented WAL + snapshot/compaction")
 		res.Table().Fprint(os.Stdout)
+		res.PauseTable().Fprint(os.Stdout)
 		return res, nil
 	})
 

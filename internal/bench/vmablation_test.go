@@ -34,9 +34,9 @@ func TestVersionManagerAblation(t *testing.T) {
 	// holds in practice but carries no margin on noisy shared runners, so
 	// the threshold relaxes to "faster at all" there.
 	speedup := 2.0
-	scaleup := 1.2
+	floor := 0.5
 	if raceEnabled {
-		speedup, scaleup = 1.0, 1.0
+		speedup, floor = 1.0, 0.2
 	}
 	shardedWAL := get("sharded", cfg.Blobs, true, true)
 	globalWAL := get("global", cfg.Blobs, true, true)
@@ -58,13 +58,21 @@ func TestVersionManagerAblation(t *testing.T) {
 		}
 	}
 
-	// Spreading writers over N blobs must beat piling them on one blob
-	// under the sharded lock (same-blob updates share an ordering point,
-	// cross-blob updates only share fsync batches).
+	// Same-blob updates share fsync batches too: the two-phase append
+	// applies under the shard lock but awaits durability after releasing
+	// it, so even eight writers piled on ONE blob batch their commits
+	// instead of serializing one fsync per update. The batching shows
+	// directly in fsyncs/event, and single-blob throughput lands within
+	// a factor of the multi-blob row rather than an order of magnitude
+	// behind it (the pre-release-split behavior).
 	oneBlob := get("sharded", 1, true, true)
-	if shardedWAL.UpdatesPerSec < scaleup*oneBlob.UpdatesPerSec {
-		t.Errorf("multi-blob %0.f updates/s does not scale over single-blob %0.f",
-			shardedWAL.UpdatesPerSec, oneBlob.UpdatesPerSec)
+	if oneBlob.FsyncsPerEvent >= 1 {
+		t.Errorf("single-blob group commit fsyncs/event = %.3f, want < 1 (early lock release)",
+			oneBlob.FsyncsPerEvent)
+	}
+	if oneBlob.UpdatesPerSec < floor*shardedWAL.UpdatesPerSec {
+		t.Errorf("single-blob %0.f updates/s lags multi-blob %0.f by more than %.1fx — shard lock held across the fsync?",
+			oneBlob.UpdatesPerSec, shardedWAL.UpdatesPerSec, 1/floor)
 	}
 
 	// Non-durable rows exist and report no fsyncs.

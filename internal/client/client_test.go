@@ -510,3 +510,63 @@ func TestClientConfigValidation(t *testing.T) {
 		t.Fatal("empty config accepted")
 	}
 }
+
+// TestUnalignedAppendSkipsAbortedPredecessor pins two fixes found by
+// driving a live cluster through dead-writer aborts:
+//
+//   - the version manager's abort size-rollback must anchor on the
+//     readable version, not the publication pointer (which may rest on
+//     an aborted version with no size entry) — otherwise the append
+//     below is assigned offset 0 over live data;
+//   - the unaligned-append merge must step past aborted predecessors to
+//     the latest surviving snapshot instead of failing on them —
+//     otherwise one abandoned update wedges every later unaligned
+//     append (each fails, self-aborts, and poisons the next).
+func TestUnalignedAppendSkipsAbortedPredecessor(t *testing.T) {
+	_, c := newCluster(t, cluster.Config{})
+	id, err := c.Create(ctxb(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := pattern(1, 600) // ends mid-page: every later append is unaligned
+	if _, err := c.Append(ctxb(), id, first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two waves of abandoned updates. After the first abort the
+	// publication pointer rests on the aborted version; the second abort
+	// finds no surviving in-flight update and exercises the rollback
+	// fallback.
+	for i := 0; i < 2; i++ {
+		v, err := c.AssignOnly(ctxb(), id, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AbortVersion(ctxb(), id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	second := pattern(2, 500)
+	v, err := c.Append(ctxb(), id, second)
+	if err != nil {
+		t.Fatalf("unaligned append after aborted predecessors: %v", err)
+	}
+	if err := c.Sync(ctxb(), id, v); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := c.Size(ctxb(), id, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(len(first) + len(second)); sz != want {
+		t.Fatalf("size after append = %d, want %d", sz, want)
+	}
+	got := make([]byte, len(first)+len(second))
+	if err := c.Read(ctxb(), id, v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(first)], first) || !bytes.Equal(got[len(first):], second) {
+		t.Fatal("read back mismatch after merging across aborted predecessors")
+	}
+}

@@ -1,5 +1,27 @@
 package client
 
+import (
+	"context"
+
+	"blobseer/internal/wire"
+)
+
+// AssignOnly registers an append with the version manager and walks
+// away — test-only, to manufacture an abandoned in-flight version.
+func (c *Client) AssignOnly(ctx context.Context, id wire.BlobID, size uint64) (wire.Version, error) {
+	resp, err := c.assign(ctx, id, 0, size, true)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// AbortVersion withdraws an assigned version — test-only.
+func (c *Client) AbortVersion(ctx context.Context, id wire.BlobID, v wire.Version) error {
+	_, err := c.vm(ctx, &wire.AbortReq{Blob: id, Version: v})
+	return err
+}
+
 // SetGCCrashHook installs the test-only CollectGarbage fault injector:
 // fn runs once per delete batch and a non-nil return drops that batch
 // exactly as a collector crash at that point would.

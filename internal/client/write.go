@@ -107,8 +107,10 @@ func (c *Client) slowWrite(ctx context.Context, id wire.BlobID, h *blobHandle, b
 }
 
 // mergeAndFinish completes an assigned unaligned update: read the
-// boundary fragments of snapshot resp.Version-1 (after waiting for it to
-// publish), compose full pages, store them and weave the metadata.
+// boundary fragments of the latest surviving predecessor snapshot
+// (normally resp.Version-1; aborted predecessors are skipped after
+// waiting for them to resolve), compose full pages, store them and
+// weave the metadata.
 func (c *Client) mergeAndFinish(ctx context.Context, id wire.BlobID, h *blobHandle, resp *wire.AssignResp, buf []byte) (wire.Version, error) {
 	ps := h.pageSize
 	offset := resp.Offset
@@ -121,9 +123,24 @@ func (c *Client) mergeAndFinish(ctx context.Context, id wire.BlobID, h *blobHand
 
 	merged := buf
 	if headLen > 0 || tailLen > 0 {
-		// The boundary bytes belong to snapshot vw-1; wait for it.
+		// The boundary bytes belong to the latest surviving predecessor:
+		// normally snapshot vw-1, but an aborted predecessor never
+		// publishes — step past it, exactly as publication itself skips
+		// aborted versions. resp.Published (readable at assign time) is
+		// the guaranteed floor. Without the step-down, one abandoned
+		// update would wedge every later unaligned update on this blob:
+		// each would fail on its aborted predecessor, self-abort, and
+		// poison the next.
 		prev := resp.Version - 1
-		if err := c.Sync(ctx, id, prev); err != nil {
+		for {
+			err := c.Sync(ctx, id, prev)
+			if err == nil {
+				break
+			}
+			if wire.CodeOf(err) == wire.CodeAborted && prev > resp.Published {
+				prev--
+				continue
+			}
 			return 0, c.abortAfter(ctx, id, resp.Version, nil,
 				fmt.Errorf("waiting for predecessor %d: %w", prev, err))
 		}

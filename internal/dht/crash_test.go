@@ -48,7 +48,7 @@ func crashWorkload(t *testing.T, l *metaLog) map[int][]byte {
 	}
 	for i := 0; i < n; i++ {
 		if i%3 == 1 {
-			if err := l.appendDelete(crashKey(i), true); err != nil {
+			if err := l.appendDelete(crashKey(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -58,7 +58,7 @@ func crashWorkload(t *testing.T, l *metaLog) map[int][]byte {
 	}
 	for i := 0; i < n; i++ {
 		if i%3 == 2 {
-			if err := l.appendDelete(crashKey(i), true); err != nil {
+			if err := l.appendDelete(crashKey(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -100,7 +100,7 @@ func verifyRecovered(t *testing.T, path string, live map[int][]byte) logRecovery
 	if err := l.appendPut(crashKey(1000), crashVal(1000)); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.appendDelete(crashKey(1000), true); err != nil {
+	if err := l.appendDelete(crashKey(1000)); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.compact(); err != nil {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"blobseer/internal/rpc"
 	"blobseer/internal/seglog"
@@ -44,22 +45,36 @@ type metaLog struct {
 	base string
 	opts LogOptions
 
+	// cutMu makes snapshot captures a consistent cut: the exclusive
+	// committer (the group-commit leader) holds it shared across
+	// commit+apply via the committer's Outer hook, and a capture holds it
+	// exclusively while it rolls the active segment and resolves the
+	// dirty keys — so no record is split from its index change, and
+	// records queued behind a capture commit into the post-roll segment.
+	// Appenders themselves never hold it across their park in the fsync.
+	cutMu sync.RWMutex
+
 	// logMu guards everything below: the pair index, the segment table,
-	// the active segment and the byte accounting. Appends are serial —
-	// metadata records are tiny, so one mutex is the whole write path,
-	// exactly like the pre-segmentation log. Lock order: maintMu, then
-	// logMu.
+	// the active-segment pointer, the byte accounting and the commit
+	// queue (the group-commit protocol lives in seglog.Committer, which
+	// borrows logMu — the batch write+fsync itself runs outside it under
+	// the unique leader). Lock order: maintMu, then cutMu, then logMu.
 	logMu  sync.Mutex
 	index  map[string]metaEntry
 	segs   map[uint32]*metaSegment
 	active *metaSegment
+	comm   seglog.Committer[*metaAppend]
 	closed bool
 
 	nextGen uint64
-	events  int // records appended since the last snapshot capture
 
 	// Maintenance (snapshot + compaction) machinery, see maintain.go.
+	// track owns the auto-snapshot countdown and the dirty key set for
+	// incremental captures; every index change marks its key there
+	// (applies, compaction retargets).
 	maintMu     sync.Mutex
+	track       seglog.Tracker[string, metaEntry]
+	snapPause   atomic.Int64 // last capture's stop-the-world ns
 	maint       *seglog.Maintainer
 	snapRuns    uint64
 	compactRuns uint64
@@ -133,6 +148,26 @@ func openMetaLog(path string, opts LogOptions) (*metaLog, [][2][]byte, error) {
 		index: make(map[string]metaEntry),
 		segs:  make(map[uint32]*metaSegment),
 	}
+	l.comm = seglog.Committer[*metaAppend]{
+		Mu:        &l.logMu,
+		Closed:    func() bool { return l.closed },
+		ErrClosed: errLogClosed,
+		Commit:    l.commitBatch,
+		Apply:     l.applyBatch,
+		// Re-check closed before rolling: close may have finished while
+		// the commit ran outside logMu, and a roll now would create a
+		// stray segment after close already swept the files.
+		MaybeRoll: func() {
+			if !l.closed && l.active.size.Load() >= l.opts.SegmentBytes {
+				l.rollLocked() // best effort: a failed roll leaves the oversized segment active
+			}
+		},
+		// The exclusive committer holds the snapshot cut shared across
+		// commit+apply, so appenders never sit in the fsync with cutMu
+		// held and a capture's exclusive acquisition fences out in-flight
+		// batches (see the cutMu field docs).
+		Outer: func() func() { l.cutMu.RLock(); return l.cutMu.RUnlock },
+	}
 	pairs, err := l.recover()
 	if err != nil {
 		l.closeFiles()
@@ -141,11 +176,11 @@ func openMetaLog(path string, opts LogOptions) (*metaLog, [][2][]byte, error) {
 	// Replayed tail records count toward the auto-snapshot interval, or
 	// a crash-looping node whose runs each log fewer than SnapshotEvery
 	// records would grow its tail without bound.
-	l.events = l.recStats.recordsReplayed
+	l.track.AddEvents(l.recStats.recordsReplayed)
 	if opts.SnapshotEvery > 0 || opts.CompactRatio > 0 {
 		l.maint = seglog.NewMaintainer(l.maintainPass)
 		l.maint.Start()
-		if opts.SnapshotEvery > 0 && l.events >= opts.SnapshotEvery {
+		if opts.SnapshotEvery > 0 && l.recStats.recordsReplayed >= opts.SnapshotEvery {
 			l.nudgeMaintain()
 		}
 	}
@@ -251,7 +286,9 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 			f.Close()
 			return nil, fmt.Errorf("dht: stat segment: %w", err)
 		}
-		l.segs[idx] = &metaSegment{idx: idx, f: f, gen: gen, size: info.Size()}
+		seg := &metaSegment{idx: idx, f: f, gen: gen}
+		seg.size.Store(info.Size())
+		l.segs[idx] = seg
 		if gen > maxGen {
 			maxGen = gen
 		}
@@ -279,7 +316,7 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 				continue
 			}
 			seg := l.segs[e.seg]
-			if e.off+int64(e.vlen) > seg.size {
+			if e.off+int64(e.vlen) > seg.size.Load() {
 				return nil, fmt.Errorf("dht: snapshot entry for key %x beyond segment %06d", e.key, e.seg)
 			}
 			val := make([]byte, e.vlen)
@@ -360,7 +397,7 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if size < seg.size {
+		if size < seg.size.Load() {
 			// A torn tail was truncated; the truncate must be durable
 			// before new records append at the cut, or a crash could
 			// resurrect torn bytes beneath valid ones.
@@ -368,7 +405,7 @@ func (l *metaLog) recover() ([][2][]byte, error) {
 				return nil, fmt.Errorf("dht: sync truncated segment: %w", err)
 			}
 		}
-		seg.size = size
+		seg.size.Store(size)
 		l.recStats.segmentsRescanned++
 	}
 
@@ -417,7 +454,9 @@ func (l *metaLog) createSegment(idx uint32, gen uint64) (*metaSegment, error) {
 			return nil, fmt.Errorf("dht: sync dir: %w", err)
 		}
 	}
-	return &metaSegment{idx: idx, f: f, gen: gen, size: dhtSegHeaderSize}, nil
+	seg := &metaSegment{idx: idx, f: f, gen: gen}
+	seg.size.Store(dhtSegHeaderSize)
+	return seg, nil
 }
 
 // rollLocked seals the active segment and opens the next one. Called
@@ -452,86 +491,130 @@ func (l *metaLog) rollLocked() error {
 	return nil
 }
 
-// appendPut durably logs one pair and indexes it. The pair must be new
-// (the node dedups re-puts before logging).
+// metaAppend is one queued record and its appender's parking spot.
+type metaAppend struct {
+	frame []byte
+	put   bool
+	key   string
+	vlen  uint32
+
+	// Filled by the committer for puts: where the value landed.
+	seg    uint32
+	valOff int64
+
+	cell seglog.Cell
+}
+
+func (a *metaAppend) Cell() *seglog.Cell { return &a.cell }
+
+// appendPut durably logs one pair and indexes it, sharing the
+// write+fsync with concurrent appenders (group commit). The pair must
+// be new (the node dedups re-puts before logging).
 func (l *metaLog) appendPut(key, value []byte) error {
 	rec := metaRecord{kind: dhtRecPut, key: key, value: value}
-	return l.append(key, frameDHTRecord(rec.encode()), true, uint32(len(value)), true)
+	return l.comm.Append(&metaAppend{
+		frame: frameDHTRecord(rec.encode()),
+		put:   true,
+		key:   string(key),
+		vlen:  uint32(len(value)),
+		cell:  seglog.NewCell(),
+	})
 }
 
-// appendDelete logs one delete and drops the key from the index, making
-// its bytes reclaimable by compaction. With syncNow false the record is
-// written but not fsynced — callers deleting a batch share one flush()
-// before acknowledging, instead of paying one fsync per key.
-func (l *metaLog) appendDelete(key []byte, syncNow bool) error {
+// enqueueDelete queues one delete record without waiting for durability
+// — phase one of a two-phase append. The caller drops the pair from its
+// in-memory shard under the shard lock (a crash before the batch
+// commits may resurrect it; deletes are idempotent and the collector's
+// re-run removes it again), releases the lock, and awaits the whole
+// batch at once — so a GC sweep deleting thousands of keys shares
+// fsyncs instead of paying one per key. Every successfully enqueued
+// record MUST be awaited, even on error paths: the first enqueue may
+// designate its owner as the batch leader, and an unawaited leader
+// stalls the queue.
+func (l *metaLog) enqueueDelete(key []byte) (*metaAppend, error) {
 	rec := metaRecord{kind: dhtRecDel, key: key}
-	return l.append(key, frameDHTRecord(rec.encode()), false, 0, syncNow)
+	a := &metaAppend{
+		frame: frameDHTRecord(rec.encode()),
+		key:   string(key),
+		cell:  seglog.NewCell(),
+	}
+	if err := l.comm.Enqueue(a); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
-// flush fsyncs the active segment, completing a batch of syncNow=false
-// appends (sealed segments were fsynced at roll time). No-op in
-// non-Sync mode, where losing the unflushed tail to a crash is the
-// accepted deal.
-func (l *metaLog) flush() error {
-	l.logMu.Lock()
-	defer l.logMu.Unlock()
-	if l.closed {
-		return errLogClosed
+// await parks until an enqueued record's batch is durable — phase two.
+func (l *metaLog) await(a *metaAppend) error { return l.comm.Await(a) }
+
+// appendDelete durably logs one delete — the one-phase convenience for
+// single-key deletes (batch callers enqueue and await the batch).
+func (l *metaLog) appendDelete(key []byte) error {
+	a, err := l.enqueueDelete(key)
+	if err != nil {
+		return err
 	}
-	if !l.opts.Sync {
-		return nil
-	}
-	if err := l.active.f.Sync(); err != nil {
-		return fmt.Errorf("dht: log fsync: %w", err)
-	}
-	return nil
+	return l.await(a)
 }
 
-// append writes one framed record to the active segment and applies its
-// index effect. Appends serialize under mu — metadata records are tiny,
-// so the single-mutex write path of the pre-segmentation log is kept.
-func (l *metaLog) append(key []byte, frame []byte, put bool, vlen uint32, syncNow bool) error {
-	l.logMu.Lock()
-	defer l.logMu.Unlock()
-	if l.closed {
-		return errLogClosed
-	}
+// commitBatch appends the batch contiguously to the active segment with
+// a single write and at most one fsync, and stamps each put with where
+// its value landed. Only one committer runs at a time (the group-commit
+// leader, holding cutMu shared), so the active-segment fields need no
+// extra synchronization: the segment cannot roll while a commit is in
+// flight. On error nothing is applied.
+func (l *metaLog) commitBatch(batch []*metaAppend) error {
 	seg := l.active
-	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
+	base := seg.size.Load()
+	var n int
+	for _, a := range batch {
+		n += len(a.frame)
+	}
+	out := make([]byte, 0, n)
+	off := base
+	for _, a := range batch {
+		a.seg = seg.idx
+		a.valOff = off + dhtRecHeaderSize + dhtRecPayloadMin + int64(len(a.key))
+		out = append(out, a.frame...)
+		off += int64(len(a.frame))
+	}
+	if _, err := seg.f.WriteAt(out, base); err != nil {
 		return fmt.Errorf("dht: log append: %w", err)
 	}
-	if l.opts.Sync && syncNow {
+	if l.opts.Sync {
 		if err := seg.f.Sync(); err != nil {
 			return fmt.Errorf("dht: log fsync: %w", err)
 		}
 	}
-	if put {
-		l.index[string(key)] = metaEntry{
-			seg:  seg.idx,
-			off:  seg.size + dhtRecHeaderSize + dhtRecPayloadMin + int64(len(key)),
-			vlen: vlen,
-		}
-		seg.liveBytes += int64(len(frame))
-	} else {
-		l.dropEntry(string(key))
-		seg.tombBytes += int64(len(frame))
-	}
-	seg.size += int64(len(frame))
-	l.events++
+	seg.size.Store(off)
+	return nil
+}
+
+// applyBatch indexes a durable batch: puts insert, deletes drop. Called
+// with logMu held by the committer.
+func (l *metaLog) applyBatch(batch []*metaAppend) {
 	var nudge bool
-	if !put && l.opts.CompactRatio > 0 {
-		nudge = true
+	for _, a := range batch {
+		seg := l.segs[a.seg]
+		if a.put {
+			l.index[a.key] = metaEntry{seg: a.seg, off: a.valOff, vlen: a.vlen}
+			seg.liveBytes += int64(len(a.frame))
+		} else {
+			l.dropEntry(a.key)
+			seg.tombBytes += int64(len(a.frame))
+			if l.opts.CompactRatio > 0 {
+				nudge = true
+			}
+		}
+		l.track.Mark(a.key)
 	}
-	if n := l.opts.SnapshotEvery; n > 0 && l.events >= n {
+	events := l.track.AddEvents(len(batch))
+	if n := l.opts.SnapshotEvery; n > 0 && events >= uint64(n) {
 		nudge = true
-	}
-	if seg.size >= l.opts.SegmentBytes {
-		l.rollLocked() // best effort: a failed roll leaves the oversized segment active
 	}
 	if nudge {
 		l.nudgeMaintain()
 	}
-	return nil
 }
 
 // logBytes reports the log's on-disk footprint: the summed size of
@@ -544,7 +627,7 @@ func (l *metaLog) logBytes() int64 {
 	defer l.logMu.Unlock()
 	var n int64
 	for _, seg := range l.segs {
-		n += seg.size
+		n += seg.size.Load()
 	}
 	return n
 }
@@ -577,6 +660,9 @@ func (l *metaLog) close() error {
 		return nil
 	}
 	l.closed = true
+	// Queued appenders fail with a closed error instead of waiting on a
+	// leader that will refuse to commit.
+	l.comm.FailQueuedLocked(errLogClosed)
 	l.logMu.Unlock()
 	l.maint.Stop()
 	// Barrier: an in-flight snapshot or compaction finishes (its output

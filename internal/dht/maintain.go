@@ -3,7 +3,9 @@ package dht
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"os"
+	"time"
 
 	"blobseer/internal/seglog"
 )
@@ -16,11 +18,16 @@ import (
 // of deleted pairs and duplicate puts. Crash-consistency invariants, in
 // order:
 //
-//  1. A snapshot capture is a consistent cut: every put/delete applies
-//     its record and its index change under logMu, and the capture
-//     holds logMu while it rolls the active segment and clones the
-//     index — so the clone equals exactly the replay of all segments
-//     below the cut.
+//  1. A snapshot capture is a consistent cut: the exclusive committer
+//     holds cutMu shared across commit+apply (seglog.Committer.Outer),
+//     and the capture holds cutMu exclusively while it rolls the active
+//     segment and resolves the dirty keys — so no record is split from
+//     its index change, records queued behind the capture land in the
+//     post-roll segment, and the captured index equals exactly the
+//     replay of all segments below the cut. The capture is incremental
+//     once a baseline snapshot published: only keys marked since then
+//     are re-resolved (seglog.Tracker), so the stop-the-world pause
+//     stops scaling with total pair count.
 //  2. Snapshots and compaction outputs become visible only by the
 //     atomic rename of a fully written (and, for compaction, always
 //     fsynced) tmp file: recovery never sees a half-written one.
@@ -39,12 +46,12 @@ import (
 // below and assert the recovered pairs are byte-identical to an
 // uncrashed node's.
 //
-// The node log's lock order — maintenance outermost, then the log
-// mutex (see the metaLog field docs in disk.go) — in the
-// machine-checked form the lockorder analyzer (cmd/blobseer-vet)
+// The node log's lock order — maintenance outermost, then the snapshot
+// cut, then the log mutex (see the metaLog field docs in disk.go) — in
+// the machine-checked form the lockorder analyzer (cmd/blobseer-vet)
 // enforces:
 //
-//blobseer:lockorder maintMu < logMu
+//blobseer:lockorder maintMu < cutMu < logMu
 
 // Maintenance fault points, in execution order. Tests enumerate these.
 const (
@@ -81,12 +88,12 @@ func (l *metaLog) nudgeMaintain() { l.maint.Nudge() }
 // maintainPass is one wake-up of the background maintainer.
 func (l *metaLog) maintainPass() bool {
 	l.logMu.Lock()
-	closed, events := l.closed, l.events
+	closed := l.closed
 	l.logMu.Unlock()
 	if closed {
 		return false
 	}
-	if n := l.opts.SnapshotEvery; n > 0 && events >= n {
+	if n := l.opts.SnapshotEvery; n > 0 && l.track.Events() >= uint64(n) {
 		l.snapshot()
 	}
 	if l.opts.CompactRatio > 0 {
@@ -110,40 +117,74 @@ func (l *metaLog) snapshotLocked() error {
 	if err := l.crash(dhtCrashSnapBegin); err != nil {
 		return err
 	}
-	snap, err := l.capture()
+	snap, cut, err := l.capture()
 	if err != nil {
 		return err
 	}
 	if err := l.crash(dhtCrashSnapCaptured); err != nil {
+		cut.Abort()
 		return err
 	}
 	if err := dhtFmt.PublishSnapshot(l.base, encodeDHTIndexSnapshot(snap), l.opts.Sync,
 		func() error { return l.crash(dhtCrashSnapTmpWritten) },
 		func() error { return l.crash(dhtCrashSnapRenamed) },
 	); err != nil {
+		// The countdown and dirty set survive (seglog.Capture.Abort), so
+		// the next maintenance pass retries immediately instead of logging
+		// another SnapshotEvery records uncovered.
+		cut.Abort()
 		return err
 	}
+	// Only now — the snapshot is live — consume the countdown and adopt
+	// the merged entries as the next capture's baseline.
+	cut.Commit()
 	l.logMu.Lock()
 	l.snapRuns++
 	l.logMu.Unlock()
 	return nil
 }
 
-// capture rolls the log to a fresh segment and clones the index. It
-// holds logMu, which excludes every mutator — so no append is in flight
-// during the roll and the clone is exactly the state the segments below
-// the cut replay to. The per-segment counters read here are exact for
-// the same reason, and compaction (the only other writer of gen and the
-// counters) is excluded by maintMu.
-func (l *metaLog) capture() (*dhtIndexSnapshot, error) {
+// capture rolls the log to a fresh segment and captures the index at
+// the cut — incrementally when a published baseline exists: only keys
+// marked dirty since the last snapshot are re-resolved, so the
+// stop-the-world pause is O(pairs changed), not O(pairs held). It holds
+// cutMu exclusively, which excludes the exclusive committer (it holds
+// cutMu shared across commit+apply) — so no commit is in flight during
+// the roll and the capture is exactly the state the segments below the
+// cut replay to; records queued behind the capture commit into the
+// post-roll segment, which replay covers. The per-segment counters read
+// here are exact for the same reason, and compaction (the only other
+// writer of gen and the counters) is excluded by maintMu. The returned
+// cut must be Committed after a successful publish or Aborted on any
+// error.
+func (l *metaLog) capture() (*dhtIndexSnapshot, *seglog.Capture[string, metaEntry], error) {
+	l.cutMu.Lock()
+	t0 := time.Now()
+	snap, cut, err := l.captureLocked()
+	l.snapPause.Store(int64(time.Since(t0)))
+	l.cutMu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The merge is O(total pairs) of map work, but the stop-the-world
+	// capture above was O(dirty pairs): it runs after cutMu released.
+	merged := cut.Merged()
+	snap.entries = make([]dhtSnapEntry, 0, len(merged))
+	for key, e := range merged {
+		snap.entries = append(snap.entries, dhtSnapEntry{key: []byte(key), metaEntry: e})
+	}
+	return snap, cut, nil
+}
+
+func (l *metaLog) captureLocked() (*dhtIndexSnapshot, *seglog.Capture[string, metaEntry], error) {
 	l.logMu.Lock()
 	defer l.logMu.Unlock()
 	if l.closed {
-		return nil, errLogClosed
+		return nil, nil, errLogClosed
 	}
-	if l.active.size > dhtSegHeaderSize {
+	if l.active.size.Load() > dhtSegHeaderSize {
 		if err := l.rollLocked(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	covered := l.active.idx - 1
@@ -159,14 +200,38 @@ func (l *metaLog) capture() (*dhtIndexSnapshot, error) {
 			Tomb: seg.tombBytes,
 		}
 	}
-	snap.entries = make([]dhtSnapEntry, 0, len(l.index))
-	for key, e := range l.index {
-		snap.entries = append(snap.entries, dhtSnapEntry{key: []byte(key), metaEntry: e})
+	// An index entry above the cut would mean a record applied without
+	// the committer holding the cut shared — state corruption. Publishing
+	// a snapshot that silently omits it would cement the damage, so fail
+	// the capture loudly instead.
+	uncovered := func(key string, e metaEntry) error {
+		return fmt.Errorf("dht: snapshot capture: key %x indexed in uncovered segment %d (cut at %d)",
+			key, e.seg, covered)
 	}
-	// Records up to the cut are covered; restart the auto-snapshot
-	// countdown. Exact because no append can race this capture.
-	l.events = 0
-	return snap, nil
+	cut := l.track.Begin()
+	if cut.Full() {
+		// First capture since open (or the fallback): seed from a full
+		// index scan.
+		seed := make(map[string]metaEntry, len(l.index))
+		for key, e := range l.index {
+			if e.seg > covered {
+				cut.Abort()
+				return nil, nil, uncovered(key, e)
+			}
+			seed[key] = e
+		}
+		cut.Seed(seed)
+	} else {
+		for key := range cut.Dirty() {
+			e, ok := l.index[key]
+			if ok && e.seg > covered {
+				cut.Abort()
+				return nil, nil, uncovered(key, e)
+			}
+			cut.Resolve(key, e, ok)
+		}
+	}
+	return snap, cut, nil
 }
 
 // snapshots reports how many index snapshots completed since open.
@@ -239,7 +304,7 @@ func (l *metaLog) pickVictim(ratio float64) *metaSegment {
 		if seg.idx >= l.active.idx {
 			continue // never the active segment
 		}
-		payload := seg.size - dhtSegHeaderSize
+		payload := seg.size.Load() - dhtSegHeaderSize
 		if payload <= 0 {
 			continue
 		}
@@ -258,7 +323,7 @@ func (l *metaLog) pickVictim(ratio float64) *metaSegment {
 		if seg.idx >= l.active.idx || !seg.hygiene {
 			continue
 		}
-		if seg.size-dhtSegHeaderSize <= 0 {
+		if seg.size.Load()-dhtSegHeaderSize <= 0 {
 			seg.hygiene = false
 			continue
 		}
@@ -435,7 +500,7 @@ func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 	old := victim.f
 	victim.f = w.File()
 	victim.gen = newGen
-	victim.size = w.Size()
+	victim.size.Store(w.Size())
 	var liveBytes int64
 	for i := range kept {
 		k := &kept[i]
@@ -446,6 +511,10 @@ func (l *metaLog) rewriteSegment(victim *metaSegment) error {
 			e.off = k.newOff
 			l.index[k.key] = e
 			liveBytes += int64(len(k.frame))
+			// The entry moved: the next incremental snapshot must carry
+			// the new offset, or its baseline would keep pointing at the
+			// old one under a matching generation.
+			l.track.Mark(k.key)
 		}
 	}
 	victim.liveBytes = liveBytes

@@ -85,16 +85,17 @@ func (n *Node) put(key, value []byte) error {
 }
 
 // delete removes a batch of pairs, returning how many existed here. On
-// durable nodes each delete is logged before the pair disappears, so a
-// restart cannot resurrect collected metadata; the records of the whole
-// batch share a single fsync issued before the caller acknowledges —
-// GC sweeps delete thousands of keys per request, and one fsync per key
-// would serialize the sweep on the disk. A crash before the flush may
-// resurrect some pairs of an unacknowledged batch; deletes are
-// idempotent, so the collector's re-run removes them again. Unknown
-// keys are no-ops.
+// durable nodes each delete is enqueued to the log under the shard lock
+// and the whole batch is awaited at once after the loop, so its records
+// share write+fsync via group commit — GC sweeps delete thousands of
+// keys per request, and one fsync per key would serialize the sweep on
+// the disk. A crash before the batch commits may resurrect some pairs
+// of an unacknowledged batch; deletes are idempotent, so the
+// collector's re-run removes them again. Unknown keys are no-ops.
 func (n *Node) delete(keys [][]byte) (uint64, error) {
 	var deleted uint64
+	var enqueued []*metaAppend
+	var firstErr error
 	for _, key := range keys {
 		s := n.shard(key)
 		s.mu.Lock()
@@ -104,20 +105,29 @@ func (n *Node) delete(keys [][]byte) (uint64, error) {
 			continue
 		}
 		if n.log != nil {
-			if err := n.log.appendDelete(key, false); err != nil {
+			a, err := n.log.enqueueDelete(key)
+			if err != nil {
 				s.mu.Unlock()
-				return deleted, wire.NewError(wire.CodeUnavailable, "metadata log: %v", err)
+				firstErr = err
+				break
 			}
+			enqueued = append(enqueued, a)
 		}
 		delete(s.m, string(key))
 		s.bytes -= uint64(len(old))
 		s.mu.Unlock()
 		deleted++
 	}
-	if deleted > 0 && n.log != nil {
-		if err := n.log.flush(); err != nil {
-			return deleted, wire.NewError(wire.CodeUnavailable, "metadata log: %v", err)
+	// Every enqueued record must be awaited even when a later enqueue
+	// failed: the first one may have designated this handler as the batch
+	// leader, and an unawaited leader stalls the whole queue.
+	for _, a := range enqueued {
+		if err := n.log.await(a); err != nil && firstErr == nil {
+			firstErr = err
 		}
+	}
+	if firstErr != nil {
+		return deleted, wire.NewError(wire.CodeUnavailable, "metadata log: %v", firstErr)
 	}
 	return deleted, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync/atomic"
 
 	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
@@ -117,14 +118,17 @@ func framedPairBytes(keyLen, valLen int) int64 {
 	return int64(dhtRecHeaderSize + dhtRecPayloadMin + keyLen + valLen)
 }
 
-// metaSegment is one log file and its accounting, all guarded by the
-// owning metaLog's mutex (appends are serial; compaction swaps the file
-// handle under the same lock).
+// metaSegment is one log file and its accounting, guarded by the owning
+// metaLog's mutex (compaction swaps the file handle under the same
+// lock) — except size, which the exclusive committer advances outside
+// logMu (the commit write+fsync runs there) while logBytes, victim
+// selection and captures read it under logMu: it is atomic for that
+// one crossing.
 type metaSegment struct {
 	idx  uint32
 	f    *os.File
 	gen  uint64
-	size int64
+	size atomic.Int64
 
 	// liveBytes is the framed bytes of put records the index still
 	// points at; tombBytes is the framed bytes of delete records the

@@ -35,13 +35,18 @@ type Disk struct {
 	// never serialize behind writes to unrelated pages.
 	stripes [indexStripes]indexStripe
 
-	// stateMu makes index snapshots a consistent cut: Put and Delete
-	// hold it shared from before their record is queued until after the
-	// index applies, and the snapshotter holds it exclusively only while
-	// rolling the active segment and cloning the index. Readers never
-	// touch it. Lock order: stateMu, then wmu, then segMu/seg.mu, then
-	// stripe locks. The machine-checked form of that order (enforced by
-	// the lockorder analyzer, see cmd/blobseer-vet) is:
+	// stateMu makes index snapshots a consistent cut: the exclusive
+	// committer (the group-commit leader, or a serial appender) holds it
+	// shared across commit+apply via the committer's Outer hook — never
+	// the appenders themselves, so no Put parks for the fsync while
+	// holding it — and the snapshotter holds it exclusively only while
+	// rolling the active segment and capturing the index. Records queued
+	// behind an exclusive capture commit into the post-roll segment and
+	// index afterwards, which keeps the captured index exactly the replay
+	// of the covered segments. Readers never touch it. Lock order:
+	// stateMu, then wmu, then segMu/seg.mu, then stripe locks. The
+	// machine-checked form of that order (enforced by the lockorder
+	// analyzer, see cmd/blobseer-vet) is:
 	//
 	//blobseer:lockorder maintMu < stateMu < wmu < segMu < indexStripe.mu
 	//blobseer:lockorder wmu < segment.mu < indexStripe.mu
@@ -70,8 +75,12 @@ type Disk struct {
 	syncs     atomic.Uint64 // fsyncs issued
 
 	// Maintenance (snapshot + compaction) machinery, see maintain.go.
+	// maintTrack owns the auto-snapshot countdown and the dirty page set
+	// for incremental captures; mutators mark every index change there
+	// (applyBatch inserts/drops, compaction retargets).
 	maintMu     sync.Mutex
-	maintEvents atomic.Uint64
+	maintTrack  seglog.Tracker[wire.PageID, indexEntry]
+	snapPause   atomic.Int64 // last capture's stop-the-world ns (A7)
 	snapRuns    atomic.Uint64
 	compactRuns atomic.Uint64
 	maint       *seglog.Maintainer
@@ -182,6 +191,11 @@ func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
 		ErrClosed: errStoreClosed,
 		Commit:    d.commit,
 		Apply:     d.applyBatch,
+		// The exclusive committer holds the snapshot cut shared across
+		// commit+apply, so appenders never sit in the fsync with stateMu
+		// held and a capture's exclusive acquisition fences out in-flight
+		// batches (see the stateMu field docs).
+		Outer: func() func() { d.stateMu.RLock(); return d.stateMu.RUnlock },
 		// Re-check closed before rolling: Close may have finished while
 		// the commit ran outside wmu, and a roll now would create a
 		// stray segment after closeFiles already swept the table.
@@ -198,7 +212,7 @@ func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
 	// Replayed tail records count toward the auto-snapshot interval, or
 	// a crash-looping store whose runs each log fewer than SnapshotEvery
 	// records would grow its tail without bound.
-	d.maintEvents.Store(uint64(d.recStats.RecordsReplayed))
+	d.maintTrack.AddEvents(d.recStats.RecordsReplayed)
 	if opts.SnapshotEvery > 0 || opts.CompactRatio > 0 {
 		d.maint = seglog.NewMaintainer(d.maintainPass)
 		d.maint.Start()
@@ -505,8 +519,6 @@ func (d *Disk) Put(id wire.PageID, data []byte) error {
 	if dup {
 		return nil // immutable pages: idempotent
 	}
-	d.stateMu.RLock()
-	defer d.stateMu.RUnlock()
 	return d.comm.Append(&diskAppend{
 		frame:   segFmt.Frame((&segRecord{kind: recPut, id: id, data: data}).encode()),
 		kind:    recPut,
@@ -530,8 +542,6 @@ func (d *Disk) Delete(id wire.PageID) error {
 	if !ok {
 		return nil
 	}
-	d.stateMu.RLock()
-	defer d.stateMu.RUnlock()
 	return d.comm.Append(&diskAppend{
 		frame: segFmt.Frame((&segRecord{kind: recTomb, id: id}).encode()),
 		kind:  recTomb,
@@ -545,9 +555,10 @@ func (d *Disk) Delete(id wire.PageID) error {
 // its body landed. Only one committer runs at a time (the leader, or a
 // serial appender under wmu), so the active-segment fields need no
 // extra synchronization: the segment cannot roll while a commit is in
-// flight. On error nothing is applied. Appenders hold stateMu shared
-// around their whole comm.Append (see Put/Delete), so a snapshot
-// capture never splits a durable record from its index change.
+// flight. On error nothing is applied. The committer holds stateMu
+// shared across commit+apply (the Outer hook, see OpenDisk), so a
+// snapshot capture never splits a durable record from its index change
+// — without any appender holding the cut lock across its park.
 func (d *Disk) commit(batch []*diskAppend) error {
 	d.appends.Add(uint64(len(batch)))
 	seg := d.active
@@ -582,6 +593,7 @@ func (d *Disk) commit(batch []*diskAppend) error {
 func (d *Disk) applyBatch(batch []*diskAppend) {
 	var nudge bool
 	for _, a := range batch {
+		d.maintTrack.Mark(a.id)
 		switch a.kind {
 		case recPut:
 			// Resolve the segment before taking the stripe lock:
@@ -605,7 +617,7 @@ func (d *Disk) applyBatch(batch []*diskAppend) {
 			}
 		}
 	}
-	events := d.maintEvents.Add(uint64(len(batch)))
+	events := d.maintTrack.AddEvents(len(batch))
 	if n := d.opts.SnapshotEvery; n > 0 && events >= uint64(n) {
 		nudge = true
 	}

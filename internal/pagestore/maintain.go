@@ -2,6 +2,8 @@ package pagestore
 
 import (
 	"errors"
+	"fmt"
+	"time"
 
 	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
@@ -14,11 +16,16 @@ import (
 // below the configured threshold, dropping records of Deleted pages and
 // duplicate puts. Crash-consistency invariants, in order:
 //
-//  1. A snapshot capture is a consistent cut: every Put/Delete holds
-//     stateMu shared from before its record is queued until after the
-//     index applies, and the capture holds stateMu exclusively while it
-//     rolls the active segment and clones the index — so the clone
-//     equals exactly the replay of all segments below the cut.
+//  1. A snapshot capture is a consistent cut: the exclusive committer
+//     holds stateMu shared across commit+apply (seglog.Committer.Outer),
+//     and the capture holds stateMu exclusively while it rolls the
+//     active segment and resolves the dirty pages — so no record is
+//     split from its index change, records queued behind the capture
+//     land in the post-roll segment, and the captured index equals
+//     exactly the replay of all segments below the cut. The capture is
+//     incremental once a baseline snapshot published: only pages marked
+//     since then are re-resolved (seglog.Tracker), so the
+//     stop-the-world pause stops scaling with total page count.
 //  2. Snapshots and compaction outputs become visible only by the
 //     atomic rename of a fully written (and, for compaction, always
 //     fsynced) tmp file: recovery never sees a half-written one.
@@ -74,7 +81,7 @@ func (d *Disk) maintainPass() bool {
 	if d.closed.Load() {
 		return false
 	}
-	if n := d.opts.SnapshotEvery; n > 0 && d.maintEvents.Load() >= uint64(n) {
+	if n := d.opts.SnapshotEvery; n > 0 && d.maintTrack.Events() >= uint64(n) {
 		d.Snapshot()
 	}
 	if d.opts.CompactRatio > 0 {
@@ -101,42 +108,71 @@ func (d *Disk) snapshotLocked() error {
 	if err := d.crash(crashSnapBegin); err != nil {
 		return err
 	}
-	snap, err := d.capture()
+	snap, cut, err := d.capture()
 	if err != nil {
 		return err
 	}
 	if err := d.crash(crashSnapCaptured); err != nil {
+		cut.Abort()
 		return err
 	}
 	if err := segFmt.PublishSnapshot(d.base, encodeIndexSnapshot(snap), d.opts.Sync,
 		func() error { return d.crash(crashSnapTmpWritten) },
 		func() error { return d.crash(crashSnapRenamed) },
 	); err != nil {
+		// The countdown and dirty set survive (seglog.Capture.Abort), so
+		// the next maintenance pass retries immediately instead of logging
+		// another SnapshotEvery records uncovered.
+		cut.Abort()
 		return err
 	}
+	// Only now — the snapshot is live — consume the countdown and adopt
+	// the merged entries as the next capture's baseline.
+	cut.Commit()
 	d.snapRuns.Add(1)
 	return nil
 }
 
-// capture rolls the log to a fresh segment and clones the index. It
-// holds stateMu exclusively, which excludes every mutator (they hold
-// stateMu shared across record-append and index apply) — so no commit
-// is in flight during the roll and the clone is exactly the state the
-// segments below the cut replay to. The per-segment counters read here
-// are exact for the same reason, and compaction (the only other writer
-// of gen and the counters) is excluded by maintMu.
-func (d *Disk) capture() (*indexSnapshot, error) {
+// capture rolls the log to a fresh segment and captures the index at
+// the cut — incrementally when a published baseline exists: only pages
+// marked dirty since the last snapshot are re-resolved, so the
+// stop-the-world pause is O(pages changed), not O(pages held). It holds
+// stateMu exclusively, which excludes the exclusive committer (it holds
+// stateMu shared across commit+apply) — so no commit is in flight
+// during the roll and the capture is exactly the state the segments
+// below the cut replay to. The per-segment counters read here are exact
+// for the same reason, and compaction (the only other writer of gen and
+// the counters) is excluded by maintMu. The returned cut must be
+// Committed after a successful publish or Aborted on any error.
+func (d *Disk) capture() (*indexSnapshot, *seglog.Capture[wire.PageID, indexEntry], error) {
 	d.stateMu.Lock()
-	defer d.stateMu.Unlock()
+	t0 := time.Now()
+	snap, cut, err := d.captureLocked()
+	d.snapPause.Store(int64(time.Since(t0)))
+	d.stateMu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The merge is O(total pages) of map work, but the stop-the-world
+	// capture above was O(dirty pages): it runs after stateMu released.
+	merged := cut.Merged()
+	snap.entries = make([]snapEntry, 0, len(merged))
+	for id, e := range merged {
+		snap.entries = append(snap.entries, snapEntry{id: id, indexEntry: e})
+	}
+	return snap, cut, nil
+}
+
+func (d *Disk) captureLocked() (*indexSnapshot, *seglog.Capture[wire.PageID, indexEntry], error) {
 	d.wmu.Lock()
 	if d.closed.Load() {
 		d.wmu.Unlock()
-		return nil, errStoreClosed
+		return nil, nil, errStoreClosed
 	}
 	if d.active.size.Load() > segHeaderSize {
 		if err := d.rollLocked(); err != nil {
 			d.wmu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	covered := d.active.idx - 1
@@ -156,25 +192,61 @@ func (d *Disk) capture() (*indexSnapshot, error) {
 		}
 	}
 	d.segMu.RUnlock()
-	for i := range d.stripes {
-		st := &d.stripes[i]
-		st.mu.RLock()
-		for id, e := range st.pages {
-			if e.seg > covered {
-				continue // cannot happen (mutators are excluded); defensive
-			}
-			snap.entries = append(snap.entries, snapEntry{id: id, indexEntry: e})
-		}
-		st.mu.RUnlock()
+
+	// An index entry above the cut would mean a record applied without
+	// the committer holding the cut shared — state corruption. Publishing
+	// a snapshot that silently omits it would cement the damage (the
+	// entry's segment gets rescanned on reopen, but a later snapshot
+	// covering it would not), so fail the capture loudly instead.
+	uncovered := func(id wire.PageID, e indexEntry) error {
+		return fmt.Errorf("pagestore: snapshot capture: page %v indexed in uncovered segment %d (cut at %d)",
+			id, e.seg, covered)
 	}
-	// Records up to the cut are covered; restart the auto-snapshot
-	// countdown. Exact because no append can race this store.
-	d.maintEvents.Store(0)
-	return snap, nil
+	cut := d.maintTrack.Begin()
+	if cut.Full() {
+		// First capture since open (or the fallback): seed from a full
+		// index scan.
+		seed := make(map[wire.PageID]indexEntry, d.pages.Load())
+		for i := range d.stripes {
+			st := &d.stripes[i]
+			st.mu.RLock()
+			for id, e := range st.pages {
+				if e.seg > covered {
+					st.mu.RUnlock()
+					cut.Abort()
+					return nil, nil, uncovered(id, e)
+				}
+				seed[id] = e
+			}
+			st.mu.RUnlock()
+		}
+		cut.Seed(seed)
+	} else {
+		for id := range cut.Dirty() {
+			st := d.stripe(id)
+			st.mu.RLock()
+			e, ok := st.pages[id]
+			st.mu.RUnlock()
+			if ok && e.seg > covered {
+				cut.Abort()
+				return nil, nil, uncovered(id, e)
+			}
+			cut.Resolve(id, e, ok)
+		}
+	}
+	return snap, cut, nil
 }
 
 // Snapshots reports how many index snapshots completed since open.
 func (d *Disk) Snapshots() uint64 { return d.snapRuns.Load() }
+
+// LastCapturePause reports the stop-the-world duration of the most
+// recent snapshot capture (the window stateMu was held exclusively).
+// With incremental capture this is O(pages changed since the last
+// snapshot), not O(pages held) — the A7 ablation measures it.
+func (d *Disk) LastCapturePause() time.Duration {
+	return time.Duration(d.snapPause.Load())
+}
 
 // Compactions reports how many segment rewrites completed since open.
 func (d *Disk) Compactions() uint64 { return d.compactRuns.Load() }
@@ -425,6 +497,10 @@ func (d *Disk) rewriteSegment(victim *segment) error {
 			e.off = k.newOff
 			st.pages[k.id] = e
 			live += framedRecBytes + int64(k.length)
+			// The entry moved: the next incremental snapshot must carry
+			// the new offset, or its baseline would keep pointing at the
+			// old one under a matching generation.
+			d.maintTrack.Mark(k.id)
 		}
 		st.mu.Unlock()
 	}

@@ -1,0 +1,185 @@
+package pagestore
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// gateCommit wraps the store's commit hook so the next batch parks
+// inside the (simulated) write+fsync until release is closed. The test
+// arms it with gated; only the first gated batch parks. Installed
+// before any concurrent traffic, so swapping the hook is race-free.
+func gateCommit(d *Disk, gated *atomic.Bool, entered chan struct{}, release chan struct{}) {
+	inner := d.comm.Commit
+	d.comm.Commit = func(batch []*diskAppend) error {
+		if gated.CompareAndSwap(true, false) {
+			close(entered)
+			<-release
+		}
+		return inner(batch)
+	}
+}
+
+// TestReadsOverlapParkedCommit pins the early-lock-release contract:
+// while the group-commit leader sits in the fsync it holds the snapshot
+// cut shared, never the write mutex or the index stripes, so reads
+// proceed, later appenders queue without holding any lock, and an
+// exclusive capture waits only for the in-flight batch — not the queue.
+// Every step synchronizes on channels; a regression deadlocks and the
+// test times out.
+func TestReadsOverlapParkedCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.log")
+	d := mustOpen(t, path, DiskOptions{Sync: true, GroupCommit: true, SegmentBytes: 1 << 20})
+	defer d.Close()
+
+	if err := d.Put(pidN(1), pageData(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var gated atomic.Bool
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	gateCommit(d, &gated, entered, release)
+	gated.Store(true)
+
+	put2 := make(chan error, 1)
+	go func() { put2 <- d.Put(pidN(2), pageData(2)) }()
+	<-entered
+
+	// The leader is parked mid-commit. Reads of durable pages must not
+	// block behind it...
+	got, err := d.Get(pidN(1), 0, uint32(len(pageData(1))))
+	if err != nil || !bytes.Equal(got, pageData(1)) {
+		t.Fatalf("read while commit parked: %v (%d bytes)", err, len(got))
+	}
+	// ...and the parked put is not yet visible: the index applies only
+	// after durability.
+	if d.Has(pidN(2)) {
+		t.Fatal("page visible before its batch committed")
+	}
+
+	// A second appender queues behind the parked leader without holding
+	// the index lock while it waits.
+	put3 := make(chan error, 1)
+	go func() { put3 <- d.Put(pidN(3), pageData(3)) }()
+	for {
+		d.wmu.Lock()
+		n := d.comm.QueueLenLocked()
+		d.wmu.Unlock()
+		if n >= 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	// An exclusive capture can now be requested: it waits for the
+	// in-flight batch only, so once the gate opens everything drains.
+	snapDone := make(chan error, 1)
+	go func() { snapDone <- d.Snapshot() }()
+	close(release)
+
+	if err := <-put2; err != nil {
+		t.Fatalf("parked put: %v", err)
+	}
+	if err := <-put3; err != nil {
+		t.Fatalf("queued put: %v", err)
+	}
+	if err := <-snapDone; err != nil {
+		t.Fatalf("snapshot during parked commit: %v", err)
+	}
+	if d.Snapshots() != 1 {
+		t.Fatalf("snapshots = %d, want 1", d.Snapshots())
+	}
+	for i := 1; i <= 3; i++ {
+		got, err := d.Get(pidN(i), 0, uint32(len(pageData(i))))
+		if err != nil || !bytes.Equal(got, pageData(i)) {
+			t.Fatalf("page %d after drain: %v", i, err)
+		}
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, path, DiskOptions{})
+	defer d2.Close()
+	for i := 1; i <= 3; i++ {
+		got, err := d2.Get(pidN(i), 0, uint32(len(pageData(i))))
+		if err != nil || !bytes.Equal(got, pageData(i)) {
+			t.Fatalf("page %d after reopen: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotFailureKeepsCountdown pins the snapshot-countdown fix: a
+// publish failure must leave the event countdown (and the dirty set)
+// intact, so the very next maintenance pass retries instead of waiting
+// for another SnapshotEvery records. The old code zeroed the counter
+// inside capture, before the publish could fail.
+func TestSnapshotFailureKeepsCountdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.log")
+	// No SnapshotEvery at open: the store runs no background maintainer,
+	// so the test can drive maintainPass deterministically.
+	d := mustOpen(t, path, DiskOptions{SegmentBytes: 1 << 20})
+	defer d.Close()
+	d.opts.SnapshotEvery = 4
+
+	for i := 1; i <= 6; i++ {
+		if err := d.Put(pidN(i), pageData(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.crashHook = func(point string) error {
+		if point == crashSnapTmpWritten {
+			return errInjected
+		}
+		return nil
+	}
+	if !d.maintainPass() {
+		t.Fatal("maintainPass reported closed")
+	}
+	if n := d.Snapshots(); n != 0 {
+		t.Fatalf("snapshots after failed publish = %d, want 0", n)
+	}
+	if ev := d.maintTrack.Events(); ev < 6 {
+		t.Fatalf("countdown consumed by failed snapshot: events = %d, want >= 6", ev)
+	}
+
+	// No new records: the retained countdown alone must trigger the retry.
+	d.crashHook = nil
+	if !d.maintainPass() {
+		t.Fatal("maintainPass reported closed")
+	}
+	if n := d.Snapshots(); n != 1 {
+		t.Fatalf("snapshots after retry = %d, want 1", n)
+	}
+	if ev := d.maintTrack.Events(); ev >= 4 {
+		t.Fatalf("countdown not consumed by successful snapshot: events = %d", ev)
+	}
+
+	// The retried snapshot must cover everything: one more record, and a
+	// reopen replays only that tail.
+	if err := d.Put(pidN(7), pageData(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, path, DiskOptions{})
+	defer d2.Close()
+	rs := d2.RecoveryStats()
+	if !rs.SnapshotLoaded {
+		t.Fatal("reopen did not load the retried snapshot")
+	}
+	if rs.RecordsReplayed != 1 {
+		t.Fatalf("records replayed = %d, want 1", rs.RecordsReplayed)
+	}
+	for i := 1; i <= 7; i++ {
+		got, err := d2.Get(pidN(i), 0, uint32(len(pageData(i))))
+		if err != nil || !bytes.Equal(got, pageData(i)) {
+			t.Fatalf("page %d after reopen: %v", i, err)
+		}
+	}
+}

@@ -11,12 +11,24 @@ import (
 // becomes one, takes everything queued with it, writes the whole batch
 // with a single write and at most one fsync, and wakes the batch.
 // Leadership lasts exactly one batch — anything queued behind the batch
-// is handed to the first of those waiters — because appenders lead
-// while holding store locks (a blob's shard, the page index cut), and
-// an open-ended tenure would stall that lock behind other traffic.
-// Appenders park until their batch is durable, so the write-ahead
-// contract (state applies only after the record is on disk) holds while
-// concurrent handlers share fsyncs.
+// is handed to the first of those waiters. Appenders park until their
+// batch is durable, so the write-ahead contract (state applies only
+// after the record is on disk) holds while concurrent handlers share
+// fsyncs.
+//
+// Stores keep their outer locks out of the fsync two ways:
+//
+//   - Two-phase append (Enqueue + Await): the handler enqueues while
+//     holding its store locks, releases them, and only then parks for
+//     durability — so a blob's shard is free while the leader sits in
+//     the fsync. The store applies state at enqueue time and
+//     acknowledges after Await; FailStop keeps the durable log a prefix
+//     of the enqueue order when a commit fails.
+//   - The Outer callback: when state must apply only after the commit
+//     (the page store assigns offsets at commit time), the exclusive
+//     committer itself takes a shared outer lock across Commit+Apply,
+//     so appenders never hold it across their park and a capture's
+//     exclusive acquisition still fences out in-flight batches.
 //
 // The Committer borrows the store's writer mutex rather than owning
 // one, so the store keeps its declared lock order (and its direct uses
@@ -33,6 +45,10 @@ type Cell struct {
 	// done is closed and read only after done fires.
 	delivered bool
 	promoted  bool
+	// leads marks a record whose Enqueue found no active leader: its
+	// owner must lead when it comes back to Await. Written and read only
+	// by the owning goroutine (set under Mu, but that is incidental).
+	leads bool
 }
 
 // NewCell returns a Cell ready to park on.
@@ -71,33 +87,65 @@ type Committer[T Parked] struct {
 	// commit+apply; the store rolls its active segment if oversized
 	// (best effort — a failed roll leaves the oversized segment active).
 	MaybeRoll func()
+	// Outer, when set, acquires a shared outer lock and returns its
+	// release. The exclusive committer holds it from just before Commit
+	// until after Apply+MaybeRoll, so a capture that takes the same lock
+	// exclusively fences out in-flight batches without appenders ever
+	// holding it across their park. Acquired with Mu released (the outer
+	// lock orders before Mu in the store's declared order).
+	Outer func() func()
+	// FailStop wedges the committer after the first commit error: every
+	// queued and future append fails with that error. Required by stores
+	// that apply state at enqueue time (the version WAL) — without it a
+	// failed batch followed by a successful one would leave per-key gaps
+	// in the durable log that replay rejects.
+	FailStop bool
 
 	queue   []T
 	leading bool
+	// pending counts records enqueued (either phase) whose batch has not
+	// yet resolved; idle is signalled when it reaches zero, for
+	// QuiesceLocked. Both are guarded by Mu.
+	pending int
+	idle    *sync.Cond
+	failed  error
 }
 
 // Append writes one record durably and applies its effects. Concurrent
 // appends coalesce into group commits unless the committer is serial.
 func (c *Committer[T]) Append(a T) error {
-	c.Mu.Lock()
-	if c.Closed() {
-		c.Mu.Unlock()
-		return c.ErrClosed
-	}
 	if c.Serial {
-		err := c.Commit([]T{a})
+		// The serial appender is the exclusive committer, so it takes the
+		// outer lock itself — before Mu, matching the declared order.
+		var release func()
+		if c.Outer != nil {
+			release = c.Outer()
+			defer release()
+		}
+		c.Mu.Lock()
+		err := c.admitLocked()
 		if err == nil {
-			if c.Apply != nil {
-				c.Apply([]T{a})
-			}
-			if c.MaybeRoll != nil {
-				c.MaybeRoll()
+			if err = c.Commit([]T{a}); err == nil {
+				if c.Apply != nil {
+					c.Apply([]T{a})
+				}
+				if c.MaybeRoll != nil {
+					c.MaybeRoll()
+				}
+			} else if c.FailStop {
+				c.failed = err
 			}
 		}
 		c.Mu.Unlock()
 		return err
 	}
+	c.Mu.Lock()
+	if err := c.admitLocked(); err != nil {
+		c.Mu.Unlock()
+		return err
+	}
 	c.queue = append(c.queue, a)
+	c.pending++
 	if !c.leading {
 		c.leading = true
 		return c.lead(a.Cell()) // releases Mu
@@ -110,6 +158,81 @@ func (c *Committer[T]) Append(a T) error {
 		return c.lead(cell) // releases Mu
 	}
 	return cell.err
+}
+
+// admitLocked is the shared entry check: closed stores and wedged
+// fail-stop committers reject new records. Called with Mu held.
+func (c *Committer[T]) admitLocked() error {
+	if c.Closed() {
+		return c.ErrClosed
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	return nil
+}
+
+// Enqueue queues one record for commit and returns without waiting for
+// durability — phase one of a two-phase append. The caller typically
+// holds store locks Append would stall across the fsync; it applies the
+// record's state effects under those locks (the committer's Apply must
+// be nil then), releases them, and calls Await to park for durability.
+// Serial committers queue too: lead commits their records one write
+// (+fsync) per record, preserving the ablation baseline while keeping
+// enqueue-order = commit-order per key.
+func (c *Committer[T]) Enqueue(a T) error {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if err := c.admitLocked(); err != nil {
+		return err
+	}
+	c.queue = append(c.queue, a)
+	c.pending++
+	if !c.leading {
+		c.leading = true
+		a.Cell().leads = true
+	}
+	return nil
+}
+
+// Await parks until a record queued with Enqueue is durable and returns
+// its outcome — phase two. Must not be called holding any lock ordered
+// at or after Mu.
+func (c *Committer[T]) Await(a T) error {
+	cell := a.Cell()
+	if cell.leads {
+		cell.leads = false
+		c.Mu.Lock()
+		if cell.delivered {
+			// Shutdown (or a caretaker pass) resolved the record before
+			// its owner came back to lead.
+			err := cell.err
+			c.Mu.Unlock()
+			return err
+		}
+		return c.lead(cell) // releases Mu
+	}
+	<-cell.done
+	if cell.promoted {
+		c.Mu.Lock()
+		return c.lead(cell) // releases Mu
+	}
+	return cell.err
+}
+
+// QuiesceLocked blocks until no queued or in-flight record remains, so
+// a capture can cut the log knowing every enqueued record is resolved —
+// two-phase appenders release store locks before durability, so a
+// store-level exclusive lock alone no longer implies this. The caller
+// must already exclude new mutators (its exclusive state lock); Mu is
+// released while waiting and held again on return.
+func (c *Committer[T]) QuiesceLocked() {
+	for c.pending > 0 {
+		if c.idle == nil {
+			c.idle = sync.NewCond(c.Mu)
+		}
+		c.idle.Wait()
+	}
 }
 
 // lead commits one batch — the current queue, which includes self's own
@@ -130,15 +253,35 @@ func (c *Committer[T]) lead(self *Cell) error {
 	batch := c.queue
 	c.queue = nil
 	closed := c.Closed()
+	failed := c.failed
 	c.Mu.Unlock()
 	var err error
+	var release func()
+	committed := false
 	if closed {
 		// Shutdown may already have drained the queue (batch can even be
 		// empty, self's record included in the drain); every outcome
 		// here is the same error, so the two drains cannot disagree.
 		err = c.ErrClosed
+	} else if failed != nil {
+		err = failed
 	} else if len(batch) > 0 {
-		err = c.Commit(batch)
+		if c.Outer != nil {
+			release = c.Outer()
+		}
+		committed = true
+		if c.Serial {
+			// Two-phase records on a serial committer: one write (+fsync)
+			// per record, stopping at the first failure so the durable
+			// log stays a prefix of the enqueue order.
+			for _, a := range batch {
+				if err = c.Commit([]T{a}); err != nil {
+					break
+				}
+			}
+		} else {
+			err = c.Commit(batch)
+		}
 	}
 	c.Mu.Lock()
 	if err == nil && len(batch) > 0 {
@@ -148,6 +291,9 @@ func (c *Committer[T]) lead(self *Cell) error {
 		if c.MaybeRoll != nil {
 			c.MaybeRoll()
 		}
+	}
+	if committed && err != nil && c.FailStop && c.failed == nil {
+		c.failed = err
 	}
 	for _, a := range batch {
 		cell := a.Cell()
@@ -160,6 +306,10 @@ func (c *Committer[T]) lead(self *Cell) error {
 			deliverLocked(cell, err)
 		}
 	}
+	c.pending -= len(batch)
+	if c.pending == 0 && c.idle != nil {
+		c.idle.Broadcast()
+	}
 	if len(c.queue) > 0 && !c.Closed() {
 		// One-batch tenure: whoever queued first behind this batch leads
 		// the next one; its record stays queued and commits in that
@@ -171,6 +321,9 @@ func (c *Committer[T]) lead(self *Cell) error {
 		c.leading = false
 	}
 	c.Mu.Unlock()
+	if release != nil {
+		release()
+	}
 	return err
 }
 
@@ -193,7 +346,11 @@ func (c *Committer[T]) FailQueuedLocked(err error) {
 	for _, a := range c.queue {
 		deliverLocked(a.Cell(), err)
 	}
+	c.pending -= len(c.queue)
 	c.queue = nil
+	if c.pending == 0 && c.idle != nil {
+		c.idle.Broadcast()
+	}
 }
 
 // CaretakeLocked runs one leader pass with no record of its own — a

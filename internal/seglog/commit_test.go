@@ -166,6 +166,187 @@ func TestCloseFailsQueuedAppends(t *testing.T) {
 	}
 }
 
+// TestTwoPhaseAppendBatches: records enqueued before any Await commit
+// as one batch when the designated leader finally parks, and every
+// Await observes the outcome.
+func TestTwoPhaseAppendBatches(t *testing.T) {
+	s := newTestStore(false)
+	s.comm.Apply = nil // two-phase stores apply at enqueue time
+	const n = 4
+	recs := make([]*testAppend, n)
+	for i := range recs {
+		recs[i] = &testAppend{rec: "r", cell: NewCell()}
+		if err := s.comm.Enqueue(recs[i]); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	s.mu.Lock()
+	if q := s.comm.QueueLenLocked(); q != n {
+		t.Fatalf("queued = %d, want %d", q, n)
+	}
+	s.mu.Unlock()
+	if s.commits.Load() != 0 {
+		t.Fatal("commit ran before any Await")
+	}
+	for i := range recs {
+		if err := s.comm.Await(recs[i]); err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+	}
+	if c, r := s.commits.Load(), s.records.Load(); c != 1 || r != n {
+		t.Fatalf("commits=%d records=%d, want 1/%d — the batch must share one fsync", c, r, n)
+	}
+}
+
+// TestTwoPhaseSerialCommitsPerRecord: on a serial committer the
+// enqueue/await path still commits one write per record (the ablation
+// baseline) in enqueue order.
+func TestTwoPhaseSerialCommitsPerRecord(t *testing.T) {
+	s := newTestStore(true)
+	s.comm.Apply = nil
+	const n = 6
+	recs := make([]*testAppend, n)
+	for i := range recs {
+		recs[i] = &testAppend{rec: "r", cell: NewCell()}
+		if err := s.comm.Enqueue(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range recs {
+		if err := s.comm.Await(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.commits.Load(); c != n {
+		t.Fatalf("serial two-phase commits = %d, want %d", c, n)
+	}
+}
+
+// TestTwoPhaseFailStopWedges: after one commit failure a fail-stop
+// committer fails the whole batch and every later enqueue, so the
+// durable log stays a prefix of the enqueue order.
+func TestTwoPhaseFailStopWedges(t *testing.T) {
+	s := newTestStore(false)
+	s.comm.Apply = nil
+	s.comm.FailStop = true
+	errDisk := errors.New("disk gone")
+	s.comm.Commit = func(batch []*testAppend) error { return errDisk }
+
+	a := &testAppend{rec: "r", cell: NewCell()}
+	if err := s.comm.Enqueue(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.comm.Await(a); !errors.Is(err, errDisk) {
+		t.Fatalf("await: %v, want %v", err, errDisk)
+	}
+	if err := s.comm.Enqueue(&testAppend{rec: "r", cell: NewCell()}); !errors.Is(err, errDisk) {
+		t.Fatalf("enqueue after wedge: %v, want %v", err, errDisk)
+	}
+	if err := s.append("r"); !errors.Is(err, errDisk) {
+		t.Fatalf("append after wedge: %v, want %v", err, errDisk)
+	}
+}
+
+// TestTwoPhaseCloseBeforeAwait: shutdown between Enqueue and Await
+// delivers the close error to the designated leader instead of letting
+// it commit through a closed store.
+func TestTwoPhaseCloseBeforeAwait(t *testing.T) {
+	s := newTestStore(false)
+	s.comm.Apply = nil
+	a := &testAppend{rec: "r", cell: NewCell()}
+	if err := s.comm.Enqueue(a); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.comm.FailQueuedLocked(errTestClosed)
+	s.mu.Unlock()
+	if err := s.comm.Await(a); !errors.Is(err, errTestClosed) {
+		t.Fatalf("await after close: %v, want %v", err, errTestClosed)
+	}
+	if r := s.records.Load(); r != 0 {
+		t.Fatalf("%d records committed through a closed store", r)
+	}
+}
+
+// TestQuiesceWaitsForPending: QuiesceLocked returns only once every
+// enqueued record has resolved, including batches taken but not yet
+// durable.
+func TestQuiesceWaitsForPending(t *testing.T) {
+	s := newTestStore(false)
+	s.comm.Apply = nil
+	gate := make(chan struct{})
+	s.comm.Commit = func(batch []*testAppend) error {
+		s.commits.Add(1)
+		s.records.Add(uint64(len(batch)))
+		<-gate // a leader parked mid-fsync
+		return nil
+	}
+	a := &testAppend{rec: "r", cell: NewCell()}
+	if err := s.comm.Enqueue(a); err != nil {
+		t.Fatal(err)
+	}
+	awaitDone := make(chan error, 1)
+	go func() { awaitDone <- s.comm.Await(a) }()
+	for s.commits.Load() == 0 {
+		runtime.Gosched() // leader is inside Commit now
+	}
+	quiesced := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		s.comm.QuiesceLocked()
+		s.mu.Unlock()
+		close(quiesced)
+	}()
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	select {
+	case <-quiesced:
+		t.Fatal("quiesce returned while a batch was in flight")
+	default:
+	}
+	close(gate)
+	<-quiesced
+	if err := <-awaitDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoPhaseStress hammers Enqueue/Await from many goroutines mixed
+// with one-phase appends under the race detector.
+func TestTwoPhaseStress(t *testing.T) {
+	s := newTestStore(false)
+	const workers, each = 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if w%2 == 0 {
+					a := &testAppend{rec: "r", cell: NewCell()}
+					if err := s.comm.Enqueue(a); err != nil {
+						t.Errorf("enqueue: %v", err)
+						return
+					}
+					if err := s.comm.Await(a); err != nil {
+						t.Errorf("await: %v", err)
+						return
+					}
+				} else if err := s.append("r"); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r := s.records.Load(); r != workers*each {
+		t.Fatalf("committed %d, want %d", r, workers*each)
+	}
+}
+
 // TestCommitErrorPropagatesToWholeBatch: a failed batch fails every
 // appender in it and applies nothing.
 func TestCommitErrorPropagatesToWholeBatch(t *testing.T) {

@@ -16,7 +16,17 @@
 //     and, since format v2, its live/tombstone byte counters — so
 //     recovery detects post-snapshot compaction and seeds accurate
 //     reclaim accounting (see indexsnap.go for the v2 story)
-//   - leader/batch group commit with one-batch tenure (commit.go)
+//   - leader/batch group commit with one-batch tenure and early lock
+//     release: the leader runs the batch write+fsync with the store
+//     mutex dropped, holding at most a store-supplied shared outer
+//     lock, and appends split into enqueue/await so callers can apply
+//     under their own locks at enqueue time and ack after durability
+//     (commit.go)
+//   - incremental snapshot capture: a dirty-set tracker whose captures
+//     clone only what changed since the last *published* snapshot and
+//     whose commit/abort protocol consumes the auto-snapshot countdown
+//     only after a successful publish, so a failed publish retries on
+//     the next maintenance pass (capture.go)
 //   - in-place segment rewrite through a tmp file that is always
 //     fsynced before the rename (writer.go)
 //   - generational tombstone hygiene for compactors (hygiene.go)

@@ -296,7 +296,12 @@ func (b *blobState) abort(v wire.Version) (abortedVersions []wire.Version, err e
 	if u.aborted {
 		return nil, nil
 	}
-	maxKept := b.published
+	// The no-survivor fallback must be the readable version, not the
+	// publication pointer: published may rest on an aborted version (one a
+	// previous cascade let advance() skip over), and aborted versions have
+	// no size entry — falling back there would zero the pending size and
+	// hand the next append offset 0 over live data.
+	maxKept := b.readable
 	for w, iu := range b.inflight {
 		if w >= v {
 			if !iu.aborted {
@@ -310,7 +315,7 @@ func (b *blobState) abort(v wire.Version) (abortedVersions []wire.Version, err e
 		}
 	}
 	// Roll the pending size back to the largest surviving update (or the
-	// published size if none survives above the publication point).
+	// readable size if none survives above the publication point).
 	b.pendingSize = b.sizeAfter(maxKept)
 	b.advance() // aborted versions at the front can be skipped over now
 	return abortedVersions, nil

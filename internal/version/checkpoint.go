@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"blobseer/internal/seglog"
 	"blobseer/internal/wire"
 )
 
@@ -14,10 +16,12 @@ import (
 // segments the snapshot covers. Crash-consistency invariants, in order:
 //
 //  1. The capture is a consistent cut: every mutating handler holds
-//     stateMu.RLock from before its event is logged until after it is
-//     applied, and the capture holds stateMu exclusively while it rolls
-//     the segment and clones the state — so the clone equals exactly the
-//     replay of all segments below the cut.
+//     stateMu.RLock from before its event is enqueued until after it is
+//     applied (durability is awaited after release — two-phase append),
+//     and the capture holds stateMu exclusively while it quiesces the
+//     committer, rolls the segment and resolves the dirty blobs — so
+//     the captured state equals exactly the replay of all segments
+//     below the cut.
 //  2. The snapshot becomes visible only by the atomic rename of a fully
 //     written (and, when syncing, fsynced) tmp file: recovery never sees
 //     a half-written snapshot under the live name.
@@ -83,20 +87,36 @@ func (m *Manager) Checkpoint() error {
 		return err
 	}
 	m.stateMu.Lock()
-	snap, err := m.captureLocked()
+	t0 := time.Now()
+	snap, cut, err := m.captureLocked()
+	m.capturePause.Store(int64(time.Since(t0)))
 	m.stateMu.Unlock()
 	if err != nil {
 		return err
 	}
+	// The merge is O(total blobs) of map work, but the stop-the-world
+	// capture above was O(dirty blobs): it runs after stateMu released.
+	merged := cut.Merged()
+	snap.blobs = make([]*blobState, 0, len(merged))
+	for _, b := range merged {
+		snap.blobs = append(snap.blobs, b)
+	}
 	if err := m.crash(crashCaptured); err != nil {
+		cut.Abort()
 		return err
 	}
 	err = walFmt.PublishSnapshot(m.log.base, encodeSnapshot(snap), m.log.fsync,
 		func() error { return m.crash(crashTmpWritten) },
 		func() error { return m.crash(crashRenamed) })
 	if err != nil {
+		// The countdown and dirty set survive (see seglog.Capture.Abort),
+		// so the next checkpoint pass retries immediately.
+		cut.Abort()
 		return err
 	}
+	// The snapshot is live: commit the baseline and consume the countdown
+	// before the (restartable) segment deletes.
+	cut.Commit()
 	segs, err := listSegments(m.log.base)
 	if err != nil {
 		return err
@@ -121,34 +141,61 @@ func (m *Manager) Checkpoint() error {
 	return nil
 }
 
-// captureLocked rolls the log to a fresh segment and clones every blob's
-// state. Called with stateMu held exclusively, which excludes every
-// mutating handler (they hold stateMu.RLock across log-append and state
-// apply) — so no commit is in flight during the roll and the clone is
-// exactly the state the segments below the cut replay to.
-func (m *Manager) captureLocked() (*snapshotState, error) {
+// captureLocked quiesces the log, rolls it to a fresh segment, and
+// captures the state at the cut — incrementally when a published
+// baseline exists: only blobs marked dirty since the last checkpoint are
+// cloned, so the stop-the-world pause stops scaling with total blob
+// count. Called with stateMu held exclusively, which excludes every
+// mutating handler from enqueueing; records already enqueued (their
+// owners released stateMu before parking for durability — two-phase
+// append) are waited out by the quiesce, so the capture is exactly the
+// state the segments below the cut replay to.
+func (m *Manager) captureLocked() (*snapshotState, *seglog.Capture[wire.BlobID, *blobState], error) {
 	w := m.log
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return nil, errWALClosed
+		return nil, nil, errWALClosed
+	}
+	// Wait out enqueued-but-not-yet-durable records: their state is
+	// already applied, so letting them commit past the roll would make
+	// replay apply them twice on top of the snapshot.
+	w.comm.QuiesceLocked()
+	if w.closed { // quiesce releases the mutex while waiting
+		w.mu.Unlock()
+		return nil, nil, errWALClosed
 	}
 	if w.size > 0 {
 		if err := w.rollLocked(); err != nil {
 			w.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	nextSeg := w.segIdx
 	w.mu.Unlock()
 	s := &snapshotState{nextSeg: nextSeg, nextBlob: wire.BlobID(m.nextBlob.Load())}
-	for _, sh := range m.allShards() {
-		s.blobs = append(s.blobs, sh.state.clone())
+	cut := m.ckptTrack.Begin()
+	if cut.Full() {
+		// First capture since open (or the fallback): seed from a full
+		// clone of every shard.
+		seed := make(map[wire.BlobID]*blobState)
+		for _, sh := range m.allShards() {
+			seed[sh.state.id] = sh.state.clone()
+		}
+		cut.Seed(seed)
+	} else {
+		for id := range cut.Dirty() {
+			sh, err := m.shard(id)
+			if err != nil {
+				// Blobs are never deleted; a dirty id without a shard is
+				// state corruption — abort loudly, publish nothing.
+				cut.Abort()
+				return nil, nil, fmt.Errorf("version: checkpoint capture: dirty blob %v has no shard: %w", id, err)
+			}
+			cut.Resolve(id, sh.state.clone(), true)
+		}
 	}
-	// Events up to the cut are covered; restart the auto-checkpoint
-	// countdown. Exact because no append can race this store.
-	m.ckptEvents.Store(0)
-	return s, nil
+	return s, cut, nil
 }
 
 // writeSnapshotFile writes the framed payload to the tmp path and, when
@@ -172,6 +219,14 @@ func (m *Manager) checkpointPass() bool {
 
 // Checkpoints reports how many checkpoints completed since start.
 func (m *Manager) Checkpoints() uint64 { return m.ckptRuns.Load() }
+
+// LastCapturePause reports the stop-the-world duration of the most
+// recent checkpoint capture (the window stateMu was held exclusively).
+// With incremental capture this is O(blobs dirtied since the last
+// checkpoint), not O(total blobs) — the A7 ablation measures it.
+func (m *Manager) LastCapturePause() time.Duration {
+	return time.Duration(m.capturePause.Load())
+}
 
 // RecoveryStats reports what this incarnation's open of the write-ahead
 // log did: whether a snapshot seeded the state and how many tail events

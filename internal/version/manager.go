@@ -92,25 +92,29 @@ type Manager struct {
 	global sync.Mutex
 
 	// stateMu makes checkpoints a consistent cut: every mutating handler
-	// holds it shared from before its event is logged until after the
-	// state change applies, and the checkpointer holds it exclusively
-	// only while rolling the log segment and cloning the state. Readers
-	// and parked SYNC waiters never touch it. Lock order: stateMu, then
-	// shard mutexes, then wal internals.
+	// holds it shared from before its event is enqueued until after the
+	// state change applies (the durability await happens after release),
+	// and the checkpointer holds it exclusively only while quiescing the
+	// committer, rolling the log segment and resolving the dirty blobs.
+	// Readers and parked SYNC waiters never touch it. Lock order:
+	// stateMu, then shard mutexes, then wal internals.
 	stateMu sync.RWMutex
 
 	stripes  []registryStripe
 	nextBlob atomic.Uint64 // last allocated blob id
 
 	// Checkpoint machinery (see checkpoint.go). ckptMu serializes
-	// checkpoint runs and doubles as the shutdown barrier; ckptEvents
-	// counts events since the last cut; ckpt is the background
-	// checkpointer goroutine.
-	ckptMu     sync.Mutex
-	ckptEvents atomic.Uint64
-	ckptRuns   atomic.Uint64
-	ckpt       *seglog.Maintainer
-	recStats   RecoveryStats
+	// checkpoint runs and doubles as the shutdown barrier; ckptTrack
+	// owns the dirty-blob set and the events-since-last-cut countdown
+	// for incremental capture; ckpt is the background checkpointer
+	// goroutine; capturePause records the last capture's stop-the-world
+	// duration for the A7 ablation.
+	ckptMu       sync.Mutex
+	ckptTrack    seglog.Tracker[wire.BlobID, *blobState]
+	ckptRuns     atomic.Uint64
+	capturePause atomic.Int64
+	ckpt         *seglog.Maintainer
+	recStats     RecoveryStats
 
 	// crashHook is the test-only checkpoint fault injector.
 	crashHook func(point string) error
@@ -346,23 +350,50 @@ func (m *Manager) register(id wire.BlobID, sh *blobShard) {
 	s.mu.Unlock()
 }
 
-// logEvent appends e to the write-ahead log (no-op when not durable) and
-// parks until it is durable. Callers hold the lock of the shard e mutates
-// (none yet exists for a create), so each blob's log order matches its
-// apply order even though batches interleave events of different blobs —
-// and they hold stateMu shared (see mutate), so a checkpoint capture
-// never splits an event from its state change.
-func (m *Manager) logEvent(e walEvent) error {
+// noAwait is logEventBegin's result when the manager is not durable.
+var noAwait = func() error { return nil }
+
+// logEventBegin enqueues e to the write-ahead log (no-op when not
+// durable) and returns the await for its durability — phase one of the
+// two-phase append. Callers hold the lock of the shard e mutates (none
+// yet exists for a create), so each blob's log order matches its apply
+// order even though batches interleave events of different blobs — and
+// they hold stateMu shared (see mutate), so a checkpoint capture never
+// splits an event from its state change. The handler applies the state
+// change under those same locks, releases them, and only then invokes
+// the await — the shard is free while the leader sits in the fsync, and
+// the client is acknowledged only once the event is durable. Every
+// successful begin MUST be awaited (an unawaited designated leader
+// stalls the queue), and the enqueued blob is marked dirty for the
+// incremental checkpoint capture.
+func (m *Manager) logEventBegin(e walEvent) (await func() error, err error) {
 	if m.log == nil {
-		return nil
+		return noAwait, nil
 	}
-	if err := m.log.append(e); err != nil {
-		return wire.NewError(wire.CodeUnavailable, "version log: %v", err)
+	a, err := m.log.enqueue(e)
+	if err != nil {
+		return nil, wire.NewError(wire.CodeUnavailable, "version log: %v", err)
 	}
-	if n := m.cfg.CheckpointEvery; n > 0 && m.ckptEvents.Add(1) >= uint64(n) {
+	m.ckptTrack.Mark(e.blob)
+	if n := m.cfg.CheckpointEvery; n > 0 && m.ckptTrack.AddEvents(1) >= uint64(n) {
 		m.ckpt.Nudge()
 	}
-	return nil
+	return func() error {
+		if err := m.log.await(a); err != nil {
+			return wire.NewError(wire.CodeUnavailable, "version log: %v", err)
+		}
+		return nil
+	}, nil
+}
+
+// ckptDirty marks a blob dirty for the incremental checkpoint capture —
+// for mutations that land on a blob other than the logged event's own
+// (a branch pins its lineage owner). Callers hold stateMu shared, so
+// the mark cannot slip past a capture cut.
+func (m *Manager) ckptDirty(id wire.BlobID) {
+	if m.log != nil {
+		m.ckptTrack.Mark(id)
+	}
 }
 
 // mutate marks a state-changing handler region for the checkpointer: the
@@ -441,6 +472,7 @@ func (m *Manager) sweepLoop(ctx context.Context) {
 		release := m.mutate() // sweeper aborts are state changes too
 		cutoff := int64(m.sched.Now()) - int64(m.cfg.DeadWriterTimeout)
 		var wake []func()
+		var awaits []func() error
 		for _, sh := range m.allShards() {
 			sh.mu.Lock()
 			b := sh.state
@@ -456,11 +488,17 @@ func (m *Manager) sweepLoop(ctx context.Context) {
 				if u, ok := b.inflight[v]; !ok || u.aborted {
 					continue // a lower stale version's cascade got it
 				}
-				// Sweeper aborts are durable too; on log failure leave the
-				// update for the next sweep rather than diverge from the log.
-				if err := m.logEvent(walEvent{kind: walAbort, blob: b.id, version: v}); err != nil {
+				// Sweeper aborts are durable too; if the enqueue is refused
+				// (closed or wedged log) leave the update for the next sweep
+				// rather than diverge from the log.
+				await, err := m.logEventBegin(walEvent{kind: walAbort, blob: b.id, version: v})
+				if err != nil {
 					continue
 				}
+				// Every begun event must be awaited, even if abort then
+				// reports an error (it cannot, given the inflight check
+				// above — but an unawaited leader would stall the log).
+				awaits = append(awaits, await)
 				abortedVers, err := b.abort(v)
 				if err != nil {
 					continue
@@ -471,6 +509,11 @@ func (m *Manager) sweepLoop(ctx context.Context) {
 		}
 		release()
 		unlock()
+		for _, a := range awaits {
+			// A durability failure wedges the log fail-stop; the aborts
+			// stay applied in memory and the next mutation reports it.
+			_ = a()
+		}
 		for _, fn := range wake {
 			fn()
 		}
@@ -508,16 +551,25 @@ func (m *Manager) handleCreate(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if m.closed.Load() {
 		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
 	}
-	defer m.mutate()()
-	// The id is reserved before logging; if the log append fails the id is
+	release := m.mutate()
+	// The id is reserved before logging; if the enqueue fails the id is
 	// simply burned (ids are unique, not dense). No other event for this
 	// blob can enter the log first, because the id is unknown to clients
-	// until the create is durable and acknowledged.
+	// until the create is durable and acknowledged. The shard registers
+	// before the await so a checkpoint capture that covers the enqueued
+	// record always sees the blob; if durability then fails, the log is
+	// wedged (fail-stop) and the unacknowledged in-memory blob is inert.
 	id := wire.BlobID(m.nextBlob.Add(1))
-	if err := m.logEvent(walEvent{kind: walCreate, blob: id, pageSize: ps}); err != nil {
+	await, err := m.logEventBegin(walEvent{kind: walCreate, blob: id, pageSize: ps})
+	if err != nil {
+		release()
 		return nil, err
 	}
 	m.register(id, newShard(newBlobState(id, ps)))
+	release()
+	if err := await(); err != nil {
+		return nil, err
+	}
 	return &wire.CreateBlobResp{Blob: id}, nil
 }
 
@@ -545,22 +597,34 @@ func (m *Manager) handleAssign(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if err != nil {
 		return nil, err
 	}
-	defer m.mutate()()
+	release := m.mutate()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	// Plan once, log the plan, apply the same plan: the WAL record and the
 	// in-memory state cannot diverge.
 	plan, err := sh.state.planAssign(req.Offset, req.Size, req.Append)
 	if err != nil {
+		sh.mu.Unlock()
+		release()
 		return nil, err
 	}
-	if err := m.logEvent(walEvent{
+	await, err := m.logEventBegin(walEvent{
 		kind: walAssign, blob: req.Blob, version: plan.version,
 		offset: plan.offset, size: plan.size, newSize: plan.newSize,
-	}); err != nil {
+	})
+	if err != nil {
+		sh.mu.Unlock()
+		release()
 		return nil, err
 	}
-	return sh.state.applyAssign(plan, int64(m.sched.Now())), nil
+	resp := sh.state.applyAssign(plan, int64(m.sched.Now()))
+	sh.mu.Unlock()
+	release()
+	// The shard is free from here: apply and read traffic on the same
+	// blob overlaps this event's fsync.
+	if err := await(); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, error) {
@@ -571,15 +635,18 @@ func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, err
 	if err != nil {
 		return nil, err
 	}
-	defer m.mutate()()
+	release := m.mutate()
 	sh.mu.Lock()
 	b := sh.state
-	// Log only completions that will change state (write-ahead); error and
-	// idempotent paths fall through to complete() unlogged.
+	// Log only completions that will change state; error and idempotent
+	// paths fall through to complete() unlogged.
+	var await func() error
 	if u, ok := b.inflight[req.Version]; ok && !u.aborted && !u.completed {
-		if err := m.logEvent(walEvent{kind: walComplete, blob: req.Blob, version: req.Version}); err != nil {
+		var lerr error
+		if await, lerr = m.logEventBegin(walEvent{kind: walComplete, blob: req.Blob, version: req.Version}); lerr != nil {
 			sh.mu.Unlock()
-			return nil, err
+			release()
+			return nil, lerr
 		}
 	}
 	readable, err := b.complete(req.Version)
@@ -588,10 +655,20 @@ func (m *Manager) handleComplete(_ context.Context, msg wire.Msg) (wire.Msg, err
 		wake = sh.fireWatchersLocked(readable)
 	}
 	sh.mu.Unlock()
+	release()
+	var werr error
+	if await != nil {
+		werr = await()
+	}
 	if err != nil {
 		return nil, err
 	}
+	// The state changed (applied at enqueue), so watchers fire even if
+	// durability failed — only the completer sees the log error.
 	wake()
+	if werr != nil {
+		return nil, werr
+	}
 	return &wire.CompleteResp{}, nil
 }
 
@@ -603,14 +680,17 @@ func (m *Manager) handleAbort(_ context.Context, msg wire.Msg) (wire.Msg, error)
 	if err != nil {
 		return nil, err
 	}
-	defer m.mutate()()
+	release := m.mutate()
 	sh.mu.Lock()
 	b := sh.state
-	// Log only aborts that will change state (write-ahead).
+	// Log only aborts that will change state.
+	var await func() error
 	if u, ok := b.inflight[req.Version]; ok && !u.aborted {
-		if err := m.logEvent(walEvent{kind: walAbort, blob: req.Blob, version: req.Version}); err != nil {
+		var lerr error
+		if await, lerr = m.logEventBegin(walEvent{kind: walAbort, blob: req.Blob, version: req.Version}); lerr != nil {
 			sh.mu.Unlock()
-			return nil, err
+			release()
+			return nil, lerr
 		}
 	}
 	abortedVers, err := b.abort(req.Version)
@@ -625,10 +705,18 @@ func (m *Manager) handleAbort(_ context.Context, msg wire.Msg) (wire.Msg, error)
 		wake = func() { prev(); more() }
 	}
 	sh.mu.Unlock()
+	release()
+	var werr error
+	if await != nil {
+		werr = await()
+	}
 	if err != nil {
 		return nil, err
 	}
 	wake()
+	if werr != nil {
+		return nil, werr
+	}
 	return &wire.AbortResp{}, nil
 }
 
@@ -744,47 +832,69 @@ func (m *Manager) handleBranch(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if err != nil {
 		return nil, err
 	}
-	defer m.mutate()()
+	release := m.mutate()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	b := sh.state
-	if req.Version > b.readable {
-		return nil, wire.NewError(wire.CodeNotPublished,
-			"cannot branch blob %v at unpublished version %d", b.id, req.Version)
-	}
 	// The branch point's size lives on its namespace owner, and the new
 	// branch pins that owner's retention floor. Holding the owner's shard
 	// mutex from the size check through pin registration closes the race
 	// with a concurrent EXPIRE on the owner (lock nesting child-to-
 	// ancestor is safe: ancestors have strictly smaller blob ids).
+	// Everything up to and including the pin applies under the locks;
+	// they unwind before the durability await.
+	var osh *blobShard
+	unwind := func() {
+		if osh != nil {
+			osh.mu.Unlock()
+		}
+		sh.mu.Unlock()
+		release()
+	}
+	b := sh.state
+	if req.Version > b.readable {
+		unwind()
+		return nil, wire.NewError(wire.CodeNotPublished,
+			"cannot branch blob %v at unpublished version %d", b.id, req.Version)
+	}
 	ob := b
 	if owner := b.lineage.Owner(req.Version); owner != b.id {
-		osh, err := m.shard(owner)
+		o, err := m.shard(owner)
 		if err != nil {
+			unwind()
 			return nil, err
 		}
+		osh = o
 		//blobseer:ignore lockorder nested shard lock is a strict lineage ancestor (smaller blob id), never this shard
 		osh.mu.Lock()
-		defer osh.mu.Unlock()
 		ob = osh.state
 	}
 	sizeAt, ok := ob.sizeOf(req.Version)
 	if !ok {
+		unwind()
 		return nil, wire.NewError(wire.CodeNotPublished,
 			"cannot branch blob %v at version %d: aborted or expired", b.id, req.Version)
 	}
 	if m.closed.Load() {
+		unwind()
 		return nil, wire.NewError(wire.CodeUnavailable, "version manager shutting down")
 	}
 	id := wire.BlobID(m.nextBlob.Add(1))
-	if err := m.logEvent(walEvent{
+	await, err := m.logEventBegin(walEvent{
 		kind: walBranch, blob: id, parent: req.Blob,
 		version: req.Version, newSize: sizeAt,
-	}); err != nil {
+	})
+	if err != nil {
+		unwind()
 		return nil, err
 	}
 	m.register(id, newShard(newBranchState(id, b, req.Version, sizeAt)))
 	ob.registerPin(id, req.Version)
+	// The pin mutates the lineage owner's state, which logEventBegin's
+	// mark (the new blob id) does not cover.
+	m.ckptDirty(ob.id)
+	unwind()
+	if err := await(); err != nil {
+		return nil, err
+	}
 	return &wire.BranchResp{NewBlob: id}, nil
 }
 
@@ -796,22 +906,34 @@ func (m *Manager) handleExpire(_ context.Context, msg wire.Msg) (wire.Msg, error
 	if err != nil {
 		return nil, err
 	}
-	defer m.mutate()()
+	release := m.mutate()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	b := sh.state
 	floor, expired, err := b.planExpire(req.UpTo, m.cfg.RetainVersions)
 	if err != nil {
+		sh.mu.Unlock()
+		release()
 		return nil, err
 	}
 	if floor <= b.expireFloor {
 		// Idempotent repeat or fully clamped request: nothing to log.
-		return &wire.ExpireResp{Floor: b.expireFloor}, nil
+		resp := &wire.ExpireResp{Floor: b.expireFloor}
+		sh.mu.Unlock()
+		release()
+		return resp, nil
 	}
-	if err := m.logEvent(walEvent{kind: walExpire, blob: req.Blob, version: floor}); err != nil {
+	await, err := m.logEventBegin(walEvent{kind: walExpire, blob: req.Blob, version: floor})
+	if err != nil {
+		sh.mu.Unlock()
+		release()
 		return nil, err
 	}
 	b.applyExpire(floor)
+	sh.mu.Unlock()
+	release()
+	if err := await(); err != nil {
+		return nil, err
+	}
 	return &wire.ExpireResp{Floor: floor, Expired: expired}, nil
 }
 

@@ -15,9 +15,14 @@ import (
 // The write-ahead log makes the version manager's state durable across
 // restarts — an extension: the paper's prototype kept version state in
 // memory and listed failure handling as future work. Every state-changing
-// event (create, branch, assign, complete, abort) is appended to the log
-// before it is applied, so a manager restarted on the same log
-// continues exactly where the previous incarnation stopped: published
+// event (create, branch, assign, complete, abort) is enqueued to the log
+// and applied under the handler's locks, and the handler acknowledges the
+// client only after the event is durable (two-phase append: the shard is
+// free while the leader sits in the fsync). A commit failure wedges the
+// log fail-stop, so the durable history is always a prefix of the apply
+// order and a manager restarted on the same log continues exactly where
+// the previous incarnation stopped — at worst dropping a suffix of
+// unacknowledged events: published
 // snapshots stay published, in-flight updates stay in flight (and are
 // swept by the dead-writer timeout if their writer died with the crash —
 // enable DeadWriterTimeout together with WALPath, or an unfinished update
@@ -357,6 +362,11 @@ func openWAL(path string, opts walOptions) (*wal, *walRecovery, error) {
 		Closed:    func() bool { return w.closed },
 		ErrClosed: errWALClosed,
 		Commit:    w.commit,
+		// Handlers apply state at enqueue time (two-phase append), so a
+		// commit failure must wedge the log: letting a later batch succeed
+		// would leave a gap replay rejects. The manager degrades to
+		// rejecting mutations with the wedging error.
+		FailStop: true,
 		MaybeRoll: func() {
 			if w.size >= w.segBytes {
 				w.rollLocked() // best effort: a failed roll leaves the oversized segment active
@@ -403,12 +413,36 @@ func scanSegment(path string, allowTorn bool) ([]walEvent, error) {
 // record frames one event for the log.
 func record(e walEvent) []byte { return walFmt.Frame(e.encode()) }
 
-// append writes one event durably (write-ahead: callers apply the state
-// change only after append returns nil). Concurrent appends coalesce into
-// group commits unless the wal is serial.
-func (w *wal) append(e walEvent) error {
+// enqueue queues one event for commit and returns without parking —
+// phase one of the two-phase append. The caller applies the state change
+// under its locks (enqueue order = apply order per blob, because both
+// happen in the same critical section), releases them, and parks in
+// await. The committer is fail-stop: once any commit fails, every queued
+// and future event fails with the same error, so the durable log is
+// always a prefix of the enqueue order and replay never sees per-blob
+// gaps.
+func (w *wal) enqueue(e walEvent) (*walAppend, error) {
 	a := &walAppend{rec: record(e), cell: seglog.NewCell()}
-	return w.comm.Append(a)
+	if err := w.comm.Enqueue(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// await parks until an enqueued event is durable — phase two. Callers
+// hold no manager locks here, so a shard stays free while the leader
+// sits in the fsync.
+func (w *wal) await(a *walAppend) error { return w.comm.Await(a) }
+
+// append writes one event durably before returning — the one-phase
+// convenience used by tests; handlers use enqueue/await to overlap
+// apply work with the disk wait.
+func (w *wal) append(e walEvent) error {
+	a, err := w.enqueue(e)
+	if err != nil {
+		return err
+	}
+	return w.await(a)
 }
 
 // commit appends one batch contiguously to the active segment with a
